@@ -1,0 +1,61 @@
+// Reproduces Figure 4: speedup-vs-compilation profiles for MFEM examples
+// 5 and 9, compilations sorted by speedup, each marked bitwise-equal or
+// variable.  Prints the full series (one row per compilation) plus the
+// fastest-equal / fastest-variable summary the figure calls out.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mfem_study_common.h"
+
+using namespace flit;
+
+namespace {
+
+void profile(const core::StudyResult& r, int example) {
+  std::vector<const core::CompilationOutcome*> sorted;
+  for (const auto& o : r.outcomes) sorted.push_back(&o);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->speedup < b->speedup; });
+
+  std::printf("\nFigure 4 profile, MFEM example %d (sorted by speedup)\n",
+              example);
+  std::printf("%-6s %-10s %-14s %s\n", "rank", "speedup", "variability",
+              "compilation");
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    std::printf("%-6zu %-10.4f %-14.3Le %s%s\n", i, sorted[i]->speedup,
+                sorted[i]->variability, sorted[i]->comp.str().c_str(),
+                sorted[i]->bitwise_equal() ? "" : "   [variable]");
+  }
+
+  const auto* fe = r.fastest_equal();
+  const auto* fv = r.fastest_variable();
+  std::printf("summary example %d:\n", example);
+  if (fe != nullptr) {
+    std::printf("  fastest bitwise equal: %-40s speedup %.3f\n",
+                fe->comp.str().c_str(), fe->speedup);
+  }
+  if (fv != nullptr) {
+    std::printf("  fastest variable:      %-40s speedup %.3f  variability "
+                "%.2Le\n",
+                fv->comp.str().c_str(), fv->speedup, fv->variability);
+  }
+  if (fe != nullptr && fv != nullptr) {
+    std::printf("  winner: %s\n",
+                fe->speedup >= fv->speedup ? "bitwise equal" : "variable");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const bench::MfemStudy study = bench::run_mfem_study();
+  profile(study.results[4], 5);  // Fig. 4a: equal wins (paper: 1.128 vs 1.044)
+  profile(study.results[8], 9);  // Fig. 4b: variable wins (paper: 1.396 vs 1.094)
+  std::printf(
+      "\nPaper reference: ex5 fastest equal g++ -O3 (1.128) beats fastest "
+      "variable g++ -O3 -mavx2 -mfma (1.044);\n"
+      "                 ex9 fastest variable icpc -O3 -fp-model fast=1 "
+      "(1.396) beats fastest equal clang++ -O3 (1.094)\n");
+  return 0;
+}

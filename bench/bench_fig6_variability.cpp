@@ -1,0 +1,47 @@
+// Reproduces Figure 6: for every MFEM example, the number of
+// variability-inducing compilations (out of 244) and the min / median /
+// max of the relative l2 errors those compilations induce.
+
+#include <cstdio>
+
+#include "mfem_study_common.h"
+
+using namespace flit;
+
+int main() {
+  const bench::MfemStudy study = bench::run_mfem_study();
+
+  std::printf(
+      "Figure 6: found variability per example (out of %zu compilations)\n",
+      study.space.size());
+  std::printf("%-4s %-14s %-12s %-12s %-12s\n", "ex", "# variable",
+              "min rel err", "median", "max rel err");
+  int omitted = 0;
+  std::size_t max_count = 0;
+  int max_err_example = 0;
+  long double max_err = 0.0L;
+  for (int ex = 1; ex <= mfemini::kNumExamples; ++ex) {
+    const core::StudyResult& r = study.results[static_cast<std::size_t>(ex - 1)];
+    const auto stats = r.variability_stats();
+    if (!stats.has_value()) {
+      std::printf("%-4d (no found variability -- omitted, as 12/18 in the "
+                  "paper)\n",
+                  ex);
+      ++omitted;
+      continue;
+    }
+    max_count = std::max(max_count, r.variable_count());
+    if (stats->max > max_err) {
+      max_err = stats->max;
+      max_err_example = ex;
+    }
+    std::printf("%-4d %-14zu %-12.3Le %-12.3Le %-12.3Le\n", ex,
+                r.variable_count(), stats->min, stats->median, stats->max);
+  }
+  std::printf("\nexamples omitted (no variability): %d (paper: 2)\n",
+              omitted);
+  std::printf("largest relative error: %.3Le on example %d (paper: "
+              "183%%-197%% on example 13)\n",
+              max_err, max_err_example);
+  return 0;
+}

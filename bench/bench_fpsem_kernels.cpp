@@ -1,0 +1,98 @@
+// Microbenchmark (google-benchmark): throughput of the semantics-
+// parameterized reduction kernels across floating-point semantics -- the
+// evaluator overhead study backing the deterministic cost model.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "fpsem/env.h"
+
+namespace {
+
+using namespace flit::fpsem;
+
+FunctionId bench_fn() {
+  static const FunctionId id = register_fn({
+      .name = "bench::kernel_fn",
+      .file = "bench/fpsem_kernels.cpp",
+  });
+  return id;
+}
+
+EvalContext make_ctx(FpSemantics sem) {
+  const FunctionId id = bench_fn();
+  SemanticsMap map(global_code_model().function_count());
+  map.binding(id) = FnBinding{sem, {}};
+  return EvalContext(std::move(map));
+}
+
+std::vector<double> data(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 0.37 * static_cast<double>(i % 97) + 1.0 / (i + 2.0);
+  }
+  return v;
+}
+
+FpSemantics semantics_for(int kind) {
+  FpSemantics s;
+  switch (kind) {
+    case 0: break;  // strict
+    case 1: s.contract_fma = true; break;
+    case 2: s.reassoc_width = 4; break;
+    case 3: s.extended_precision = true; break;
+    case 4:
+      s.contract_fma = true;
+      s.reassoc_width = 4;
+      s.unsafe_math = true;
+      break;
+    default: break;
+  }
+  return s;
+}
+
+void BM_Sum(benchmark::State& state) {
+  auto ctx = make_ctx(semantics_for(static_cast<int>(state.range(0))));
+  const auto v = data(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    FpEnv env = ctx.fn(bench_fn());
+    benchmark::DoNotOptimize(env.sum(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+
+void BM_Dot(benchmark::State& state) {
+  auto ctx = make_ctx(semantics_for(static_cast<int>(state.range(0))));
+  const auto a = data(static_cast<std::size_t>(state.range(1)));
+  const auto b = data(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    FpEnv env = ctx.fn(bench_fn());
+    benchmark::DoNotOptimize(env.dot(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+
+void BM_Axpy(benchmark::State& state) {
+  auto ctx = make_ctx(semantics_for(static_cast<int>(state.range(0))));
+  const auto x = data(static_cast<std::size_t>(state.range(1)));
+  auto y = data(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    FpEnv env = ctx.fn(bench_fn());
+    env.axpy(1.0000001, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+
+void shapes(benchmark::internal::Benchmark* b) {
+  for (int sem = 0; sem <= 4; ++sem) b->Args({sem, 4096});
+}
+
+BENCHMARK(BM_Sum)->Apply(shapes);
+BENCHMARK(BM_Dot)->Apply(shapes);
+BENCHMARK(BM_Axpy)->Apply(shapes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Reproduces the Sec. 3.6 MPI study on the deterministic message-passing
+// substrate:
+//  1) 100 executions under 24 ranks checked for bitwise equality
+//     (determinism prerequisite of Fig. 1),
+//  2) the effect of parallelization on the results (domain decomposition
+//     changes the discretization),
+//  3) Bisect under MPI isolating the same files as the sequential search.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/hierarchy.h"
+#include "par/study.h"
+#include "toolchain/compiler.h"
+
+using namespace flit;
+
+int main() {
+  std::printf("Sec. 3.6 MPI study (deterministic message-passing "
+              "substrate)\n\n");
+
+  // --- 1) determinism: 100 bitwise-identical executions ------------------
+  par::ParallelPoissonTest t24(24, 4);
+  std::string first;
+  int identical = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto ctx = fpsem::strict_context();
+    const auto s = std::get<std::string>(t24.run_impl({}, ctx));
+    if (i == 0) first = s;
+    if (s == first) ++identical;
+  }
+  std::printf("1) determinism under 24 ranks: %d of 100 executions bitwise "
+              "identical (paper: 100/100 on 17 of 19 wrappable tests)\n\n",
+              identical);
+
+  // --- 2) parallelism changes the result ---------------------------------
+  auto c1 = fpsem::strict_context();
+  auto c24 = fpsem::strict_context();
+  const auto v1 = par::parallel_poisson(c1, par::DeterministicComm(1), 8);
+  const auto v24 = par::parallel_poisson(c24, par::DeterministicComm(24), 8);
+  std::printf("2) sequential run: %zu dofs; 24-rank run: %zu dofs -- the "
+              "decomposition changes the grid density, so results differ "
+              "(as the paper observed on all 17 tests)\n\n",
+              v1.size(), v24.size());
+
+  // --- 3) Bisect stability under MPI --------------------------------------
+  const auto found_files = [&](int nranks, std::size_t epr) {
+    par::ParallelPoissonTest t(nranks, epr);
+    core::BisectConfig cfg;
+    cfg.baseline = toolchain::mfem_baseline();
+    cfg.variable = {toolchain::gcc(), toolchain::OptLevel::O2,
+                    "-funsafe-math-optimizations"};
+    core::BisectDriver driver(&fpsem::global_code_model(), &t, cfg);
+    const auto out = driver.run();
+    std::vector<std::string> files;
+    for (const auto& ff : out.findings) files.push_back(ff.file);
+    std::sort(files.begin(), files.end());
+    return std::pair{files, out.executions};
+  };
+  const auto [seq, seq_runs] = found_files(1, 32);
+  const auto [mpi, mpi_runs] = found_files(24, 4);
+  std::printf("3) Bisect of g++ -O2 -funsafe-math-optimizations:\n");
+  std::printf("   sequential found %zu file(s) in %d runs:", seq.size(),
+              seq_runs);
+  for (const auto& f : seq) std::printf(" %s", f.c_str());
+  std::printf("\n   24 ranks   found %zu file(s) in %d runs:", mpi.size(),
+              mpi_runs);
+  for (const auto& f : mpi) std::printf(" %s", f.c_str());
+  std::printf("\n   identical culprit sets: %s (paper: every sampled test "
+              "isolated the same files and functions under MPI)\n",
+              seq == mpi ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Reproduces Table 2: FLiT Bisect run on every variability-inducing
+// compilation found by the MFEM study, characterized per compiler --
+// average test executions, File Bisect success rate and Symbol Bisect
+// success rate (a failure means the mixed executable crashed).
+//
+// Set FLIT_BENCH_MAX_BISECTS to cap the number of (example, compilation)
+// searches per compiler for a faster smoke run.
+
+#include <cstdio>
+#include <climits>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "core/hierarchy.h"
+#include "mfem_study_common.h"
+
+using namespace flit;
+
+int main() {
+  const bench::MfemStudy study = bench::run_mfem_study();
+
+  struct PerCompiler {
+    long executions = 0;
+    int searches = 0;
+    int file_attempts = 0;
+    int file_successes = 0;
+    int symbol_attempts = 0;
+    int symbol_successes = 0;
+    int nothing_found = 0;  ///< link-step-only variability (Intel libm)
+  };
+  std::map<std::string, PerCompiler> stats;
+
+  long cap = LONG_MAX;
+  if (const char* env = std::getenv("FLIT_BENCH_MAX_BISECTS")) {
+    cap = std::atol(env);
+  }
+  std::map<std::string, long> used;
+
+  const auto scope = mfemini::mfem_source_files();
+  for (int ex = 1; ex <= mfemini::kNumExamples; ++ex) {
+    const core::StudyResult& r = study.results[static_cast<std::size_t>(ex - 1)];
+    mfemini::MfemExampleTest test(ex);
+    for (const core::CompilationOutcome& o : r.outcomes) {
+      if (o.bitwise_equal()) continue;
+      if (used[o.comp.compiler.name]++ >= cap) continue;
+
+      core::BisectConfig cfg;
+      cfg.baseline = toolchain::mfem_baseline();
+      cfg.variable = o.comp;
+      cfg.scope = scope;
+      core::BisectDriver driver(&fpsem::global_code_model(), &test, cfg);
+      const core::HierarchicalOutcome out = driver.run();
+
+      PerCompiler& s = stats[o.comp.compiler.name];
+      ++s.searches;
+      s.executions += out.executions;
+      ++s.file_attempts;
+      if (out.crashed) continue;  // File Bisect failure
+      ++s.file_successes;
+      if (out.nothing_found()) {
+        ++s.nothing_found;
+        continue;
+      }
+      for (const core::FileFinding& ff : out.findings) {
+        using Status = core::FileFinding::SymbolStatus;
+        if (ff.status == Status::NotSearched) continue;
+        ++s.symbol_attempts;
+        if (ff.status == Status::Found ||
+            ff.status == Status::VanishedUnderFpic) {
+          ++s.symbol_successes;  // only a crash counts as failure (paper)
+        }
+      }
+    }
+    std::fprintf(stderr, "  [table2] example %d bisected\n", ex);
+  }
+
+  std::printf("Table 2: compiler characterization of Bisect with MFEM\n");
+  std::printf("%-28s %10s %10s %10s %10s\n", "", "g++", "clang++", "icpc",
+              "total");
+  const auto row = [&](const char* label, auto getter) {
+    std::printf("%-28s", label);
+    double total = 0.0;
+    for (const char* c : {"g++", "clang++", "icpc"}) {
+      const double v = getter(stats[c]);
+      total += v;
+      std::printf(" %10.0f", v);
+    }
+    std::printf(" %10.0f\n", total);
+  };
+  std::printf("%-28s", "average test executions");
+  {
+    long te = 0;
+    int ts = 0;
+    for (const char* c : {"g++", "clang++", "icpc"}) {
+      const PerCompiler& s = stats[c];
+      te += s.executions;
+      ts += s.searches;
+      std::printf(" %10.0f",
+                  s.searches > 0 ? double(s.executions) / s.searches : 0.0);
+    }
+    std::printf(" %10.0f\n", ts > 0 ? double(te) / ts : 0.0);
+  }
+  row("File Bisect attempts", [](const PerCompiler& s) {
+    return double(s.file_attempts);
+  });
+  row("File Bisect successes", [](const PerCompiler& s) {
+    return double(s.file_successes);
+  });
+  row("Symbol Bisect attempts", [](const PerCompiler& s) {
+    return double(s.symbol_attempts);
+  });
+  row("Symbol Bisect successes", [](const PerCompiler& s) {
+    return double(s.symbol_successes);
+  });
+  row("link-step-only variability", [](const PerCompiler& s) {
+    return double(s.nothing_found);
+  });
+  std::printf(
+      "\nPaper reference: avg executions 64/29/27 (30 overall); File "
+      "Bisect 78/78, 24/24, 778/984 (880/1086); Symbol Bisect 51/78, "
+      "24/24, 585/778 (660/880)\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Table 4: Bisect statistics of the Laghos experiment.  The
+// compilation under test is xlc++ -O3; each row block uses a different
+// trusted baseline (g++ -O2, xlc++ -O2, xlc++ -O3 -qstrict=vectorprecision),
+// sweeping the digit restriction of the comparison (2/3/5/all significant
+// digits) and the BisectBiggest k (1/2/all).  Reported: number of found
+// files, found functions, and program executions.
+
+#include <cstdio>
+
+#include "core/hierarchy.h"
+#include "laghos/hydro.h"
+#include "toolchain/compiler.h"
+
+using namespace flit;
+
+int main() {
+  laghos::LaghosTest test{laghos::HydroOptions{}};
+
+  const struct {
+    const char* label;
+    toolchain::Compilation comp;
+  } baselines[] = {
+      {"g++ -O2", toolchain::laghos_trusted_gcc()},
+      {"xlc++ -O2", toolchain::laghos_trusted_xlc()},
+      {"xlc++ -O3 strict", toolchain::laghos_strict_xlc()},
+  };
+  const int digit_cases[] = {2, 3, 5, 0};  // 0 = all digits
+  const int k_cases[] = {1, 2, 0};         // 0 = all (BisectAll)
+
+  std::printf("Table 4: Bisect statistics of the Laghos experiment "
+              "(compilation under test: %s)\n",
+              toolchain::laghos_variable_xlc().str().c_str());
+  std::printf("%-18s %-7s | %-18s | %-18s | %-18s\n", "baseline", "digits",
+              "# files (k=1,2,all)", "# funcs (k=1,2,all)",
+              "# runs (k=1,2,all)");
+
+  for (const auto& b : baselines) {
+    for (int digits : digit_cases) {
+      int files[3] = {0, 0, 0};
+      int funcs[3] = {0, 0, 0};
+      int runs[3] = {0, 0, 0};
+      for (int ki = 0; ki < 3; ++ki) {
+        core::BisectConfig cfg;
+        cfg.baseline = b.comp;
+        cfg.variable = toolchain::laghos_variable_xlc();
+        cfg.scope = laghos::laghos_source_files();
+        cfg.k = k_cases[ki];
+        cfg.digits = digits;
+        core::BisectDriver driver(&fpsem::global_code_model(), &test, cfg);
+        const auto out = driver.run();
+        files[ki] = static_cast<int>(out.findings.size());
+        for (const auto& ff : out.findings) {
+          funcs[ki] += static_cast<int>(ff.symbols.size());
+        }
+        runs[ki] = out.executions;
+      }
+      char dig[8];
+      if (digits == 0) {
+        std::snprintf(dig, sizeof dig, "all");
+      } else {
+        std::snprintf(dig, sizeof dig, "%d", digits);
+      }
+      std::printf("%-18s %-7s | %5d %5d %5d  | %5d %5d %5d  | %5d %5d %5d\n",
+                  b.label, dig, files[0], files[1], files[2], funcs[0],
+                  funcs[1], funcs[2], runs[0], runs[1], runs[2]);
+    }
+  }
+  std::printf(
+      "\nPaper reference: at k=1 every configuration found 1 file / 1 "
+      "function in 14-18 runs; k=all used 57-69 runs finding 5-7 "
+      "functions over 2-6 files.\n");
+  return 0;
+}

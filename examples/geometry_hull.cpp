@@ -1,0 +1,60 @@
+// CGAL-style case study (Sec. 5): compiler optimization changing a
+// *discrete* answer.  A convex hull over near-collinear points is run
+// across the compilation space; compilations whose FMA contraction flips
+// an orientation sign produce hulls with a different number of vertices.
+// FLiT reports the variability and Bisect pins it on the orientation
+// predicate.
+//
+// Build & run:  ./build/examples/geometry_hull
+
+#include <cstdio>
+#include <map>
+
+#include "core/explorer.h"
+#include "core/hierarchy.h"
+#include "core/report.h"
+#include "geom/predicates.h"
+#include "toolchain/semantics_rules.h"
+
+using namespace flit;
+
+int main() {
+  geom::HullTest test;
+  auto* model = &fpsem::global_code_model();
+
+  // How many hull vertices does each compilation compute?
+  std::map<std::size_t, int> size_histogram;
+  for (const auto& c : toolchain::mfem_study_space()) {
+    auto ctx = fpsem::uniform_context(fpsem::FnBinding{
+        toolchain::derive_semantics(c), toolchain::derive_cost(c)});
+    const auto hull =
+        geom::convex_hull(ctx, geom::near_collinear_cloud(48));
+    ++size_histogram[hull.size()];
+  }
+  std::printf("hull vertex count across the 244-compilation space:\n");
+  for (const auto& [size, count] : size_histogram) {
+    std::printf("  %zu vertices: %d compilations\n", size, count);
+  }
+  if (size_histogram.size() > 1) {
+    std::printf("=> compiler optimization changed a discrete geometric "
+                "answer, as the paper observed on CGAL\n\n");
+  }
+
+  // FLiT view: variability + root cause.
+  core::SpaceExplorer explorer(model, toolchain::mfem_baseline(),
+                               toolchain::mfem_speed_reference());
+  const auto space = toolchain::mfem_study_space();
+  const auto study = explorer.explore(test, space);
+  std::printf("%s\n\n", core::study_summary(study).c_str());
+
+  if (const auto* fv = study.fastest_variable()) {
+    core::BisectConfig cfg;
+    cfg.baseline = toolchain::mfem_baseline();
+    cfg.variable = fv->comp;
+    cfg.scope = geom::geom_source_files();
+    core::BisectDriver driver(model, &test, cfg);
+    std::printf("bisect of %s:\n%s", fv->comp.str().c_str(),
+                core::bisect_report(driver.run()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Quickstart: the complete FLiT workflow on a tiny user application.
+//
+//  1. Write a test (the four-method FLiT API).
+//  2. Explore a compilation space: which compilations are bitwise
+//     reproducible, and how fast is each?
+//  3. Bisect a variability-inducing compilation down to the file and
+//     function responsible.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/explorer.h"
+#include "core/hierarchy.h"
+#include "core/registry.h"
+#include "fpsem/env.h"
+#include "toolchain/compiler.h"
+
+using namespace flit;
+
+// --- the "application": two translation units --------------------------
+//
+// Every floating-point kernel registers itself in the code model (file +
+// symbol) and evaluates its arithmetic through the FpEnv of the binary it
+// was linked into.  That is all FLiT needs to search over it.
+
+static const fpsem::FunctionId kNorm = fpsem::register_fn({
+    .name = "demo::norm",
+    .file = "demo/norm.cpp",
+});
+static const fpsem::FunctionId kScale = fpsem::register_fn({
+    .name = "demo::scale",
+    .file = "demo/scale.cpp",
+});
+
+double demo_norm(fpsem::EvalContext& ctx, const std::vector<double>& v) {
+  fpsem::FpEnv env = ctx.fn(kNorm);
+  return env.norm2(v);  // reduction: reassociation-sensitive
+}
+
+void demo_scale(fpsem::EvalContext& ctx, std::vector<double>& v, double a) {
+  fpsem::FpEnv env = ctx.fn(kScale);
+  env.scal(a, v);  // elementwise: value-stable
+}
+
+// --- the FLiT test -------------------------------------------------------
+
+class DemoTest final : public core::TestBase {
+ public:
+  std::string name() const override { return "DemoTest"; }
+  std::size_t getInputsPerRun() const override { return 64; }
+  std::vector<double> getDefaultInput() const override {
+    std::vector<double> v(64);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = 0.1 * static_cast<double>(i) + 1.0 / (i + 2.0);
+    }
+    return v;
+  }
+  core::TestResult run_impl(const std::vector<double>& input,
+                            fpsem::EvalContext& ctx) const override {
+    std::vector<double> v = input;
+    demo_scale(ctx, v, 1.0 / 3.0);
+    return static_cast<long double>(demo_norm(ctx, v));
+  }
+};
+
+FLIT_REGISTER_TEST(DemoTest);
+
+int main() {
+  DemoTest test;
+  auto* model = &fpsem::global_code_model();
+
+  // --- level 1 + 2: reproducibility vs performance -----------------------
+  core::SpaceExplorer explorer(model, toolchain::mfem_baseline(),
+                               toolchain::mfem_speed_reference());
+  const auto space = toolchain::mfem_study_space();
+  const auto study = explorer.explore(test, space);
+
+  std::printf("explored %zu compilations: %zu variable, %zu bitwise "
+              "equal\n",
+              study.outcomes.size(), study.variable_count(),
+              study.outcomes.size() - study.variable_count());
+  if (const auto* fe = study.fastest_equal()) {
+    std::printf("fastest reproducible: %-40s speedup %.3f\n",
+                fe->comp.str().c_str(), fe->speedup);
+  }
+  if (const auto* fv = study.fastest_variable()) {
+    std::printf("fastest variable:     %-40s speedup %.3f (variability "
+                "%.2Le)\n",
+                fv->comp.str().c_str(), fv->speedup, fv->variability);
+  }
+
+  // --- level 3: root-cause one variable compilation ----------------------
+  const auto* fv = study.fastest_variable();
+  if (fv == nullptr) {
+    std::printf("no variability to bisect -- done\n");
+    return 0;
+  }
+  core::BisectConfig cfg;
+  cfg.baseline = toolchain::mfem_baseline();
+  cfg.variable = fv->comp;
+  cfg.scope = {"demo/norm.cpp", "demo/scale.cpp"};
+  core::BisectDriver driver(model, &test, cfg);
+  const auto out = driver.run();
+
+  std::printf("\nbisect of '%s' (%d program executions):\n",
+              fv->comp.str().c_str(), out.executions);
+  for (const auto& ff : out.findings) {
+    std::printf("  file %-18s (Test = %.3e)\n", ff.file.c_str(), ff.value);
+    for (const auto& sf : ff.symbols) {
+      std::printf("    symbol %-16s (Test = %.3e)\n", sf.symbol.c_str(),
+                  sf.value);
+    }
+  }
+  std::printf("assumptions verified: %s\n",
+              out.assumptions_verified ? "yes" : "no");
+  return 0;
+}

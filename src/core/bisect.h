@@ -1,0 +1,155 @@
+#pragma once
+
+// Algorithm 1 of the paper: BisectAll / BisectOne, plus the memoized Test
+// wrapper.  Generic over the element type so the same code performs File
+// Bisect (Elem = source file name) and Symbol Bisect (Elem = symbol name).
+//
+// Test is a user metric over *sets of elements*:
+//   Test(S) == 0  ->  no variability-causing element in S,
+//   Test(S)  > 0  ->  at least one variability-causing element in S.
+//
+// Complexity: O(k log N) Test evaluations for k culprits among N elements
+// (plus 1 + k memoized verification calls), versus O(k^2 log N) for delta
+// debugging and O(N) for a linear scan -- see bench_bisect_complexity.
+//
+// The two assumptions that make this possible are *dynamically verified*:
+//  * Assumption 1 (Unique Error): Test(X) == Test(Y) iff the same variable
+//    elements are present -- checked by the final assertion
+//    Test(items) == Test(found) (line 8 of BisectAll).
+//  * Assumption 2 (Singleton Blame): every variable element triggers Test
+//    by itself -- checked by the base-case assertion Test({x}) > 0
+//    (line 3 of BisectOne).
+// When either assertion fails the result is flagged (possible false
+// negatives); found elements are still guaranteed true positives.
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flit::core {
+
+/// Memoizing wrapper around the user's Test function.  FLiT memoizes Test
+/// because re-linking and re-running an identical item set must not cost
+/// another program execution (the paper's "1 + k instead of 2 + k" note).
+template <class Elem>
+class MemoizedTest {
+ public:
+  using Fn = std::function<double(const std::vector<Elem>&)>;
+
+  explicit MemoizedTest(Fn fn) : fn_(std::move(fn)) {}
+
+  double operator()(std::vector<Elem> items) {
+    std::sort(items.begin(), items.end());
+    if (auto it = cache_.find(items); it != cache_.end()) {
+      ++calls_;
+      return it->second;
+    }
+    ++calls_;
+    ++executions_;
+    const double v = fn_(items);
+    cache_.emplace(std::move(items), v);
+    return v;
+  }
+
+  /// Total Test invocations (memoized + real).
+  [[nodiscard]] int calls() const { return calls_; }
+  /// Real program executions (cache misses) -- the paper's cost metric.
+  [[nodiscard]] int executions() const { return executions_; }
+
+ private:
+  Fn fn_;
+  std::map<std::vector<Elem>, double> cache_;
+  int calls_ = 0;
+  int executions_ = 0;
+};
+
+template <class Elem>
+struct BisectOutcome {
+  std::vector<Elem> found;  ///< all variability-inducing elements
+
+  /// Both dynamic-verification assertions passed: `found` is exactly the
+  /// set of variable elements (no false negatives, no false positives).
+  bool assumptions_verified = true;
+  std::string diagnostic;  ///< populated when verification failed
+
+  int test_calls = 0;   ///< total Test invocations
+  int executions = 0;   ///< real program executions (cache misses)
+};
+
+namespace detail {
+
+/// BisectOne (Algorithm 1): returns {G, next} where `next` is a singleton
+/// with one variability-inducing element and `G` additionally contains
+/// elements proven removable from future searches.
+/// Precondition: Test(items) > 0.
+template <class Elem>
+std::pair<std::vector<Elem>, std::vector<Elem>> bisect_one(
+    MemoizedTest<Elem>& test, const std::vector<Elem>& items,
+    bool& singleton_ok) {
+  if (items.size() == 1) {
+    if (!(test(items) > 0.0)) {
+      // Assertion (line 3): the Singleton Blame Site assumption failed --
+      // this element only misbehaves jointly with others.
+      singleton_ok = false;
+    }
+    return {items, items};
+  }
+  const auto mid = static_cast<std::ptrdiff_t>(items.size() / 2);
+  std::vector<Elem> d1(items.begin(), items.begin() + mid);
+  std::vector<Elem> d2(items.begin() + mid, items.end());
+  if (test(d1) > 0.0) {
+    return bisect_one(test, d1, singleton_ok);
+  }
+  auto [g, next] = bisect_one(test, d2, singleton_ok);
+  g.insert(g.end(), d1.begin(), d1.end());  // suppress future testing of d1
+  return {std::move(g), std::move(next)};
+}
+
+}  // namespace detail
+
+/// BisectAll (Algorithm 1): finds every variability-inducing element.
+template <class Elem>
+BisectOutcome<Elem> bisect_all(MemoizedTest<Elem>& test,
+                               std::vector<Elem> items) {
+  BisectOutcome<Elem> out;
+  const std::vector<Elem> all = items;
+  std::vector<Elem> t = items;
+  bool singleton_ok = true;
+
+  while (!t.empty() && test(t) > 0.0) {
+    auto [g, next] = detail::bisect_one(test, t, singleton_ok);
+    out.found.insert(out.found.end(), next.begin(), next.end());
+    std::erase_if(t, [&](const Elem& e) {
+      return std::find(g.begin(), g.end(), e) != g.end();
+    });
+  }
+
+  // Assertion (line 8 of BisectAll): Test(items) == Test(found).  With
+  // Assumption 1 this certifies found == AV(items): no false negatives.
+  const double whole = test(all);
+  const double just_found = test(out.found);
+  const bool unique_error_ok = whole == just_found;
+
+  out.assumptions_verified = singleton_ok && unique_error_ok;
+  if (!singleton_ok) {
+    out.diagnostic =
+        "Singleton Blame Site assumption violated: some element only "
+        "causes variability jointly; results may have false negatives. ";
+  }
+  if (!unique_error_ok) {
+    std::ostringstream os;
+    os << "Unique Error verification failed: Test(items)=" << whole
+       << " != Test(found)=" << just_found
+       << "; results may have false negatives.";
+    out.diagnostic += os.str();
+  }
+  out.test_calls = test.calls();
+  out.executions = test.executions();
+  return out;
+}
+
+}  // namespace flit::core

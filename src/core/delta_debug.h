@@ -1,0 +1,96 @@
+#pragma once
+
+// Reference implementation of Zeller-Hildebrandt delta debugging (ddmin),
+// the algorithm Bisect is built on and compared against in Sec. 2.4.
+//
+// ddmin finds ONE minimal failing subset: a set whose Test is positive
+// but every proper subset tested along the way is not.  Under the paper's
+// Assumption 1 the minimal set is unique and equals AV(U), so ddmin is a
+// correct-but-slower alternative to bisect_all: O(k^2 log N) Test
+// evaluations versus Bisect's O(k log N).  It is provided both as a
+// baseline for the complexity ablation (bench_bisect_complexity) and as a
+// fallback for workloads where the Singleton Blame assumption fails.
+
+#include <vector>
+
+#include "core/bisect.h"
+
+namespace flit::core {
+
+template <class Elem>
+struct DdminOutcome {
+  std::vector<Elem> minimal;  ///< a 1-minimal failing subset
+  int test_calls = 0;
+  int executions = 0;
+};
+
+/// Boolean-izes the paper's magnitude Test for ddmin: "fails" means
+/// Test(S) reproduces the full-set magnitude (the Test' of Theorem 1).
+template <class Elem>
+DdminOutcome<Elem> ddmin(MemoizedTest<Elem>& test, std::vector<Elem> items) {
+  DdminOutcome<Elem> out;
+  const double target = test(items);
+  if (!(target > 0.0)) {
+    out.test_calls = test.calls();
+    out.executions = test.executions();
+    return out;
+  }
+  const auto fails = [&](const std::vector<Elem>& s) {
+    return test(s) == target;
+  };
+
+  std::vector<Elem> current = std::move(items);
+  std::size_t granularity = 2;
+  while (current.size() >= 2) {
+    const std::size_t n = granularity;
+    const std::size_t chunk =
+        (current.size() + n - 1) / n;  // ceil division
+    bool reduced = false;
+
+    // Try each subset.
+    for (std::size_t i = 0; i < n && !reduced; ++i) {
+      const std::size_t lo = i * chunk;
+      if (lo >= current.size()) break;
+      const std::size_t hi = std::min(current.size(), lo + chunk);
+      std::vector<Elem> subset(current.begin() + static_cast<std::ptrdiff_t>(lo),
+                               current.begin() + static_cast<std::ptrdiff_t>(hi));
+      if (fails(subset)) {
+        current = std::move(subset);
+        granularity = 2;
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+
+    // Try each complement.
+    for (std::size_t i = 0; i < n && !reduced; ++i) {
+      const std::size_t lo = i * chunk;
+      if (lo >= current.size()) break;
+      const std::size_t hi = std::min(current.size(), lo + chunk);
+      std::vector<Elem> complement;
+      complement.reserve(current.size() - (hi - lo));
+      complement.insert(complement.end(), current.begin(),
+                        current.begin() + static_cast<std::ptrdiff_t>(lo));
+      complement.insert(complement.end(),
+                        current.begin() + static_cast<std::ptrdiff_t>(hi),
+                        current.end());
+      if (!complement.empty() && fails(complement)) {
+        current = std::move(complement);
+        granularity = std::max<std::size_t>(n - 1, 2);
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+
+    // Increase granularity or stop.
+    if (n >= current.size()) break;
+    granularity = std::min(current.size(), n * 2);
+  }
+
+  out.minimal = std::move(current);
+  out.test_calls = test.calls();
+  out.executions = test.executions();
+  return out;
+}
+
+}  // namespace flit::core

@@ -1,0 +1,91 @@
+#include "core/explorer.h"
+
+#include <algorithm>
+
+namespace flit::core {
+
+std::size_t StudyResult::variable_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(outcomes.begin(), outcomes.end(),
+                    [](const CompilationOutcome& o) {
+                      return !o.bitwise_equal();
+                    }));
+}
+
+const CompilationOutcome* StudyResult::fastest_equal(
+    const std::string& compiler_name) const {
+  const CompilationOutcome* best = nullptr;
+  for (const CompilationOutcome& o : outcomes) {
+    if (!o.bitwise_equal()) continue;
+    if (!compiler_name.empty() && o.comp.compiler.name != compiler_name) {
+      continue;
+    }
+    if (best == nullptr || o.speedup > best->speedup) best = &o;
+  }
+  return best;
+}
+
+const CompilationOutcome* StudyResult::fastest_variable() const {
+  const CompilationOutcome* best = nullptr;
+  for (const CompilationOutcome& o : outcomes) {
+    if (o.bitwise_equal()) continue;
+    if (best == nullptr || o.speedup > best->speedup) best = &o;
+  }
+  return best;
+}
+
+std::optional<StudyResult::VariabilityStats> StudyResult::variability_stats()
+    const {
+  std::vector<long double> v;
+  for (const CompilationOutcome& o : outcomes) {
+    if (!o.bitwise_equal()) v.push_back(o.variability);
+  }
+  if (v.empty()) return std::nullopt;
+  std::sort(v.begin(), v.end());
+  VariabilityStats s;
+  s.min = v.front();
+  s.max = v.back();
+  s.median = v[v.size() / 2];
+  return s;
+}
+
+SpaceExplorer::SpaceExplorer(const fpsem::CodeModel* model,
+                             toolchain::Compilation baseline,
+                             toolchain::Compilation speed_reference)
+    : model_(model),
+      baseline_(std::move(baseline)),
+      speed_reference_(std::move(speed_reference)),
+      build_(model),
+      linker_(model),
+      runner_(model) {}
+
+RunOutput SpaceExplorer::run_whole_program(
+    const TestBase& test, const toolchain::Compilation& c) const {
+  const auto objs = build_.compile_all(c);
+  const toolchain::Executable exe = linker_.link(objs, c.compiler);
+  return runner_.run(test, exe);
+}
+
+StudyResult SpaceExplorer::explore(
+    const TestBase& test,
+    std::span<const toolchain::Compilation> space) const {
+  StudyResult result;
+  result.test_name = test.name();
+
+  const RunOutput base = run_whole_program(test, baseline_);
+  const RunOutput ref = run_whole_program(test, speed_reference_);
+
+  result.outcomes.reserve(space.size());
+  for (const toolchain::Compilation& c : space) {
+    const RunOutput out = run_whole_program(test, c);
+    CompilationOutcome o;
+    o.comp = c;
+    o.variability = Runner::compare_outputs(test, base, out);
+    o.cycles = out.cycles;
+    o.speedup = ref.cycles / out.cycles;
+    result.outcomes.push_back(std::move(o));
+  }
+  return result;
+}
+
+}  // namespace flit::core

@@ -1,0 +1,80 @@
+#pragma once
+
+// Levels 1 and 2 of the workflow (Fig. 1): run a test under every
+// compilation of a space, classify each compilation as bitwise-equal or
+// variable relative to the trusted baseline, and chart performance
+// (speedup relative to a reference compilation) against reproducibility --
+// the data behind Table 1 and Figures 4-6.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "core/test_base.h"
+#include "toolchain/build.h"
+#include "toolchain/compiler.h"
+#include "toolchain/linker.h"
+
+namespace flit::core {
+
+struct CompilationOutcome {
+  toolchain::Compilation comp;
+  long double variability = 0.0L;  ///< compare() against the baseline
+  double cycles = 0.0;             ///< modeled runtime
+  double speedup = 0.0;            ///< reference cycles / cycles
+
+  [[nodiscard]] bool bitwise_equal() const { return variability == 0.0L; }
+};
+
+struct StudyResult {
+  std::string test_name;
+  std::vector<CompilationOutcome> outcomes;
+
+  [[nodiscard]] std::size_t variable_count() const;
+
+  /// Fastest outcome that compares equal to the baseline, optionally
+  /// restricted to one compiler (by name).
+  [[nodiscard]] const CompilationOutcome* fastest_equal(
+      const std::string& compiler_name = "") const;
+
+  /// Fastest outcome exhibiting variability (any compiler).
+  [[nodiscard]] const CompilationOutcome* fastest_variable() const;
+
+  /// min / median / max of the nonzero variabilities.
+  struct VariabilityStats {
+    long double min = 0.0L, median = 0.0L, max = 0.0L;
+  };
+  [[nodiscard]] std::optional<VariabilityStats> variability_stats() const;
+};
+
+class SpaceExplorer {
+ public:
+  /// `baseline` is the trusted compilation results are compared against;
+  /// `speed_reference` is the compilation speedups are relative to
+  /// (g++ -O0 and g++ -O2 respectively in the MFEM study).
+  SpaceExplorer(const fpsem::CodeModel* model,
+                toolchain::Compilation baseline,
+                toolchain::Compilation speed_reference);
+
+  /// Runs `test` under every compilation in `space`.  Whole-program
+  /// builds: all files under the compilation, linked by its compiler.
+  [[nodiscard]] StudyResult explore(
+      const TestBase& test,
+      std::span<const toolchain::Compilation> space) const;
+
+  /// Runs one whole-program compilation of `test`.
+  [[nodiscard]] RunOutput run_whole_program(
+      const TestBase& test, const toolchain::Compilation& c) const;
+
+ private:
+  const fpsem::CodeModel* model_;
+  toolchain::Compilation baseline_;
+  toolchain::Compilation speed_reference_;
+  toolchain::BuildSystem build_;
+  toolchain::Linker linker_;
+  Runner runner_;
+};
+
+}  // namespace flit::core

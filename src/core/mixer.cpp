@@ -1,0 +1,103 @@
+#include "core/mixer.h"
+
+#include <algorithm>
+
+#include "toolchain/build.h"
+#include "toolchain/linker.h"
+
+namespace flit::core {
+
+MixRecommendation recommend_fast_math_mix(const fpsem::CodeModel* model,
+                                          const TestBase& test,
+                                          const MixerConfig& cfg) {
+  toolchain::BuildSystem build(model);
+  toolchain::Linker linker(model);
+  Runner runner(model);
+
+  const std::vector<std::string>& all_files = model->files();
+  const std::vector<std::string> candidates =
+      cfg.scope.empty() ? all_files : cfg.scope;
+
+  MixRecommendation rec;
+
+  const auto base_objs = build.compile_all(cfg.baseline);
+  const RunOutput base_out =
+      runner.run(test, linker.link(base_objs, cfg.baseline.compiler));
+  ++rec.executions;
+  rec.baseline_cycles = base_out.cycles;
+
+  // Run with `fast` files on the aggressive compilation, rest baseline.
+  const auto run_mix =
+      [&](const std::vector<std::string>& fast) -> RunOutput {
+    std::vector<toolchain::ObjectFile> objs;
+    objs.reserve(all_files.size());
+    for (std::size_t i = 0; i < all_files.size(); ++i) {
+      const bool aggressive =
+          std::find(fast.begin(), fast.end(), all_files[i]) != fast.end();
+      objs.push_back(aggressive
+                         ? build.compile(all_files[i], cfg.aggressive)
+                         : base_objs[i]);
+    }
+    ++rec.executions;
+    return runner.run(test, linker.link(objs, cfg.baseline.compiler));
+  };
+  const auto metric = [&](const RunOutput& out) {
+    return Runner::compare_outputs(test, base_out, out);
+  };
+
+  // Fast path: everything aggressive already within tolerance?
+  {
+    const RunOutput all_fast = run_mix(candidates);
+    const long double v = metric(all_fast);
+    if (v <= cfg.tolerance) {
+      rec.fast_files = candidates;
+      rec.variability = v;
+      rec.mixed_cycles = all_fast.cycles;
+      return rec;
+    }
+  }
+
+  // Rank candidates by their individual contribution (cheapest first).
+  struct Ranked {
+    std::string file;
+    long double value;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(candidates.size());
+  for (const std::string& f : candidates) {
+    ranked.push_back(Ranked{f, metric(run_mix({f}))});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     return a.value < b.value;
+                   });
+
+  // Greedy admission with re-verification of every accepted step.
+  std::vector<std::string> accepted;
+  long double accepted_value = 0.0L;
+  double accepted_cycles = rec.baseline_cycles;
+  for (const Ranked& r : ranked) {
+    if (r.value > cfg.tolerance) {
+      rec.precise_files.push_back(r.file);
+      continue;  // cannot possibly be admitted alone, let alone jointly
+    }
+    std::vector<std::string> trial = accepted;
+    trial.push_back(r.file);
+    const RunOutput out = run_mix(trial);
+    const long double v = metric(out);
+    if (v <= cfg.tolerance) {
+      accepted = std::move(trial);
+      accepted_value = v;
+      accepted_cycles = out.cycles;
+    } else {
+      rec.precise_files.push_back(r.file);
+    }
+  }
+
+  rec.fast_files = std::move(accepted);
+  rec.variability = accepted_value;
+  rec.mixed_cycles = accepted_cycles;
+  return rec;
+}
+
+}  // namespace flit::core

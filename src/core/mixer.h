@@ -1,0 +1,55 @@
+#pragma once
+
+// Fast-math mixing recommendation -- the Sec. 5 outlook implemented:
+// "Such mixings can help relax numerical precision in sub-modules where
+// speed matters (and result variability does not matter as much). With
+// FLiT, one can identify which modules can be optimized under fast math."
+//
+// Given a trusted baseline compilation, an aggressive one, and a
+// user-acceptable variability tolerance, the mixer computes a per-file
+// recommendation: the (greedy-maximal) set of translation units that can
+// be compiled aggressively while the test's compare() metric stays within
+// tolerance, together with the measured variability and the modeled
+// speedup of the mixed binary.
+
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "core/test_base.h"
+#include "toolchain/compiler.h"
+
+namespace flit::core {
+
+struct MixRecommendation {
+  std::vector<std::string> fast_files;     ///< safe under the tolerance
+  std::vector<std::string> precise_files;  ///< must stay on the baseline
+
+  long double variability = 0.0L;  ///< compare() of the recommended mix
+  double baseline_cycles = 0.0;
+  double mixed_cycles = 0.0;
+  int executions = 0;  ///< program runs spent building the recommendation
+
+  [[nodiscard]] double speedup() const {
+    return mixed_cycles > 0.0 ? baseline_cycles / mixed_cycles : 0.0;
+  }
+};
+
+struct MixerConfig {
+  toolchain::Compilation baseline;    ///< trusted compilation
+  toolchain::Compilation aggressive;  ///< e.g. g++ -O3 -funsafe-...
+  long double tolerance = 0.0L;       ///< acceptable compare() value
+
+  /// Files eligible for the aggressive compilation (empty: all).
+  std::vector<std::string> scope;
+};
+
+/// Greedy-maximal mix: files are ranked by their individual variability
+/// contribution and admitted cheapest-first while the combined metric
+/// stays within tolerance (each admission is re-verified with a real
+/// mixed run, so the result is sound even when contributions interact).
+MixRecommendation recommend_fast_math_mix(const fpsem::CodeModel* model,
+                                          const TestBase& test,
+                                          const MixerConfig& cfg);
+
+}  // namespace flit::core

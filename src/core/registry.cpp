@@ -1,0 +1,41 @@
+#include "core/registry.h"
+
+#include <stdexcept>
+
+namespace flit::core {
+
+void TestRegistry::add(const std::string& name, Factory f) {
+  auto [it, inserted] = factories_.emplace(name, std::move(f));
+  if (!inserted) {
+    throw std::invalid_argument("duplicate test registration: " + name);
+  }
+}
+
+std::unique_ptr<TestBase> TestRegistry::create(const std::string& name) const {
+  return factories_.at(name)();
+}
+
+std::vector<std::string> TestRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [k, v] : factories_) out.push_back(k);
+  return out;
+}
+
+bool TestRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+TestRegistry& global_test_registry() {
+  static TestRegistry reg;
+  return reg;
+}
+
+namespace detail {
+TestRegistrar::TestRegistrar(const std::string& name,
+                             TestRegistry::Factory f) {
+  global_test_registry().add(name, std::move(f));
+}
+}  // namespace detail
+
+}  // namespace flit::core

@@ -1,0 +1,51 @@
+#pragma once
+
+// Test registry: FLIT_REGISTER_TEST(MyTest) makes a test class visible to
+// the runner and drivers by name, mirroring upstream FLiT's registration
+// macro.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/test_base.h"
+
+namespace flit::core {
+
+class TestRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<TestBase>()>;
+
+  void add(const std::string& name, Factory f);
+
+  /// Instantiates a registered test; throws std::out_of_range if unknown.
+  [[nodiscard]] std::unique_ptr<TestBase> create(
+      const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+TestRegistry& global_test_registry();
+
+namespace detail {
+struct TestRegistrar {
+  TestRegistrar(const std::string& name, TestRegistry::Factory f);
+};
+}  // namespace detail
+
+}  // namespace flit::core
+
+/// Registers `TestClass` (a TestBase subclass with a default constructor
+/// and a name() returning #TestClass) with the global registry.
+#define FLIT_REGISTER_TEST(TestClass)                                   \
+  static const ::flit::core::detail::TestRegistrar                      \
+      flit_registrar_##TestClass{#TestClass, [] {                       \
+        return std::unique_ptr<::flit::core::TestBase>(                 \
+            std::make_unique<TestClass>());                             \
+      }}

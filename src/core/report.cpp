@@ -1,0 +1,104 @@
+#include "core/report.h"
+
+#include <sstream>
+
+namespace flit::core {
+
+namespace {
+
+const char* status_name(FileFinding::SymbolStatus s) {
+  switch (s) {
+    case FileFinding::SymbolStatus::Found: return "symbols found";
+    case FileFinding::SymbolStatus::VanishedUnderFpic:
+      return "file-level only (-fPIC removed the variability)";
+    case FileFinding::SymbolStatus::Crashed:
+      return "symbol search crashed";
+    case FileFinding::SymbolStatus::NotSearched: return "not searched";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string study_csv(const StudyResult& r) {
+  std::ostringstream os;
+  os << "compilation,speedup,variability,bitwise_equal\n";
+  for (const CompilationOutcome& o : r.outcomes) {
+    os << '"' << o.comp.str() << "\"," << o.speedup << ','
+       << static_cast<double>(o.variability) << ','
+       << (o.bitwise_equal() ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+std::string study_summary(const StudyResult& r) {
+  std::ostringstream os;
+  os << "test " << r.test_name << ": " << r.outcomes.size()
+     << " compilations, " << r.variable_count() << " variable";
+  if (const auto* fe = r.fastest_equal()) {
+    os << "; fastest bitwise-equal " << fe->comp.str() << " (speedup "
+       << fe->speedup << ")";
+  } else {
+    os << "; no bitwise-equal compilation";
+  }
+  if (const auto* fv = r.fastest_variable()) {
+    os << "; fastest variable " << fv->comp.str() << " (speedup "
+       << fv->speedup << ", variability "
+       << static_cast<double>(fv->variability) << ")";
+  }
+  if (const auto stats = r.variability_stats()) {
+    os << "; variability range [" << static_cast<double>(stats->min) << ", "
+       << static_cast<double>(stats->max) << "]";
+  }
+  return os.str();
+}
+
+std::string bisect_report(const HierarchicalOutcome& out) {
+  std::ostringstream os;
+  if (out.crashed) {
+    os << "bisect FAILED after " << out.executions
+       << " executions: " << out.crash_reason << '\n';
+    return os.str();
+  }
+  if (out.nothing_found()) {
+    os << "no variability attributable to any translation unit ("
+       << out.executions
+       << " executions); suspect the link step or external libraries\n";
+    return os.str();
+  }
+  os << "blame list (" << out.executions << " program executions"
+     << (out.assumptions_verified ? ", assumptions verified"
+                                  : ", ASSUMPTIONS NOT VERIFIED")
+     << "):\n";
+  for (const FileFinding& ff : out.findings) {
+    os << "  " << ff.file << "  [Test " << ff.value << "] -- "
+       << status_name(ff.status) << '\n';
+    for (const SymbolFinding& sf : ff.symbols) {
+      os << "    " << sf.symbol << "  [Test " << sf.value << "]\n";
+    }
+    if (!ff.note.empty()) os << "    note: " << ff.note << '\n';
+  }
+  if (!out.diagnostic.empty()) os << "  diagnostic: " << out.diagnostic << '\n';
+  return os.str();
+}
+
+std::string workflow_report_text(const WorkflowReport& report) {
+  std::ostringstream os;
+  os << study_summary(report.study) << '\n';
+  if (report.fastest_reproducible != nullptr) {
+    os << "recommendation: " << report.fastest_reproducible->comp.str()
+       << " is the fastest reproducible compilation (speedup "
+       << report.fastest_reproducible->speedup << ")\n";
+  } else {
+    os << "recommendation: no reproducible compilation exists; review the "
+          "blame lists below\n";
+  }
+  for (const VariableCompilationReport& vb : report.bisects) {
+    os << "--- " << vb.outcome.comp.str() << " (variability "
+       << static_cast<double>(vb.outcome.variability) << ")\n"
+       << bisect_report(vb.bisect);
+  }
+  return os.str();
+}
+
+}  // namespace flit::core

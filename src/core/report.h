@@ -1,0 +1,27 @@
+#pragma once
+
+// Report emitters: human-readable and CSV renderings of study, bisect and
+// workflow results (FLiT's results-database/report layer).  Everything is
+// plain text so it can be piped into the paper's plotting scripts.
+
+#include <string>
+
+#include "core/hierarchy.h"
+#include "core/workflow.h"
+
+namespace flit::core {
+
+/// CSV: compilation,speedup,variability,bitwise_equal (header included).
+std::string study_csv(const StudyResult& r);
+
+/// One-paragraph human summary of a study (counts, fastest entries).
+std::string study_summary(const StudyResult& r);
+
+/// Multi-line blame report of a hierarchical bisect outcome.
+std::string bisect_report(const HierarchicalOutcome& out);
+
+/// Full Fig. 1 workflow report: study summary, recommendation, blame
+/// reports for each bisected variable compilation.
+std::string workflow_report_text(const WorkflowReport& report);
+
+}  // namespace flit::core

@@ -1,0 +1,108 @@
+#include "core/resultsdb.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flit::core {
+
+namespace {
+
+constexpr char kHeader[] = "test\tcompilation\tspeedup\tvariability";
+
+}  // namespace
+
+ResultsDb::ResultsDb(std::filesystem::path path) : path_(std::move(path)) {
+  load();
+}
+
+void ResultsDb::load() {
+  rows_.clear();
+  std::ifstream in(path_);
+  if (!in) return;  // first use: created on save
+  std::string line;
+  if (!std::getline(in, line)) return;
+  if (line != kHeader) {
+    throw std::runtime_error("ResultsDb: unrecognized header in " +
+                             path_.string());
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    ResultRow row;
+    std::string speedup, variability;
+    if (!std::getline(ls, row.test_name, '\t') ||
+        !std::getline(ls, row.compilation, '\t') ||
+        !std::getline(ls, speedup, '\t') ||
+        !std::getline(ls, variability, '\t')) {
+      throw std::runtime_error("ResultsDb: malformed row in " +
+                               path_.string());
+    }
+    row.speedup = std::strtod(speedup.c_str(), nullptr);
+    row.variability = strtold(variability.c_str(), nullptr);
+    rows_.push_back(std::move(row));
+  }
+}
+
+void ResultsDb::save() const {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("ResultsDb: cannot write " + path_.string());
+  }
+  out << kHeader << '\n';
+  char buf[64];
+  for (const ResultRow& r : rows_) {
+    std::snprintf(buf, sizeof buf, "%.17g\t%.21Lg", r.speedup,
+                  r.variability);
+    out << r.test_name << '\t' << r.compilation << '\t' << buf << '\n';
+  }
+}
+
+void ResultsDb::record(const StudyResult& study) {
+  for (const CompilationOutcome& o : study.outcomes) {
+    ResultRow row{study.test_name, o.comp.str(), o.speedup, o.variability};
+    const auto it = std::find_if(
+        rows_.begin(), rows_.end(), [&](const ResultRow& r) {
+          return r.test_name == row.test_name &&
+                 r.compilation == row.compilation;
+        });
+    if (it != rows_.end()) {
+      *it = std::move(row);
+    } else {
+      rows_.push_back(std::move(row));
+    }
+  }
+  save();
+}
+
+std::vector<ResultRow> ResultsDb::rows_for(
+    const std::string& test_name) const {
+  std::vector<ResultRow> out;
+  for (const ResultRow& r : rows_) {
+    if (r.test_name == test_name) out.push_back(r);
+  }
+  return out;
+}
+
+std::optional<ResultRow> ResultsDb::find(
+    const std::string& test_name, const std::string& compilation) const {
+  for (const ResultRow& r : rows_) {
+    if (r.test_name == test_name && r.compilation == compilation) return r;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> ResultsDb::tests() const {
+  std::vector<std::string> out;
+  for (const ResultRow& r : rows_) {
+    if (std::find(out.begin(), out.end(), r.test_name) == out.end()) {
+      out.push_back(r.test_name);
+    }
+  }
+  return out;
+}
+
+void ResultsDb::reload() { load(); }
+
+}  // namespace flit::core

@@ -1,0 +1,62 @@
+#pragma once
+
+// File-backed results database (upstream FLiT records every run in
+// SQLite; this is the same layer as a dependency-free TSV store).  One
+// row per (test, compilation) outcome; appends merge with existing rows
+// so incremental studies accumulate, and queries drive the report layer.
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+
+namespace flit::core {
+
+struct ResultRow {
+  std::string test_name;
+  std::string compilation;  ///< canonical Compilation::str()
+  double speedup = 0.0;
+  long double variability = 0.0L;
+
+  [[nodiscard]] bool bitwise_equal() const { return variability == 0.0L; }
+
+  friend bool operator==(const ResultRow&, const ResultRow&) = default;
+};
+
+/// TSV-backed store of study outcomes.
+class ResultsDb {
+ public:
+  /// Opens (or creates on first save) the database at `path`.
+  explicit ResultsDb(std::filesystem::path path);
+
+  /// Merges a study's outcomes (replacing rows with the same
+  /// test/compilation key) and persists to disk.
+  void record(const StudyResult& study);
+
+  /// All rows for one test, in insertion order.
+  [[nodiscard]] std::vector<ResultRow> rows_for(
+      const std::string& test_name) const;
+
+  /// The row for one (test, compilation) pair, if present.
+  [[nodiscard]] std::optional<ResultRow> find(
+      const std::string& test_name, const std::string& compilation) const;
+
+  /// Distinct test names present in the database.
+  [[nodiscard]] std::vector<std::string> tests() const;
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// Reloads from disk, discarding in-memory state.
+  void reload();
+
+ private:
+  void load();
+  void save() const;
+
+  std::filesystem::path path_;
+  std::vector<ResultRow> rows_;
+};
+
+}  // namespace flit::core

@@ -1,0 +1,77 @@
+#pragma once
+
+// The FLiT user-facing test API (Sec. 2, "Use designer-provided tests and
+// acceptance criteria").  For each test the user implements exactly the
+// four methods of the paper:
+//   * getInputsPerRun -- number of floating-point inputs consumed per run,
+//   * getDefaultInput -- input vector; when longer than getInputsPerRun
+//     the input is split and the test executed once per chunk
+//     (data-driven testing),
+//   * run_impl        -- the computation, returning either a long double
+//     or a std::string (for structured results such as whole meshes),
+//   * compare         -- a metric between baseline and test values: 0
+//     means "acceptably equal", positive quantifies the variability.
+//
+// The one deviation from upstream FLiT: run_impl receives the EvalContext
+// of the linked binary it is "running inside", because in this
+// reproduction a binary is a semantics map rather than a separate process.
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fpsem/env.h"
+
+namespace flit::core {
+
+/// A test's result: a single long double, or an arbitrary serialized
+/// structure (e.g. a whole mesh) as a string.
+using TestResult = std::variant<long double, std::string>;
+
+class TestBase {
+ public:
+  virtual ~TestBase() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of floating-point values consumed per run (0 .. SIZE_MAX).
+  [[nodiscard]] virtual std::size_t getInputsPerRun() const = 0;
+
+  /// Default input values; if longer than getInputsPerRun(), the input is
+  /// split into chunks and the test is run once per chunk.
+  [[nodiscard]] virtual std::vector<double> getDefaultInput() const = 0;
+
+  /// The actual computation under test.
+  [[nodiscard]] virtual TestResult run_impl(
+      const std::vector<double>& input, fpsem::EvalContext& ctx) const = 0;
+
+  /// Metric between baseline and test results (long double variant).
+  /// Returns 0 when considered equal, a positive magnitude otherwise.
+  [[nodiscard]] virtual long double compare(long double baseline,
+                                            long double test) const {
+    return fabsl(baseline - test);
+  }
+
+  /// Metric between baseline and test results (std::string variant).
+  [[nodiscard]] virtual long double compare(const std::string& baseline,
+                                            const std::string& test) const {
+    return baseline == test ? 0.0L : 1.0L;
+  }
+
+  /// Dispatches to the variant-appropriate compare.  Mismatched variants
+  /// count as maximal variability (a crash-grade difference).
+  [[nodiscard]] long double compare_results(const TestResult& baseline,
+                                            const TestResult& test) const {
+    if (baseline.index() != test.index()) return HUGE_VALL;
+    if (std::holds_alternative<long double>(baseline)) {
+      return compare(std::get<long double>(baseline),
+                     std::get<long double>(test));
+    }
+    return compare(std::get<std::string>(baseline),
+                   std::get<std::string>(test));
+  }
+};
+
+}  // namespace flit::core

@@ -1,0 +1,44 @@
+#include "core/workflow.h"
+
+namespace flit::core {
+
+WorkflowReport run_workflow(const fpsem::CodeModel* model,
+                            const TestBase& test,
+                            std::span<const toolchain::Compilation> space,
+                            const WorkflowOptions& opts) {
+  WorkflowReport report;
+
+  // Levels 1 and 2: explore the compilation space.
+  SpaceExplorer explorer(model, opts.baseline, opts.speed_reference);
+  report.study = explorer.explore(test, space);
+
+  report.fastest_reproducible = report.study.fastest_equal();
+  report.fastest_any = nullptr;
+  for (const CompilationOutcome& o : report.study.outcomes) {
+    if (report.fastest_any == nullptr ||
+        o.speedup > report.fastest_any->speedup) {
+      report.fastest_any = &o;
+    }
+  }
+
+  if (!opts.run_bisect) return report;
+
+  // Level 3: root-cause each variability-inducing compilation.
+  std::size_t done = 0;
+  for (const CompilationOutcome& o : report.study.outcomes) {
+    if (o.bitwise_equal()) continue;
+    if (opts.max_bisects != 0 && done >= opts.max_bisects) break;
+    ++done;
+
+    BisectConfig cfg;
+    cfg.baseline = opts.baseline;
+    cfg.variable = o.comp;
+    cfg.k = opts.k;
+    cfg.digits = opts.digits;
+    BisectDriver driver(model, &test, cfg);
+    report.bisects.push_back(VariableCompilationReport{o, driver.run()});
+  }
+  return report;
+}
+
+}  // namespace flit::core

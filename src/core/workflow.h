@@ -1,0 +1,59 @@
+#pragma once
+
+// The multi-level workflow of Figure 1, as a single driver:
+//   Level 1 -- run the test under every compilation of the space and
+//              determine which induce variability,
+//   Level 2 -- chart reproducibility vs. performance and recommend the
+//              fastest acceptable compilation,
+//   Level 3 -- for variable compilations (when the fastest reproducible
+//              one is not sufficient, or for root-causing), run the
+//              hierarchical Bisect down to files and functions.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/explorer.h"
+#include "core/hierarchy.h"
+
+namespace flit::core {
+
+struct WorkflowOptions {
+  toolchain::Compilation baseline;         ///< trusted compilation
+  toolchain::Compilation speed_reference;  ///< speedups relative to this
+
+  /// Bisect every variability-inducing compilation (Level 3).  Set to
+  /// false to stop after the reproducibility/performance analysis.
+  bool run_bisect = true;
+
+  /// Cap on the number of variable compilations to bisect (0 = all).
+  std::size_t max_bisects = 0;
+
+  int k = 0;       ///< BisectBiggest k (0 = BisectAll)
+  int digits = 0;  ///< digit-restricted comparison (0 = full precision)
+};
+
+struct VariableCompilationReport {
+  CompilationOutcome outcome;
+  HierarchicalOutcome bisect;
+};
+
+struct WorkflowReport {
+  StudyResult study;
+
+  /// Fastest compilation that is bitwise-equal to the baseline (null if
+  /// none exists).  Points into study.outcomes.
+  const CompilationOutcome* fastest_reproducible = nullptr;
+  /// Fastest compilation overall, reproducible or not.
+  const CompilationOutcome* fastest_any = nullptr;
+
+  std::vector<VariableCompilationReport> bisects;
+};
+
+/// Runs the Figure 1 workflow for one test over one compilation space.
+[[nodiscard]] WorkflowReport run_workflow(
+    const fpsem::CodeModel* model, const TestBase& test,
+    std::span<const toolchain::Compilation> space,
+    const WorkflowOptions& opts);
+
+}  // namespace flit::core

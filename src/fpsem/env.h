@@ -1,0 +1,333 @@
+#pragma once
+
+// FpEnv: the per-function floating-point evaluation environment.
+//
+// A linked binary in this reproduction is a SemanticsMap: FunctionId ->
+// FnBinding.  When a kernel runs it opens an FpEnv for its own FunctionId
+// and performs all arithmetic through it; the env applies the semantics the
+// function was "compiled" with (FMA contraction, lane reassociation,
+// extended precision, unsafe rewrites, FTZ, fast libm), feeds the
+// deterministic cost model, and gives the injection framework a chance to
+// perturb each static instruction.  This is what makes FLiT's mixed
+// ("Franken") binaries meaningful: two functions in one execution can run
+// under different compilers' floating-point behaviour.
+
+#include <cmath>
+#include <cstddef>
+#include <source_location>
+#include <span>
+#include <vector>
+
+#include "fpsem/code_model.h"
+#include "fpsem/injection_hook.h"
+#include "fpsem/op_counter.h"
+#include "fpsem/semantics.h"
+
+namespace flit::fpsem {
+
+/// FunctionId -> FnBinding table describing one linked executable.
+class SemanticsMap {
+ public:
+  SemanticsMap() = default;
+  explicit SemanticsMap(std::size_t n_functions) : bindings_(n_functions) {}
+
+  /// Every function bound to the same compilation.
+  static SemanticsMap uniform(std::size_t n_functions, FnBinding b) {
+    SemanticsMap m(n_functions);
+    for (auto& x : m.bindings_) x = b;
+    return m;
+  }
+
+  [[nodiscard]] std::size_t size() const { return bindings_.size(); }
+  [[nodiscard]] const FnBinding& binding(FunctionId id) const {
+    return bindings_.at(id);
+  }
+  FnBinding& binding(FunctionId id) { return bindings_.at(id); }
+
+  friend bool operator==(const SemanticsMap&, const SemanticsMap&) = default;
+
+ private:
+  std::vector<FnBinding> bindings_;
+};
+
+class FpEnv;
+
+/// Mutable execution state for one run of the application: the binary's
+/// semantics map, the cycle counter, and an optional injection hook.
+class EvalContext {
+ public:
+  explicit EvalContext(SemanticsMap map) : map_(std::move(map)) {}
+
+  /// Opens the evaluation environment for function `id`.
+  [[nodiscard]] FpEnv fn(FunctionId id);
+
+  [[nodiscard]] const SemanticsMap& map() const { return map_; }
+  [[nodiscard]] OpCounter& counter() { return counter_; }
+  [[nodiscard]] const OpCounter& counter() const { return counter_; }
+
+  void set_injection_hook(InjectionHook* hook) { hook_ = hook; }
+  [[nodiscard]] InjectionHook* injection_hook() const { return hook_; }
+
+ private:
+  SemanticsMap map_;
+  OpCounter counter_;
+  InjectionHook* hook_ = nullptr;
+};
+
+class FpEnv {
+ public:
+  FpEnv(const FnBinding& b, OpCounter& cnt, InjectionHook* hook,
+        FunctionId fn)
+      : sem_(&b.sem), cost_(&b.cost), cnt_(&cnt), hook_(hook), fn_(fn) {}
+
+  [[nodiscard]] const FpSemantics& sem() const { return *sem_; }
+  [[nodiscard]] FunctionId fn() const { return fn_; }
+
+  // ---- scalar basic operations (injection-probed) --------------------
+
+  double add(double a, double b, std::source_location loc =
+                                     std::source_location::current()) {
+    a = probe(a, loc);
+    tally(OpClass::Add, 1, OpCosts::kAdd);
+    return finish(wide_ ? narrow(widen(a) + widen(b)) : a + b);
+  }
+
+  double sub(double a, double b, std::source_location loc =
+                                     std::source_location::current()) {
+    a = probe(a, loc);
+    tally(OpClass::Sub, 1, OpCosts::kAdd);
+    return finish(wide_ ? narrow(widen(a) - widen(b)) : a - b);
+  }
+
+  double mul(double a, double b, std::source_location loc =
+                                     std::source_location::current()) {
+    a = probe(a, loc);
+    tally(OpClass::Mul, 1, OpCosts::kMul);
+    return finish(wide_ ? narrow(widen(a) * widen(b)) : a * b);
+  }
+
+  double div(double a, double b, std::source_location loc =
+                                     std::source_location::current()) {
+    a = probe(a, loc);
+    if (sem_->unsafe_math) {
+      tally(OpClass::Div, 1, OpCosts::kDivFast);
+      return finish(a * (1.0 / b));
+    }
+    tally(OpClass::Div, 1, OpCosts::kDiv);
+    return finish(wide_ ? narrow(widen(a) / widen(b)) : a / b);
+  }
+
+  /// a*b + c, contracted to fused multiply-add when the semantics allow.
+  double mul_add(double a, double b, double c,
+                 std::source_location loc =
+                     std::source_location::current()) {
+    a = probe(a, loc);
+    if (sem_->contract_fma) {
+      tally(OpClass::Fma, 1, OpCosts::kFma);
+      return finish(std::fma(a, b, c));
+    }
+    if (wide_) {
+      tally(OpClass::Fma, 1, OpCosts::kMul + OpCosts::kAdd);
+      return finish(narrow(widen(a) * widen(b) + widen(c)));
+    }
+    tally(OpClass::Fma, 1, OpCosts::kMul + OpCosts::kAdd);
+    return finish(a * b + c);
+  }
+
+  // ---- irrational / transcendental operations ------------------------
+
+  double sqrt(double x) {
+    if (sem_->unsafe_math) {
+      // Reciprocal-sqrt seeded in single precision, two Newton steps:
+      // accurate to ~1e-13 relative -- the subtle kind of deviation
+      // -mrecip / -fp-model fast introduce.
+      tally(OpClass::Sqrt, 1, OpCosts::kSqrtFast);
+      if (x == 0.0) return finish(x);
+      double r = static_cast<double>(1.0f / std::sqrt(static_cast<float>(x)));
+      r = r * (1.5 - 0.5 * x * r * r);
+      r = r * (1.5 - 0.5 * x * r * r);
+      return finish(x * r);
+    }
+    tally(OpClass::Sqrt, 1, OpCosts::kSqrt);
+    return finish(std::sqrt(x));
+  }
+
+  double exp(double x) { return libm1(x, [](double v) { return std::exp(v); },
+                                      [](float v) { return std::exp(v); }); }
+  double log(double x) { return libm1(x, [](double v) { return std::log(v); },
+                                      [](float v) { return std::log(v); }); }
+  double sin(double x) { return libm1(x, [](double v) { return std::sin(v); },
+                                      [](float v) { return std::sin(v); }); }
+  double cos(double x) { return libm1(x, [](double v) { return std::cos(v); },
+                                      [](float v) { return std::cos(v); }); }
+
+  double pow(double x, double y) {
+    if (sem_->unsafe_math) {
+      // exp(y * log(x)) rewrite (value-unsafe for many corner cases).
+      return exp(mul(y, log(x)));
+    }
+    if (sem_->fast_libm) {
+      tally(OpClass::Libm, 1, OpCosts::kLibmFast);
+      return finish(static_cast<double>(
+          std::pow(static_cast<float>(x), static_cast<float>(y))));
+    }
+    tally(OpClass::Libm, 1, OpCosts::kLibm);
+    return finish(std::pow(x, y));
+  }
+
+  // ---- bulk (vectorizable) operations ---------------------------------
+  //
+  // Reductions honour the lane count: a strict compilation accumulates
+  // left-to-right; a reassociating one keeps `reassoc_width` stride-w
+  // partial sums, exactly the transformation a SIMD vectorizer performs.
+
+  double sum(std::span<const double> v,
+             std::source_location loc = std::source_location::current()) {
+    tally_bulk(OpClass::Add, v.size(), OpCosts::kAdd);
+    if (sem_->extended_precision) return finish(narrow(sum_impl<long double>(v, loc)));
+    return finish(sum_impl<double>(v, loc));
+  }
+
+  double dot(std::span<const double> a, std::span<const double> b,
+             std::source_location loc = std::source_location::current()) {
+    const double per =
+        sem_->contract_fma ? OpCosts::kFma : OpCosts::kMul + OpCosts::kAdd;
+    tally_bulk(sem_->contract_fma ? OpClass::Fma : OpClass::Mul, a.size(),
+               per);
+    if (sem_->extended_precision) return finish(narrow(dot_impl<long double>(a, b, loc)));
+    return finish(dot_impl<double>(a, b, loc));
+  }
+
+  /// y += alpha * x, elementwise.
+  void axpy(double alpha, std::span<const double> x, std::span<double> y,
+            std::source_location loc = std::source_location::current()) {
+    const double per =
+        sem_->contract_fma ? OpCosts::kFma : OpCosts::kMul + OpCosts::kAdd;
+    tally_bulk(sem_->contract_fma ? OpClass::Fma : OpClass::Mul, x.size(),
+               per);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      double xi = probe(x[i], loc);
+      double r;
+      if (sem_->contract_fma) {
+        r = std::fma(alpha, xi, y[i]);
+      } else if (wide_) {
+        r = narrow(widen(alpha) * widen(xi) + widen(y[i]));
+      } else {
+        r = alpha * xi + y[i];
+      }
+      y[i] = finish(r);
+    }
+  }
+
+  /// x *= alpha, elementwise.
+  void scal(double alpha, std::span<double> x,
+            std::source_location loc = std::source_location::current()) {
+    tally_bulk(OpClass::Mul, x.size(), OpCosts::kMul);
+    for (auto& xi : x) xi = finish(probe(xi, loc) * alpha);
+  }
+
+  /// sqrt(dot(v, v)) under this function's semantics.
+  double norm2(std::span<const double> v,
+               std::source_location loc = std::source_location::current()) {
+    return sqrt(dot(v, v, loc));
+  }
+
+ private:
+  template <typename Acc>
+  Acc sum_impl(std::span<const double> v, const std::source_location& loc) {
+    const int w = sem_->reassoc_width > 1 ? sem_->reassoc_width : 1;
+    std::vector<Acc> acc(static_cast<std::size_t>(w), Acc{0});
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      acc[i % static_cast<std::size_t>(w)] += static_cast<Acc>(probe(v[i], loc));
+    }
+    Acc total{0};
+    for (const Acc& a : acc) total += a;
+    return total;
+  }
+
+  template <typename Acc>
+  Acc dot_impl(std::span<const double> a, std::span<const double> b,
+               const std::source_location& loc) {
+    const int w = sem_->reassoc_width > 1 ? sem_->reassoc_width : 1;
+    std::vector<Acc> acc(static_cast<std::size_t>(w), Acc{0});
+    const bool fma = sem_->contract_fma;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double ai = probe(a[i], loc);
+      auto& lane = acc[i % static_cast<std::size_t>(w)];
+      if constexpr (std::is_same_v<Acc, double>) {
+        lane = fma ? std::fma(ai, b[i], lane) : lane + ai * b[i];
+      } else {
+        // extended precision dominates: products and sums both wide
+        lane += static_cast<Acc>(ai) * static_cast<Acc>(b[i]);
+      }
+    }
+    Acc total{0};
+    for (const Acc& x : acc) total += x;
+    return total;
+  }
+
+  template <typename F, typename Ff>
+  double libm1(double x, F precise, Ff fast) {
+    if (sem_->fast_libm) {
+      tally(OpClass::Libm, 1, OpCosts::kLibmFast);
+      return finish(static_cast<double>(fast(static_cast<float>(x))));
+    }
+    tally(OpClass::Libm, 1, OpCosts::kLibm);
+    return finish(precise(x));
+  }
+
+  [[nodiscard]] static long double widen(double x) {
+    return static_cast<long double>(x);
+  }
+  [[nodiscard]] static double narrow(long double x) {
+    return static_cast<double>(x);
+  }
+
+  double probe(double x, const std::source_location& loc) {
+    return hook_ ? hook_->visit(fn_, x, loc) : x;
+  }
+
+  double finish(double r) const {
+    if (sem_->flush_subnormals && r != 0.0 && std::fpclassify(r) == FP_SUBNORMAL) {
+      return std::copysign(0.0, r);
+    }
+    return r;
+  }
+
+  void tally(OpClass cls, std::uint64_t n, double per_op) {
+    cnt_->tally(cls, n, static_cast<double>(n) * per_op * cost_->time_scale);
+  }
+  void tally_bulk(OpClass cls, std::uint64_t n, double per_op) {
+    cnt_->tally(cls, n, static_cast<double>(n) * per_op * cost_->time_scale /
+                            cost_->bulk_scale);
+  }
+
+  const FpSemantics* sem_;
+  const CostFactors* cost_;
+  OpCounter* cnt_;
+  InjectionHook* hook_;
+  FunctionId fn_;
+  bool wide_ = false;
+
+  friend class EvalContext;
+};
+
+inline FpEnv EvalContext::fn(FunctionId id) {
+  FpEnv env(map_.binding(id), counter_, hook_, id);
+  env.wide_ = env.sem().extended_precision;
+  return env;
+}
+
+/// Context in which every registered function runs under strict IEEE
+/// semantics at unit cost -- the "trusted baseline binary".
+inline EvalContext strict_context() {
+  return EvalContext(SemanticsMap(global_code_model().function_count()));
+}
+
+/// Context in which every registered function runs under `b`.
+inline EvalContext uniform_context(const FnBinding& b) {
+  return EvalContext(
+      SemanticsMap::uniform(global_code_model().function_count(), b));
+}
+
+}  // namespace flit::fpsem

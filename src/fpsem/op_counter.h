@@ -1,0 +1,69 @@
+#pragma once
+
+// Deterministic performance accounting.  Every FpEnv operation reports
+// itself here; the accumulated "cycles" stand in for wall-clock runtime so
+// that the paper's speedup axis is reproducible on any machine.
+
+#include <array>
+#include <cstdint>
+
+namespace flit::fpsem {
+
+enum class OpClass : std::uint8_t {
+  Add = 0,
+  Sub,
+  Mul,
+  Div,
+  Sqrt,
+  Fma,
+  Libm,
+  kCount
+};
+
+/// Baseline per-operation costs in abstract cycles (roughly Skylake-era
+/// latencies).  Unsafe-math and fast-libm semantics substitute the cheaper
+/// variants.
+struct OpCosts {
+  // kFma is deliberately close to kMul + kAdd: fused kernels halve the
+  // arithmetic but the paper's workloads are memory-bound, so contraction
+  // buys only a modest speedup.
+  static constexpr double kAdd = 1.0;
+  static constexpr double kMul = 1.0;
+  static constexpr double kFma = 1.95;
+  static constexpr double kDiv = 13.0;
+  static constexpr double kDivFast = 13.0;
+  static constexpr double kSqrt = 15.0;
+  static constexpr double kSqrtFast = 15.0;
+  static constexpr double kLibm = 45.0;
+  static constexpr double kLibmFast = 27.0;
+};
+
+class OpCounter {
+ public:
+  void tally(OpClass cls, std::uint64_t n, double cycles) {
+    counts_[static_cast<std::size_t>(cls)] += n;
+    cycles_ += cycles;
+  }
+
+  [[nodiscard]] double cycles() const { return cycles_; }
+  [[nodiscard]] std::uint64_t count(OpClass cls) const {
+    return counts_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] std::uint64_t total_ops() const {
+    std::uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+  void reset() {
+    cycles_ = 0.0;
+    counts_.fill(0);
+  }
+
+ private:
+  double cycles_ = 0.0;
+  std::array<std::uint64_t, static_cast<std::size_t>(OpClass::kCount)>
+      counts_{};
+};
+
+}  // namespace flit::fpsem

@@ -1,0 +1,79 @@
+#pragma once
+
+// Floating-point semantics records.
+//
+// A compilation (compiler, optimization level, switches) is mapped by the
+// toolchain's derivation rules (src/toolchain/semantics_rules.h) to one of
+// these records.  Application kernels evaluate their numerics *through* an
+// FpEnv bound to such a record, so every mechanism the paper blames for
+// compiler-induced variability -- FMA contraction, vector-lane
+// reassociation, extended-precision intermediates, unsafe-math rewrites,
+// subnormal flushing and fast vendor libm substitution -- is reproduced in
+// real IEEE-754 arithmetic instead of being faked with noise.
+
+#include <compare>
+#include <cstdint>
+
+namespace flit::fpsem {
+
+/// How a compilation evaluates floating-point arithmetic.
+struct FpSemantics {
+  /// Contract `a*b + c` chains into fused multiply-add (one rounding).
+  bool contract_fma = false;
+
+  /// Number of independent accumulator lanes used for reductions
+  /// (sum/dot/norm).  1 means strict left-to-right IEEE order; >1 models
+  /// the reassociation a vectorizer performs when the compiler is allowed
+  /// to treat FP addition as associative.
+  int reassoc_width = 1;
+
+  /// Keep intermediate accumulations in `long double` (x87-style 80-bit
+  /// extended precision), rounding to double only at the end.
+  bool extended_precision = false;
+
+  /// Value-unsafe scalar rewrites: division becomes multiplication by a
+  /// reciprocal, sqrt goes through a refined reciprocal square root,
+  /// pow(x,y) becomes exp(y*log(x)).
+  bool unsafe_math = false;
+
+  /// Flush subnormal results to zero (FTZ/DAZ).
+  bool flush_subnormals = false;
+
+  /// Use the vendor's fast low-accuracy transcendental library (what the
+  /// Intel link step substitutes regardless of per-TU flags).
+  bool fast_libm = false;
+
+  /// The optimizer exploits undefined behaviour aggressively enough to
+  /// break UB-dependent idioms (models the xlc++ -O3 behaviour that turned
+  /// Laghos' XOR-swap macro into garbage).
+  bool exploits_ub = false;
+
+  friend bool operator==(const FpSemantics&, const FpSemantics&) = default;
+
+  /// True when this record reproduces the strict baseline bit-for-bit.
+  [[nodiscard]] bool strict() const { return *this == FpSemantics{}; }
+};
+
+/// Deterministic performance model attached to each compiled function.
+/// Runtime is accounted in abstract "cycles": every FpEnv operation adds
+/// op_cost * time_scale, and bulk (loop) operations are further divided by
+/// bulk_scale to model SIMD throughput.  Using a cost model instead of
+/// wall-clock timing makes the performance axis of the study reproducible
+/// on any host.
+struct CostFactors {
+  double time_scale = 1.0;  ///< scalar slowdown (O0 is ~3x, O3 < 1x)
+  double bulk_scale = 1.0;  ///< SIMD speedup applied to vectorizable loops
+
+  friend bool operator==(const CostFactors&, const CostFactors&) = default;
+};
+
+/// What a linked binary knows about one function: the semantics its
+/// instructions follow and the speed they execute at.
+struct FnBinding {
+  FpSemantics sem;
+  CostFactors cost;
+
+  friend bool operator==(const FnBinding&, const FnBinding&) = default;
+};
+
+}  // namespace flit::fpsem

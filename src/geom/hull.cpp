@@ -1,0 +1,119 @@
+// geom/hull.cpp -- Andrew monotone-chain convex hull on the floating-
+// point orientation predicate, the near-collinear workload, and the FLiT
+// adapter.
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "fpsem/code_model.h"
+#include "geom/predicates.h"
+#include "linalg/vector.h"
+
+namespace flit::geom {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kHull = register_fn({
+    .name = "Geom::ConvexHull",
+    .file = "geom/hull.cpp",
+});
+const fpsem::FunctionId kArea = register_fn({
+    .name = "Geom::PolygonArea",
+    .file = "geom/hull.cpp",
+});
+
+}  // namespace
+
+std::vector<Point> convex_hull(fpsem::EvalContext& ctx,
+                               std::vector<Point> pts) {
+  (void)ctx.fn(kHull);  // driver marker; FP work happens in orient2d
+  std::sort(pts.begin(), pts.end(), [](const Point& a, const Point& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  if (pts.size() < 3) return pts;
+
+  std::vector<Point> hull(2 * pts.size());
+  std::size_t k = 0;
+  // lower hull
+  for (const Point& p : pts) {
+    while (k >= 2 && orient2d(ctx, hull[k - 2], hull[k - 1], p) <= 0.0) {
+      --k;
+    }
+    hull[k++] = p;
+  }
+  // upper hull
+  const std::size_t lower = k + 1;
+  for (std::size_t i = pts.size() - 1; i-- > 0;) {
+    while (k >= lower &&
+           orient2d(ctx, hull[k - 2], hull[k - 1], pts[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+double polygon_area2(fpsem::EvalContext& ctx,
+                     const std::vector<Point>& poly) {
+  fpsem::FpEnv env = ctx.fn(kArea);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Point& a = poly[i];
+    const Point& b = poly[(i + 1) % poly.size()];
+    acc = env.add(acc, env.sub(env.mul(a.x, b.y), env.mul(b.x, a.y)));
+  }
+  return acc;
+}
+
+std::vector<Point> near_collinear_cloud(std::size_t n) {
+  std::vector<Point> pts;
+  pts.reserve(n + 4);
+  // Anchor square so the hull is non-degenerate.
+  pts.push_back({0.0, -1.0});
+  pts.push_back({1.0, -1.0});
+  pts.push_back({0.0, 1.5});
+  pts.push_back({1.0, 1.5});
+  // Points on the line y = x/3 + 1/7 with rounding-level vertical offsets:
+  // whether each one is *above* the chord between its neighbours is
+  // decided in the last ulp of orient2d.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i + 1) / static_cast<double>(n + 1);
+    const double y = x / 3.0 + 1.0 / 7.0;
+    // deterministic sub-ulp dither: membership decisions land inside the
+    // rounding band of orient2d, where FMA contraction decides the sign
+    const double dither =
+        std::ldexp(static_cast<double>((i * 2654435761u) % 7) - 3.0, -56);
+    pts.push_back({x, y + y * dither});
+  }
+  // Push the line to the top edge region so its points compete for hull
+  // membership: shift everything above the anchors.
+  for (std::size_t i = 4; i < pts.size(); ++i) pts[i].y += 1.5;
+  return pts;
+}
+
+core::TestResult HullTest::run_impl(const std::vector<double>&,
+                                    fpsem::EvalContext& ctx) const {
+  const auto hull = convex_hull(ctx, near_collinear_cloud(n_));
+  linalg::Vector out(2 * hull.size() + 2);
+  out[0] = static_cast<double>(hull.size());  // the discrete answer
+  out[1] = polygon_area2(ctx, hull);
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    out[2 + 2 * i] = hull[i].x;
+    out[3 + 2 * i] = hull[i].y;
+  }
+  return linalg::serialize(out);
+}
+
+long double HullTest::compare(const std::string& baseline,
+                              const std::string& test) const {
+  // Different hull sizes serialize to different lengths: the metric
+  // saturates, flagging the discrete change loudly.
+  return linalg::l2_string_metric(baseline, test, /*relative=*/true);
+}
+
+}  // namespace flit::geom

@@ -1,0 +1,59 @@
+#include "geom/predicates.h"
+
+#include "fpsem/code_model.h"
+
+namespace flit::geom {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kOrient = register_fn({
+    .name = "Geom::Orient2D",
+    .file = "geom/predicates.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kIncircle = register_fn({
+    .name = "Geom::InCircle",
+    .file = "geom/predicates.cpp",
+});
+
+}  // namespace
+
+double orient2d(fpsem::EvalContext& ctx, const Point& a, const Point& b,
+                const Point& c) {
+  fpsem::FpEnv env = ctx.fn(kOrient);
+  // (bx-ax)(cy-ay) - (by-ay)(cx-ax), with the second product folded into
+  // an FMA when the compilation contracts -- the canonical sign-unstable
+  // determinant.
+  const double acx = env.sub(b.x, a.x);
+  const double acy = env.sub(c.y, a.y);
+  const double bcy = env.sub(b.y, a.y);
+  const double bcx = env.sub(c.x, a.x);
+  return env.mul_add(acx, acy, -env.mul(bcy, bcx));
+}
+
+double incircle(fpsem::EvalContext& ctx, const Point& a, const Point& b,
+                const Point& c, const Point& d) {
+  fpsem::FpEnv env = ctx.fn(kIncircle);
+  const double adx = env.sub(a.x, d.x);
+  const double ady = env.sub(a.y, d.y);
+  const double bdx = env.sub(b.x, d.x);
+  const double bdy = env.sub(b.y, d.y);
+  const double cdx = env.sub(c.x, d.x);
+  const double cdy = env.sub(c.y, d.y);
+  const double ad2 = env.mul_add(adx, adx, env.mul(ady, ady));
+  const double bd2 = env.mul_add(bdx, bdx, env.mul(bdy, bdy));
+  const double cd2 = env.mul_add(cdx, cdx, env.mul(cdy, cdy));
+  const double m1 = env.sub(env.mul(bdx, cdy), env.mul(cdx, bdy));
+  const double m2 = env.sub(env.mul(adx, cdy), env.mul(cdx, ady));
+  const double m3 = env.sub(env.mul(adx, bdy), env.mul(bdx, ady));
+  return env.add(env.sub(env.mul(ad2, m1), env.mul(bd2, m2)),
+                 env.mul(cd2, m3));
+}
+
+std::vector<std::string> geom_source_files() {
+  return {"geom/predicates.cpp", "geom/hull.cpp"};
+}
+
+}  // namespace flit::geom

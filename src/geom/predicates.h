@@ -1,0 +1,77 @@
+#pragma once
+
+// Computational-geometry substrate (the Sec. 5 CGAL case study): floating-
+// point geometric predicates and a convex hull built on them.  The
+// orientation predicate is a 2x2 determinant of differences -- the classic
+// cancellation-prone expression whose *sign* flips under FMA contraction,
+// turning compiler-induced variability into changed discrete answers
+// (different hull sizes), exactly what the paper observed on CGAL.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/test_base.h"
+#include "fpsem/env.h"
+
+namespace flit::geom {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Sign of the orientation determinant of (a, b, c):
+///   > 0 counterclockwise, < 0 clockwise, == 0 collinear.
+/// Computed in plain floating point through the compilation's semantics
+/// (registered kernel "Geom::Orient2D" in geom/predicates.cpp).
+double orient2d(fpsem::EvalContext& ctx, const Point& a, const Point& b,
+                const Point& c);
+
+/// In-circle predicate for (a, b, c, d): positive when d lies inside the
+/// circumcircle of the counterclockwise triangle (a, b, c).
+double incircle(fpsem::EvalContext& ctx, const Point& a, const Point& b,
+                const Point& c, const Point& d);
+
+/// Andrew monotone-chain convex hull (points are sorted internally).
+/// Uses orient2d, so the hull's vertex set -- a discrete answer -- depends
+/// on the compilation when near-collinear points are present.
+std::vector<Point> convex_hull(fpsem::EvalContext& ctx,
+                               std::vector<Point> points);
+
+/// Twice the signed area of a polygon (shoelace through the semantics).
+double polygon_area2(fpsem::EvalContext& ctx,
+                     const std::vector<Point>& poly);
+
+/// The source files of the geometry application (Bisect scope).
+std::vector<std::string> geom_source_files();
+
+/// Deterministic near-collinear point cloud: `n` points on a slightly
+/// perturbed line plus a few off-line anchors.  The perturbations sit at
+/// the rounding threshold of orient2d, so hull membership of individual
+/// points is compilation-dependent.
+std::vector<Point> near_collinear_cloud(std::size_t n);
+
+/// FLiT test: hull size, area and vertices of the near-collinear cloud.
+class HullTest final : public core::TestBase {
+ public:
+  explicit HullTest(std::size_t n = 48) : n_(n) {}
+
+  [[nodiscard]] std::string name() const override { return "GeomHull"; }
+  [[nodiscard]] std::size_t getInputsPerRun() const override { return 0; }
+  [[nodiscard]] std::vector<double> getDefaultInput() const override {
+    return {};
+  }
+  [[nodiscard]] core::TestResult run_impl(
+      const std::vector<double>&, fpsem::EvalContext& ctx) const override;
+  using core::TestBase::compare;
+  [[nodiscard]] long double compare(const std::string& baseline,
+                                    const std::string& test) const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace flit::geom

@@ -1,0 +1,119 @@
+// laghos/hydro.cpp -- the Lagrangian driver: forces, energy update, the
+// main time loop and the FLiT adapter.
+
+#include <cmath>
+
+#include "fpsem/code_model.h"
+#include "laghos/hydro.h"
+#include "laghos/internal.h"
+
+namespace flit::laghos {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kCornerForces = register_fn({
+    .name = "Hydro::CornerForces",
+    .file = "laghos/hydro.cpp",
+});
+const fpsem::FunctionId kEnergyUpdate = register_fn({
+    .name = "Hydro::EnergyUpdate",
+    .file = "laghos/hydro.cpp",
+});
+const fpsem::FunctionId kEnergyNorm = register_fn({
+    .name = "Hydro::EnergyNorm",
+    .file = "laghos/hydro.cpp",
+});
+
+}  // namespace
+
+HydroState initial_state(std::size_t zones) {
+  HydroState s;
+  s.x.resize(zones + 1);
+  s.v.assign(zones + 1, 0.0);
+  s.e.resize(zones);
+  s.rho.resize(zones);
+  s.m.resize(zones);
+  const double h = 1.0 / static_cast<double>(zones);
+  for (std::size_t i = 0; i <= zones; ++i) {
+    s.x[i] = h * static_cast<double>(i);
+  }
+  for (std::size_t z = 0; z < zones; ++z) {
+    const bool left = (z < zones / 2);  // Sod: high-pressure left half
+    s.rho[z] = left ? 1.0 : 0.125;
+    s.e[z] = left ? 2.5 : 2.0;
+    s.m[z] = s.rho[z] * h;
+  }
+  return s;
+}
+
+void corner_forces(fpsem::EvalContext& ctx, const HydroState& s,
+                   const std::vector<double>& p, const std::vector<double>& q,
+                   std::vector<double>& force) {
+  fpsem::FpEnv env = ctx.fn(kCornerForces);
+  const std::size_t nodes = s.x.size();
+  force.assign(nodes, 0.0);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const double left =
+        i > 0 ? env.add(p[i - 1], q[i - 1]) : env.add(p[0], q[0]);
+    const double right = i < s.e.size() ? env.add(p[i], q[i])
+                                        : env.add(p[s.e.size() - 1],
+                                                  q[s.e.size() - 1]);
+    force[i] = env.sub(left, right);
+  }
+}
+
+void energy_update(fpsem::EvalContext& ctx, double dt,
+                   const std::vector<double>& p, const std::vector<double>& q,
+                   HydroState& s) {
+  fpsem::FpEnv env = ctx.fn(kEnergyUpdate);
+  for (std::size_t z = 0; z < s.e.size(); ++z) {
+    const double dv = env.sub(s.v[z + 1], s.v[z]);
+    const double work =
+        env.mul(env.add(p[z], q[z]), env.div(dv, s.m[z]));
+    s.e[z] = env.mul_add(-dt, work, s.e[z]);
+    if (s.e[z] < 1e-12) s.e[z] = 1e-12;  // positivity floor
+  }
+}
+
+HydroState simulate(fpsem::EvalContext& ctx, const HydroOptions& opts) {
+  HydroState s = initial_state(opts.zones);
+  std::vector<double> p, cs, q, force;
+  for (int step = 0; step < opts.steps; ++step) {
+    eos_pressure(ctx, opts.gamma, s.rho, s.e, p);
+    sound_speed(ctx, opts.gamma, p, s.rho, cs);
+    artificial_viscosity(ctx, s, cs, p, opts.epsilon_zero_compare, q);
+    const double dt =
+        cfl_dt(ctx, s, cs, q, opts.cfl, opts.use_xor_swap_bug);
+    corner_forces(ctx, s, p, q, force);
+    move_nodes(ctx, dt, force, s);
+    energy_update(ctx, dt, p, q, s);
+    s.t += dt;
+    s.last_dt = dt;
+    if (std::isnan(dt)) break;  // the xsw bug: everything is NaN already
+  }
+  return s;
+}
+
+double energy_norm(fpsem::EvalContext& ctx, const HydroState& s) {
+  fpsem::FpEnv env = ctx.fn(kEnergyNorm);
+  return env.norm2(std::span<const double>(s.e.data(), s.e.size()));
+}
+
+std::vector<std::string> laghos_source_files() {
+  return {"laghos/utils.cpp", "laghos/qupdate.cpp", "laghos/timestep.cpp",
+          "laghos/hydro.cpp"};
+}
+
+long double LaghosTest::compare(long double baseline,
+                                long double test) const {
+  if (std::isnan(static_cast<double>(baseline)) !=
+      std::isnan(static_cast<double>(test))) {
+    return HUGE_VALL;
+  }
+  if (std::isnan(static_cast<double>(baseline))) return 0.0L;
+  return fabsl(baseline - test);
+}
+
+}  // namespace flit::laghos

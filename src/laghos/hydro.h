@@ -1,0 +1,126 @@
+#pragma once
+
+// mini-Laghos: a 1D Lagrangian compressible-gas-dynamics proxy in the
+// spirit of Laghos [Dobrev, Kolev, Rieben 2012], self-contained (its own
+// registered kernels; Bisect scope = the laghos/ files).
+//
+// It carries the two real defects FLiT root-caused in the paper (Sec. 3.4):
+//  * the undefined-behaviour XOR-swap macro (#define xsw(a,b) a^=b^=a^=b)
+//    used by two visible utility symbols -- an optimizer that exploits UB
+//    (xlc++ -O3) turns every result into NaN;
+//  * an exact `== 0.0` comparison in the artificial-viscosity kernel: the
+//    compared velocity jump carries tiny compiler-induced variability, and
+//    the branch flip produces a macroscopic energy difference (the 11.2%
+//    relative l2 jump of the introduction).  The epsilon-compare fix
+//    restores agreement even under value-unsafe optimization.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/test_base.h"
+#include "fpsem/env.h"
+
+namespace flit::laghos {
+
+struct HydroOptions {
+  std::size_t zones = 60;
+  int steps = 1000;
+  double cfl = 0.25;
+  double gamma = 1.4;  ///< ideal-gas ratio of specific heats
+
+  /// Historical bug 1: the UB XOR-swap macro in the utility sorters.
+  bool use_xor_swap_bug = false;
+
+  /// Historical bug 2 fix: epsilon-based zero compare in the viscosity
+  /// (false reproduces the buggy exact `== 0.0` branch).
+  bool epsilon_zero_compare = false;
+};
+
+/// Lagrangian state: node positions/velocities, zone energies/densities.
+struct HydroState {
+  std::vector<double> x;    ///< node positions (zones + 1)
+  std::vector<double> v;    ///< node velocities (zones + 1)
+  std::vector<double> e;    ///< zone specific internal energies
+  std::vector<double> rho;  ///< zone densities
+  std::vector<double> m;    ///< zone masses (constant in Lagrangian frame)
+
+  /// Q-switch hysteresis: once a zone's shock detector fires it stays
+  /// flagged (and keeps the stabilization floor) for the rest of the run.
+  /// This is what lets a single early branch flip grow into the
+  /// macroscopic energy divergence of Sec. 3.4.
+  std::vector<char> shocked;
+
+  double t = 0.0;
+  double last_dt = 0.0;
+};
+
+/// Sod-like shock tube initial condition on [0, 1].
+HydroState initial_state(std::size_t zones);
+
+/// Advances `steps` Lagrangian time steps.
+HydroState simulate(fpsem::EvalContext& ctx, const HydroOptions& opts);
+
+/// The paper's comparison metric: l2 norm of the energy over the mesh.
+double energy_norm(fpsem::EvalContext& ctx, const HydroState& s);
+
+/// The source files of the mini-Laghos application (Bisect scope).
+std::vector<std::string> laghos_source_files();
+
+/// FLiT test: runs the shock tube and returns the energy l2 norm.
+class LaghosTest final : public core::TestBase {
+ public:
+  explicit LaghosTest(HydroOptions opts = {}) : opts_(opts) {}
+
+  [[nodiscard]] std::string name() const override { return "Laghos"; }
+  [[nodiscard]] std::size_t getInputsPerRun() const override { return 0; }
+  [[nodiscard]] std::vector<double> getDefaultInput() const override {
+    return {};
+  }
+  [[nodiscard]] core::TestResult run_impl(
+      const std::vector<double>&, fpsem::EvalContext& ctx) const override {
+    return static_cast<long double>(
+        energy_norm(ctx, simulate(ctx, opts_)));
+  }
+  using core::TestBase::compare;
+  [[nodiscard]] long double compare(long double baseline,
+                                    long double test) const override;
+
+ private:
+  HydroOptions opts_;
+};
+
+// ---- individual kernels (exposed for unit testing) ----------------------
+
+/// Ideal-gas EOS: p = (gamma - 1) rho e per zone.
+void eos_pressure(fpsem::EvalContext& ctx, double gamma,
+                  const std::vector<double>& rho, const std::vector<double>& e,
+                  std::vector<double>& p);
+
+/// Zone sound speeds cs = sqrt(gamma p / rho).
+void sound_speed(fpsem::EvalContext& ctx, double gamma,
+                 const std::vector<double>& p, const std::vector<double>& rho,
+                 std::vector<double>& cs);
+
+/// Artificial viscosity with the (optionally fixed) zero-compare branch.
+/// Updates the state's Q-switch hysteresis flags.
+void artificial_viscosity(fpsem::EvalContext& ctx, HydroState& s,
+                          const std::vector<double>& cs,
+                          const std::vector<double>& p,
+                          bool epsilon_zero_compare, std::vector<double>& q);
+
+/// CFL time step; the viscosity contributes to the signal speed (as in
+/// the real codes), and the zone scan goes through the utility sorters
+/// (the XOR-swap site).
+double cfl_dt(fpsem::EvalContext& ctx, const HydroState& s,
+              const std::vector<double>& cs, const std::vector<double>& q,
+              double cfl, bool use_xor_swap);
+
+/// In-place utility sorters built on the swap idiom (laghos/utils.cpp).
+/// With `use_xor_swap` they go through the UB macro emulation.
+double min_reduce(fpsem::EvalContext& ctx, std::vector<double> values,
+                  bool use_xor_swap);
+double max_reduce(fpsem::EvalContext& ctx, std::vector<double> values,
+                  bool use_xor_swap);
+
+}  // namespace flit::laghos

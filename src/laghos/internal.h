@@ -1,0 +1,27 @@
+#pragma once
+
+// Internal interfaces between the mini-Laghos translation units.
+
+#include "laghos/hydro.h"
+
+namespace flit::laghos {
+
+/// Advances node velocities/positions and refreshes zone densities.
+void move_nodes(fpsem::EvalContext& ctx, double dt,
+                const std::vector<double>& force, HydroState& s);
+
+/// Nodal forces from zone pressures + viscosities.
+void corner_forces(fpsem::EvalContext& ctx, const HydroState& s,
+                   const std::vector<double>& p, const std::vector<double>& q,
+                   std::vector<double>& force);
+
+/// pdV work: updates zone energies.
+void energy_update(fpsem::EvalContext& ctx, double dt,
+                   const std::vector<double>& p, const std::vector<double>& q,
+                   HydroState& s);
+
+namespace detail {
+void update_zone_geometry(fpsem::EvalContext& ctx, HydroState& s);
+}
+
+}  // namespace flit::laghos

@@ -1,0 +1,101 @@
+// laghos/qupdate.cpp -- quadrature-point physics: equation of state,
+// sound speed, and the artificial viscosity containing the historical
+// exact-zero comparison.
+
+#include <stdexcept>
+
+#include "fpsem/code_model.h"
+#include "laghos/hydro.h"
+
+namespace flit::laghos {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kEos = register_fn({
+    .name = "QUpdate::EosPressure",
+    .file = "laghos/qupdate.cpp",
+});
+const fpsem::FunctionId kSoundSpeed = register_fn({
+    .name = "QUpdate::SoundSpeed",
+    .file = "laghos/qupdate.cpp",
+});
+const fpsem::FunctionId kViscosity = register_fn({
+    .name = "QUpdate::ArtificialViscosity",
+    .file = "laghos/qupdate.cpp",
+});
+
+}  // namespace
+
+void eos_pressure(fpsem::EvalContext& ctx, double gamma,
+                  const std::vector<double>& rho, const std::vector<double>& e,
+                  std::vector<double>& p) {
+  if (rho.size() != e.size()) throw std::invalid_argument("eos sizes");
+  fpsem::FpEnv env = ctx.fn(kEos);
+  p.resize(rho.size());
+  const double gm1 = env.sub(gamma, 1.0);
+  for (std::size_t z = 0; z < rho.size(); ++z) {
+    p[z] = env.mul(gm1, env.mul(rho[z], e[z]));
+  }
+}
+
+void sound_speed(fpsem::EvalContext& ctx, double gamma,
+                 const std::vector<double>& p, const std::vector<double>& rho,
+                 std::vector<double>& cs) {
+  fpsem::FpEnv env = ctx.fn(kSoundSpeed);
+  cs.resize(p.size());
+  for (std::size_t z = 0; z < p.size(); ++z) {
+    cs[z] = env.sqrt(env.div(env.mul(gamma, p[z]), rho[z]));
+  }
+}
+
+void artificial_viscosity(fpsem::EvalContext& ctx, HydroState& s,
+                          const std::vector<double>& cs,
+                          const std::vector<double>& p,
+                          bool epsilon_zero_compare, std::vector<double>& q) {
+  fpsem::FpEnv env = ctx.fn(kViscosity);
+  const std::size_t zones = s.e.size();
+  q.assign(zones, 0.0);
+  if (s.shocked.size() != zones) s.shocked.assign(zones, 0);
+  constexpr double q1 = 0.7;     // linear viscosity coefficient
+  constexpr double q2 = 2.0;     // quadratic viscosity coefficient
+  constexpr double z_ref = 1.3;  // reference acoustic impedance
+  constexpr double eps = 1e-12;
+
+  // The paper's root-caused defect (Sec. 3.4): the Q calibration checks
+  // that the direct and reciprocal-table normalizations of its linear
+  // coefficient agree, via an exact comparison against 0.0, and engages a
+  // conservative stabilization floor when they do not.  Under precise
+  // division the two forms differ in the last ulp, so the floor is active
+  // -- and has always been part of the trusted answers.  Value-unsafe
+  // division (xlc++ -O3) folds both forms into the reciprocal one, the
+  // probe compares exactly equal, and the floor silently vanishes: the
+  // shock heating changes at the percent level.  The confirmed fix is an
+  // epsilon-based comparison, under which every compilation agrees that
+  // ulp-level residue means "equal".
+  const double probe = env.sub(env.div(q1, z_ref),
+                               env.mul(q1, env.div(1.0, z_ref)));
+  const bool floor_active =
+      epsilon_zero_compare ? (env.sqrt(env.mul(probe, probe)) > eps)
+                           : !(probe == 0.0);
+
+  for (std::size_t z = 0; z < zones; ++z) {
+    const double dv = env.sub(s.v[z + 1], s.v[z]);
+    if (dv == 0.0) {  // genuinely quiescent zone
+      q[z] = 0.0;
+      continue;
+    }
+    s.shocked[z] = 1;
+    if (dv < 0.0) {  // compression: standard Q (+ the calibration floor)
+      const double lin = env.mul(q1, env.mul(cs[z], env.mul(s.rho[z], -dv)));
+      const double quad = env.mul(q2, env.mul(s.rho[z], env.mul(dv, dv)));
+      q[z] = env.add(lin, quad);
+      if (floor_active) q[z] = env.add(q[z], env.mul(0.3, p[z]));
+    } else {
+      q[z] = 0.0;  // expansion: no viscosity
+    }
+  }
+}
+
+}  // namespace flit::laghos

@@ -1,0 +1,86 @@
+// laghos/timestep.cpp -- CFL time-step selection (through the utility
+// sorters: the XOR-swap consumers) and the Lagrangian node update.
+
+#include "fpsem/code_model.h"
+#include "laghos/hydro.h"
+#include "laghos/internal.h"
+
+namespace flit::laghos {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kCflDt = register_fn({
+    .name = "TimeStep::CflDt",
+    .file = "laghos/timestep.cpp",
+});
+const fpsem::FunctionId kMoveNodes = register_fn({
+    .name = "TimeStep::MoveNodes",
+    .file = "laghos/timestep.cpp",
+});
+// Zone geometry refresh, reachable only through MoveNodes.
+const fpsem::FunctionId kUpdateGeom = register_fn({
+    .name = "detail::update_zone_geometry",
+    .file = "laghos/timestep.cpp",
+    .exported = false,
+    .host_symbol = "TimeStep::MoveNodes",
+});
+
+}  // namespace
+
+double cfl_dt(fpsem::EvalContext& ctx, const HydroState& s,
+              const std::vector<double>& cs, const std::vector<double>& q,
+              double cfl, bool use_xor_swap) {
+  fpsem::FpEnv env = ctx.fn(kCflDt);
+  const std::size_t zones = s.e.size();
+  std::vector<double> candidates(zones);
+  for (std::size_t z = 0; z < zones; ++z) {
+    const double dx = env.sub(s.x[z + 1], s.x[z]);
+    // Signal speed includes the viscous contribution 2 q / (rho cs), as
+    // in the production hydro codes -- which is how the Q-switch branch
+    // flip of Sec. 3.4 perturbs the global time discretization.
+    const double qc = env.div(env.mul(2.0, q[z]),
+                              env.mul(s.rho[z], cs[z]));
+    const double vmax = env.add(env.add(cs[z], qc),
+                                env.sqrt(env.mul(s.v[z], s.v[z])));
+    candidates[z] = env.div(dx, vmax);
+  }
+  const double smallest = min_reduce(ctx, std::move(candidates), use_xor_swap);
+  return env.mul(cfl, smallest);
+}
+
+void move_nodes(fpsem::EvalContext& ctx, double dt,
+                const std::vector<double>& force, HydroState& s) {
+  fpsem::FpEnv env = ctx.fn(kMoveNodes);
+  const std::size_t nodes = s.x.size();
+  // Nodal masses: half the adjacent zone masses.
+  for (std::size_t i = 0; i < nodes; ++i) {
+    double nm = 0.0;
+    if (i > 0) nm = env.mul_add(0.5, s.m[i - 1], nm);
+    if (i < s.m.size()) nm = env.mul_add(0.5, s.m[i], nm);
+    const double accel = env.div(force[i], nm);
+    s.v[i] = env.mul_add(dt, accel, s.v[i]);
+  }
+  // Fixed walls.
+  s.v.front() = 0.0;
+  s.v.back() = 0.0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    s.x[i] = env.mul_add(dt, s.v[i], s.x[i]);
+  }
+  detail::update_zone_geometry(ctx, s);
+}
+
+namespace detail {
+
+void update_zone_geometry(fpsem::EvalContext& ctx, HydroState& s) {
+  fpsem::FpEnv env = ctx.fn(kUpdateGeom);
+  for (std::size_t z = 0; z < s.e.size(); ++z) {
+    const double dx = env.sub(s.x[z + 1], s.x[z]);
+    s.rho[z] = env.div(s.m[z], dx);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace flit::laghos

@@ -1,0 +1,73 @@
+// laghos/utils.cpp -- utility reductions built on an exchange sort whose
+// swap is (optionally) the historical `#define xsw(a,b) a^=b^=a^=b` macro.
+//
+// The macro sequences unsequenced modifications of `a`, which is undefined
+// behaviour in C++; IBM's xlc++ at -O3 optimized it into garbage, turning
+// every Laghos result into NaN (Sec. 3.4).  We model the consequence
+// deterministically: when the containing function was compiled by an
+// optimizer that exploits UB (FpSemantics::exploits_ub), the swap corrupts
+// the exchanged lanes to NaN.  With the macro replaced by a proper swap
+// (use_xor_swap = false), every compilation behaves.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fpsem/code_model.h"
+#include "laghos/hydro.h"
+
+namespace flit::laghos {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kMinReduce = register_fn({
+    .name = "Utils::MinReduce",
+    .file = "laghos/utils.cpp",
+});
+const fpsem::FunctionId kMaxReduce = register_fn({
+    .name = "Utils::MaxReduce",
+    .file = "laghos/utils.cpp",
+});
+
+/// The xsw macro's observable behaviour under this function's compilation.
+void xsw(const fpsem::FpEnv& env, double& a, double& b, bool use_xor_swap) {
+  if (use_xor_swap && env.sem().exploits_ub) {
+    // The optimizer reordered the unsequenced XOR chain: both lanes die.
+    a = std::numeric_limits<double>::quiet_NaN();
+    b = std::numeric_limits<double>::quiet_NaN();
+    return;
+  }
+  std::swap(a, b);
+}
+
+/// Exchange sort used by both reductions (the macro's two call sites).
+void exchange_sort(const fpsem::FpEnv& env, std::vector<double>& v,
+                   bool use_xor_swap) {
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    for (std::size_t j = 0; j + 1 < v.size() - i; ++j) {
+      if (v[j] > v[j + 1]) xsw(env, v[j], v[j + 1], use_xor_swap);
+    }
+  }
+}
+
+}  // namespace
+
+double min_reduce(fpsem::EvalContext& ctx, std::vector<double> values,
+                  bool use_xor_swap) {
+  fpsem::FpEnv env = ctx.fn(kMinReduce);
+  if (values.empty()) return std::numeric_limits<double>::infinity();
+  exchange_sort(env, values, use_xor_swap);
+  return values.front();
+}
+
+double max_reduce(fpsem::EvalContext& ctx, std::vector<double> values,
+                  bool use_xor_swap) {
+  fpsem::FpEnv env = ctx.fn(kMaxReduce);
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  exchange_sort(env, values, use_xor_swap);
+  return values.back();
+}
+
+}  // namespace flit::laghos

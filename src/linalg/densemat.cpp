@@ -1,0 +1,204 @@
+#include "linalg/densemat.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace flit::linalg {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kMult = register_fn({
+    .name = "DenseMatrix::Mult",
+    .file = "linalg/densemat.cpp",
+});
+const fpsem::FunctionId kMultTranspose = register_fn({
+    .name = "DenseMatrix::MultTranspose",
+    .file = "linalg/densemat.cpp",
+});
+const fpsem::FunctionId kAddMultAAt = register_fn({
+    .name = "DenseMatrix::AddMult_aAAt",
+    .file = "linalg/densemat.cpp",
+});
+const fpsem::FunctionId kMatMul = register_fn({
+    .name = "DenseMatrix::MatMul",
+    .file = "linalg/densemat.cpp",
+});
+const fpsem::FunctionId kLuSolve = register_fn({
+    .name = "DenseMatrix::LUSolve",
+    .file = "linalg/densemat.cpp",
+});
+// LU pivot selection is a static helper, only reachable through LUSolve.
+const fpsem::FunctionId kLuPivot = register_fn({
+    .name = "detail::lu_pivot",
+    .file = "linalg/densemat.cpp",
+    .exported = false,
+    .host_symbol = "DenseMatrix::LUSolve",
+});
+const fpsem::FunctionId kDet = register_fn({
+    .name = "DenseMatrix::Det",
+    .file = "linalg/densemat.cpp",
+});
+const fpsem::FunctionId kFrobenius = register_fn({
+    .name = "DenseMatrix::FrobeniusNorm",
+    .file = "linalg/densemat.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kPowerStep = register_fn({
+    .name = "DenseMatrix::PowerStep",
+    .file = "linalg/densemat.cpp",
+});
+
+/// Partial-pivoting scan: returns the row with the largest |column| entry.
+/// Internal function -- Bisect can only find it through LUSolve.
+std::size_t lu_pivot(fpsem::EvalContext& ctx, const DenseMatrix& lu,
+                     std::size_t col) {
+  fpsem::FpEnv env = ctx.fn(kLuPivot);
+  std::size_t best = col;
+  double best_mag = std::fabs(lu(col, col));
+  for (std::size_t r = col + 1; r < lu.rows(); ++r) {
+    // |x| as sqrt(x*x) keeps the scan inside the semantics model.
+    const double mag = env.sqrt(env.mul(lu(r, col), lu(r, col)));
+    if (mag > best_mag) {
+      best_mag = mag;
+      best = r;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void mult(fpsem::EvalContext& ctx, const DenseMatrix& a, const Vector& x,
+          Vector& y) {
+  if (a.cols() != x.size()) throw std::invalid_argument("Mult: size");
+  y.resize(a.rows());
+  fpsem::FpEnv env = ctx.fn(kMult);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    y[i] = env.dot(a.row(i), x.span());
+  }
+}
+
+void mult_transpose(fpsem::EvalContext& ctx, const DenseMatrix& a,
+                    const Vector& x, Vector& y) {
+  if (a.rows() != x.size()) throw std::invalid_argument("MultTranspose");
+  y.assign(a.cols(), 0.0);
+  fpsem::FpEnv env = ctx.fn(kMultTranspose);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    env.axpy(x[i], a.row(i), y.span());
+  }
+}
+
+void add_mult_aAAt(fpsem::EvalContext& ctx, double alpha,
+                   const DenseMatrix& a, DenseMatrix& m) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || m.rows() != n || m.cols() != n) {
+    throw std::invalid_argument("AddMult_aAAt: square matrices required");
+  }
+  fpsem::FpEnv env = ctx.fn(kAddMultAAt);
+  // Straightforward nested loops, as the paper describes the MFEM
+  // original: M_{ij} += alpha * sum_k A_{ik} A_{jk}.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double aat = env.dot(a.row(i), a.row(j));
+      m(i, j) = env.mul_add(alpha, aat, m(i, j));
+    }
+  }
+}
+
+void matmul(fpsem::EvalContext& ctx, const DenseMatrix& a,
+            const DenseMatrix& b, DenseMatrix& c) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("MatMul: size");
+  c = DenseMatrix(a.rows(), b.cols());
+  fpsem::FpEnv env = ctx.fn(kMatMul);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc = env.mul_add(a(i, k), b(k, j), acc);
+      }
+      c(i, j) = acc;
+    }
+  }
+}
+
+void lu_solve(fpsem::EvalContext& ctx, const DenseMatrix& a, const Vector& b,
+              Vector& x) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("LUSolve: size");
+  }
+  DenseMatrix lu = a;
+  x = b;
+  fpsem::FpEnv env = ctx.fn(kLuSolve);
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t p = lu_pivot(ctx, lu, c);
+    if (p != c) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(c, j), lu(p, j));
+      std::swap(x[c], x[p]);
+    }
+    if (lu(c, c) == 0.0) throw std::domain_error("LUSolve: singular");
+    for (std::size_t r = c + 1; r < n; ++r) {
+      const double f = env.div(lu(r, c), lu(c, c));
+      lu(r, c) = f;
+      for (std::size_t j = c + 1; j < n; ++j) {
+        lu(r, j) = env.mul_add(-f, lu(c, j), lu(r, j));
+      }
+      x[r] = env.mul_add(-f, x[c], x[r]);
+    }
+  }
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    for (std::size_t j = ri + 1; j < n; ++j) {
+      acc = env.mul_add(-lu(ri, j), x[j], acc);
+    }
+    x[ri] = env.div(acc, lu(ri, ri));
+  }
+}
+
+double det(fpsem::EvalContext& ctx, const DenseMatrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument("Det: square required");
+  DenseMatrix lu = a;
+  fpsem::FpEnv env = ctx.fn(kDet);
+  double d = 1.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t p = lu_pivot(ctx, lu, c);
+    if (p != c) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(c, j), lu(p, j));
+      d = -d;
+    }
+    if (lu(c, c) == 0.0) return 0.0;
+    for (std::size_t r = c + 1; r < n; ++r) {
+      const double f = env.div(lu(r, c), lu(c, c));
+      for (std::size_t j = c + 1; j < n; ++j) {
+        lu(r, j) = env.mul_add(-f, lu(c, j), lu(r, j));
+      }
+    }
+    d = env.mul(d, lu(c, c));
+  }
+  return d;
+}
+
+double frobenius_norm(fpsem::EvalContext& ctx, const DenseMatrix& a) {
+  fpsem::FpEnv env = ctx.fn(kFrobenius);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    acc = env.add(acc, env.dot(a.row(i), a.row(i)));
+  }
+  return env.sqrt(acc);
+}
+
+double power_step(fpsem::EvalContext& ctx, const DenseMatrix& a,
+                  const Vector& x, Vector& y) {
+  fpsem::FpEnv env = ctx.fn(kPowerStep);
+  mult(ctx, a, x, y);
+  const double rayleigh = env.dot(x.span(), y.span());
+  const double n = env.norm2(y.span());
+  if (n != 0.0) env.scal(env.div(1.0, n), y.span());
+  return rayleigh;
+}
+
+}  // namespace flit::linalg

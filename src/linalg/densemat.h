@@ -1,0 +1,81 @@
+#pragma once
+
+// Dense matrix type and semantics-parameterized kernels (source file
+// "linalg/densemat.cpp" of the simulated application).  Includes
+// AddMult_aAAt -- the M += a * A * A^T kernel that FLiT root-caused as the
+// single function behind MFEM example 13's 180-197% relative error
+// (Finding 2 of the paper).
+
+#include <cstddef>
+#include <initializer_list>
+
+#include "fpsem/env.h"
+#include "linalg/vector.h"
+
+namespace flit::linalg {
+
+/// Row-major dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double value = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  const double& operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+  [[nodiscard]] std::span<double> row(std::size_t i) {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  friend bool operator==(const DenseMatrix&, const DenseMatrix&) = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  Vector data_;
+};
+
+// ---- registered kernels (file "linalg/densemat.cpp") -------------------
+
+/// y = A x.
+void mult(fpsem::EvalContext& ctx, const DenseMatrix& a, const Vector& x,
+          Vector& y);
+
+/// y = A^T x.
+void mult_transpose(fpsem::EvalContext& ctx, const DenseMatrix& a,
+                    const Vector& x, Vector& y);
+
+/// M += alpha * A * A^T (square A); the paper's Finding 2 kernel.
+void add_mult_aAAt(fpsem::EvalContext& ctx, double alpha,
+                   const DenseMatrix& a, DenseMatrix& m);
+
+/// C = A * B.
+void matmul(fpsem::EvalContext& ctx, const DenseMatrix& a,
+            const DenseMatrix& b, DenseMatrix& c);
+
+/// Solves A x = b in place via LU with partial pivoting (A is copied).
+void lu_solve(fpsem::EvalContext& ctx, const DenseMatrix& a, const Vector& b,
+              Vector& x);
+
+/// Determinant via LU factorization.
+double det(fpsem::EvalContext& ctx, const DenseMatrix& a);
+
+/// Frobenius norm.
+double frobenius_norm(fpsem::EvalContext& ctx, const DenseMatrix& a);
+
+/// One step of the power iteration: y = A x / ||A x||_2; returns the
+/// Rayleigh estimate x . A x.
+double power_step(fpsem::EvalContext& ctx, const DenseMatrix& a,
+                  const Vector& x, Vector& y);
+
+}  // namespace flit::linalg

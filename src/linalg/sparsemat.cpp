@@ -1,0 +1,171 @@
+#include "linalg/sparsemat.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flit::linalg {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kMult = register_fn({
+    .name = "SparseMatrix::Mult",
+    .file = "linalg/sparsemat.cpp",
+});
+const fpsem::FunctionId kGaussSeidel = register_fn({
+    .name = "SparseMatrix::GaussSeidel",
+    .file = "linalg/sparsemat.cpp",
+});
+const fpsem::FunctionId kJacobi = register_fn({
+    .name = "SparseMatrix::JacobiSmooth",
+    .file = "linalg/sparsemat.cpp",
+});
+const fpsem::FunctionId kDiag = register_fn({
+    .name = "SparseMatrix::GetDiag",
+    .file = "linalg/sparsemat.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kResidual = register_fn({
+    .name = "SparseMatrix::Residual",
+    .file = "linalg/sparsemat.cpp",
+});
+const fpsem::FunctionId kRowSums = register_fn({
+    .name = "SparseMatrix::RowSums",
+    .file = "linalg/sparsemat.cpp",
+    .inline_candidate = true,
+});
+
+void require_finalized(const SparseMatrix& a) {
+  if (!a.finalized()) throw std::logic_error("SparseMatrix not finalized");
+}
+
+}  // namespace
+
+void SparseMatrix::add(std::size_t i, std::size_t j, double v) {
+  if (finalized_) throw std::logic_error("add after finalize");
+  if (i >= rows_ || j >= cols_) throw std::out_of_range("triplet index");
+  staging_.push_back(Triplet{i, j, v});
+}
+
+void SparseMatrix::finalize() {
+  if (finalized_) return;
+  // Sort triplets by (row, col) and merge duplicates (deterministically,
+  // in plain host arithmetic: assembly accumulation order is part of the
+  // application's structure, not of its compiled FP semantics).
+  std::stable_sort(staging_.begin(), staging_.end(),
+                   [](const Triplet& a, const Triplet& b) {
+                     return a.i != b.i ? a.i < b.i : a.j < b.j;
+                   });
+  row_start_.assign(rows_ + 1, 0);
+  for (std::size_t k = 0; k < staging_.size();) {
+    std::size_t m = k + 1;
+    double v = staging_[k].v;
+    while (m < staging_.size() && staging_[m].i == staging_[k].i &&
+           staging_[m].j == staging_[k].j) {
+      v += staging_[m].v;
+      ++m;
+    }
+    col_index_.push_back(staging_[k].j);
+    values_.push_back(v);
+    ++row_start_[staging_[k].i + 1];
+    k = m;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_start_[r + 1] += row_start_[r];
+  staging_.clear();
+  staging_.shrink_to_fit();
+  finalized_ = true;
+}
+
+void mult(fpsem::EvalContext& ctx, const SparseMatrix& a, const Vector& x,
+          Vector& y) {
+  require_finalized(a);
+  if (a.cols() != x.size()) throw std::invalid_argument("SpMV: size");
+  y.assign(a.rows(), 0.0);
+  fpsem::FpEnv env = ctx.fn(kMult);
+  const auto& rs = a.row_start();
+  const auto& ci = a.col_index();
+  const auto& v = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t k = rs[r]; k < rs[r + 1]; ++k) {
+      acc = env.mul_add(v[k], x[ci[k]], acc);
+    }
+    y[r] = acc;
+  }
+}
+
+void gauss_seidel(fpsem::EvalContext& ctx, const SparseMatrix& a,
+                  const Vector& b, Vector& x) {
+  require_finalized(a);
+  fpsem::FpEnv env = ctx.fn(kGaussSeidel);
+  const auto& rs = a.row_start();
+  const auto& ci = a.col_index();
+  const auto& v = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double acc = b[r];
+    double diag_v = 0.0;
+    for (std::size_t k = rs[r]; k < rs[r + 1]; ++k) {
+      if (ci[k] == r) {
+        diag_v = v[k];
+      } else {
+        acc = env.mul_add(-v[k], x[ci[k]], acc);
+      }
+    }
+    if (diag_v == 0.0) throw std::domain_error("GaussSeidel: zero diagonal");
+    x[r] = env.div(acc, diag_v);
+  }
+}
+
+void jacobi_smooth(fpsem::EvalContext& ctx, const SparseMatrix& a,
+                   const Vector& b, double weight, Vector& x) {
+  require_finalized(a);
+  fpsem::FpEnv env = ctx.fn(kJacobi);
+  Vector r;
+  residual(ctx, a, b, x, r);
+  Vector d;
+  diag(ctx, a, d);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = env.mul_add(weight, env.div(r[i], d[i]), x[i]);
+  }
+}
+
+void diag(fpsem::EvalContext& ctx, const SparseMatrix& a, Vector& d) {
+  require_finalized(a);
+  (void)ctx.fn(kDiag);  // structural kernel: no FP arithmetic of its own
+  d.assign(a.rows(), 0.0);
+  const auto& rs = a.row_start();
+  const auto& ci = a.col_index();
+  const auto& v = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = rs[r]; k < rs[r + 1]; ++k) {
+      if (ci[k] == r) d[r] = v[k];
+    }
+  }
+}
+
+void residual(fpsem::EvalContext& ctx, const SparseMatrix& a, const Vector& b,
+              const Vector& x, Vector& r) {
+  require_finalized(a);
+  fpsem::FpEnv env = ctx.fn(kResidual);
+  Vector ax;
+  mult(ctx, a, x, ax);
+  r.resize(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    r[i] = env.sub(b[i], ax[i]);
+  }
+}
+
+void row_sums(fpsem::EvalContext& ctx, const SparseMatrix& a, Vector& s) {
+  require_finalized(a);
+  fpsem::FpEnv env = ctx.fn(kRowSums);
+  s.assign(a.rows(), 0.0);
+  const auto& rs = a.row_start();
+  const auto& v = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const std::span<const double> row{v.data() + rs[r], rs[r + 1] - rs[r]};
+    s[r] = env.sum(row);
+  }
+}
+
+}  // namespace flit::linalg

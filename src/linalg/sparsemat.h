@@ -1,0 +1,79 @@
+#pragma once
+
+// Compressed-sparse-row matrix and kernels (source file
+// "linalg/sparsemat.cpp" of the simulated application): SpMV, smoothers
+// and row utilities used by the mini-MFEM assembly and solvers.
+
+#include <cstddef>
+#include <vector>
+
+#include "fpsem/env.h"
+#include "linalg/vector.h"
+
+namespace flit::linalg {
+
+/// CSR sparse matrix, built from triplets.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  SparseMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+    row_start_.assign(rows + 1, 0);
+  }
+
+  /// Triplet staging; call finalize() before using the kernels.
+  void add(std::size_t i, std::size_t j, double v);
+  void finalize();
+
+  [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  [[nodiscard]] const std::vector<std::size_t>& row_start() const {
+    return row_start_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_index() const {
+    return col_index_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+ private:
+  struct Triplet {
+    std::size_t i, j;
+    double v;
+  };
+
+  std::size_t rows_ = 0, cols_ = 0;
+  bool finalized_ = false;
+  std::vector<Triplet> staging_;
+  std::vector<std::size_t> row_start_;
+  std::vector<std::size_t> col_index_;
+  std::vector<double> values_;
+};
+
+// ---- registered kernels (file "linalg/sparsemat.cpp") ------------------
+
+/// y = A x.
+void mult(fpsem::EvalContext& ctx, const SparseMatrix& a, const Vector& x,
+          Vector& y);
+
+/// One forward Gauss-Seidel sweep on A x = b.
+void gauss_seidel(fpsem::EvalContext& ctx, const SparseMatrix& a,
+                  const Vector& b, Vector& x);
+
+/// One weighted-Jacobi sweep on A x = b: x += w D^{-1} (b - A x).
+void jacobi_smooth(fpsem::EvalContext& ctx, const SparseMatrix& a,
+                   const Vector& b, double weight, Vector& x);
+
+/// Diagonal extraction.
+void diag(fpsem::EvalContext& ctx, const SparseMatrix& a, Vector& d);
+
+/// Residual r = b - A x.
+void residual(fpsem::EvalContext& ctx, const SparseMatrix& a, const Vector& b,
+              const Vector& x, Vector& r);
+
+/// Row sums (used for lumped mass matrices).
+void row_sums(fpsem::EvalContext& ctx, const SparseMatrix& a, Vector& s);
+
+}  // namespace flit::linalg

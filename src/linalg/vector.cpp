@@ -1,0 +1,171 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace flit::linalg {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kDot = register_fn({
+    .name = "Vector::dot",
+    .file = "linalg/vector.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kNorml2 = register_fn({
+    .name = "Vector::norml2",
+    .file = "linalg/vector.cpp",
+});
+const fpsem::FunctionId kSum = register_fn({
+    .name = "Vector::sum",
+    .file = "linalg/vector.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kAdd = register_fn({
+    .name = "Vector::add",
+    .file = "linalg/vector.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kAxpy = register_fn({
+    .name = "Vector::axpy",
+    .file = "linalg/vector.cpp",
+});
+const fpsem::FunctionId kScale = register_fn({
+    .name = "Vector::scale",
+    .file = "linalg/vector.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kSubtract = register_fn({
+    .name = "Vector::subtract",
+    .file = "linalg/vector.cpp",
+});
+const fpsem::FunctionId kDistance = register_fn({
+    .name = "Vector::distance",
+    .file = "linalg/vector.cpp",
+});
+const fpsem::FunctionId kWeightedMean = register_fn({
+    .name = "Vector::weighted_mean",
+    .file = "linalg/vector.cpp",
+});
+
+void check_same_size(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("vector size mismatch");
+  }
+}
+
+}  // namespace
+
+double dot(fpsem::EvalContext& ctx, const Vector& a, const Vector& b) {
+  check_same_size(a, b);
+  fpsem::FpEnv env = ctx.fn(kDot);
+  return env.dot(a.span(), b.span());
+}
+
+double norml2(fpsem::EvalContext& ctx, const Vector& v) {
+  fpsem::FpEnv env = ctx.fn(kNorml2);
+  return env.norm2(v.span());
+}
+
+double sum(fpsem::EvalContext& ctx, const Vector& v) {
+  fpsem::FpEnv env = ctx.fn(kSum);
+  return env.sum(v.span());
+}
+
+void add(fpsem::EvalContext& ctx, const Vector& x, Vector& y) {
+  check_same_size(x, y);
+  fpsem::FpEnv env = ctx.fn(kAdd);
+  env.axpy(1.0, x.span(), y.span());
+}
+
+void axpy(fpsem::EvalContext& ctx, double alpha, const Vector& x, Vector& y) {
+  check_same_size(x, y);
+  fpsem::FpEnv env = ctx.fn(kAxpy);
+  env.axpy(alpha, x.span(), y.span());
+}
+
+void scale(fpsem::EvalContext& ctx, double alpha, Vector& v) {
+  fpsem::FpEnv env = ctx.fn(kScale);
+  env.scal(alpha, v.span());
+}
+
+void subtract(fpsem::EvalContext& ctx, const Vector& a, const Vector& b,
+              Vector& out) {
+  check_same_size(a, b);
+  out.resize(a.size());
+  fpsem::FpEnv env = ctx.fn(kSubtract);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = env.sub(a[i], b[i]);
+  }
+}
+
+double distance(fpsem::EvalContext& ctx, const Vector& a, const Vector& b) {
+  check_same_size(a, b);
+  fpsem::FpEnv env = ctx.fn(kDistance);
+  Vector diff(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff[i] = env.sub(a[i], b[i]);
+  }
+  return env.norm2(diff.span());
+}
+
+double weighted_mean(fpsem::EvalContext& ctx, const Vector& v,
+                     const Vector& w) {
+  check_same_size(v, w);
+  fpsem::FpEnv env = ctx.fn(kWeightedMean);
+  const double num = env.dot(v.span(), w.span());
+  const double den = env.sum(w.span());
+  return env.div(num, den);
+}
+
+std::string serialize(const Vector& v) {
+  std::ostringstream os;
+  os << v.size();
+  char buf[40];
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::snprintf(buf, sizeof buf, " %a", v[i]);
+    os << buf;
+  }
+  return os.str();
+}
+
+Vector deserialize(const std::string& s) {
+  std::istringstream is(s);
+  std::size_t n = 0;
+  is >> n;
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string tok;
+    is >> tok;
+    v[i] = std::strtod(tok.c_str(), nullptr);
+  }
+  if (!is) throw std::invalid_argument("malformed serialized vector");
+  return v;
+}
+
+long double l2_string_metric(const std::string& baseline,
+                             const std::string& test, bool relative) {
+  if (baseline == test) return 0.0L;  // bitwise equal (covers NaN == NaN)
+  const Vector b = deserialize(baseline);
+  const Vector t = deserialize(test);
+  if (b.size() != t.size()) return HUGE_VALL;
+  long double acc = 0.0L;
+  long double bnorm = 0.0L;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const long double d =
+        static_cast<long double>(b[i]) - static_cast<long double>(t[i]);
+    // A NaN/Inf on either side is a crash-grade difference, never "equal".
+    if (!std::isfinite(static_cast<double>(d))) return HUGE_VALL;
+    acc += d * d;
+    bnorm += static_cast<long double>(b[i]) * static_cast<long double>(b[i]);
+  }
+  const long double norm = sqrtl(acc);
+  if (!relative) return norm;
+  return bnorm > 0.0L ? norm / sqrtl(bnorm) : norm;
+}
+
+}  // namespace flit::linalg

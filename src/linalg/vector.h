@@ -1,0 +1,95 @@
+#pragma once
+
+// Dense vector type and semantics-parameterized vector kernels.
+//
+// Each kernel below is a registered function of the simulated
+// application's code model (source file "linalg/vector.cpp"): it fetches
+// its own floating-point semantics from the EvalContext, so a linked
+// binary can run Vector::dot under one compiler's behaviour and
+// Vector::axpy under another's -- the substrate FLiT Bisect searches over.
+//
+// Serialization helpers (hexfloat, lossless) let tests return whole
+// vectors as the paper's std::string test results.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fpsem/env.h"
+
+namespace flit::linalg {
+
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double value = 0.0) : data_(n, value) {}
+  Vector(std::initializer_list<double> init) : data_(init) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  const double& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] std::span<double> span() { return data_; }
+  [[nodiscard]] std::span<const double> span() const { return data_; }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  void assign(std::size_t n, double value) { data_.assign(n, value); }
+  void resize(std::size_t n) { data_.resize(n); }
+
+  friend bool operator==(const Vector&, const Vector&) = default;
+
+ private:
+  std::vector<double> data_;
+};
+
+// ---- registered kernels (file "linalg/vector.cpp") ---------------------
+
+/// Inner product a . b.
+double dot(fpsem::EvalContext& ctx, const Vector& a, const Vector& b);
+
+/// Euclidean norm ||v||_2.
+double norml2(fpsem::EvalContext& ctx, const Vector& v);
+
+/// Sum of entries.
+double sum(fpsem::EvalContext& ctx, const Vector& v);
+
+/// y += x (elementwise).
+void add(fpsem::EvalContext& ctx, const Vector& x, Vector& y);
+
+/// y += alpha * x.
+void axpy(fpsem::EvalContext& ctx, double alpha, const Vector& x, Vector& y);
+
+/// v *= alpha.
+void scale(fpsem::EvalContext& ctx, double alpha, Vector& v);
+
+/// out = a - b.
+void subtract(fpsem::EvalContext& ctx, const Vector& a, const Vector& b,
+              Vector& out);
+
+/// ||a - b||_2.
+double distance(fpsem::EvalContext& ctx, const Vector& a, const Vector& b);
+
+/// Weighted mean (sum w_i v_i) / (sum w_i).
+double weighted_mean(fpsem::EvalContext& ctx, const Vector& v,
+                     const Vector& w);
+
+// ---- plain helpers (not part of the simulated application) -------------
+
+/// Lossless hexfloat serialization, for std::string-valued test results.
+[[nodiscard]] std::string serialize(const Vector& v);
+[[nodiscard]] Vector deserialize(const std::string& s);
+
+/// Host-arithmetic l2 norm of the difference of two serialized vectors
+/// (the MFEM study's ||baseline - actual||_2 comparison function); returns
+/// the norm relativized by ||baseline||_2 when `relative` is set.
+[[nodiscard]] long double l2_string_metric(const std::string& baseline,
+                                           const std::string& test,
+                                           bool relative = false);
+
+}  // namespace flit::linalg

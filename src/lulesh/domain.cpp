@@ -1,0 +1,119 @@
+// lulesh/domain.cpp -- domain construction, kinematics and volume update.
+
+#include "lulesh/domain.h"
+
+#include "fpsem/code_model.h"
+#include "lulesh/internal.h"
+
+namespace flit::lulesh {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kKinematics = register_fn({
+    .name = "CalcKinematicsForElems",
+    .file = "lulesh/domain.cpp",
+});
+// Per-element volume from node positions; inlined into kinematics.
+const fpsem::FunctionId kElemVolume = register_fn({
+    .name = "CalcElemVolume",
+    .file = "lulesh/domain.cpp",
+    .exported = false,
+    .host_symbol = "CalcKinematicsForElems",
+});
+const fpsem::FunctionId kUpdateVolumes = register_fn({
+    .name = "UpdateVolumesForElems",
+    .file = "lulesh/domain.cpp",
+});
+const fpsem::FunctionId kCharLength = register_fn({
+    .name = "CalcElemCharacteristicLength",
+    .file = "lulesh/domain.cpp",
+    .exported = false,
+    .host_symbol = "CalcKinematicsForElems",
+});
+
+double calc_elem_volume(fpsem::EvalContext& ctx, const Domain& d,
+                        std::size_t k) {
+  fpsem::FpEnv env = ctx.fn(kElemVolume);
+  return env.sub(d.x[k + 1], d.x[k]);
+}
+
+double calc_elem_characteristic_length(fpsem::EvalContext& ctx,
+                                       const Domain& d, std::size_t k) {
+  fpsem::FpEnv env = ctx.fn(kCharLength);
+  const double dx = env.sub(d.x[k + 1], d.x[k]);
+  return env.sqrt(env.mul(dx, dx));
+}
+
+}  // namespace
+
+Domain build_domain(const LuleshOptions& opts) {
+  Domain d;
+  const std::size_t n = opts.num_elems;
+  d.x.resize(n + 1);
+  d.xd.assign(n + 1, 0.0);
+  d.xdd.assign(n + 1, 0.0);
+  d.fx.assign(n + 1, 0.0);
+  d.nodal_mass.assign(n + 1, 0.0);
+  d.e.assign(n, 0.0);
+  d.p.assign(n, 0.0);
+  d.q.assign(n, 0.0);
+  d.v.assign(n, 1.0);
+  d.volo.resize(n);
+  d.delv.assign(n, 0.0);
+  d.vdov.assign(n, 0.0);
+  d.ss.assign(n, 0.0);
+  d.elem_mass.resize(n);
+  d.arealg.resize(n);
+  d.qq.assign(n, 0.0);
+  d.ql.assign(n, 0.0);
+  const double h = 1.125 / static_cast<double>(n);
+  for (std::size_t i = 0; i <= n; ++i) {
+    d.x[i] = h * static_cast<double>(i);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    d.volo[k] = h;
+    d.elem_mass[k] = h;  // unit initial density
+    d.arealg[k] = h;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    d.nodal_mass[k] += 0.5 * d.elem_mass[k];
+    d.nodal_mass[k + 1] += 0.5 * d.elem_mass[k];
+  }
+  // Sedov-style energy deposition at the origin element.
+  d.e[0] = 3.948746e+1 / static_cast<double>(n);
+  return d;
+}
+
+void calc_kinematics_for_elems(fpsem::EvalContext& ctx, Domain& d) {
+  fpsem::FpEnv env = ctx.fn(kKinematics);
+  for (std::size_t k = 0; k < d.numElem(); ++k) {
+    const double vol = calc_elem_volume(ctx, d, k);
+    const double vnew = env.div(vol, d.volo[k]);
+    d.delv[k] = env.sub(vnew, d.v[k]);
+    d.arealg[k] = calc_elem_characteristic_length(ctx, d, k);
+    // vdov = d(vol)/dt / vol
+    const double dvel = env.sub(d.xd[k + 1], d.xd[k]);
+    d.vdov[k] = env.div(dvel, vol);
+    d.v[k] = vnew;  // provisional; clamped in UpdateVolumesForElems
+  }
+}
+
+void update_volumes_for_elems(fpsem::EvalContext& ctx, Domain& d) {
+  fpsem::FpEnv env = ctx.fn(kUpdateVolumes);
+  constexpr double v_cut = 1e-10;
+  for (std::size_t k = 0; k < d.numElem(); ++k) {
+    // Relative volumes within v_cut of 1.0 snap to exactly 1.0 (a classic
+    // LULESH cutoff: perturbations can vanish here).
+    const double dist = env.sub(d.v[k], 1.0);
+    if (env.sqrt(env.mul(dist, dist)) < v_cut) d.v[k] = 1.0;
+  }
+}
+
+std::vector<std::string> lulesh_source_files() {
+  return {"lulesh/domain.cpp", "lulesh/force.cpp", "lulesh/q.cpp",
+          "lulesh/eos.cpp", "lulesh/lagrange.cpp"};
+}
+
+}  // namespace flit::lulesh

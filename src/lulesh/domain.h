@@ -1,0 +1,102 @@
+#pragma once
+
+// mini-LULESH: a Livermore-Unstructured-Lagrangian-Explicit-Shock-
+// Hydrodynamics-shaped proxy (1D staggered-grid variant) with the classic
+// LULESH call tree (LagrangeLeapFrog -> LagrangeNodal / LagrangeElements /
+// CalcTimeConstraints) spread over five translation units.  Every
+// floating-point instruction runs through the fpsem evaluator, so the
+// Sec. 3.5 injection campaign can enumerate and perturb each static site.
+//
+// Like the original, it is littered with cutoff clamps (u_cut, e_cut,
+// v_cut, pmin, emin, dt bounds) and limiter min/max selections -- these
+// are precisely the places where an injected perturbation is absorbed and
+// becomes "not measurable" (Table 5's benign category).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/test_base.h"
+#include "fpsem/env.h"
+
+namespace flit::lulesh {
+
+struct LuleshOptions {
+  std::size_t num_elems = 32;
+  int stop_cycle = 30;
+  double stop_time = 1.0;
+};
+
+struct Domain {
+  // --- node-centered ---
+  std::vector<double> x;          ///< positions
+  std::vector<double> xd;         ///< velocities
+  std::vector<double> xdd;        ///< accelerations
+  std::vector<double> fx;         ///< force accumulators
+  std::vector<double> nodal_mass;
+
+  // --- element-centered ---
+  std::vector<double> e;      ///< internal energy
+  std::vector<double> p;      ///< pressure
+  std::vector<double> q;      ///< artificial viscosity
+  std::vector<double> v;      ///< relative volume
+  std::vector<double> volo;   ///< reference volume
+  std::vector<double> delv;   ///< volume change this step
+  std::vector<double> vdov;   ///< volume derivative over volume
+  std::vector<double> ss;     ///< sound speed
+  std::vector<double> elem_mass;
+  std::vector<double> arealg; ///< characteristic length
+  std::vector<double> qq;     ///< quadratic viscosity term (per element)
+  std::vector<double> ql;     ///< linear viscosity term (per element)
+
+  double time = 0.0;
+  double deltatime = 1e-4;
+  double dtcourant = 1e20;
+  double dthydro = 1e20;
+  int cycle = 0;
+
+  [[nodiscard]] std::size_t numElem() const { return e.size(); }
+  [[nodiscard]] std::size_t numNode() const { return x.size(); }
+};
+
+/// Sedov-like initial state: energy deposited in the first element.
+Domain build_domain(const LuleshOptions& opts);
+
+/// Runs the simulation to stop_cycle/stop_time.
+Domain run_lulesh(fpsem::EvalContext& ctx, const LuleshOptions& opts);
+
+/// One whole time step (TimeIncrement + LagrangeLeapFrog).
+void time_step(fpsem::EvalContext& ctx, Domain& d);
+
+/// The source files of the mini-LULESH application (Bisect scope).
+std::vector<std::string> lulesh_source_files();
+
+/// FLiT test: runs the benchmark and returns the serialized final energy
+/// field plus the origin energy (LULESH's traditional check value).
+class LuleshTest final : public core::TestBase {
+ public:
+  explicit LuleshTest(LuleshOptions opts = {}) : opts_(opts) {}
+
+  [[nodiscard]] std::string name() const override { return "LULESH"; }
+  [[nodiscard]] std::size_t getInputsPerRun() const override { return 0; }
+  [[nodiscard]] std::vector<double> getDefaultInput() const override {
+    return {};
+  }
+  [[nodiscard]] core::TestResult run_impl(
+      const std::vector<double>&, fpsem::EvalContext& ctx) const override;
+  using core::TestBase::compare;
+  [[nodiscard]] long double compare(const std::string& baseline,
+                                    const std::string& test) const override;
+
+ private:
+  LuleshOptions opts_;
+};
+
+// ---- stage entry points (exposed for unit tests) ------------------------
+
+void lagrange_nodal(fpsem::EvalContext& ctx, Domain& d);
+void lagrange_elements(fpsem::EvalContext& ctx, Domain& d);
+void calc_time_constraints(fpsem::EvalContext& ctx, Domain& d);
+void time_increment(fpsem::EvalContext& ctx, Domain& d);
+
+}  // namespace flit::lulesh

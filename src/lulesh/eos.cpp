@@ -1,0 +1,140 @@
+// lulesh/eos.cpp -- material property evaluation: energy update, pressure
+// and sound speed with the LULESH cutoff constants (e_cut, p_cut, emin,
+// pmin) that clamp small values to exact floors.
+
+#include <algorithm>
+
+#include "fpsem/code_model.h"
+#include "lulesh/internal.h"
+
+namespace flit::lulesh {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kApplyMaterial = register_fn({
+    .name = "ApplyMaterialPropertiesForElems",
+    .file = "lulesh/eos.cpp",
+});
+const fpsem::FunctionId kEvalEos = register_fn({
+    .name = "EvalEOSForElems",
+    .file = "lulesh/eos.cpp",
+});
+const fpsem::FunctionId kCalcEnergy = register_fn({
+    .name = "CalcEnergyForElems",
+    .file = "lulesh/eos.cpp",
+});
+const fpsem::FunctionId kCalcPressure = register_fn({
+    .name = "CalcPressureForElems",
+    .file = "lulesh/eos.cpp",
+    .exported = false,
+    .host_symbol = "EvalEOSForElems",
+});
+const fpsem::FunctionId kSoundSpeed = register_fn({
+    .name = "CalcSoundSpeedForElems",
+    .file = "lulesh/eos.cpp",
+});
+const fpsem::FunctionId kQHalfStep = register_fn({
+    .name = "CalcQHalfStepForElems",
+    .file = "lulesh/eos.cpp",
+    .exported = false,
+    .host_symbol = "CalcEnergyForElems",
+});
+
+constexpr double kGamma = 1.6666666666666667;  // 5/3 monatomic gas
+constexpr double e_cut = 1e-7;
+constexpr double p_cut = 1e-7;
+constexpr double q_cut = 1e-7;
+constexpr double emin = 1e-9;
+constexpr double pmin = 0.0;
+
+/// p = (gamma - 1) * rho0 * e / v (ideal gas in relative-volume form).
+double calc_pressure(fpsem::EvalContext& ctx, double e_val, double v_val) {
+  fpsem::FpEnv env = ctx.fn(kCalcPressure);
+  const double gm1 = env.sub(kGamma, 1.0);
+  double p_new = env.div(env.mul(gm1, e_val), v_val);
+  if (env.sqrt(env.mul(p_new, p_new)) < p_cut) p_new = 0.0;
+  return std::max(p_new, pmin);
+}
+
+/// Viscosity re-evaluation for an intermediate state: q = ql + qq scaled
+/// by the viscous sound-speed estimate, zero in expansion (the LULESH
+/// ssc-based half-step Q).  Internal helper of CalcEnergyForElems.
+double calc_q_halfstep(fpsem::EvalContext& ctx, const Domain& d,
+                       std::size_t k, double p_state, double e_state) {
+  fpsem::FpEnv env = ctx.fn(kQHalfStep);
+  if (d.delv[k] > 0.0) return 0.0;  // expansion
+  const double rho0 = env.div(d.elem_mass[k], d.volo[k]);
+  double ssc = env.div(
+      env.mul_add(kGamma, env.div(std::max(e_state, emin), d.v[k]),
+                  env.mul(1e-9, p_state)),
+      rho0);
+  ssc = ssc <= 1e-9 ? 0.3333333e-4 : env.sqrt(ssc);
+  return env.mul_add(ssc, d.ql[k], d.qq[k]);
+}
+
+void calc_energy(fpsem::EvalContext& ctx, Domain& d, std::size_t k) {
+  fpsem::FpEnv env = ctx.fn(kCalcEnergy);
+  const double delvc = d.delv[k];
+  const double p_old = d.p[k];
+  const double q_old = d.q[k];
+
+  // --- predictor: half-step energy and pressure ------------------------
+  double e_half = env.mul_add(env.mul(-0.5, delvc),
+                              env.add(p_old, q_old), d.e[k]);
+  e_half = std::max(e_half, emin);
+  const double p_half = calc_pressure(ctx, e_half, d.v[k]);
+  const double q_half = calc_q_halfstep(ctx, d, k, p_half, e_half);
+
+  // --- corrector: second-order update -----------------------------------
+  const double blend =
+      env.sub(env.mul(3.0, env.add(p_old, q_old)),
+              env.mul(4.0, env.add(p_half, q_half)));
+  double e_new = env.mul_add(env.mul(0.5, delvc), blend, e_half);
+  if (env.sqrt(env.mul(e_new, e_new)) < e_cut) e_new = 0.0;
+  e_new = std::max(e_new, emin);
+
+  // --- third pass: the classic "sixth" correction -----------------------
+  const double p_new1 = calc_pressure(ctx, e_new, d.v[k]);
+  const double q_new1 = calc_q_halfstep(ctx, d, k, p_new1, e_new);
+  constexpr double sixth = 1.0 / 6.0;
+  const double corr =
+      env.add(env.sub(env.mul(7.0, env.add(p_old, q_old)),
+                      env.mul(8.0, env.add(p_half, q_half))),
+              env.add(p_new1, q_new1));
+  e_new = env.mul_add(env.mul(-delvc, sixth), corr, e_new);
+  if (env.sqrt(env.mul(e_new, e_new)) < e_cut) e_new = 0.0;
+  e_new = std::max(e_new, emin);
+
+  d.e[k] = e_new;
+  d.p[k] = calc_pressure(ctx, e_new, d.v[k]);
+  if (d.delv[k] <= 0.0) {
+    d.q[k] = calc_q_halfstep(ctx, d, k, d.p[k], e_new);
+    if (env.sqrt(env.mul(d.q[k], d.q[k])) < q_cut) d.q[k] = 0.0;
+  }
+}
+
+void calc_sound_speed(fpsem::EvalContext& ctx, Domain& d, std::size_t k) {
+  fpsem::FpEnv env = ctx.fn(kSoundSpeed);
+  const double rho0 = env.div(d.elem_mass[k], d.volo[k]);
+  double ss2 = env.div(env.mul(kGamma, std::max(d.p[k], 1e-12)),
+                       env.mul(rho0, d.v[k]));
+  ss2 = std::max(ss2, 1e-12);
+  d.ss[k] = env.sqrt(ss2);
+}
+
+}  // namespace
+
+void apply_material_properties(fpsem::EvalContext& ctx, Domain& d) {
+  (void)ctx.fn(kApplyMaterial);  // driver
+  fpsem::FpEnv env = ctx.fn(kEvalEos);
+  for (std::size_t k = 0; k < d.numElem(); ++k) {
+    // EvalEOS clamps the relative volume into material bounds first.
+    d.v[k] = std::max(env.mul(1.0, d.v[k]), 0.05);
+    calc_energy(ctx, d, k);
+    calc_sound_speed(ctx, d, k);
+  }
+}
+
+}  // namespace flit::lulesh

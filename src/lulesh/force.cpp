@@ -1,0 +1,136 @@
+// lulesh/force.cpp -- nodal force assembly (stress + hourglass control)
+// and the nodal kinematic updates.
+
+#include "fpsem/code_model.h"
+#include "lulesh/internal.h"
+
+namespace flit::lulesh {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kCalcForce = register_fn({
+    .name = "CalcForceForNodes",
+    .file = "lulesh/force.cpp",
+});
+const fpsem::FunctionId kInitStress = register_fn({
+    .name = "InitStressTermsForElems",
+    .file = "lulesh/force.cpp",
+    .exported = false,
+    .host_symbol = "CalcForceForNodes",
+});
+const fpsem::FunctionId kIntegrateStress = register_fn({
+    .name = "IntegrateStressForElems",
+    .file = "lulesh/force.cpp",
+});
+const fpsem::FunctionId kHourglass = register_fn({
+    .name = "CalcHourglassControlForElems",
+    .file = "lulesh/force.cpp",
+});
+const fpsem::FunctionId kFBHourglass = register_fn({
+    .name = "CalcFBHourglassForceForElems",
+    .file = "lulesh/force.cpp",
+    .exported = false,
+    .host_symbol = "CalcHourglassControlForElems",
+});
+const fpsem::FunctionId kAccel = register_fn({
+    .name = "CalcAccelerationForNodes",
+    .file = "lulesh/force.cpp",
+});
+const fpsem::FunctionId kAccelBC = register_fn({
+    .name = "ApplyAccelerationBoundaryConditions",
+    .file = "lulesh/force.cpp",
+    .exported = false,
+    .host_symbol = "CalcAccelerationForNodes",
+});
+const fpsem::FunctionId kVelocity = register_fn({
+    .name = "CalcVelocityForNodes",
+    .file = "lulesh/force.cpp",
+});
+const fpsem::FunctionId kPosition = register_fn({
+    .name = "CalcPositionForNodes",
+    .file = "lulesh/force.cpp",
+});
+
+void init_stress_terms(fpsem::EvalContext& ctx, const Domain& d,
+                       std::vector<double>& sig) {
+  fpsem::FpEnv env = ctx.fn(kInitStress);
+  sig.resize(d.numElem());
+  for (std::size_t k = 0; k < d.numElem(); ++k) {
+    sig[k] = env.sub(env.mul(-1.0, d.p[k]), d.q[k]);
+  }
+}
+
+void integrate_stress(fpsem::EvalContext& ctx, Domain& d,
+                      const std::vector<double>& sig) {
+  fpsem::FpEnv env = ctx.fn(kIntegrateStress);
+  // 1D staggered grid: node force = stress divergence.  Element k pulls
+  // its left node with +sigma and its right node with -sigma, so a
+  // high-pressure element (sigma = -p < 0) pushes both nodes outward.
+  for (std::size_t k = 0; k < d.numElem(); ++k) {
+    d.fx[k] = env.add(d.fx[k], sig[k]);
+    d.fx[k + 1] = env.sub(d.fx[k + 1], sig[k]);
+  }
+}
+
+void calc_fb_hourglass_force(fpsem::EvalContext& ctx, Domain& d,
+                             double hgcoef) {
+  fpsem::FpEnv env = ctx.fn(kFBHourglass);
+  // Damp the checkerboard velocity mode: f_i += -hg * rho * ss * (laplacian xd).
+  for (std::size_t i = 1; i < d.numNode() - 1; ++i) {
+    const double lap = env.add(env.sub(d.xd[i - 1], env.mul(2.0, d.xd[i])),
+                               d.xd[i + 1]);
+    const double rho_ss =
+        env.mul(env.div(d.elem_mass[i - 1], d.volo[i - 1]), d.ss[i - 1]);
+    d.fx[i] = env.mul_add(env.mul(hgcoef, rho_ss), lap, d.fx[i]);
+  }
+}
+
+}  // namespace
+
+void calc_force_for_nodes(fpsem::EvalContext& ctx, Domain& d) {
+  (void)ctx.fn(kCalcForce);  // driver: delegates to the kernels below
+  for (auto& f : d.fx) f = 0.0;
+  std::vector<double> sig;
+  init_stress_terms(ctx, d, sig);
+  integrate_stress(ctx, d, sig);
+  {
+    fpsem::FpEnv env = ctx.fn(kHourglass);
+    const double hgcoef = env.mul(3.0, 0.01);
+    calc_fb_hourglass_force(ctx, d, hgcoef);
+  }
+}
+
+void calc_acceleration_for_nodes(fpsem::EvalContext& ctx, Domain& d) {
+  {
+    fpsem::FpEnv env = ctx.fn(kAccel);
+    for (std::size_t i = 0; i < d.numNode(); ++i) {
+      d.xdd[i] = env.div(d.fx[i], d.nodal_mass[i]);
+    }
+  }
+  fpsem::FpEnv env = ctx.fn(kAccelBC);
+  d.xdd.front() = env.mul(0.0, d.xdd.front());  // symmetry plane
+  d.xdd.back() = 0.0;                           // fixed far wall
+}
+
+void calc_velocity_for_nodes(fpsem::EvalContext& ctx, Domain& d) {
+  fpsem::FpEnv env = ctx.fn(kVelocity);
+  constexpr double u_cut = 1e-7;
+  for (std::size_t i = 0; i < d.numNode(); ++i) {
+    double xdnew = env.mul_add(d.deltatime, d.xdd[i], d.xd[i]);
+    // Velocity cutoff: small velocities snap to zero (another absorber
+    // of injected perturbations).
+    if (env.sqrt(env.mul(xdnew, xdnew)) < u_cut) xdnew = 0.0;
+    d.xd[i] = xdnew;
+  }
+}
+
+void calc_position_for_nodes(fpsem::EvalContext& ctx, Domain& d) {
+  fpsem::FpEnv env = ctx.fn(kPosition);
+  for (std::size_t i = 0; i < d.numNode(); ++i) {
+    d.x[i] = env.mul_add(d.deltatime, d.xd[i], d.x[i]);
+  }
+}
+
+}  // namespace flit::lulesh

@@ -1,0 +1,25 @@
+#pragma once
+
+// Internal interfaces between the mini-LULESH translation units.
+
+#include "lulesh/domain.h"
+
+namespace flit::lulesh {
+
+// force.cpp
+void calc_force_for_nodes(fpsem::EvalContext& ctx, Domain& d);
+void calc_acceleration_for_nodes(fpsem::EvalContext& ctx, Domain& d);
+void calc_velocity_for_nodes(fpsem::EvalContext& ctx, Domain& d);
+void calc_position_for_nodes(fpsem::EvalContext& ctx, Domain& d);
+
+// q.cpp
+void calc_q_for_elems(fpsem::EvalContext& ctx, Domain& d);
+
+// eos.cpp
+void apply_material_properties(fpsem::EvalContext& ctx, Domain& d);
+
+// domain.cpp
+void calc_kinematics_for_elems(fpsem::EvalContext& ctx, Domain& d);
+void update_volumes_for_elems(fpsem::EvalContext& ctx, Domain& d);
+
+}  // namespace flit::lulesh

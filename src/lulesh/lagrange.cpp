@@ -1,0 +1,123 @@
+// lulesh/lagrange.cpp -- the LagrangeLeapFrog driver, time-step control
+// and the FLiT adapter.
+
+#include <algorithm>
+#include <sstream>
+
+#include "fpsem/code_model.h"
+#include "linalg/vector.h"
+#include "lulesh/internal.h"
+
+namespace flit::lulesh {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kLeapFrog = register_fn({
+    .name = "LagrangeLeapFrog",
+    .file = "lulesh/lagrange.cpp",
+});
+const fpsem::FunctionId kTimeIncrement = register_fn({
+    .name = "TimeIncrement",
+    .file = "lulesh/lagrange.cpp",
+});
+const fpsem::FunctionId kCourant = register_fn({
+    .name = "CalcCourantConstraintForElems",
+    .file = "lulesh/lagrange.cpp",
+});
+const fpsem::FunctionId kHydroConstraint = register_fn({
+    .name = "CalcHydroConstraintForElems",
+    .file = "lulesh/lagrange.cpp",
+    .exported = false,
+    .host_symbol = "CalcCourantConstraintForElems",
+});
+
+void calc_courant_constraint(fpsem::EvalContext& ctx, Domain& d) {
+  fpsem::FpEnv env = ctx.fn(kCourant);
+  double dtc = 1e20;
+  for (std::size_t k = 0; k < d.numElem(); ++k) {
+    const double dtf = env.div(d.arealg[k], std::max(d.ss[k], 1e-12));
+    dtc = std::min(dtc, dtf);
+  }
+  d.dtcourant = env.mul(0.5, dtc);
+}
+
+void calc_hydro_constraint(fpsem::EvalContext& ctx, Domain& d) {
+  fpsem::FpEnv env = ctx.fn(kHydroConstraint);
+  constexpr double dvovmax = 0.1;
+  double dth = 1e20;
+  for (std::size_t k = 0; k < d.numElem(); ++k) {
+    if (d.vdov[k] == 0.0) continue;  // quiescent zone: no constraint
+    const double mag = env.sqrt(env.mul(d.vdov[k], d.vdov[k]));
+    const double dtf = env.div(dvovmax, env.add(mag, 1e-20));
+    dth = std::min(dth, dtf);
+  }
+  d.dthydro = dth;
+}
+
+}  // namespace
+
+void calc_time_constraints(fpsem::EvalContext& ctx, Domain& d) {
+  calc_courant_constraint(ctx, d);
+  calc_hydro_constraint(ctx, d);
+}
+
+void time_increment(fpsem::EvalContext& ctx, Domain& d) {
+  fpsem::FpEnv env = ctx.fn(kTimeIncrement);
+  constexpr double max_growth = 1.1;
+  double newdt = std::min(d.dtcourant, d.dthydro);
+  // Growth clamp: dt may grow at most 10% per cycle (absorbs jitter).
+  newdt = std::min(newdt, env.mul(max_growth, d.deltatime));
+  d.deltatime = newdt;
+  d.time = env.add(d.time, newdt);
+  ++d.cycle;
+}
+
+void lagrange_nodal(fpsem::EvalContext& ctx, Domain& d) {
+  calc_force_for_nodes(ctx, d);
+  calc_acceleration_for_nodes(ctx, d);
+  calc_velocity_for_nodes(ctx, d);
+  calc_position_for_nodes(ctx, d);
+}
+
+void lagrange_elements(fpsem::EvalContext& ctx, Domain& d) {
+  calc_kinematics_for_elems(ctx, d);
+  calc_q_for_elems(ctx, d);
+  apply_material_properties(ctx, d);
+  update_volumes_for_elems(ctx, d);
+}
+
+void time_step(fpsem::EvalContext& ctx, Domain& d) {
+  (void)ctx.fn(kLeapFrog);  // driver marker
+  time_increment(ctx, d);
+  lagrange_nodal(ctx, d);
+  lagrange_elements(ctx, d);
+  calc_time_constraints(ctx, d);
+}
+
+Domain run_lulesh(fpsem::EvalContext& ctx, const LuleshOptions& opts) {
+  Domain d = build_domain(opts);
+  calc_time_constraints(ctx, d);
+  while (d.cycle < opts.stop_cycle && d.time < opts.stop_time) {
+    time_step(ctx, d);
+  }
+  return d;
+}
+
+core::TestResult LuleshTest::run_impl(const std::vector<double>&,
+                                      fpsem::EvalContext& ctx) const {
+  const Domain d = run_lulesh(ctx, opts_);
+  linalg::Vector out(d.numElem() + 2);
+  for (std::size_t k = 0; k < d.numElem(); ++k) out[k] = d.e[k];
+  out[d.numElem()] = d.e[0];  // the traditional origin-energy check value
+  out[d.numElem() + 1] = d.time;
+  return linalg::serialize(out);
+}
+
+long double LuleshTest::compare(const std::string& baseline,
+                                const std::string& test) const {
+  return linalg::l2_string_metric(baseline, test, /*relative=*/true);
+}
+
+}  // namespace flit::lulesh

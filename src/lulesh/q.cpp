@@ -1,0 +1,89 @@
+// lulesh/q.cpp -- monotonic artificial viscosity (gradients, limiter
+// region selection, Q evaluation).
+
+#include <algorithm>
+
+#include "fpsem/code_model.h"
+#include "lulesh/internal.h"
+
+namespace flit::lulesh {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kCalcQ = register_fn({
+    .name = "CalcQForElems",
+    .file = "lulesh/q.cpp",
+});
+const fpsem::FunctionId kQGradients = register_fn({
+    .name = "CalcMonotonicQGradientsForElems",
+    .file = "lulesh/q.cpp",
+});
+const fpsem::FunctionId kQRegion = register_fn({
+    .name = "CalcMonotonicQRegionForElems",
+    .file = "lulesh/q.cpp",
+    .exported = false,
+    .host_symbol = "CalcQForElems",
+});
+
+void calc_monotonic_q_gradients(fpsem::EvalContext& ctx, const Domain& d,
+                                std::vector<double>& delvm,
+                                std::vector<double>& delvp) {
+  fpsem::FpEnv env = ctx.fn(kQGradients);
+  const std::size_t n = d.numElem();
+  delvm.assign(n, 0.0);
+  delvp.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double dv = env.sub(d.xd[k + 1], d.xd[k]);
+    delvm[k] = k > 0 ? env.sub(d.xd[k], d.xd[k - 1]) : dv;
+    delvp[k] = k + 1 < n ? env.sub(d.xd[k + 2], d.xd[k + 1]) : dv;
+  }
+}
+
+void calc_monotonic_q_region(fpsem::EvalContext& ctx, Domain& d,
+                             const std::vector<double>& delvm,
+                             const std::vector<double>& delvp) {
+  fpsem::FpEnv env = ctx.fn(kQRegion);
+  constexpr double qlc = 0.5;   // linear coefficient
+  constexpr double qqc = 2.0;   // quadratic coefficient
+  constexpr double monoq_max_slope = 1.0;
+  for (std::size_t k = 0; k < d.numElem(); ++k) {
+    if (d.vdov[k] >= 0.0) {  // expansion: no viscosity
+      d.q[k] = 0.0;
+      d.qq[k] = 0.0;
+      d.ql[k] = 0.0;
+      continue;
+    }
+    const double dv = env.sub(d.xd[k + 1], d.xd[k]);
+    // Monotonic limiter phi: slope ratio clamped to [0, max_slope]; the
+    // min/max selections absorb small perturbations of the neighbours.
+    double phim = dv != 0.0 ? env.div(delvm[k], dv) : 1.0;
+    double phip = dv != 0.0 ? env.div(delvp[k], dv) : 1.0;
+    double phi = env.mul(0.5, env.add(phim, phip));
+    phi = std::min(phi, monoq_max_slope);
+    phi = std::max(phi, 0.0);
+
+    const double rho = env.div(d.elem_mass[k], env.mul(d.volo[k], d.v[k]));
+    const double dvq = env.mul(dv, env.sub(1.0, phi));
+    const double lin = env.mul(qlc, env.mul(d.ss[k], env.mul(rho, dvq)));
+    const double quad = env.mul(qqc, env.mul(rho, env.mul(dvq, dvq)));
+    const double mag = env.sqrt(env.mul(lin, lin));
+    // The EOS half-step recomputes Q from these terms (real LULESH keeps
+    // qq/ql per element for exactly this purpose).
+    d.ql[k] = mag;
+    d.qq[k] = quad;
+    d.q[k] = env.add(mag, quad);
+  }
+}
+
+}  // namespace
+
+void calc_q_for_elems(fpsem::EvalContext& ctx, Domain& d) {
+  (void)ctx.fn(kCalcQ);  // driver
+  std::vector<double> delvm, delvp;
+  calc_monotonic_q_gradients(ctx, d, delvm, delvp);
+  calc_monotonic_q_region(ctx, d, delvm, delvp);
+}
+
+}  // namespace flit::lulesh

@@ -1,0 +1,70 @@
+#include "mfemini/forms.h"
+
+#include "linalg/densemat.h"
+
+namespace flit::mfemini {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kAssemble = register_fn({
+    .name = "BilinearForm::Assemble",
+    .file = "mfemini/bilinearform.cpp",
+});
+const fpsem::FunctionId kEliminateBC = register_fn({
+    .name = "BilinearForm::EliminateEssentialBC",
+    .file = "mfemini/bilinearform.cpp",
+});
+
+}  // namespace
+
+linalg::SparseMatrix assemble_bilinear(
+    fpsem::EvalContext& ctx, const Mesh& mesh,
+    const ElementMatrixFn& element_matrix) {
+  const std::size_t n = mesh.num_nodes();
+  linalg::SparseMatrix a(n, n);
+  fpsem::FpEnv env = ctx.fn(kAssemble);
+  linalg::DenseMatrix m;
+  for (std::size_t e = 0; e < mesh.num_elements(); ++e) {
+    element_matrix(ctx, mesh, e, m);
+    const auto& el = mesh.element(e);
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        // Scatter through the assembly environment so the accumulation of
+        // duplicate entries belongs to this translation unit's semantics.
+        a.add(el[i], el[j], env.mul(1.0, m(i, j)));
+      }
+    }
+  }
+  a.finalize();
+  return a;
+}
+
+void eliminate_essential_bc(fpsem::EvalContext& ctx, const Mesh& mesh,
+                            linalg::SparseMatrix& a, linalg::Vector& rhs,
+                            double value) {
+  fpsem::FpEnv env = ctx.fn(kEliminateBC);
+  const auto& rs = a.row_start();
+  const auto& ci = a.col_index();
+  auto& v = a.values();
+  // Move boundary-column contributions to the RHS, then zero rows/columns.
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    if (mesh.is_boundary_node(r)) continue;
+    for (std::size_t k = rs[r]; k < rs[r + 1]; ++k) {
+      if (mesh.is_boundary_node(ci[k])) {
+        rhs[r] = env.mul_add(-v[k], value, rhs[r]);
+        v[k] = 0.0;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    if (!mesh.is_boundary_node(r)) continue;
+    for (std::size_t k = rs[r]; k < rs[r + 1]; ++k) {
+      v[k] = ci[k] == r ? 1.0 : 0.0;
+    }
+    rhs[r] = value;
+  }
+}
+
+}  // namespace flit::mfemini

@@ -1,0 +1,63 @@
+#include "mfemini/coefficients.h"
+
+namespace flit::mfemini {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kEvalPoly = register_fn({
+    .name = "PolyCoefficient::Eval",
+    .file = "mfemini/coefficients.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kEvalSin = register_fn({
+    .name = "SinCoefficient::Eval",
+    .file = "mfemini/coefficients.cpp",
+    .uses_libm = true,
+});
+const fpsem::FunctionId kEvalExp = register_fn({
+    .name = "ExpCoefficient::Eval",
+    .file = "mfemini/coefficients.cpp",
+    .uses_libm = true,
+});
+const fpsem::FunctionId kEvalPow = register_fn({
+    .name = "PowCoefficient::Eval",
+    .file = "mfemini/coefficients.cpp",
+    .uses_libm = true,
+});
+
+}  // namespace
+
+double PolyCoefficient::eval(fpsem::EvalContext& ctx, double x,
+                             double y) const {
+  fpsem::FpEnv env = ctx.fn(kEvalPoly);
+  // a + b*x + c*y + d*x*y, evaluated as a chained mul_add.
+  double acc = env.mul_add(b_, x, a_);
+  acc = env.mul_add(c_, y, acc);
+  return env.mul_add(d_, env.mul(x, y), acc);
+}
+
+double SinCoefficient::eval(fpsem::EvalContext& ctx, double x,
+                            double y) const {
+  fpsem::FpEnv env = ctx.fn(kEvalSin);
+  return env.mul(amp_,
+                 env.mul(env.sin(env.mul(fx_, x)), env.cos(env.mul(fy_, y))));
+}
+
+double ExpCoefficient::eval(fpsem::EvalContext& ctx, double x,
+                            double y) const {
+  fpsem::FpEnv env = ctx.fn(kEvalExp);
+  const double dx = env.sub(x, cx_);
+  const double dy = env.sub(y, cy_);
+  const double r2 = env.mul_add(dx, dx, env.mul(dy, dy));
+  return env.exp(env.mul(-k_, r2));
+}
+
+double PowCoefficient::eval(fpsem::EvalContext& ctx, double x,
+                            double y) const {
+  fpsem::FpEnv env = ctx.fn(kEvalPow);
+  return env.pow(env.add(env.add(1.0, x), y), p_);
+}
+
+}  // namespace flit::mfemini

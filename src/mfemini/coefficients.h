@@ -1,0 +1,79 @@
+#pragma once
+
+// Coefficient functions for PDE data (file "mfemini/coefficients.cpp").
+// The transcendental coefficients are the libm users behind the Intel
+// link-step variability of Figure 5 (examples 4, 5, 9, 10, 15).
+
+#include <memory>
+
+#include "fpsem/env.h"
+
+namespace flit::mfemini {
+
+/// A scalar field evaluated at physical points.
+class Coefficient {
+ public:
+  virtual ~Coefficient() = default;
+  [[nodiscard]] virtual double eval(fpsem::EvalContext& ctx, double x,
+                                    double y) const = 0;
+};
+
+/// c(x, y) = value.
+class ConstantCoefficient final : public Coefficient {
+ public:
+  explicit ConstantCoefficient(double value) : value_(value) {}
+  [[nodiscard]] double eval(fpsem::EvalContext&, double, double) const override {
+    return value_;
+  }
+
+ private:
+  double value_;
+};
+
+/// c(x, y) = a + b*x + c*y + d*x*y (polynomial; libm-free).
+class PolyCoefficient final : public Coefficient {
+ public:
+  PolyCoefficient(double a, double b, double c, double d)
+      : a_(a), b_(b), c_(c), d_(d) {}
+  [[nodiscard]] double eval(fpsem::EvalContext& ctx, double x,
+                            double y) const override;
+
+ private:
+  double a_, b_, c_, d_;
+};
+
+/// c(x, y) = amp * sin(fx*x) * cos(fy*y) (transcendental).
+class SinCoefficient final : public Coefficient {
+ public:
+  SinCoefficient(double amp, double fx, double fy)
+      : amp_(amp), fx_(fx), fy_(fy) {}
+  [[nodiscard]] double eval(fpsem::EvalContext& ctx, double x,
+                            double y) const override;
+
+ private:
+  double amp_, fx_, fy_;
+};
+
+/// c(x, y) = exp(-k*((x-cx)^2 + (y-cy)^2)) (transcendental Gaussian bump).
+class ExpCoefficient final : public Coefficient {
+ public:
+  ExpCoefficient(double k, double cx, double cy) : k_(k), cx_(cx), cy_(cy) {}
+  [[nodiscard]] double eval(fpsem::EvalContext& ctx, double x,
+                            double y) const override;
+
+ private:
+  double k_, cx_, cy_;
+};
+
+/// c(x, y) = pow(1 + x + y, p) (transcendental via pow).
+class PowCoefficient final : public Coefficient {
+ public:
+  explicit PowCoefficient(double p) : p_(p) {}
+  [[nodiscard]] double eval(fpsem::EvalContext& ctx, double x,
+                            double y) const override;
+
+ private:
+  double p_;
+};
+
+}  // namespace flit::mfemini

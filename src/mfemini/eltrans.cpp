@@ -1,0 +1,113 @@
+#include "mfemini/eltrans.h"
+
+#include "mfemini/fe.h"
+
+namespace flit::mfemini {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kJac1D = register_fn({
+    .name = "ElTrans::Jacobian1D",
+    .file = "mfemini/eltrans.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kJac2D = register_fn({
+    .name = "ElTrans::Jacobian2D",
+    .file = "mfemini/eltrans.cpp",
+});
+const fpsem::FunctionId kMapPhys = register_fn({
+    .name = "ElTrans::MapToPhysical",
+    .file = "mfemini/eltrans.cpp",
+});
+const fpsem::FunctionId kPhysGrad = register_fn({
+    .name = "ElTrans::PhysicalGradients",
+    .file = "mfemini/eltrans.cpp",
+});
+// Inverse-jacobian application, reachable only through PhysicalGradients.
+const fpsem::FunctionId kInvJac = register_fn({
+    .name = "detail::apply_inverse_jacobian",
+    .file = "mfemini/eltrans.cpp",
+    .exported = false,
+    .host_symbol = "ElTrans::PhysicalGradients",
+});
+
+}  // namespace
+
+double jacobian_1d(fpsem::EvalContext& ctx, const Mesh& mesh,
+                   std::size_t e) {
+  fpsem::FpEnv env = ctx.fn(kJac1D);
+  const auto& el = mesh.element(e);
+  return env.sub(mesh.x(el[1]), mesh.x(el[0]));
+}
+
+Jacobian2D jacobian_2d(fpsem::EvalContext& ctx, const Mesh& mesh,
+                       std::size_t e, double xi, double eta) {
+  linalg::Vector dxi, deta;
+  dshape_2d(ctx, xi, eta, dxi, deta);
+
+  fpsem::FpEnv env = ctx.fn(kJac2D);
+  const auto& el = mesh.element(e);
+  Jacobian2D j{0.0, 0.0, 0.0, 0.0, 0.0};
+  for (std::size_t k = 0; k < 4; ++k) {
+    j.dxdxi = env.mul_add(dxi[k], mesh.x(el[k]), j.dxdxi);
+    j.dxdeta = env.mul_add(deta[k], mesh.x(el[k]), j.dxdeta);
+    j.dydxi = env.mul_add(dxi[k], mesh.y(el[k]), j.dydxi);
+    j.dydeta = env.mul_add(deta[k], mesh.y(el[k]), j.dydeta);
+  }
+  j.det = env.sub(env.mul(j.dxdxi, j.dydeta), env.mul(j.dxdeta, j.dydxi));
+  return j;
+}
+
+void map_to_physical(fpsem::EvalContext& ctx, const Mesh& mesh, std::size_t e,
+                     double xi, double eta, double& px, double& py) {
+  linalg::Vector n;
+  if (mesh.dim() == 1) {
+    shape_1d(ctx, xi, n);
+  } else {
+    shape_2d(ctx, xi, eta, n);
+  }
+  fpsem::FpEnv env = ctx.fn(kMapPhys);
+  const auto& el = mesh.element(e);
+  px = 0.0;
+  py = 0.0;
+  for (std::size_t k = 0; k < mesh.nodes_per_element(); ++k) {
+    px = env.mul_add(n[k], mesh.x(el[k]), px);
+    py = env.mul_add(n[k], mesh.y(el[k]), py);
+  }
+}
+
+namespace {
+
+/// grad_phys = J^{-T} grad_ref for one shape function (internal helper).
+void apply_inverse_jacobian(fpsem::EvalContext& ctx, const Jacobian2D& j,
+                            double gxi, double geta, double& gx, double& gy) {
+  fpsem::FpEnv env = ctx.fn(kInvJac);
+  // J^{-T} = 1/det * [ dydeta, -dydxi; -dxdeta, dxdxi ]
+  const double inv_det = env.div(1.0, j.det);
+  gx = env.mul(inv_det, env.sub(env.mul(j.dydeta, gxi),
+                                env.mul(j.dydxi, geta)));
+  gy = env.mul(inv_det, env.sub(env.mul(j.dxdxi, geta),
+                                env.mul(j.dxdeta, gxi)));
+}
+
+}  // namespace
+
+void physical_gradients(fpsem::EvalContext& ctx, const Mesh& mesh,
+                        std::size_t e, double xi, double eta,
+                        linalg::Vector& grad_x, linalg::Vector& grad_y,
+                        double& detj) {
+  linalg::Vector dxi, deta;
+  dshape_2d(ctx, xi, eta, dxi, deta);
+  const Jacobian2D j = jacobian_2d(ctx, mesh, e, xi, eta);
+  detj = j.det;
+  (void)ctx.fn(kPhysGrad);  // ownership marker for the helper below
+  grad_x.resize(4);
+  grad_y.resize(4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    apply_inverse_jacobian(ctx, j, dxi[k], deta[k], grad_x[k], grad_y[k]);
+  }
+}
+
+}  // namespace flit::mfemini

@@ -1,0 +1,39 @@
+#pragma once
+
+// Element transformations (file "mfemini/eltrans.cpp"): jacobians of the
+// reference-to-physical map for segments and (possibly warped) bilinear
+// quadrilaterals, and physical-gradient computation.
+
+#include <array>
+
+#include "fpsem/env.h"
+#include "linalg/vector.h"
+#include "mfemini/mesh.h"
+
+namespace flit::mfemini {
+
+/// 2x2 jacobian of the bilinear map at a reference point.
+struct Jacobian2D {
+  double dxdxi, dxdeta, dydxi, dydeta;
+  double det;
+};
+
+/// 1D jacobian dx/dxi of element `e` (its length).
+double jacobian_1d(fpsem::EvalContext& ctx, const Mesh& mesh, std::size_t e);
+
+/// 2D jacobian of element `e` at reference point (xi, eta).
+Jacobian2D jacobian_2d(fpsem::EvalContext& ctx, const Mesh& mesh,
+                       std::size_t e, double xi, double eta);
+
+/// Physical coordinates of a reference point of element `e`.
+void map_to_physical(fpsem::EvalContext& ctx, const Mesh& mesh, std::size_t e,
+                     double xi, double eta, double& px, double& py);
+
+/// Physical gradients of the bilinear shape functions at (xi, eta):
+/// grad_x[k], grad_y[k], using the inverse jacobian.
+void physical_gradients(fpsem::EvalContext& ctx, const Mesh& mesh,
+                        std::size_t e, double xi, double eta,
+                        linalg::Vector& grad_x, linalg::Vector& grad_y,
+                        double& detj);
+
+}  // namespace flit::mfemini

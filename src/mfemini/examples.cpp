@@ -1,0 +1,531 @@
+#include "mfemini/examples.h"
+
+#include <stdexcept>
+
+#include "linalg/densemat.h"
+#include "linalg/sparsemat.h"
+#include "mfemini/coefficients.h"
+#include "mfemini/forms.h"
+#include "mfemini/gridfunc.h"
+#include "mfemini/integrators.h"
+#include "mfemini/mesh.h"
+#include "mfemini/quadrature.h"
+#include "mfemini/solvers.h"
+
+namespace flit::mfemini {
+
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::SparseMatrix;
+using linalg::Vector;
+
+Vector append(Vector v, double x) {
+  v.resize(v.size() + 1);
+  v[v.size() - 1] = x;
+  return v;
+}
+
+ElementMatrixFn diffusion_fn(const Coefficient& k, const QuadratureRule& r) {
+  return [&k, &r](fpsem::EvalContext& ctx, const Mesh& m, std::size_t e,
+                  DenseMatrix& out) {
+    diffusion_element_matrix(ctx, m, e, k, r, out);
+  };
+}
+
+ElementMatrixFn mass_fn(const Coefficient& c, const QuadratureRule& r) {
+  return [&c, &r](fpsem::EvalContext& ctx, const Mesh& m, std::size_t e,
+                  DenseMatrix& out) {
+    mass_element_matrix(ctx, m, e, c, r, out);
+  };
+}
+
+/// ex1: 1D Poisson with unit coefficient and unit load, CG solve.
+Vector ex01(fpsem::EvalContext& ctx) {
+  const Mesh mesh = Mesh::interval(32);
+  const ConstantCoefficient one(1.0);
+  const QuadratureRule& rule = QuadratureRule::gauss(2);
+  SparseMatrix a = assemble_bilinear(ctx, mesh, diffusion_fn(one, rule));
+  Vector b = assemble_domain_lf(ctx, mesh, one, rule);
+  eliminate_essential_bc(ctx, mesh, a, b, 0.0);
+  Vector x(mesh.num_nodes(), 0.0);
+  cg_solve(ctx, sparse_operator(a), b, x, 0.0, 16);
+  return x;
+}
+
+/// ex2: 2D Poisson with polynomial diffusion coefficient.
+Vector ex02(fpsem::EvalContext& ctx) {
+  const Mesh mesh = Mesh::quad_grid(6, 6);
+  const PolyCoefficient k(1.0, 0.5, 0.25, 0.125);
+  const PolyCoefficient f(1.0, -0.5, 0.75, 0.0);
+  const QuadratureRule& rule = QuadratureRule::gauss(2);
+  SparseMatrix a = assemble_bilinear(ctx, mesh, diffusion_fn(k, rule));
+  Vector b = assemble_domain_lf(ctx, mesh, f, rule);
+  eliminate_essential_bc(ctx, mesh, a, b, 0.0);
+  Vector x(mesh.num_nodes(), 0.0);
+  cg_solve(ctx, sparse_operator(a), b, x, 0.0, 20);
+  return x;
+}
+
+/// ex3: 2D L2 projection through the mass matrix.
+Vector ex03(fpsem::EvalContext& ctx) {
+  const Mesh mesh = Mesh::quad_grid(6, 6);
+  const ConstantCoefficient one(1.0);
+  const PolyCoefficient f(0.5, 2.0, -1.0, 3.0);
+  const QuadratureRule& rule = QuadratureRule::gauss(2);
+  SparseMatrix m = assemble_bilinear(ctx, mesh, mass_fn(one, rule));
+  const Vector b = assemble_domain_lf(ctx, mesh, f, rule);
+  Vector x(mesh.num_nodes(), 0.0);
+  cg_solve(ctx, sparse_operator(m), b, x, 0.0, 15);
+  return x;
+}
+
+/// ex4: 1D diffusion with transcendental coefficient (libm user).
+Vector ex04(fpsem::EvalContext& ctx) {
+  const Mesh mesh = Mesh::interval(32);
+  const SinCoefficient k(0.5, 3.0, 0.0);
+  const ExpCoefficient f(4.0, 0.5, 0.0);
+  const QuadratureRule& rule = QuadratureRule::gauss(2);
+  // k(x) = 1 + 0.5 sin(3x): shift through a wrapper coefficient.
+  class Shifted final : public Coefficient {
+   public:
+    explicit Shifted(const Coefficient& base) : base_(base) {}
+    double eval(fpsem::EvalContext& c, double x, double y) const override {
+      return 1.0 + base_.eval(c, x, y);
+    }
+
+   private:
+    const Coefficient& base_;
+  } shifted(k);
+  SparseMatrix a = assemble_bilinear(ctx, mesh, diffusion_fn(shifted, rule));
+  Vector b = assemble_domain_lf(ctx, mesh, f, rule);
+  eliminate_essential_bc(ctx, mesh, a, b, 0.0);
+  Vector x(mesh.num_nodes(), 0.0);
+  cg_solve(ctx, sparse_operator(a), b, x, 0.0, 24);
+  return x;
+}
+
+/// ex5: 2D Poisson with Gaussian-bump load (libm in the RHS only).
+Vector ex05(fpsem::EvalContext& ctx) {
+  const Mesh mesh = Mesh::quad_grid(8, 8);
+  const ConstantCoefficient one(1.0);
+  const ExpCoefficient f(25.0, 0.5, 0.5);
+  const QuadratureRule& rule = QuadratureRule::gauss(2);
+  SparseMatrix a = assemble_bilinear(ctx, mesh, diffusion_fn(one, rule));
+  Vector b = assemble_domain_lf(ctx, mesh, f, rule);
+  eliminate_essential_bc(ctx, mesh, a, b, 0.0);
+  Vector x(mesh.num_nodes(), 0.0);
+  cg_solve(ctx, sparse_operator(a), b, x, 0.0, 25);
+  return x;
+}
+
+/// ex6: 1D convection-diffusion via Gauss-Seidel iteration.
+Vector ex06(fpsem::EvalContext& ctx) {
+  const Mesh mesh = Mesh::interval(40);
+  const ConstantCoefficient eps(0.05);
+  const ConstantCoefficient f(1.0);
+  const QuadratureRule& rule = QuadratureRule::gauss(2);
+  SparseMatrix diff = assemble_bilinear(ctx, mesh, diffusion_fn(eps, rule));
+  SparseMatrix conv = assemble_bilinear(
+      ctx, mesh,
+      [&rule](fpsem::EvalContext& c, const Mesh& m, std::size_t e,
+              DenseMatrix& out) {
+        convection_element_matrix(c, m, e, 1.0, rule, out);
+      });
+  // A = diffusion + convection (merged through re-assembly of triplets).
+  SparseMatrix a(mesh.num_nodes(), mesh.num_nodes());
+  const auto add_all = [&a](const SparseMatrix& s) {
+    const auto& rs = s.row_start();
+    for (std::size_t r = 0; r < s.rows(); ++r) {
+      for (std::size_t k = rs[r]; k < rs[r + 1]; ++k) {
+        a.add(r, s.col_index()[k], s.values()[k]);
+      }
+    }
+  };
+  add_all(diff);
+  add_all(conv);
+  a.finalize();
+  Vector b = assemble_domain_lf(ctx, mesh, f, rule);
+  eliminate_essential_bc(ctx, mesh, a, b, 0.0);
+  Vector x(mesh.num_nodes(), 0.0);
+  sli_gauss_seidel(ctx, a, b, x, 0.0, 60);
+  return x;
+}
+
+/// ex7: two-component "elasticity" solve (same operator, two loads).
+Vector ex07(fpsem::EvalContext& ctx) {
+  const Mesh mesh = Mesh::interval(24);
+  const PolyCoefficient k(2.0, 1.0, 0.0, 0.0);
+  const PolyCoefficient f1(1.0, 0.0, 0.0, 0.0);
+  const PolyCoefficient f2(0.0, 1.0, 0.0, 0.0);
+  const QuadratureRule& rule = QuadratureRule::gauss(2);
+  SparseMatrix a = assemble_bilinear(ctx, mesh, diffusion_fn(k, rule));
+  Vector b1 = assemble_domain_lf(ctx, mesh, f1, rule);
+  Vector b2 = assemble_domain_lf(ctx, mesh, f2, rule);
+  eliminate_essential_bc(ctx, mesh, a, b1, 0.0);
+  // BC elimination already rewrote A; apply boundary values to b2 directly.
+  for (std::size_t i = 0; i < mesh.num_nodes(); ++i) {
+    if (mesh.is_boundary_node(i)) b2[i] = 0.0;
+  }
+  Vector u1(mesh.num_nodes(), 0.0), u2(mesh.num_nodes(), 0.0);
+  const Operator op = sparse_operator(a);
+  cg_solve(ctx, op, b1, u1, 0.0, 11);
+  cg_solve(ctx, op, b2, u2, 0.0, 11);
+  Vector out(u1.size() + u2.size());
+  for (std::size_t i = 0; i < u1.size(); ++i) out[i] = u1[i];
+  for (std::size_t i = 0; i < u2.size(); ++i) out[u1.size() + i] = u2[i];
+  return out;
+}
+
+/// ex8: ill-conditioned dense (Hilbert) CG with a 1e-12 stopping criterion
+/// -- the Finding 1 example whose convergence path splits under FMA.
+Vector ex08(fpsem::EvalContext& ctx) {
+  constexpr std::size_t n = 12;
+  DenseMatrix h(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      h(i, j) = 1.0 / static_cast<double>(i + j + 1);
+    }
+  }
+  Vector b(n, 1.0);
+  Vector x(n, 0.0);
+  Operator op{n, [&h](fpsem::EvalContext& c, const Vector& in, Vector& out) {
+                linalg::mult(c, h, in, out);
+              }};
+  cg_solve(ctx, op, b, x, 1e-12, 400);
+  return x;
+}
+
+/// ex9: transcendental dense matrix + power iteration (libm- and
+/// bulk-heavy: the example where a variable icpc compilation wins big).
+Vector ex09(fpsem::EvalContext& ctx) {
+  constexpr std::size_t n = 24;
+  const SinCoefficient s(1.0, 2.0, 1.5);
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double x = static_cast<double>(i) / n;
+      const double y = static_cast<double>(j) / n;
+      a(i, j) = s.eval(ctx, x, y) + (i == j ? 4.0 : 0.0);
+    }
+  }
+  Vector v(n, 1.0);
+  Vector w;
+  double rayleigh = 0.0;
+  for (int it = 0; it < 30; ++it) {
+    rayleigh = linalg::power_step(ctx, a, v, w);
+    v = w;
+  }
+  return append(v, rayleigh);
+}
+
+/// ex10: pure quadrature projection of transcendental data (no solver).
+Vector ex10(fpsem::EvalContext& ctx) {
+  const Mesh mesh = Mesh::interval(48);
+  const ExpCoefficient g(6.0, 0.3, 0.0);
+  const PowCoefficient p(1.5);
+  const QuadratureRule& rule = QuadratureRule::gauss(3);
+  GridFunction gf(&mesh);
+  project_coefficient(ctx, g, gf);
+  const double err = compute_l2_error(ctx, gf, p, rule);
+  const double integral = integrate_gf(ctx, gf, rule);
+  Vector out = gf.values();
+  out = append(out, err);
+  out = append(out, integral);
+  return out;
+}
+
+/// ex11: two-level multigrid V-cycles for 1D Poisson.
+Vector ex11(fpsem::EvalContext& ctx) {
+  const Mesh fine = Mesh::interval(32);    // 33 nodes (odd)
+  const Mesh coarse = Mesh::interval(16);  // 17 nodes
+  const ConstantCoefficient one(1.0);
+  const QuadratureRule& rule = QuadratureRule::gauss(2);
+  SparseMatrix af = assemble_bilinear(ctx, fine, diffusion_fn(one, rule));
+  SparseMatrix ac = assemble_bilinear(ctx, coarse, diffusion_fn(one, rule));
+  Vector bf = assemble_domain_lf(ctx, fine, one, rule);
+  eliminate_essential_bc(ctx, fine, af, bf, 0.0);
+  Vector bc_dummy(coarse.num_nodes(), 0.0);
+  eliminate_essential_bc(ctx, coarse, ac, bc_dummy, 0.0);
+
+  Vector x(fine.num_nodes(), 0.0);
+  Vector r, rc, ec, ef;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    linalg::jacobi_smooth(ctx, af, bf, 0.6, x);
+    linalg::jacobi_smooth(ctx, af, bf, 0.6, x);
+    linalg::residual(ctx, af, bf, x, r);
+    restrict_1d(ctx, r, rc);
+    for (std::size_t i = 0; i < coarse.num_nodes(); ++i) {
+      if (coarse.is_boundary_node(i)) rc[i] = 0.0;
+    }
+    ec.assign(coarse.num_nodes(), 0.0);
+    sli_gauss_seidel(ctx, ac, rc, ec, 0.0, 20);
+    prolong_1d(ctx, ec, ef);
+    linalg::add(ctx, ef, x);
+    linalg::jacobi_smooth(ctx, af, bf, 0.6, x);
+  }
+  return x;
+}
+
+/// ex12: integer-exact lumped "mass" counting -- bitwise reproducible
+/// under every compilation (all intermediate arithmetic is exact).
+Vector ex12(fpsem::EvalContext& ctx) {
+  constexpr std::size_t n = 24;
+  SparseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(i, i, 4.0);
+    if (i + 1 < n) {
+      a.add(i, i + 1, static_cast<double>((i % 3) + 1));
+      a.add(i + 1, i, static_cast<double>((i % 5) + 1));
+    }
+    if (i + 4 < n) a.add(i, i + 4, 2.0);
+  }
+  a.finalize();
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>((i * 7) % 11) - 5.0;
+  }
+  Vector y;
+  linalg::mult(ctx, a, x, y);
+  Vector s;
+  linalg::row_sums(ctx, a, s);
+  Vector out = y;
+  for (std::size_t i = 0; i < s.size(); ++i) out = append(out, s[i]);
+  out = append(out, linalg::sum(ctx, y));
+  out = append(out, linalg::sum(ctx, s));
+  return out;
+}
+
+/// ex13: M += a A A^T with catastrophic cancellation -- the Finding 2
+/// example with ~180% relative error under FMA/AVX2 compilations.
+Vector ex13(fpsem::EvalContext& ctx) {
+  constexpr std::size_t n = 10;
+  constexpr double alpha = 0.7;
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = 1.0 / static_cast<double>(i + 2 * j + 1) +
+                (i == j ? 0.5 : 0.0);
+    }
+  }
+  // M is problem data: the (exactly computed, then rounded) value of
+  // -alpha * A A^T.  M += alpha A A^T through the Finding 2 kernel then
+  // leaves pure rounding residue, so any change in the kernel's rounding
+  // (FMA contraction) changes the answer by O(100%) in relative terms.
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      long double acc = 0.0L;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += static_cast<long double>(a(i, k)) *
+               static_cast<long double>(a(j, k));
+      }
+      m(i, j) = static_cast<double>(-static_cast<long double>(alpha) * acc);
+    }
+  }
+  linalg::add_mult_aAAt(ctx, alpha, a, m);
+  Vector out(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out[i * n + j] = m(i, j);
+  }
+  return out;
+}
+
+/// ex14: nodal gradient recovery of a projected field.
+Vector ex14(fpsem::EvalContext& ctx) {
+  const Mesh mesh = Mesh::interval(40);
+  const PolyCoefficient f(0.0, 1.0, 0.0, 0.0);
+  GridFunction gf(&mesh);
+  project_coefficient(ctx, f, gf);
+  // u(x) = x -> square it nodally through the semantics-neutral route of
+  // the coefficient (keeps the work in registered kernels).
+  for (std::size_t i = 0; i < mesh.num_nodes(); ++i) {
+    gf[i] = gf[i] * gf[i];  // exact squares of grid points
+  }
+  Vector grad;
+  recover_gradient_1d(ctx, gf, grad);
+  return grad;
+}
+
+/// ex15: curved (warped) mesh spectral estimate -- libm via the mesh warp.
+Vector ex15(fpsem::EvalContext& ctx) {
+  Mesh mesh = Mesh::interval(24);
+  curved_warp(ctx, mesh, 0.08);
+  const PolyCoefficient k(1.0, 1.0, 0.0, 0.0);
+  const QuadratureRule& rule = QuadratureRule::gauss(2);
+  SparseMatrix a = assemble_bilinear(ctx, mesh, diffusion_fn(k, rule));
+  Vector v(mesh.num_nodes(), 1.0);
+  Vector w;
+  double rayleigh = 0.0;
+  for (int it = 0; it < 20; ++it) {
+    linalg::mult(ctx, a, v, w);
+    rayleigh = linalg::dot(ctx, v, w);
+    const double nw = linalg::norml2(ctx, w);
+    linalg::scale(ctx, 1.0 / nw, w);
+    v = w;
+  }
+  Vector out = v;
+  out = append(out, rayleigh);
+  out = append(out, total_volume(ctx, mesh));
+  return out;
+}
+
+/// ex16: explicit-Euler heat equation with a lumped mass matrix.
+Vector ex16(fpsem::EvalContext& ctx) {
+  const Mesh mesh = Mesh::interval(32);
+  const ConstantCoefficient one(1.0);
+  const QuadratureRule& rule = QuadratureRule::gauss(2);
+  SparseMatrix k = assemble_bilinear(ctx, mesh, diffusion_fn(one, rule));
+  SparseMatrix m = assemble_bilinear(ctx, mesh, mass_fn(one, rule));
+  Vector lumped;
+  linalg::row_sums(ctx, m, lumped);
+
+  GridFunction u(&mesh);
+  // Parabolic bump u0 = x(1-x): nonzero discrete Laplacian everywhere.
+  for (std::size_t i = 0; i < mesh.num_nodes(); ++i) {
+    const double xi = mesh.x(i);
+    u[i] = mesh.is_boundary_node(i) ? 0.0 : xi * (1.0 - xi);
+  }
+  const double dt = 2e-4;
+  Vector ku, z;
+  for (int step = 0; step < 60; ++step) {
+    linalg::mult(ctx, k, u.values(), ku);
+    jacobi_apply(ctx, lumped, ku, z);
+    linalg::axpy(ctx, -dt, z, u.values());
+    for (std::size_t i = 0; i < mesh.num_nodes(); ++i) {
+      if (mesh.is_boundary_node(i)) u[i] = 0.0;
+    }
+  }
+  return u.values();
+}
+
+/// ex17: leapfrog wave equation.
+Vector ex17(fpsem::EvalContext& ctx) {
+  const Mesh mesh = Mesh::interval(32);
+  const ConstantCoefficient one(1.0);
+  const QuadratureRule& rule = QuadratureRule::gauss(2);
+  SparseMatrix k = assemble_bilinear(ctx, mesh, diffusion_fn(one, rule));
+  SparseMatrix m = assemble_bilinear(ctx, mesh, mass_fn(one, rule));
+  Vector lumped;
+  linalg::row_sums(ctx, m, lumped);
+
+  GridFunction u(&mesh);
+  // Plucked-string profile u0 = x^2 (1 - x).
+  for (std::size_t i = 0; i < mesh.num_nodes(); ++i) {
+    const double xi = mesh.x(i);
+    u[i] = mesh.is_boundary_node(i) ? 0.0 : xi * xi * (1.0 - xi);
+  }
+  Vector vel(mesh.num_nodes(), 0.0);
+  const double dt = 5e-3;
+  Vector ku, acc;
+  for (int step = 0; step < 80; ++step) {
+    linalg::mult(ctx, k, u.values(), ku);
+    jacobi_apply(ctx, lumped, ku, acc);
+    linalg::axpy(ctx, -dt, acc, vel);
+    linalg::axpy(ctx, dt, vel, u.values());
+    for (std::size_t i = 0; i < mesh.num_nodes(); ++i) {
+      if (mesh.is_boundary_node(i)) u[i] = 0.0;
+    }
+  }
+  Vector out = u.values();
+  for (std::size_t i = 0; i < vel.size(); ++i) out = append(out, vel[i]);
+  return out;
+}
+
+/// ex18: piecewise-constant volume accounting on a dyadic mesh -- exact
+/// arithmetic, bitwise reproducible under every compilation.
+Vector ex18(fpsem::EvalContext& ctx) {
+  const Mesh mesh = Mesh::interval(16);  // h = 2^-4, exact coordinates
+  Vector sizes(mesh.num_elements());
+  for (std::size_t e = 0; e < mesh.num_elements(); ++e) {
+    sizes[e] = element_size(ctx, mesh, e);
+  }
+  const double vol = total_volume(ctx, mesh);
+  double marked = 0.0;
+  for (std::size_t e = 0; e < mesh.num_elements(); ++e) {
+    if (sizes[e] >= 0.0625) marked += 1.0;  // exact threshold compare
+  }
+  Vector out = sizes;
+  out = append(out, vol);
+  out = append(out, marked);
+  out = append(out, linalg::sum(ctx, sizes));
+  return out;
+}
+
+/// ex19: one Newton step for the nonlinear reaction system u + u^3 = f.
+Vector ex19(fpsem::EvalContext& ctx) {
+  constexpr std::size_t n = 16;
+  DenseMatrix jac(n, n);
+  Vector u(n), f(n), res(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    u[i] = 0.3 + 0.1 * static_cast<double>(i % 4);
+    f[i] = 1.0 + 0.25 * static_cast<double>(i);
+  }
+  // residual r = u + u^3 - f, jacobian J = I + 3 diag(u^2) + coupling
+  for (std::size_t i = 0; i < n; ++i) {
+    res[i] = u[i] + u[i] * u[i] * u[i] - f[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      jac(i, j) = (i == j ? 1.0 + 3.0 * u[i] * u[i] : 0.0) +
+                  0.01 / static_cast<double>(i + j + 1);
+    }
+  }
+  Vector delta;
+  linalg::lu_solve(ctx, jac, res, delta);
+  const double d = linalg::det(ctx, jac);
+  Vector out = delta;
+  out = append(out, d);
+  return out;
+}
+
+}  // namespace
+
+linalg::Vector run_example(int idx, fpsem::EvalContext& ctx) {
+  switch (idx) {
+    case 1: return ex01(ctx);
+    case 2: return ex02(ctx);
+    case 3: return ex03(ctx);
+    case 4: return ex04(ctx);
+    case 5: return ex05(ctx);
+    case 6: return ex06(ctx);
+    case 7: return ex07(ctx);
+    case 8: return ex08(ctx);
+    case 9: return ex09(ctx);
+    case 10: return ex10(ctx);
+    case 11: return ex11(ctx);
+    case 12: return ex12(ctx);
+    case 13: return ex13(ctx);
+    case 14: return ex14(ctx);
+    case 15: return ex15(ctx);
+    case 16: return ex16(ctx);
+    case 17: return ex17(ctx);
+    case 18: return ex18(ctx);
+    case 19: return ex19(ctx);
+    default:
+      throw std::out_of_range("example index must be 1..19");
+  }
+}
+
+std::vector<std::string> mfem_source_files() {
+  return {
+      "linalg/vector.cpp",        "linalg/densemat.cpp",
+      "linalg/sparsemat.cpp",     "mfemini/mesh.cpp",
+      "mfemini/quadrature.cpp",   "mfemini/fe.cpp",
+      "mfemini/eltrans.cpp",      "mfemini/coefficients.cpp",
+      "mfemini/bilininteg.cpp",   "mfemini/bilinearform.cpp",
+      "mfemini/linearform.cpp",   "mfemini/gridfunc.cpp",
+      "mfemini/solvers.cpp",
+  };
+}
+
+core::TestResult MfemExampleTest::run_impl(const std::vector<double>& input,
+                                           fpsem::EvalContext& ctx) const {
+  (void)input;
+  return linalg::serialize(run_example(idx_, ctx));
+}
+
+long double MfemExampleTest::compare(const std::string& baseline,
+                                     const std::string& test) const {
+  return linalg::l2_string_metric(baseline, test, /*relative=*/true);
+}
+
+}  // namespace flit::mfemini

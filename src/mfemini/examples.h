@@ -1,0 +1,62 @@
+#pragma once
+
+// The 19 end-to-end mini-MFEM examples used as FLiT test cases, mirroring
+// the MFEM example suite of Sec. 3.1.  Each produces calculated values
+// over a full mesh or volume; the FLiT comparison function is the l2 norm
+// of the mesh difference relativized by the baseline norm.
+//
+// Designed sensitivity profile (matching the paper's findings):
+//  * examples 4, 5, 9, 10, 15 call transcendental coefficients, so the
+//    Intel link step makes them variable regardless of switches (Fig. 5);
+//  * examples 12 and 18 compute in exactly-representable integer/dyadic
+//    arithmetic, so they are bitwise reproducible under *every*
+//    compilation (the two invariant tests of Fig. 5);
+//  * example 8 is an ill-conditioned iterative solve whose stopping
+//    branch amplifies tiny differences (Finding 1);
+//  * example 13 is a catastrophic-cancellation M += a A A^T whose
+//    relative error explodes under FMA contraction (Finding 2).
+
+#include <string>
+#include <vector>
+
+#include "core/test_base.h"
+#include "fpsem/env.h"
+#include "linalg/vector.h"
+
+namespace flit::mfemini {
+
+inline constexpr int kNumExamples = 19;
+
+/// Runs example `idx` (1-based) and returns its result mesh values.
+linalg::Vector run_example(int idx, fpsem::EvalContext& ctx);
+
+/// The source files making up the mini-MFEM application (linalg + mfemini)
+/// -- the Bisect search scope of the MFEM study.
+std::vector<std::string> mfem_source_files();
+
+/// FLiT test adapter for one example.
+class MfemExampleTest final : public core::TestBase {
+ public:
+  explicit MfemExampleTest(int idx) : idx_(idx) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "MFEM_ex" + std::to_string(idx_);
+  }
+  [[nodiscard]] std::size_t getInputsPerRun() const override { return 0; }
+  [[nodiscard]] std::vector<double> getDefaultInput() const override {
+    return {};
+  }
+  [[nodiscard]] core::TestResult run_impl(
+      const std::vector<double>& input,
+      fpsem::EvalContext& ctx) const override;
+
+  using core::TestBase::compare;
+  /// || baseline - test ||_2 / || baseline ||_2 over the mesh values.
+  [[nodiscard]] long double compare(const std::string& baseline,
+                                    const std::string& test) const override;
+
+ private:
+  int idx_;
+};
+
+}  // namespace flit::mfemini

@@ -1,0 +1,84 @@
+#include "mfemini/fe.h"
+
+namespace flit::mfemini {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kShape1D = register_fn({
+    .name = "FE::CalcShape1D",
+    .file = "mfemini/fe.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kDShape1D = register_fn({
+    .name = "FE::CalcDShape1D",
+    .file = "mfemini/fe.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kShape2D = register_fn({
+    .name = "FE::CalcShape2D",
+    .file = "mfemini/fe.cpp",
+});
+const fpsem::FunctionId kDShape2D = register_fn({
+    .name = "FE::CalcDShape2D",
+    .file = "mfemini/fe.cpp",
+});
+const fpsem::FunctionId kInterpolate = register_fn({
+    .name = "FE::Interpolate",
+    .file = "mfemini/fe.cpp",
+    .inline_candidate = true,
+});
+
+}  // namespace
+
+void shape_1d(fpsem::EvalContext& ctx, double xi, linalg::Vector& n) {
+  fpsem::FpEnv env = ctx.fn(kShape1D);
+  n.resize(2);
+  n[0] = env.sub(1.0, xi);
+  n[1] = xi;
+}
+
+void dshape_1d(fpsem::EvalContext& ctx, linalg::Vector& dn) {
+  (void)ctx.fn(kDShape1D);  // constant derivatives: no FP work
+  dn.resize(2);
+  dn[0] = -1.0;
+  dn[1] = 1.0;
+}
+
+void shape_2d(fpsem::EvalContext& ctx, double xi, double eta,
+              linalg::Vector& n) {
+  fpsem::FpEnv env = ctx.fn(kShape2D);
+  n.resize(4);
+  const double xim = env.sub(1.0, xi);
+  const double etam = env.sub(1.0, eta);
+  n[0] = env.mul(xim, etam);
+  n[1] = env.mul(xi, etam);
+  n[2] = env.mul(xi, eta);
+  n[3] = env.mul(xim, eta);
+}
+
+void dshape_2d(fpsem::EvalContext& ctx, double xi, double eta,
+               linalg::Vector& dn_dxi, linalg::Vector& dn_deta) {
+  fpsem::FpEnv env = ctx.fn(kDShape2D);
+  dn_dxi.resize(4);
+  dn_deta.resize(4);
+  const double xim = env.sub(1.0, xi);
+  const double etam = env.sub(1.0, eta);
+  dn_dxi[0] = -etam;
+  dn_dxi[1] = etam;
+  dn_dxi[2] = eta;
+  dn_dxi[3] = -eta;
+  dn_deta[0] = -xim;
+  dn_deta[1] = -xi;
+  dn_deta[2] = xi;
+  dn_deta[3] = xim;
+}
+
+double interpolate(fpsem::EvalContext& ctx, const linalg::Vector& shape,
+                   const linalg::Vector& nodal_values) {
+  fpsem::FpEnv env = ctx.fn(kInterpolate);
+  return env.dot(shape.span(), nodal_values.span());
+}
+
+}  // namespace flit::mfemini

@@ -1,0 +1,31 @@
+#pragma once
+
+// Finite element shape functions (linear segment, bilinear quad) -- the
+// registered kernels of file "mfemini/fe.cpp".
+
+#include "fpsem/env.h"
+#include "linalg/vector.h"
+
+namespace flit::mfemini {
+
+/// Linear shape functions on the reference segment: N = (1-xi, xi).
+void shape_1d(fpsem::EvalContext& ctx, double xi, linalg::Vector& n);
+
+/// Their derivatives: dN/dxi = (-1, 1).
+void dshape_1d(fpsem::EvalContext& ctx, linalg::Vector& dn);
+
+/// Bilinear shape functions on the reference square (node order
+/// counterclockwise from the origin).
+void shape_2d(fpsem::EvalContext& ctx, double xi, double eta,
+              linalg::Vector& n);
+
+/// Reference-space gradients of the bilinear shape functions:
+/// dn_dxi[k], dn_deta[k].
+void dshape_2d(fpsem::EvalContext& ctx, double xi, double eta,
+               linalg::Vector& dn_dxi, linalg::Vector& dn_deta);
+
+/// Interpolates nodal values at a reference point: dot(shape, values).
+double interpolate(fpsem::EvalContext& ctx, const linalg::Vector& shape,
+                   const linalg::Vector& nodal_values);
+
+}  // namespace flit::mfemini

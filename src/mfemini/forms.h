@@ -1,0 +1,39 @@
+#pragma once
+
+// Global assembly: bilinear forms into CSR matrices ("mfemini/
+// bilinearform.cpp") and linear forms into right-hand-side vectors
+// ("mfemini/linearform.cpp"), plus essential (Dirichlet) boundary
+// condition elimination.
+
+#include <functional>
+
+#include "fpsem/env.h"
+#include "linalg/densemat.h"
+#include "linalg/sparsemat.h"
+#include "mfemini/coefficients.h"
+#include "mfemini/mesh.h"
+#include "mfemini/quadrature.h"
+
+namespace flit::mfemini {
+
+/// Computes the element matrix of element `e` into `out`.
+using ElementMatrixFn = std::function<void(
+    fpsem::EvalContext&, const Mesh&, std::size_t, linalg::DenseMatrix&)>;
+
+/// Assembles the global matrix sum_e P_e^T M_e P_e.
+linalg::SparseMatrix assemble_bilinear(fpsem::EvalContext& ctx,
+                                       const Mesh& mesh,
+                                       const ElementMatrixFn& element_matrix);
+
+/// Imposes u = `value` on boundary nodes: zeroes boundary rows/columns
+/// (moving the column contribution to the RHS), sets unit diagonal.
+void eliminate_essential_bc(fpsem::EvalContext& ctx, const Mesh& mesh,
+                            linalg::SparseMatrix& a, linalg::Vector& rhs,
+                            double value);
+
+/// Assembles the load vector integral of f(x) N_i over the domain.
+linalg::Vector assemble_domain_lf(fpsem::EvalContext& ctx, const Mesh& mesh,
+                                  const Coefficient& f,
+                                  const QuadratureRule& rule);
+
+}  // namespace flit::mfemini

@@ -1,0 +1,165 @@
+#include "mfemini/gridfunc.h"
+
+#include "mfemini/eltrans.h"
+#include "mfemini/fe.h"
+
+namespace flit::mfemini {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kProject = register_fn({
+    .name = "GridFunction::ProjectCoefficient",
+    .file = "mfemini/gridfunc.cpp",
+});
+const fpsem::FunctionId kL2Error = register_fn({
+    .name = "GridFunction::ComputeL2Error",
+    .file = "mfemini/gridfunc.cpp",
+});
+// Per-element squared error, reachable only through ComputeL2Error.
+const fpsem::FunctionId kElemError = register_fn({
+    .name = "detail::element_l2_error_sq",
+    .file = "mfemini/gridfunc.cpp",
+    .exported = false,
+    .host_symbol = "GridFunction::ComputeL2Error",
+});
+const fpsem::FunctionId kIntegrate = register_fn({
+    .name = "GridFunction::Integrate",
+    .file = "mfemini/gridfunc.cpp",
+});
+const fpsem::FunctionId kNodalNorm = register_fn({
+    .name = "GridFunction::NodalNorm",
+    .file = "mfemini/gridfunc.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kRecoverGrad = register_fn({
+    .name = "GridFunction::RecoverGradient1D",
+    .file = "mfemini/gridfunc.cpp",
+});
+
+double element_values(fpsem::EvalContext& ctx, const GridFunction& gf,
+                      std::size_t e, double xi, double eta) {
+  const Mesh& mesh = gf.mesh();
+  linalg::Vector n;
+  if (mesh.dim() == 1) {
+    shape_1d(ctx, xi, n);
+  } else {
+    shape_2d(ctx, xi, eta, n);
+  }
+  linalg::Vector dofs(mesh.nodes_per_element());
+  const auto& el = mesh.element(e);
+  for (std::size_t k = 0; k < dofs.size(); ++k) dofs[k] = gf[el[k]];
+  return interpolate(ctx, n, dofs);
+}
+
+double element_l2_error_sq(fpsem::EvalContext& ctx, const GridFunction& gf,
+                           const Coefficient& c, const QuadratureRule& rule,
+                           std::size_t e) {
+  fpsem::FpEnv env = ctx.fn(kElemError);
+  const Mesh& mesh = gf.mesh();
+  double acc = 0.0;
+  if (mesh.dim() == 1) {
+    const double j = jacobian_1d(ctx, mesh, e);
+    for (std::size_t q = 0; q < rule.points.size(); ++q) {
+      const double uh = element_values(ctx, gf, e, rule.points[q], 0.0);
+      double px = 0.0, py = 0.0;
+      map_to_physical(ctx, mesh, e, rule.points[q], 0.0, px, py);
+      const double d = env.sub(uh, c.eval(ctx, px, py));
+      acc = env.mul_add(env.mul(rule.weights[q], j), env.mul(d, d), acc);
+    }
+    return acc;
+  }
+  for (std::size_t qi = 0; qi < rule.points.size(); ++qi) {
+    for (std::size_t qj = 0; qj < rule.points.size(); ++qj) {
+      const double xi = rule.points[qi];
+      const double eta = rule.points[qj];
+      const double uh = element_values(ctx, gf, e, xi, eta);
+      const Jacobian2D jac = jacobian_2d(ctx, mesh, e, xi, eta);
+      double px = 0.0, py = 0.0;
+      map_to_physical(ctx, mesh, e, xi, eta, px, py);
+      const double d = env.sub(uh, c.eval(ctx, px, py));
+      const double w = env.mul(env.mul(rule.weights[qi], rule.weights[qj]),
+                               jac.det);
+      acc = env.mul_add(w, env.mul(d, d), acc);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+void project_coefficient(fpsem::EvalContext& ctx, const Coefficient& c,
+                         GridFunction& gf) {
+  (void)ctx.fn(kProject);  // nodal assignment; FP work is in the coefficient
+  const Mesh& mesh = gf.mesh();
+  for (std::size_t i = 0; i < mesh.num_nodes(); ++i) {
+    gf[i] = c.eval(ctx, mesh.x(i), mesh.y(i));
+  }
+}
+
+double compute_l2_error(fpsem::EvalContext& ctx, const GridFunction& gf,
+                        const Coefficient& c, const QuadratureRule& rule) {
+  fpsem::FpEnv env = ctx.fn(kL2Error);
+  double acc = 0.0;
+  for (std::size_t e = 0; e < gf.mesh().num_elements(); ++e) {
+    acc = env.add(acc, element_l2_error_sq(ctx, gf, c, rule, e));
+  }
+  return env.sqrt(acc);
+}
+
+double integrate_gf(fpsem::EvalContext& ctx, const GridFunction& gf,
+                    const QuadratureRule& rule) {
+  fpsem::FpEnv env = ctx.fn(kIntegrate);
+  const Mesh& mesh = gf.mesh();
+  double acc = 0.0;
+  for (std::size_t e = 0; e < mesh.num_elements(); ++e) {
+    if (mesh.dim() == 1) {
+      const double j = jacobian_1d(ctx, mesh, e);
+      for (std::size_t q = 0; q < rule.points.size(); ++q) {
+        const double uh = element_values(ctx, gf, e, rule.points[q], 0.0);
+        acc = env.mul_add(env.mul(rule.weights[q], j), uh, acc);
+      }
+    } else {
+      for (std::size_t qi = 0; qi < rule.points.size(); ++qi) {
+        for (std::size_t qj = 0; qj < rule.points.size(); ++qj) {
+          const double xi = rule.points[qi];
+          const double eta = rule.points[qj];
+          const double uh = element_values(ctx, gf, e, xi, eta);
+          const Jacobian2D jac = jacobian_2d(ctx, mesh, e, xi, eta);
+          const double w = env.mul(
+              env.mul(rule.weights[qi], rule.weights[qj]), jac.det);
+          acc = env.mul_add(w, uh, acc);
+        }
+      }
+    }
+  }
+  return acc;
+}
+
+double nodal_norm(fpsem::EvalContext& ctx, const GridFunction& gf) {
+  fpsem::FpEnv env = ctx.fn(kNodalNorm);
+  return env.norm2(gf.values().span());
+}
+
+void recover_gradient_1d(fpsem::EvalContext& ctx, const GridFunction& gf,
+                         linalg::Vector& grad) {
+  fpsem::FpEnv env = ctx.fn(kRecoverGrad);
+  const Mesh& mesh = gf.mesh();
+  grad.assign(mesh.num_nodes(), 0.0);
+  linalg::Vector count(mesh.num_nodes(), 0.0);
+  for (std::size_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto& el = mesh.element(e);
+    const double j = jacobian_1d(ctx, mesh, e);
+    const double slope = env.div(env.sub(gf[el[1]], gf[el[0]]), j);
+    for (std::size_t k = 0; k < 2; ++k) {
+      grad[el[k]] = env.add(grad[el[k]], slope);
+      count[el[k]] = env.add(count[el[k]], 1.0);
+    }
+  }
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad[i] = env.div(grad[i], count[i]);
+  }
+}
+
+}  // namespace flit::mfemini

@@ -1,0 +1,53 @@
+#pragma once
+
+// Grid functions: finite element fields over a mesh (file
+// "mfemini/gridfunc.cpp").
+
+#include "fpsem/env.h"
+#include "linalg/vector.h"
+#include "mfemini/coefficients.h"
+#include "mfemini/mesh.h"
+#include "mfemini/quadrature.h"
+
+namespace flit::mfemini {
+
+/// Nodal field on a mesh (linear / bilinear H1 dofs are the mesh nodes).
+class GridFunction {
+ public:
+  explicit GridFunction(const Mesh* mesh)
+      : mesh_(mesh), values_(mesh->num_nodes(), 0.0) {}
+
+  [[nodiscard]] const Mesh& mesh() const { return *mesh_; }
+  [[nodiscard]] linalg::Vector& values() { return values_; }
+  [[nodiscard]] const linalg::Vector& values() const { return values_; }
+
+  double& operator[](std::size_t i) { return values_[i]; }
+  const double& operator[](std::size_t i) const { return values_[i]; }
+
+ private:
+  const Mesh* mesh_;
+  linalg::Vector values_;
+};
+
+// ---- registered kernels (file "mfemini/gridfunc.cpp") ------------------
+
+/// Nodal interpolation of a coefficient.
+void project_coefficient(fpsem::EvalContext& ctx, const Coefficient& c,
+                         GridFunction& gf);
+
+/// || u_h - c ||_{L2} by quadrature over every element.
+double compute_l2_error(fpsem::EvalContext& ctx, const GridFunction& gf,
+                        const Coefficient& c, const QuadratureRule& rule);
+
+/// Integral of u_h over the domain.
+double integrate_gf(fpsem::EvalContext& ctx, const GridFunction& gf,
+                    const QuadratureRule& rule);
+
+/// Nodal l2 norm of the field's dof vector.
+double nodal_norm(fpsem::EvalContext& ctx, const GridFunction& gf);
+
+/// Recovered nodal gradient of a 1D field (averaged element slopes).
+void recover_gradient_1d(fpsem::EvalContext& ctx, const GridFunction& gf,
+                         linalg::Vector& grad);
+
+}  // namespace flit::mfemini

@@ -1,0 +1,33 @@
+#pragma once
+
+// Element-matrix integrators (file "mfemini/bilininteg.cpp"): diffusion,
+// mass and convection bilinear forms evaluated by quadrature on segment /
+// quadrilateral elements.  These quadrature loops are the FMA- and
+// reassociation-sensitive kernels at the heart of the MFEM findings.
+
+#include "fpsem/env.h"
+#include "linalg/densemat.h"
+#include "mfemini/coefficients.h"
+#include "mfemini/mesh.h"
+#include "mfemini/quadrature.h"
+
+namespace flit::mfemini {
+
+/// out = integral of k(x) grad(N_i) . grad(N_j) over element e.
+void diffusion_element_matrix(fpsem::EvalContext& ctx, const Mesh& mesh,
+                              std::size_t e, const Coefficient& k,
+                              const QuadratureRule& rule,
+                              linalg::DenseMatrix& out);
+
+/// out = integral of c(x) N_i N_j over element e.
+void mass_element_matrix(fpsem::EvalContext& ctx, const Mesh& mesh,
+                         std::size_t e, const Coefficient& c,
+                         const QuadratureRule& rule, linalg::DenseMatrix& out);
+
+/// 1D convection: out = integral of v N_i dN_j/dx over element e.
+void convection_element_matrix(fpsem::EvalContext& ctx, const Mesh& mesh,
+                               std::size_t e, double velocity,
+                               const QuadratureRule& rule,
+                               linalg::DenseMatrix& out);
+
+}  // namespace flit::mfemini

@@ -1,0 +1,84 @@
+#include "mfemini/forms.h"
+
+#include "mfemini/eltrans.h"
+#include "mfemini/fe.h"
+
+namespace flit::mfemini {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kDomainLF = register_fn({
+    .name = "LinearForm::AssembleDomainLF",
+    .file = "mfemini/linearform.cpp",
+});
+// Per-element load contribution, only reachable through AssembleDomainLF.
+const fpsem::FunctionId kElementLF = register_fn({
+    .name = "detail::element_load",
+    .file = "mfemini/linearform.cpp",
+    .exported = false,
+    .host_symbol = "LinearForm::AssembleDomainLF",
+});
+
+void element_load(fpsem::EvalContext& ctx, const Mesh& mesh, std::size_t e,
+                  const Coefficient& f, const QuadratureRule& rule,
+                  linalg::Vector& contrib) {
+  fpsem::FpEnv env = ctx.fn(kElementLF);
+  const std::size_t nd = mesh.nodes_per_element();
+  contrib.assign(nd, 0.0);
+
+  if (mesh.dim() == 1) {
+    const double j = jacobian_1d(ctx, mesh, e);
+    for (std::size_t q = 0; q < rule.points.size(); ++q) {
+      linalg::Vector n;
+      shape_1d(ctx, rule.points[q], n);
+      double px = 0.0, py = 0.0;
+      map_to_physical(ctx, mesh, e, rule.points[q], 0.0, px, py);
+      const double w = env.mul(env.mul(rule.weights[q], f.eval(ctx, px, py)),
+                               j);
+      for (std::size_t k = 0; k < nd; ++k) {
+        contrib[k] = env.mul_add(w, n[k], contrib[k]);
+      }
+    }
+    return;
+  }
+
+  for (std::size_t qi = 0; qi < rule.points.size(); ++qi) {
+    for (std::size_t qj = 0; qj < rule.points.size(); ++qj) {
+      const double xi = rule.points[qi];
+      const double eta = rule.points[qj];
+      linalg::Vector n;
+      shape_2d(ctx, xi, eta, n);
+      const Jacobian2D jac = jacobian_2d(ctx, mesh, e, xi, eta);
+      double px = 0.0, py = 0.0;
+      map_to_physical(ctx, mesh, e, xi, eta, px, py);
+      const double w =
+          env.mul(env.mul(rule.weights[qi], rule.weights[qj]),
+                  env.mul(f.eval(ctx, px, py), jac.det));
+      for (std::size_t k = 0; k < nd; ++k) {
+        contrib[k] = env.mul_add(w, n[k], contrib[k]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+linalg::Vector assemble_domain_lf(fpsem::EvalContext& ctx, const Mesh& mesh,
+                                  const Coefficient& f,
+                                  const QuadratureRule& rule) {
+  linalg::Vector b(mesh.num_nodes(), 0.0);
+  fpsem::FpEnv env = ctx.fn(kDomainLF);
+  linalg::Vector contrib;
+  for (std::size_t e = 0; e < mesh.num_elements(); ++e) {
+    element_load(ctx, mesh, e, f, rule, contrib);
+    const auto& el = mesh.element(e);
+    for (std::size_t k = 0; k < mesh.nodes_per_element(); ++k) {
+      b[el[k]] = env.add(b[el[k]], contrib[k]);
+    }
+  }
+  return b;
+}
+
+}  // namespace flit::mfemini

@@ -1,0 +1,121 @@
+#include "mfemini/mesh.h"
+
+#include <numbers>
+
+namespace flit::mfemini {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kElementSize = register_fn({
+    .name = "Mesh::ElementSize",
+    .file = "mfemini/mesh.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kTotalVolume = register_fn({
+    .name = "Mesh::TotalVolume",
+    .file = "mfemini/mesh.cpp",
+});
+const fpsem::FunctionId kCurvedWarp = register_fn({
+    .name = "Mesh::CurvedWarp",
+    .file = "mfemini/mesh.cpp",
+    .uses_libm = true,
+});
+const fpsem::FunctionId kSizeNorm = register_fn({
+    .name = "Mesh::SizeNorm",
+    .file = "mfemini/mesh.cpp",
+});
+
+}  // namespace
+
+Mesh Mesh::interval(std::size_t n, double a, double b) {
+  Mesh m;
+  m.dim_ = 1;
+  const double h = (b - a) / static_cast<double>(n);
+  for (std::size_t i = 0; i <= n; ++i) {
+    m.x_.push_back(a + h * static_cast<double>(i));
+    m.y_.push_back(0.0);
+    m.boundary_.push_back(i == 0 || i == n);
+  }
+  for (std::size_t e = 0; e < n; ++e) {
+    m.elems_.push_back({e, e + 1, 0, 0});
+  }
+  return m;
+}
+
+Mesh Mesh::quad_grid(std::size_t nx, std::size_t ny) {
+  Mesh m;
+  m.dim_ = 2;
+  const double hx = 1.0 / static_cast<double>(nx);
+  const double hy = 1.0 / static_cast<double>(ny);
+  for (std::size_t j = 0; j <= ny; ++j) {
+    for (std::size_t i = 0; i <= nx; ++i) {
+      m.x_.push_back(hx * static_cast<double>(i));
+      m.y_.push_back(hy * static_cast<double>(j));
+      m.boundary_.push_back(i == 0 || i == nx || j == 0 || j == ny);
+    }
+  }
+  const auto node = [&](std::size_t i, std::size_t j) {
+    return j * (nx + 1) + i;
+  };
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      m.elems_.push_back(
+          {node(i, j), node(i + 1, j), node(i + 1, j + 1), node(i, j + 1)});
+    }
+  }
+  return m;
+}
+
+double element_size(fpsem::EvalContext& ctx, const Mesh& mesh,
+                    std::size_t e) {
+  fpsem::FpEnv env = ctx.fn(kElementSize);
+  const auto& el = mesh.element(e);
+  if (mesh.dim() == 1) {
+    return env.sub(mesh.x(el[1]), mesh.x(el[0]));
+  }
+  // Shoelace formula for the quadrilateral.
+  double twice_area = 0.0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const std::size_t a = el[k];
+    const std::size_t b = el[(k + 1) % 4];
+    const double cross = env.sub(env.mul(mesh.x(a), mesh.y(b)),
+                                 env.mul(mesh.x(b), mesh.y(a)));
+    twice_area = env.add(twice_area, cross);
+  }
+  return env.mul(0.5, twice_area);
+}
+
+double total_volume(fpsem::EvalContext& ctx, const Mesh& mesh) {
+  linalg::Vector sizes(mesh.num_elements());
+  for (std::size_t e = 0; e < mesh.num_elements(); ++e) {
+    sizes[e] = element_size(ctx, mesh, e);
+  }
+  fpsem::FpEnv env = ctx.fn(kTotalVolume);
+  return env.sum(sizes.span());
+}
+
+void curved_warp(fpsem::EvalContext& ctx, Mesh& mesh, double amp) {
+  fpsem::FpEnv env = ctx.fn(kCurvedWarp);
+  const double pi = std::numbers::pi;
+  for (std::size_t n = 0; n < mesh.num_nodes(); ++n) {
+    if (mesh.is_boundary_node(n)) continue;  // keep the domain fixed
+    mesh.x(n) = env.mul_add(amp, env.sin(env.mul(pi, mesh.x(n))), mesh.x(n));
+    if (mesh.dim() == 2) {
+      mesh.y(n) =
+          env.mul_add(amp, env.sin(env.mul(pi, mesh.y(n))), mesh.y(n));
+    }
+  }
+}
+
+double size_norm(fpsem::EvalContext& ctx, const Mesh& mesh) {
+  linalg::Vector sizes(mesh.num_elements());
+  for (std::size_t e = 0; e < mesh.num_elements(); ++e) {
+    sizes[e] = element_size(ctx, mesh, e);
+  }
+  fpsem::FpEnv env = ctx.fn(kSizeNorm);
+  return env.norm2(sizes.span());
+}
+
+}  // namespace flit::mfemini

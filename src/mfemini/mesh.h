@@ -1,0 +1,72 @@
+#pragma once
+
+// Minimal structured meshes (1D intervals, 2D quadrilateral grids) for the
+// mini-MFEM library.  Mesh construction is structural (host arithmetic);
+// the registered kernels (file "mfemini/mesh.cpp") are the geometric
+// computations whose floating-point behaviour depends on the compilation:
+// element sizes, total volume, and the curved sin-warp used by the
+// higher-order examples (a libm user).
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "fpsem/env.h"
+#include "linalg/vector.h"
+
+namespace flit::mfemini {
+
+class Mesh {
+ public:
+  /// Uniform 1D mesh of `n` elements on [a, b].
+  static Mesh interval(std::size_t n, double a = 0.0, double b = 1.0);
+
+  /// nx-by-ny structured quadrilateral grid on the unit square.
+  static Mesh quad_grid(std::size_t nx, std::size_t ny);
+
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] std::size_t num_nodes() const { return x_.size(); }
+  [[nodiscard]] std::size_t num_elements() const { return elems_.size(); }
+
+  [[nodiscard]] double x(std::size_t node) const { return x_[node]; }
+  [[nodiscard]] double y(std::size_t node) const { return y_[node]; }
+  double& x(std::size_t node) { return x_[node]; }
+  double& y(std::size_t node) { return y_[node]; }
+
+  /// Nodes of element `e` (2 entries in 1D, 4 in 2D, counterclockwise).
+  [[nodiscard]] const std::array<std::size_t, 4>& element(
+      std::size_t e) const {
+    return elems_[e];
+  }
+
+  [[nodiscard]] std::size_t nodes_per_element() const {
+    return dim_ == 1 ? 2 : 4;
+  }
+
+  [[nodiscard]] bool is_boundary_node(std::size_t node) const {
+    return boundary_[node];
+  }
+
+ private:
+  int dim_ = 1;
+  std::vector<double> x_, y_;
+  std::vector<std::array<std::size_t, 4>> elems_;
+  std::vector<bool> boundary_;
+};
+
+// ---- registered kernels (file "mfemini/mesh.cpp") ----------------------
+
+/// Length (1D) or area (2D, shoelace formula) of element `e`.
+double element_size(fpsem::EvalContext& ctx, const Mesh& mesh, std::size_t e);
+
+/// Sum of all element sizes.
+double total_volume(fpsem::EvalContext& ctx, const Mesh& mesh);
+
+/// Applies the curved warp x += amp*sin(pi*x), y += amp*sin(pi*y)
+/// in place (transcendental; affected by fast-libm substitution).
+void curved_warp(fpsem::EvalContext& ctx, Mesh& mesh, double amp);
+
+/// Mesh-size statistic: sqrt(sum of squared element sizes).
+double size_norm(fpsem::EvalContext& ctx, const Mesh& mesh);
+
+}  // namespace flit::mfemini

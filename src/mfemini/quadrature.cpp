@@ -1,0 +1,67 @@
+#include "mfemini/quadrature.h"
+
+#include <stdexcept>
+
+namespace flit::mfemini {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kIntegrate = register_fn({
+    .name = "Quadrature::Integrate",
+    .file = "mfemini/quadrature.cpp",
+});
+const fpsem::FunctionId kMapPoint = register_fn({
+    .name = "Quadrature::MapPoint",
+    .file = "mfemini/quadrature.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kTensorWeight = register_fn({
+    .name = "Quadrature::TensorWeight",
+    .file = "mfemini/quadrature.cpp",
+    .inline_candidate = true,
+});
+
+}  // namespace
+
+const QuadratureRule& QuadratureRule::gauss(std::size_t n) {
+  // Points/weights on [0,1] (shifted Gauss-Legendre), exact literals.
+  static const QuadratureRule g1{{0.5}, {1.0}};
+  static const QuadratureRule g2{
+      {0.21132486540518713, 0.7886751345948129}, {0.5, 0.5}};
+  static const QuadratureRule g3{
+      {0.1127016653792583, 0.5, 0.8872983346207417},
+      {0.2777777777777778, 0.4444444444444444, 0.2777777777777778}};
+  switch (n) {
+    case 1: return g1;
+    case 2: return g2;
+    case 3: return g3;
+    default: throw std::invalid_argument("gauss rule n must be 1..3");
+  }
+}
+
+double integrate(fpsem::EvalContext& ctx, const QuadratureRule& rule,
+                 const linalg::Vector& f_at_points, double scale) {
+  if (f_at_points.size() != rule.points.size()) {
+    throw std::invalid_argument("integrate: value count mismatch");
+  }
+  fpsem::FpEnv env = ctx.fn(kIntegrate);
+  const double acc = env.dot(
+      std::span<const double>(rule.weights.data(), rule.weights.size()),
+      f_at_points.span());
+  return env.mul(scale, acc);
+}
+
+double map_point(fpsem::EvalContext& ctx, double a, double b, double xi) {
+  fpsem::FpEnv env = ctx.fn(kMapPoint);
+  return env.mul_add(env.sub(b, a), xi, a);
+}
+
+double tensor_weight(fpsem::EvalContext& ctx, const QuadratureRule& rule,
+                     std::size_t i, std::size_t j, double scale) {
+  fpsem::FpEnv env = ctx.fn(kTensorWeight);
+  return env.mul(scale, env.mul(rule.weights[i], rule.weights[j]));
+}
+
+}  // namespace flit::mfemini

@@ -1,0 +1,36 @@
+#pragma once
+
+// Gauss-Legendre quadrature on the reference interval [0, 1] and reference
+// square, plus the registered integration kernels (file
+// "mfemini/quadrature.cpp").
+
+#include <cstddef>
+#include <vector>
+
+#include "fpsem/env.h"
+#include "linalg/vector.h"
+
+namespace flit::mfemini {
+
+struct QuadratureRule {
+  std::vector<double> points;   ///< in [0, 1]
+  std::vector<double> weights;  ///< summing to 1
+
+  /// Gauss-Legendre rule with `n` points (n = 1, 2, 3).
+  static const QuadratureRule& gauss(std::size_t n);
+};
+
+// ---- registered kernels (file "mfemini/quadrature.cpp") ----------------
+
+/// Weighted sum  scale * sum_q w_q f_q.
+double integrate(fpsem::EvalContext& ctx, const QuadratureRule& rule,
+                 const linalg::Vector& f_at_points, double scale);
+
+/// Affine map of a reference point into [a, b]: a + (b-a) * xi.
+double map_point(fpsem::EvalContext& ctx, double a, double b, double xi);
+
+/// Tensor-product 2D weight w_i * w_j * scale.
+double tensor_weight(fpsem::EvalContext& ctx, const QuadratureRule& rule,
+                     std::size_t i, std::size_t j, double scale);
+
+}  // namespace flit::mfemini

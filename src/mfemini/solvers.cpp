@@ -1,0 +1,319 @@
+#include "mfemini/solvers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flit::mfemini {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kCgSolve = register_fn({
+    .name = "CG::Solve",
+    .file = "mfemini/solvers.cpp",
+});
+const fpsem::FunctionId kPcgSolve = register_fn({
+    .name = "PCG::Solve",
+    .file = "mfemini/solvers.cpp",
+});
+const fpsem::FunctionId kGmres = register_fn({
+    .name = "GMRES::Solve",
+    .file = "mfemini/solvers.cpp",
+});
+// Givens-rotation update of the Hessenberg column; inlined into GMRES.
+const fpsem::FunctionId kGivens = register_fn({
+    .name = "detail::apply_givens",
+    .file = "mfemini/solvers.cpp",
+    .exported = false,
+    .host_symbol = "GMRES::Solve",
+});
+const fpsem::FunctionId kSli = register_fn({
+    .name = "SLI::Solve",
+    .file = "mfemini/solvers.cpp",
+});
+const fpsem::FunctionId kJacobiApply = register_fn({
+    .name = "Solvers::JacobiApply",
+    .file = "mfemini/solvers.cpp",
+    .inline_candidate = true,
+});
+const fpsem::FunctionId kRestrict = register_fn({
+    .name = "Solvers::Restrict1D",
+    .file = "mfemini/solvers.cpp",
+});
+const fpsem::FunctionId kProlong = register_fn({
+    .name = "Solvers::Prolong1D",
+    .file = "mfemini/solvers.cpp",
+});
+
+}  // namespace
+
+Operator sparse_operator(const linalg::SparseMatrix& a) {
+  return Operator{
+      a.rows(),
+      [&a](fpsem::EvalContext& ctx, const linalg::Vector& x,
+           linalg::Vector& y) { linalg::mult(ctx, a, x, y); }};
+}
+
+SolveStats cg_solve(fpsem::EvalContext& ctx, const Operator& a,
+                    const linalg::Vector& b, linalg::Vector& x,
+                    double rel_tol, int max_iter) {
+  if (x.size() != a.size || b.size() != a.size) {
+    throw std::invalid_argument("cg_solve: size mismatch");
+  }
+  fpsem::FpEnv env = ctx.fn(kCgSolve);
+
+  linalg::Vector r(a.size), ap(a.size);
+  a.mult(ctx, x, ap);
+  linalg::subtract(ctx, b, ap, r);
+  linalg::Vector p = r;
+
+  double rr = linalg::dot(ctx, r, r);
+  const double bnorm = linalg::norml2(ctx, b);
+  const double threshold =
+      env.mul(rel_tol, bnorm != 0.0 ? bnorm : 1.0);
+
+  SolveStats stats;
+  for (int it = 0; it < max_iter; ++it) {
+    if (env.sqrt(rr) <= threshold) {
+      stats.converged = true;
+      break;
+    }
+    a.mult(ctx, p, ap);
+    const double pap = linalg::dot(ctx, p, ap);
+    if (pap == 0.0) break;
+    const double alpha = env.div(rr, pap);
+    linalg::axpy(ctx, alpha, p, x);
+    linalg::axpy(ctx, -alpha, ap, r);
+    const double rr_next = linalg::dot(ctx, r, r);
+    const double beta = env.div(rr_next, rr);
+    // p = r + beta * p
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p[i] = env.mul_add(beta, p[i], r[i]);
+    }
+    rr = rr_next;
+    ++stats.iterations;
+  }
+  stats.final_residual = env.sqrt(rr);
+  return stats;
+}
+
+SolveStats pcg_solve(fpsem::EvalContext& ctx, const Operator& a,
+                     const linalg::Vector& diag, const linalg::Vector& b,
+                     linalg::Vector& x, double rel_tol, int max_iter) {
+  if (x.size() != a.size || b.size() != a.size || diag.size() != a.size) {
+    throw std::invalid_argument("pcg_solve: size mismatch");
+  }
+  fpsem::FpEnv env = ctx.fn(kPcgSolve);
+
+  linalg::Vector r(a.size), z(a.size), ap(a.size);
+  a.mult(ctx, x, ap);
+  linalg::subtract(ctx, b, ap, r);
+  jacobi_apply(ctx, diag, r, z);
+  linalg::Vector p = z;
+
+  double rz = linalg::dot(ctx, r, z);
+  const double bnorm = linalg::norml2(ctx, b);
+  const double threshold = env.mul(rel_tol, bnorm != 0.0 ? bnorm : 1.0);
+
+  SolveStats stats;
+  for (int it = 0; it < max_iter; ++it) {
+    if (linalg::norml2(ctx, r) <= threshold) {
+      stats.converged = true;
+      break;
+    }
+    a.mult(ctx, p, ap);
+    const double pap = linalg::dot(ctx, p, ap);
+    if (pap == 0.0) break;
+    const double alpha = env.div(rz, pap);
+    linalg::axpy(ctx, alpha, p, x);
+    linalg::axpy(ctx, -alpha, ap, r);
+    jacobi_apply(ctx, diag, r, z);
+    const double rz_next = linalg::dot(ctx, r, z);
+    const double beta = env.div(rz_next, rz);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p[i] = env.mul_add(beta, p[i], z[i]);
+    }
+    rz = rz_next;
+    ++stats.iterations;
+  }
+  stats.final_residual = linalg::norml2(ctx, r);
+  return stats;
+}
+
+namespace {
+
+/// Applies and extends the Givens rotations of GMRES's QR factorization.
+void apply_givens(fpsem::EvalContext& ctx, std::vector<double>& h,
+                  std::vector<double>& cs, std::vector<double>& sn,
+                  std::size_t k) {
+  fpsem::FpEnv env = ctx.fn(kGivens);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double t = env.add(env.mul(cs[i], h[i]), env.mul(sn[i], h[i + 1]));
+    h[i + 1] =
+        env.sub(env.mul(cs[i], h[i + 1]), env.mul(sn[i], h[i]));
+    h[i] = t;
+  }
+  const double denom = env.sqrt(
+      env.mul_add(h[k], h[k], env.mul(h[k + 1], h[k + 1])));
+  if (denom == 0.0) {
+    cs.push_back(1.0);
+    sn.push_back(0.0);
+  } else {
+    cs.push_back(env.div(h[k], denom));
+    sn.push_back(env.div(h[k + 1], denom));
+  }
+  h[k] = env.add(env.mul(cs[k], h[k]), env.mul(sn[k], h[k + 1]));
+  h[k + 1] = 0.0;
+}
+
+}  // namespace
+
+SolveStats gmres_solve(fpsem::EvalContext& ctx, const Operator& a,
+                       const linalg::Vector& b, linalg::Vector& x,
+                       double rel_tol, int restart, int max_outer) {
+  if (x.size() != a.size || b.size() != a.size) {
+    throw std::invalid_argument("gmres_solve: size mismatch");
+  }
+  fpsem::FpEnv env = ctx.fn(kGmres);
+  const std::size_t n = a.size;
+  const auto m = static_cast<std::size_t>(restart);
+
+  const double bnorm = linalg::norml2(ctx, b);
+  const double threshold = env.mul(rel_tol, bnorm != 0.0 ? bnorm : 1.0);
+
+  SolveStats stats;
+  for (int outer = 0; outer < max_outer; ++outer) {
+    linalg::Vector r(n), ax(n);
+    a.mult(ctx, x, ax);
+    linalg::subtract(ctx, b, ax, r);
+    const double beta = linalg::norml2(ctx, r);
+    stats.final_residual = beta;
+    if (beta <= threshold) {
+      stats.converged = true;
+      return stats;
+    }
+
+    std::vector<linalg::Vector> v;
+    v.reserve(m + 1);
+    v.push_back(r);
+    linalg::scale(ctx, 1.0 / beta, v.back());
+
+    // Hessenberg columns and the rotated residual vector g.
+    std::vector<std::vector<double>> h;
+    std::vector<double> cs, sn;
+    std::vector<double> g(m + 1, 0.0);
+    g[0] = beta;
+
+    std::size_t k = 0;
+    for (; k < m; ++k) {
+      linalg::Vector w(n);
+      a.mult(ctx, v[k], w);
+      std::vector<double> hk(k + 2, 0.0);
+      for (std::size_t i = 0; i <= k; ++i) {  // modified Gram-Schmidt
+        hk[i] = linalg::dot(ctx, w, v[i]);
+        linalg::axpy(ctx, -hk[i], v[i], w);
+      }
+      hk[k + 1] = linalg::norml2(ctx, w);
+      const bool breakdown = hk[k + 1] == 0.0;
+      if (!breakdown) {
+        linalg::scale(ctx, 1.0 / hk[k + 1], w);
+        v.push_back(w);
+      }
+      apply_givens(ctx, hk, cs, sn, k);
+      h.push_back(std::move(hk));
+      g[k + 1] = env.mul(-sn[k], g[k]);
+      g[k] = env.mul(cs[k], g[k]);
+      ++stats.iterations;
+      stats.final_residual = std::fabs(g[k + 1]);
+      if (breakdown || stats.final_residual <= threshold) {
+        ++k;
+        break;
+      }
+    }
+
+    // Back-substitute y from the triangular system and update x.
+    std::vector<double> y(k, 0.0);
+    for (std::size_t i = k; i-- > 0;) {
+      double acc = g[i];
+      for (std::size_t j = i + 1; j < k; ++j) {
+        acc = env.mul_add(-h[j][i], y[j], acc);
+      }
+      y[i] = env.div(acc, h[i][i]);
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      linalg::axpy(ctx, y[i], v[i], x);
+    }
+    if (stats.final_residual <= threshold) {
+      stats.converged = true;
+      return stats;
+    }
+  }
+  return stats;
+}
+
+SolveStats sli_gauss_seidel(fpsem::EvalContext& ctx,
+                            const linalg::SparseMatrix& a,
+                            const linalg::Vector& b, linalg::Vector& x,
+                            double rel_tol, int max_iter) {
+  fpsem::FpEnv env = ctx.fn(kSli);
+  const double bnorm = linalg::norml2(ctx, b);
+  const double threshold = env.mul(rel_tol, bnorm != 0.0 ? bnorm : 1.0);
+
+  SolveStats stats;
+  linalg::Vector r;
+  for (int it = 0; it < max_iter; ++it) {
+    linalg::gauss_seidel(ctx, a, b, x);
+    linalg::residual(ctx, a, b, x, r);
+    stats.final_residual = linalg::norml2(ctx, r);
+    ++stats.iterations;
+    if (stats.final_residual <= threshold) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+void jacobi_apply(fpsem::EvalContext& ctx, const linalg::Vector& d,
+                  const linalg::Vector& r, linalg::Vector& z) {
+  fpsem::FpEnv env = ctx.fn(kJacobiApply);
+  z.resize(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    z[i] = env.div(r[i], d[i]);
+  }
+}
+
+void restrict_1d(fpsem::EvalContext& ctx, const linalg::Vector& fine,
+                 linalg::Vector& coarse) {
+  if (fine.size() % 2 == 0) {
+    throw std::invalid_argument("restrict_1d: fine size must be odd");
+  }
+  fpsem::FpEnv env = ctx.fn(kRestrict);
+  const std::size_t nc = fine.size() / 2 + 1;
+  coarse.resize(nc);
+  coarse[0] = fine[0];
+  coarse[nc - 1] = fine[fine.size() - 1];
+  for (std::size_t i = 1; i + 1 < nc; ++i) {
+    // full weighting: (f[2i-1] + 2 f[2i] + f[2i+1]) / 4
+    const double mid = env.mul(2.0, fine[2 * i]);
+    const double s = env.add(env.add(fine[2 * i - 1], mid), fine[2 * i + 1]);
+    coarse[i] = env.mul(0.25, s);
+  }
+}
+
+void prolong_1d(fpsem::EvalContext& ctx, const linalg::Vector& coarse,
+                linalg::Vector& fine) {
+  fpsem::FpEnv env = ctx.fn(kProlong);
+  const std::size_t nf = coarse.size() * 2 - 1;
+  fine.resize(nf);
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    fine[2 * i] = coarse[i];
+    if (2 * i + 1 < nf) {
+      fine[2 * i + 1] =
+          env.mul(0.5, env.add(coarse[i], coarse[i + 1]));
+    }
+  }
+}
+
+}  // namespace flit::mfemini

@@ -1,0 +1,68 @@
+#pragma once
+
+// Iterative solvers (file "mfemini/solvers.cpp"): conjugate gradients,
+// stationary Gauss-Seidel iteration, Jacobi preconditioning and the
+// two-level transfer operators.  The CG residual test is the kind of
+// data-dependent branch through which tiny compiler-induced differences
+// become different iteration paths (MFEM example 8 / Finding 1).
+
+#include <functional>
+
+#include "fpsem/env.h"
+#include "linalg/sparsemat.h"
+#include "linalg/vector.h"
+
+namespace flit::mfemini {
+
+/// Abstract linear operator y = A x.
+struct Operator {
+  std::size_t size = 0;
+  std::function<void(fpsem::EvalContext&, const linalg::Vector&,
+                     linalg::Vector&)>
+      mult;
+};
+
+/// Wraps a finalized SparseMatrix as an Operator.
+Operator sparse_operator(const linalg::SparseMatrix& a);
+
+struct SolveStats {
+  int iterations = 0;
+  double final_residual = 0.0;
+  bool converged = false;
+};
+
+/// Conjugate gradients on A x = b; `x` holds the initial guess.
+SolveStats cg_solve(fpsem::EvalContext& ctx, const Operator& a,
+                    const linalg::Vector& b, linalg::Vector& x,
+                    double rel_tol, int max_iter);
+
+/// Jacobi-preconditioned conjugate gradients: `diag` is the operator's
+/// diagonal (the preconditioner applies z = r ./ diag).
+SolveStats pcg_solve(fpsem::EvalContext& ctx, const Operator& a,
+                     const linalg::Vector& diag, const linalg::Vector& b,
+                     linalg::Vector& x, double rel_tol, int max_iter);
+
+/// Restarted GMRES(m) for nonsymmetric systems.
+SolveStats gmres_solve(fpsem::EvalContext& ctx, const Operator& a,
+                       const linalg::Vector& b, linalg::Vector& x,
+                       double rel_tol, int restart, int max_outer);
+
+/// Stationary linear iteration with forward Gauss-Seidel sweeps.
+SolveStats sli_gauss_seidel(fpsem::EvalContext& ctx,
+                            const linalg::SparseMatrix& a,
+                            const linalg::Vector& b, linalg::Vector& x,
+                            double rel_tol, int max_iter);
+
+/// z = r ./ d (Jacobi preconditioner application).
+void jacobi_apply(fpsem::EvalContext& ctx, const linalg::Vector& d,
+                  const linalg::Vector& r, linalg::Vector& z);
+
+/// 1D full-weighting restriction (fine -> coarse, coarse has (n+1)/2 nodes).
+void restrict_1d(fpsem::EvalContext& ctx, const linalg::Vector& fine,
+                 linalg::Vector& coarse);
+
+/// 1D linear-interpolation prolongation (coarse -> fine).
+void prolong_1d(fpsem::EvalContext& ctx, const linalg::Vector& coarse,
+                linalg::Vector& fine);
+
+}  // namespace flit::mfemini

@@ -1,0 +1,85 @@
+#include "par/comm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fpsem/code_model.h"
+#include "linalg/vector.h"
+
+namespace flit::par {
+
+namespace {
+
+using fpsem::register_fn;
+
+const fpsem::FunctionId kAllreduceSum = register_fn({
+    .name = "Comm::AllreduceSum",
+    .file = "par/comm.cpp",
+});
+const fpsem::FunctionId kAllreduceMin = register_fn({
+    .name = "Comm::AllreduceMin",
+    .file = "par/comm.cpp",
+});
+const fpsem::FunctionId kLocalDot = register_fn({
+    .name = "Comm::LocalDotPartial",
+    .file = "par/comm.cpp",
+});
+
+}  // namespace
+
+DeterministicComm::DeterministicComm(int nranks) : nranks_(nranks) {
+  if (nranks < 1) throw std::invalid_argument("nranks must be >= 1");
+}
+
+DeterministicComm::Range DeterministicComm::range(int rank,
+                                                  std::size_t n) const {
+  const auto p = static_cast<std::size_t>(nranks_);
+  const auto r = static_cast<std::size_t>(rank);
+  const std::size_t chunk = n / p;
+  const std::size_t rem = n % p;
+  const std::size_t begin = r * chunk + std::min(r, rem);
+  const std::size_t len = chunk + (r < rem ? 1 : 0);
+  return Range{begin, begin + len};
+}
+
+double DeterministicComm::allreduce_sum(
+    fpsem::EvalContext& ctx, std::span<const double> partials) const {
+  fpsem::FpEnv env = ctx.fn(kAllreduceSum);
+  // Fixed binary-tree combine: pairwise rounds in rank order.
+  std::vector<double> level(partials.begin(), partials.end());
+  while (level.size() > 1) {
+    std::vector<double> next;
+    next.reserve(level.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(env.add(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.empty() ? 0.0 : level.front();
+}
+
+double DeterministicComm::allreduce_min(
+    fpsem::EvalContext& ctx, std::span<const double> partials) const {
+  (void)ctx.fn(kAllreduceMin);  // selection only: no rounding
+  double m = partials.empty() ? 0.0 : partials[0];
+  for (double v : partials) m = std::min(m, v);
+  return m;
+}
+
+double distributed_dot(fpsem::EvalContext& ctx, const DeterministicComm& comm,
+                       std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("distributed_dot: size mismatch");
+  }
+  std::vector<double> partials(static_cast<std::size_t>(comm.size()), 0.0);
+  for (int r = 0; r < comm.size(); ++r) {
+    const auto rg = comm.range(r, a.size());
+    fpsem::FpEnv env = ctx.fn(kLocalDot);
+    partials[static_cast<std::size_t>(r)] =
+        env.dot(a.subspan(rg.begin, rg.size()), b.subspan(rg.begin, rg.size()));
+  }
+  return comm.allreduce_sum(ctx, partials);
+}
+
+}  // namespace flit::par

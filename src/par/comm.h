@@ -1,0 +1,52 @@
+#pragma once
+
+// Deterministic in-process message-passing substrate (the "deterministic
+// MPI" prerequisite of Fig. 1 / Sec. 3.6).  Ranks are simulated in a fixed
+// order and reductions use a fixed binary-tree combine order, so a run is
+// bitwise repeatable for a given rank count -- which is exactly the
+// property FLiT requires of an MPI application.  Changing the rank count
+// legitimately changes results (different partial-sum trees, different
+// domain decomposition), as the paper observed on MFEM.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fpsem/env.h"
+
+namespace flit::par {
+
+class DeterministicComm {
+ public:
+  explicit DeterministicComm(int nranks);
+
+  [[nodiscard]] int size() const { return nranks_; }
+
+  /// Contiguous partition of [0, n) owned by `rank`.
+  struct Range {
+    std::size_t begin = 0, end = 0;
+    [[nodiscard]] std::size_t size() const { return end - begin; }
+  };
+  [[nodiscard]] Range range(int rank, std::size_t n) const;
+
+  /// Sum of per-rank partial values in fixed binary-tree order
+  /// (registered kernel "Comm::AllreduceSum" in par/comm.cpp).
+  [[nodiscard]] double allreduce_sum(fpsem::EvalContext& ctx,
+                                     std::span<const double> partials) const;
+
+  /// Minimum across ranks (order-insensitive, still a registered kernel).
+  [[nodiscard]] double allreduce_min(fpsem::EvalContext& ctx,
+                                     std::span<const double> partials) const;
+
+ private:
+  int nranks_;
+};
+
+/// Distributed dot product: rank-local partial dots combined by the
+/// fixed-order tree reduction.  With 1 rank this degenerates to the
+/// sequential kernel; with P ranks the combine order differs -- the
+/// mechanism by which parallelism changes results in Sec. 3.6.
+double distributed_dot(fpsem::EvalContext& ctx, const DeterministicComm& comm,
+                       std::span<const double> a, std::span<const double> b);
+
+}  // namespace flit::par

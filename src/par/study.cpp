@@ -1,0 +1,87 @@
+#include "par/study.h"
+
+#include "fpsem/code_model.h"
+#include "linalg/sparsemat.h"
+#include "mfemini/coefficients.h"
+#include "mfemini/forms.h"
+#include "mfemini/integrators.h"
+#include "mfemini/mesh.h"
+
+namespace flit::par {
+
+namespace {
+
+using fpsem::register_fn;
+using linalg::Vector;
+
+const fpsem::FunctionId kParCg = register_fn({
+    .name = "ParStudy::ParallelCG",
+    .file = "par/study.cpp",
+});
+
+/// CG whose inner products are distributed_dot reductions.
+void parallel_cg(fpsem::EvalContext& ctx, const DeterministicComm& comm,
+                 const linalg::SparseMatrix& a, const Vector& b, Vector& x,
+                 double rel_tol, int max_iter) {
+  fpsem::FpEnv env = ctx.fn(kParCg);
+  Vector r(b.size()), ap(b.size());
+  linalg::mult(ctx, a, x, ap);
+  linalg::subtract(ctx, b, ap, r);
+  Vector p = r;
+  double rr = distributed_dot(ctx, comm, r.span(), r.span());
+  const double bb = distributed_dot(ctx, comm, b.span(), b.span());
+  const double threshold =
+      env.mul(env.mul(rel_tol, rel_tol), bb != 0.0 ? bb : 1.0);
+  for (int it = 0; it < max_iter && rr > threshold; ++it) {
+    linalg::mult(ctx, a, p, ap);
+    const double pap = distributed_dot(ctx, comm, p.span(), ap.span());
+    if (pap == 0.0) break;
+    const double alpha = env.div(rr, pap);
+    linalg::axpy(ctx, alpha, p, x);
+    linalg::axpy(ctx, -alpha, ap, r);
+    const double rr_next = distributed_dot(ctx, comm, r.span(), r.span());
+    const double beta = env.div(rr_next, rr);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p[i] = env.mul_add(beta, p[i], r[i]);
+    }
+    rr = rr_next;
+  }
+}
+
+}  // namespace
+
+Vector parallel_poisson(fpsem::EvalContext& ctx,
+                        const DeterministicComm& comm,
+                        std::size_t elems_per_rank) {
+  // The decomposed global mesh: grid density scales with the rank count
+  // (the Sec. 3.6 observation: parallelization changes the discretization).
+  const std::size_t global_elems =
+      elems_per_rank * static_cast<std::size_t>(comm.size());
+  const mfemini::Mesh mesh = mfemini::Mesh::interval(global_elems);
+  const mfemini::ConstantCoefficient one(1.0);
+  const auto& rule = mfemini::QuadratureRule::gauss(2);
+  auto a = mfemini::assemble_bilinear(
+      ctx, mesh,
+      [&](fpsem::EvalContext& c, const mfemini::Mesh& m, std::size_t e,
+          linalg::DenseMatrix& out) {
+        mfemini::diffusion_element_matrix(c, m, e, one, rule, out);
+      });
+  Vector b = mfemini::assemble_domain_lf(ctx, mesh, one, rule);
+  mfemini::eliminate_essential_bc(ctx, mesh, a, b, 0.0);
+  Vector x(mesh.num_nodes(), 0.0);
+  parallel_cg(ctx, comm, a, b, x, 1e-10, 400);
+  return x;
+}
+
+core::TestResult ParallelPoissonTest::run_impl(
+    const std::vector<double>&, fpsem::EvalContext& ctx) const {
+  const DeterministicComm comm(nranks_);
+  return linalg::serialize(parallel_poisson(ctx, comm, elems_per_rank_));
+}
+
+long double ParallelPoissonTest::compare(const std::string& baseline,
+                                         const std::string& test) const {
+  return linalg::l2_string_metric(baseline, test, /*relative=*/true);
+}
+
+}  // namespace flit::par

@@ -1,0 +1,49 @@
+#pragma once
+
+// The Sec. 3.6 MPI study workload: a distributed 1D Poisson solve whose
+// mesh density follows the domain decomposition (one refinement block per
+// rank) and whose CG inner products go through the fixed-order tree
+// reduction.  Increasing the rank count therefore changes the result --
+// deterministically -- just as the paper observed when parallelizing the
+// MFEM examples.
+
+#include <string>
+#include <vector>
+
+#include "core/test_base.h"
+#include "linalg/vector.h"
+#include "par/comm.h"
+
+namespace flit::par {
+
+/// Solves the decomposed Poisson problem under `comm`; the global mesh
+/// has `elems_per_rank * comm.size()` elements.
+linalg::Vector parallel_poisson(fpsem::EvalContext& ctx,
+                                const DeterministicComm& comm,
+                                std::size_t elems_per_rank);
+
+/// FLiT test adapter: the MFEM-under-MPI path of Fig. 1.
+class ParallelPoissonTest final : public core::TestBase {
+ public:
+  explicit ParallelPoissonTest(int nranks, std::size_t elems_per_rank = 8)
+      : nranks_(nranks), elems_per_rank_(elems_per_rank) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "ParPoisson_np" + std::to_string(nranks_);
+  }
+  [[nodiscard]] std::size_t getInputsPerRun() const override { return 0; }
+  [[nodiscard]] std::vector<double> getDefaultInput() const override {
+    return {};
+  }
+  [[nodiscard]] core::TestResult run_impl(
+      const std::vector<double>&, fpsem::EvalContext& ctx) const override;
+  using core::TestBase::compare;
+  [[nodiscard]] long double compare(const std::string& baseline,
+                                    const std::string& test) const override;
+
+ private:
+  int nranks_;
+  std::size_t elems_per_rank_;
+};
+
+}  // namespace flit::par

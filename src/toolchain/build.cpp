@@ -1,0 +1,43 @@
+#include "toolchain/build.h"
+
+#include <stdexcept>
+
+#include "toolchain/semantics_rules.h"
+
+namespace flit::toolchain {
+
+ObjectFile BuildSystem::compile(const std::string& file, const Compilation& c,
+                                bool fpic, bool injected) const {
+  const auto fns = model_->functions_in(file);
+  if (fns.empty()) {
+    throw std::invalid_argument("unknown source file: " + file);
+  }
+  ObjectFile obj;
+  obj.source_file = file;
+  obj.comp = c;
+  obj.fpic = fpic;
+  obj.injected = injected;
+  for (fpsem::FunctionId id : fns) {
+    const fpsem::FunctionInfo& fi = model_->info(id);
+    obj.bindings.emplace(id, derive_binding(c, fi, fpic));
+    if (fi.exported) {
+      obj.symbols.push_back(SymbolDef{fi.name, id, /*strong=*/true});
+    } else {
+      obj.internal_fns.push_back(id);
+    }
+  }
+  return obj;
+}
+
+std::vector<ObjectFile> BuildSystem::compile_all(const Compilation& c,
+                                                 bool fpic,
+                                                 bool injected) const {
+  std::vector<ObjectFile> out;
+  out.reserve(model_->files().size());
+  for (const std::string& f : model_->files()) {
+    out.push_back(compile(f, c, fpic, injected));
+  }
+  return out;
+}
+
+}  // namespace flit::toolchain

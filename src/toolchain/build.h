@@ -1,0 +1,36 @@
+#pragma once
+
+// The simulated build system: compiles model source files into object
+// files under a compilation triple, and provides the convenience "compile
+// everything" entry the FLiT runner and Bisect drivers use.
+
+#include <string>
+#include <vector>
+
+#include "fpsem/code_model.h"
+#include "toolchain/object.h"
+
+namespace flit::toolchain {
+
+class BuildSystem {
+ public:
+  explicit BuildSystem(const fpsem::CodeModel* model) : model_(model) {}
+
+  /// Compiles one source file of the model under `c`.
+  /// `fpic` models -fPIC (Symbol Bisect recompiles with it); `injected`
+  /// marks the object as coming from the instrumented injection build.
+  [[nodiscard]] ObjectFile compile(const std::string& file,
+                                   const Compilation& c, bool fpic = false,
+                                   bool injected = false) const;
+
+  /// Compiles every file of the model under `c`.
+  [[nodiscard]] std::vector<ObjectFile> compile_all(
+      const Compilation& c, bool fpic = false, bool injected = false) const;
+
+  [[nodiscard]] const fpsem::CodeModel& model() const { return *model_; }
+
+ private:
+  const fpsem::CodeModel* model_;
+};
+
+}  // namespace flit::toolchain

@@ -1,0 +1,158 @@
+#include "toolchain/compiler.h"
+
+namespace flit::toolchain {
+
+const char* to_string(CompilerFamily f) {
+  switch (f) {
+    case CompilerFamily::GCC: return "GCC";
+    case CompilerFamily::Clang: return "Clang";
+    case CompilerFamily::Intel: return "Intel";
+    case CompilerFamily::XLC: return "XLC";
+  }
+  return "?";
+}
+
+const CompilerSpec& gcc() {
+  static const CompilerSpec s{CompilerFamily::GCC, "g++", "8.2.0"};
+  return s;
+}
+const CompilerSpec& clang() {
+  static const CompilerSpec s{CompilerFamily::Clang, "clang++", "6.0.1"};
+  return s;
+}
+const CompilerSpec& icpc() {
+  static const CompilerSpec s{CompilerFamily::Intel, "icpc", "18.0.3"};
+  return s;
+}
+const CompilerSpec& xlc() {
+  static const CompilerSpec s{CompilerFamily::XLC, "xlc++", "16.1.1"};
+  return s;
+}
+
+const char* to_string(OptLevel o) {
+  switch (o) {
+    case OptLevel::O0: return "-O0";
+    case OptLevel::O1: return "-O1";
+    case OptLevel::O2: return "-O2";
+    case OptLevel::O3: return "-O3";
+  }
+  return "?";
+}
+
+std::string Compilation::str() const {
+  std::string s = compiler.name;
+  s += ' ';
+  s += to_string(opt);
+  if (!flag.empty()) {
+    s += ' ';
+    s += flag;
+  }
+  return s;
+}
+
+const std::vector<std::string>& gcc_flags() {
+  static const std::vector<std::string> flags = {
+      "",
+      "-fassociative-math",
+      "-fcx-fortran-rules",
+      "-fcx-limited-range",
+      "-fexcess-precision=fast",
+      "-ffinite-math-only",
+      "-ffloat-store",
+      "-ffp-contract=on",
+      "-fmerge-all-constants",
+      "-fno-trapping-math",
+      "-freciprocal-math",
+      "-frounding-math",
+      "-fsignaling-nans",
+      "-fsingle-precision-constant",
+      "-funsafe-math-optimizations",
+      "-mavx",
+      "-mavx2 -mfma",
+  };
+  return flags;
+}
+
+const std::vector<std::string>& clang_flags() {
+  static const std::vector<std::string> flags = {
+      "",
+      "-fassociative-math",
+      "-fdenormal-fp-math=preserve-sign",
+      "-ffast-math",
+      "-ffinite-math-only",
+      "-ffp-contract=fast",
+      "-ffp-contract=on",
+      "-fmerge-all-constants",
+      "-fno-trapping-math",
+      "-freciprocal-math",
+      "-frounding-math",
+      "-fsingle-precision-constant",
+      "-funsafe-math-optimizations",
+      "-march=core-avx2",
+      "-mavx",
+      "-mavx2 -mfma",
+      "-mfma",
+      "-Wno-everything",  // control: a semantics-neutral switch
+  };
+  return flags;
+}
+
+const std::vector<std::string>& icpc_flags() {
+  static const std::vector<std::string> flags = {
+      "",
+      "-fast-transcendentals",
+      "-fimf-precision=high",
+      "-fimf-precision=low",
+      "-fimf-precision=medium",
+      "-fma",
+      "-fp-model double",
+      "-fp-model extended",
+      "-fp-model fast=1",
+      "-fp-model fast=2",
+      "-fp-model precise",
+      "-fp-model source",
+      "-fp-model strict",
+      "-fp-port",
+      "-ftz",
+      "-march=core-avx2",
+      "-mavx",
+      "-mavx2 -mfma",
+      "-mieee-fp",
+      "-no-fast-transcendentals",
+      "-no-fma",
+      "-no-ftz",
+      "-no-prec-div",
+      "-no-prec-sqrt",
+      "-prec-div",
+      "-prec-sqrt",
+  };
+  return flags;
+}
+
+std::vector<Compilation> mfem_study_space() {
+  std::vector<Compilation> out;
+  const OptLevel opts[] = {OptLevel::O0, OptLevel::O1, OptLevel::O2,
+                           OptLevel::O3};
+  const auto append = [&](const CompilerSpec& c,
+                          const std::vector<std::string>& flags) {
+    for (OptLevel o : opts) {
+      for (const std::string& f : flags) out.push_back({c, o, f});
+    }
+  };
+  append(gcc(), gcc_flags());
+  append(clang(), clang_flags());
+  append(icpc(), icpc_flags());
+  return out;
+}
+
+Compilation laghos_trusted_gcc() { return {gcc(), OptLevel::O2, ""}; }
+Compilation laghos_trusted_xlc() { return {xlc(), OptLevel::O2, ""}; }
+Compilation laghos_strict_xlc() {
+  return {xlc(), OptLevel::O3, "-qstrict=vectorprecision"};
+}
+Compilation laghos_variable_xlc() { return {xlc(), OptLevel::O3, ""}; }
+
+Compilation mfem_baseline() { return {gcc(), OptLevel::O0, ""}; }
+Compilation mfem_speed_reference() { return {gcc(), OptLevel::O2, ""}; }
+
+}  // namespace flit::toolchain

@@ -1,0 +1,74 @@
+#pragma once
+
+// Compilers, optimization levels and switches.
+//
+// A *compilation* is the paper's triple (Compiler, Optimization Level,
+// Switches) applied to a subset of source files.  This header defines the
+// triple and the concrete compilation spaces used in the evaluation:
+// the 244-point MFEM study space (68 g++, 72 clang++, 104 icpc points --
+// matching the run counts of Table 1) and the xlc++ space of the Laghos
+// case study.
+
+#include <string>
+#include <vector>
+
+namespace flit::toolchain {
+
+enum class CompilerFamily { GCC, Clang, Intel, XLC };
+
+[[nodiscard]] const char* to_string(CompilerFamily f);
+
+struct CompilerSpec {
+  CompilerFamily family = CompilerFamily::GCC;
+  std::string name;     ///< e.g. "g++"
+  std::string version;  ///< e.g. "8.2.0"
+
+  friend bool operator==(const CompilerSpec&, const CompilerSpec&) = default;
+};
+
+/// The compilers of the paper's evaluation (Table 1 + Sec. 3.4).
+const CompilerSpec& gcc();
+const CompilerSpec& clang();
+const CompilerSpec& icpc();
+const CompilerSpec& xlc();
+
+enum class OptLevel { O0 = 0, O1 = 1, O2 = 2, O3 = 3 };
+
+[[nodiscard]] const char* to_string(OptLevel o);
+
+/// The paper's compilation triple.  `flag` is the single switch
+/// combination paired with the base optimization level ("" for none).
+struct Compilation {
+  CompilerSpec compiler;
+  OptLevel opt = OptLevel::O2;
+  std::string flag;
+
+  /// Canonical command-line rendering, e.g.
+  /// "g++ -O2 -funsafe-math-optimizations".
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Compilation&, const Compilation&) = default;
+};
+
+/// Switch lists paired with each optimization level, taken from the flag
+/// sets of the original FLiT workload paper [Sawaya et al., IISWC'17].
+const std::vector<std::string>& gcc_flags();    ///< 17 entries (incl. "")
+const std::vector<std::string>& clang_flags();  ///< 18 entries (incl. "")
+const std::vector<std::string>& icpc_flags();   ///< 26 entries (incl. "")
+
+/// The full 244-compilation cartesian product of the MFEM study:
+/// {g++, clang++, icpc} x {-O0..-O3} x per-compiler switch list.
+std::vector<Compilation> mfem_study_space();
+
+/// Compilations of the Laghos case study (Sec. 3.4 / Table 4).
+Compilation laghos_trusted_gcc();     ///< g++ -O2
+Compilation laghos_trusted_xlc();     ///< xlc++ -O2
+Compilation laghos_strict_xlc();      ///< xlc++ -O3 -qstrict=vectorprecision
+Compilation laghos_variable_xlc();    ///< xlc++ -O3 (the problematic one)
+
+/// Trusted baseline of the MFEM study (results compared against it).
+Compilation mfem_baseline();          ///< g++ -O0
+/// Speed reference of the MFEM study (speedups are relative to it).
+Compilation mfem_speed_reference();   ///< g++ -O2
+
+}  // namespace flit::toolchain

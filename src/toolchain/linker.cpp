@@ -1,0 +1,152 @@
+#include "toolchain/linker.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "toolchain/semantics_rules.h"
+
+namespace flit::toolchain {
+
+Executable Linker::link(std::span<const ObjectFile> objects,
+                        const CompilerSpec& link_compiler) const {
+  const std::size_t n_fns = model_->function_count();
+  Executable exe;
+  exe.map = fpsem::SemanticsMap(n_fns);
+  exe.from_injected.assign(n_fns, false);
+
+  // --- coverage check: every model file must appear on the link line ---
+  std::set<std::string> covered;
+  for (const ObjectFile& o : objects) covered.insert(o.source_file);
+  for (const std::string& f : model_->files()) {
+    if (!covered.contains(f)) {
+      throw LinkError(LinkError::Kind::MissingFile,
+                      "no object file provides " + f);
+    }
+  }
+
+  // --- symbol resolution -----------------------------------------------
+  // winner[symbol] = index of the object whose definition is kept.
+  std::unordered_map<std::string, std::size_t> winner;
+  {
+    std::unordered_map<std::string, std::size_t> strong_count;
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      for (const SymbolDef& s : objects[i].symbols) {
+        if (s.strong) {
+          if (++strong_count[s.name] > 1) {
+            throw LinkError(LinkError::Kind::DuplicateStrong,
+                            "duplicate strong symbol " + s.name);
+          }
+          winner[s.name] = i;  // strong always wins
+        } else if (!winner.contains(s.name)) {
+          winner.emplace(s.name, i);  // first weak wins provisionally
+        }
+      }
+    }
+    // A later strong definition must override an earlier weak one.
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      for (const SymbolDef& s : objects[i].symbols) {
+        if (s.strong) winner[s.name] = i;
+      }
+    }
+  }
+
+  // Every exported function of the model must be resolved.
+  for (std::size_t id = 0; id < n_fns; ++id) {
+    const auto& fi = model_->info(static_cast<fpsem::FunctionId>(id));
+    if (fi.exported && !winner.contains(fi.name)) {
+      throw LinkError(LinkError::Kind::Unresolved,
+                      "unresolved symbol " + fi.name);
+    }
+  }
+
+  // --- bind exported functions to their winning object ------------------
+  for (const auto& [sym, obj_idx] : winner) {
+    const ObjectFile& o = objects[obj_idx];
+    for (const SymbolDef& s : o.symbols) {
+      if (s.name == sym) {
+        exe.map.binding(s.fn) = o.bindings.at(s.fn);
+        exe.from_injected[s.fn] = o.injected;
+      }
+    }
+  }
+
+  // --- bind internal functions through their host symbol ----------------
+  for (std::size_t id = 0; id < n_fns; ++id) {
+    const auto fid = static_cast<fpsem::FunctionId>(id);
+    const auto& fi = model_->info(fid);
+    if (fi.exported) continue;
+    const ObjectFile* home = nullptr;
+    if (auto it = winner.find(fi.host_symbol); it != winner.end()) {
+      const ObjectFile& w = objects[it->second];
+      if (w.bindings.contains(fid)) home = &w;  // host's copy of the file
+    }
+    if (home == nullptr) {
+      // Host symbol lives elsewhere; take the first object of our file.
+      for (const ObjectFile& o : objects) {
+        if (o.bindings.contains(fid)) {
+          home = &o;
+          break;
+        }
+      }
+    }
+    if (home == nullptr) {
+      throw LinkError(LinkError::Kind::Unresolved,
+                      "internal function " + fi.name + " not linked");
+    }
+    exe.map.binding(fid) = home->bindings.at(fid);
+    exe.from_injected[fid] = home->injected;
+  }
+
+  // --- link-step libm substitution --------------------------------------
+  if (link_step_fast_libm(link_compiler)) {
+    for (std::size_t id = 0; id < n_fns; ++id) {
+      const auto fid = static_cast<fpsem::FunctionId>(id);
+      if (model_->info(fid).uses_libm) {
+        exe.map.binding(fid).sem.fast_libm = true;
+      }
+    }
+  }
+
+  // --- run-time hazards --------------------------------------------------
+  // (a) ABI mixing: an Intel-compiled object linked next to GCC/Clang
+  //     objects segfaults when the (file, compilation) pair is toxic.
+  bool has_gnu = false;
+  for (const ObjectFile& o : objects) {
+    if (o.comp.compiler.family == CompilerFamily::GCC ||
+        o.comp.compiler.family == CompilerFamily::Clang) {
+      has_gnu = true;
+    }
+  }
+  if (has_gnu) {
+    for (const ObjectFile& o : objects) {
+      if (abi_toxic(o.source_file, o.comp)) {
+        exe.crashes = true;
+        exe.crash_reason = "SIGSEGV: ABI-incompatible object " +
+                           o.source_file + " [" + o.comp.str() + "]";
+        break;
+      }
+    }
+  }
+  // (b) Symbol Bisect mixes: two copies of one file under different
+  //     compilations in one image.
+  if (!exe.crashes) {
+    std::map<std::string, const ObjectFile*> first_of_file;
+    for (const ObjectFile& o : objects) {
+      auto [it, inserted] = first_of_file.try_emplace(o.source_file, &o);
+      if (!inserted && !(it->second->comp == o.comp)) {
+        if (symbol_mix_toxic(o.source_file, it->second->comp, o.comp)) {
+          exe.crashes = true;
+          exe.crash_reason =
+              "SIGSEGV: fragile strong/weak interposition in " +
+              o.source_file;
+          break;
+        }
+      }
+    }
+  }
+
+  return exe;
+}
+
+}  // namespace flit::toolchain

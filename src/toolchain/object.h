@@ -1,0 +1,47 @@
+#pragma once
+
+// Object files of the simulated toolchain.
+//
+// An ObjectFile is one translation unit compiled under one compilation
+// triple: it defines strong (or, after objcopy, weak) symbols for the
+// file's exported functions and carries the FnBinding each of the file's
+// functions (exported and internal) executes with.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fpsem/code_model.h"
+#include "fpsem/semantics.h"
+#include "toolchain/compiler.h"
+
+namespace flit::toolchain {
+
+struct SymbolDef {
+  std::string name;
+  fpsem::FunctionId fn = fpsem::kInvalidFunction;
+  bool strong = true;
+};
+
+struct ObjectFile {
+  std::string source_file;
+  Compilation comp;
+  bool fpic = false;
+
+  /// True for objects produced by the injection framework's instrumented
+  /// build; functions whose winning copy comes from such an object carry
+  /// the injected instruction.
+  bool injected = false;
+
+  /// Exported symbols defined by this object.
+  std::vector<SymbolDef> symbols;
+
+  /// Internal (static / always-inlined) functions of the file, reachable
+  /// only through their host symbols.
+  std::vector<fpsem::FunctionId> internal_fns;
+
+  /// Compiled behaviour of every function in the file.
+  std::unordered_map<fpsem::FunctionId, fpsem::FnBinding> bindings;
+};
+
+}  // namespace flit::toolchain

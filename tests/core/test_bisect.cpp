@@ -1,0 +1,213 @@
+// Algorithm 1 (BisectAll / BisectOne): exactness, dynamic verification of
+// the two assumptions, memoization accounting, and the O(k log N)
+// execution bound -- property-tested over randomized synthetic universes.
+
+#include <cmath>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bisect.h"
+
+namespace {
+
+using flit::core::BisectOutcome;
+using flit::core::MemoizedTest;
+using flit::core::bisect_all;
+
+/// A synthetic Test function under the paper's two assumptions: each
+/// culprit element e contributes a distinct magnitude w(e), and Test(S) is
+/// the sum of the weights of culprits present in S (distinct subset sums
+/// guaranteed by powers of two).
+MemoizedTest<int> weighted_test(const std::set<int>& culprits) {
+  return MemoizedTest<int>([culprits](const std::vector<int>& items) {
+    double v = 0.0;
+    for (int e : items) {
+      if (culprits.contains(e)) {
+        v += std::ldexp(1.0, (e % 50));  // distinct power of two per element
+      }
+    }
+    return v;
+  });
+}
+
+std::vector<int> universe(int n) {
+  std::vector<int> u(n);
+  for (int i = 0; i < n; ++i) u[i] = i;
+  return u;
+}
+
+TEST(BisectAll, EmptyCulpritSetFindsNothing) {
+  auto test = weighted_test({});
+  const auto out = bisect_all(test, universe(32));
+  EXPECT_TRUE(out.found.empty());
+  EXPECT_TRUE(out.assumptions_verified);
+  // One probe of the whole set + the two (memoized) verification calls.
+  EXPECT_LE(out.executions, 2);
+}
+
+TEST(BisectAll, SingleCulpritAnywhere) {
+  for (int culprit : {0, 7, 15, 16, 31}) {
+    auto test = weighted_test({culprit});
+    const auto out = bisect_all(test, universe(32));
+    ASSERT_EQ(out.found.size(), 1u) << culprit;
+    EXPECT_EQ(out.found[0], culprit);
+    EXPECT_TRUE(out.assumptions_verified);
+  }
+}
+
+TEST(BisectAll, PaperWorkedExample) {
+  // Figure 2: universe {1..10}, culprits {2, 8, 9}.
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto test = weighted_test({2, 8, 9});
+  const auto out = bisect_all(test, items);
+  EXPECT_EQ(std::set<int>(out.found.begin(), out.found.end()),
+            (std::set<int>{2, 8, 9}));
+  EXPECT_TRUE(out.assumptions_verified);
+}
+
+class BisectPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, unsigned>> {};
+
+TEST_P(BisectPropertyTest, FindsExactlyTheCulpritSet) {
+  const auto [n, k, seed] = GetParam();
+  std::mt19937 rng(seed);
+  std::vector<int> u = universe(n);
+  std::shuffle(u.begin(), u.end(), rng);
+  std::set<int> culprits;
+  while (static_cast<int>(culprits.size()) < k) {
+    culprits.insert(static_cast<int>(rng() % static_cast<unsigned>(n)));
+  }
+  auto test = weighted_test(culprits);
+  const auto out = bisect_all(test, u);
+  EXPECT_EQ(std::set<int>(out.found.begin(), out.found.end()), culprits);
+  EXPECT_TRUE(out.assumptions_verified) << out.diagnostic;
+}
+
+TEST_P(BisectPropertyTest, ExecutionsAreWithinTheKLogNBound) {
+  const auto [n, k, seed] = GetParam();
+  std::mt19937 rng(seed ^ 0x9e3779b9u);
+  std::set<int> culprits;
+  while (static_cast<int>(culprits.size()) < k) {
+    culprits.insert(static_cast<int>(rng() % static_cast<unsigned>(n)));
+  }
+  auto test = weighted_test(culprits);
+  const auto out = bisect_all(test, universe(n));
+  // Generous constant: c * (k+1) * (log2(n)+2) real executions.
+  const double bound =
+      3.0 * (k + 1) * (std::log2(static_cast<double>(n)) + 2.0);
+  EXPECT_LE(out.executions, static_cast<int>(bound)) << "n=" << n
+                                                     << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Universes, BisectPropertyTest,
+    ::testing::Combine(::testing::Values(8, 16, 33, 64, 100),
+                       ::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(BisectAll, MemoizationAvoidsReexecution) {
+  auto test = weighted_test({3});
+  (void)test({0, 1, 2, 3});
+  const int execs = test.executions();
+  (void)test({3, 2, 1, 0});  // same set, different order
+  EXPECT_EQ(test.executions(), execs);
+  EXPECT_EQ(test.calls(), 2);
+}
+
+TEST(BisectAll, CoupledCulpritsTripTheSingletonAssertion) {
+  // Two elements that only misbehave together violate Assumption 2: the
+  // algorithm must flag possible false negatives instead of lying.
+  MemoizedTest<int> coupled([](const std::vector<int>& items) {
+    const bool has3 = std::find(items.begin(), items.end(), 3) != items.end();
+    const bool has12 =
+        std::find(items.begin(), items.end(), 12) != items.end();
+    return has3 && has12 ? 1.0 : 0.0;
+  });
+  const auto out = bisect_all(coupled, universe(16));
+  EXPECT_FALSE(out.assumptions_verified);
+  EXPECT_FALSE(out.diagnostic.empty());
+}
+
+TEST(BisectAll, NonUniqueErrorMagnitudesAreDetected) {
+  // Two culprits with identical magnitudes violate Assumption 1 in the
+  // final verification whenever one of them is dropped along the way.
+  MemoizedTest<int> same_weight([](const std::vector<int>& items) {
+    // max-style metric: any culprit present gives the same Test value
+    const bool any = std::find(items.begin(), items.end(), 2) != items.end() ||
+                     std::find(items.begin(), items.end(), 9) != items.end();
+    return any ? 0.5 : 0.0;
+  });
+  const auto out = bisect_all(same_weight, universe(12));
+  // With a max metric, removing the found element 2's half still tests
+  // positive through 9, so both are found OR the verification flags it.
+  const std::set<int> found(out.found.begin(), out.found.end());
+  if (found != std::set<int>{2, 9}) {
+    EXPECT_FALSE(out.assumptions_verified);
+  }
+  // No false positives ever: every found element is a real culprit.
+  for (int e : out.found) EXPECT_TRUE(e == 2 || e == 9);
+}
+
+TEST(BisectAll, NoFalsePositivesEvenUnderAssumptionViolations) {
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::set<int> culprits;
+    const int k = 1 + static_cast<int>(rng() % 4u);
+    while (static_cast<int>(culprits.size()) < k) {
+      culprits.insert(static_cast<int>(rng() % 40u));
+    }
+    // Max metric (violates Assumption 1 for multiple culprits).
+    MemoizedTest<int> max_test([culprits](const std::vector<int>& items) {
+      double v = 0.0;
+      for (int e : items) {
+        if (culprits.contains(e)) v = std::max(v, 1.0 + (e % 7));
+      }
+      return v;
+    });
+    const auto out = bisect_all(max_test, universe(40));
+    for (int e : out.found) {
+      EXPECT_TRUE(culprits.contains(e)) << "false positive " << e;
+    }
+  }
+}
+
+TEST(BisectAll, SingletonUniverse) {
+  auto pos = weighted_test({0});
+  const auto out = bisect_all(pos, universe(1));
+  EXPECT_EQ(out.found, std::vector<int>{0});
+  auto neg = weighted_test({});
+  const auto out2 = bisect_all(neg, universe(1));
+  EXPECT_TRUE(out2.found.empty());
+}
+
+TEST(BisectAll, EmptyUniverse) {
+  auto test = weighted_test({});
+  const auto out = bisect_all(test, std::vector<int>{});
+  EXPECT_TRUE(out.found.empty());
+}
+
+TEST(BisectAll, WorksWithStringElements) {
+  MemoizedTest<std::string> test([](const std::vector<std::string>& items) {
+    return std::find(items.begin(), items.end(), "culprit.cpp") != items.end()
+               ? 2.5
+               : 0.0;
+  });
+  std::vector<std::string> files{"a.cpp", "b.cpp", "culprit.cpp", "d.cpp",
+                                 "e.cpp"};
+  const auto out = bisect_all(test, files);
+  ASSERT_EQ(out.found.size(), 1u);
+  EXPECT_EQ(out.found[0], "culprit.cpp");
+}
+
+TEST(BisectAll, VerificationCostsAtMostOneExtraExecution) {
+  // Test(items) is memoized from the loop; only Test(found) is new.
+  auto test = weighted_test({5, 21});
+  const auto out = bisect_all(test, universe(32));
+  EXPECT_TRUE(out.assumptions_verified);
+  EXPECT_GT(out.test_calls, out.executions);  // memoization did save calls
+}
+
+}  // namespace

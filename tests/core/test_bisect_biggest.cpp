@@ -1,0 +1,125 @@
+// BisectBiggest (Sec. 2.5): top-k search order, early exit, and agreement
+// with BisectAll when k = all.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/bisect_biggest.h"
+
+namespace {
+
+using flit::core::MemoizedTest;
+using flit::core::bisect_all;
+using flit::core::bisect_biggest;
+
+/// Additive test with per-culprit weights.
+MemoizedTest<int> weighted(const std::map<int, double>& w) {
+  return MemoizedTest<int>([w](const std::vector<int>& items) {
+    double v = 0.0;
+    for (int e : items) {
+      if (auto it = w.find(e); it != w.end()) v += it->second;
+    }
+    return v;
+  });
+}
+
+std::vector<int> universe(int n) {
+  std::vector<int> u(n);
+  for (int i = 0; i < n; ++i) u[i] = i;
+  return u;
+}
+
+TEST(BisectBiggest, FindsTheSingleBiggest) {
+  auto test = weighted({{4, 1.0}, {11, 8.0}, {27, 2.0}});
+  const auto out = bisect_biggest(test, universe(32), 1);
+  ASSERT_EQ(out.found.size(), 1u);
+  EXPECT_EQ(out.found[0].element, 11);
+  EXPECT_DOUBLE_EQ(out.found[0].value, 8.0);
+}
+
+TEST(BisectBiggest, TopTwoInDecreasingOrder) {
+  auto test = weighted({{4, 1.0}, {11, 8.0}, {27, 2.0}});
+  const auto out = bisect_biggest(test, universe(32), 2);
+  ASSERT_EQ(out.found.size(), 2u);
+  EXPECT_EQ(out.found[0].element, 11);
+  EXPECT_EQ(out.found[1].element, 27);
+  EXPECT_GT(out.found[0].value, out.found[1].value);
+}
+
+TEST(BisectBiggest, KAllMatchesBisectAll) {
+  const std::map<int, double> w{{3, 4.0}, {9, 1.0}, {20, 16.0}, {31, 0.25}};
+  auto test_b = weighted(w);
+  const auto biggest = bisect_biggest(test_b, universe(32), 0);
+  auto test_a = weighted(w);
+  const auto all = bisect_all(test_a, universe(32));
+
+  std::set<int> from_biggest, from_all(all.found.begin(), all.found.end());
+  for (const auto& f : biggest.found) from_biggest.insert(f.element);
+  EXPECT_EQ(from_biggest, from_all);
+  // Decreasing order by contribution.
+  for (std::size_t i = 1; i < biggest.found.size(); ++i) {
+    EXPECT_GE(biggest.found[i - 1].value, biggest.found[i].value);
+  }
+}
+
+TEST(BisectBiggest, EarlyExitSavesExecutionsForSmallK) {
+  const std::map<int, double> w{{1, 64.0},  {7, 32.0}, {13, 16.0},
+                                {22, 8.0},  {40, 4.0}, {51, 2.0},
+                                {60, 1.0}};
+  auto t1 = weighted(w);
+  const auto top1 = bisect_biggest(t1, universe(64), 1);
+  auto tall = weighted(w);
+  const auto all = bisect_biggest(tall, universe(64), 0);
+  ASSERT_EQ(top1.found.size(), 1u);
+  EXPECT_EQ(top1.found[0].element, 1);
+  EXPECT_LT(top1.executions, all.executions);
+}
+
+TEST(BisectBiggest, NoVariabilityFindsNothing) {
+  auto test = weighted({});
+  const auto out = bisect_biggest(test, universe(16), 3);
+  EXPECT_TRUE(out.found.empty());
+  EXPECT_LE(out.executions, 1);  // a single whole-set probe suffices
+}
+
+TEST(BisectBiggest, KLargerThanCulpritCount) {
+  auto test = weighted({{2, 1.0}, {5, 2.0}});
+  const auto out = bisect_biggest(test, universe(8), 10);
+  ASSERT_EQ(out.found.size(), 2u);
+  EXPECT_EQ(out.found[0].element, 5);
+  EXPECT_EQ(out.found[1].element, 2);
+}
+
+TEST(BisectBiggest, EmptyUniverse) {
+  auto test = weighted({{1, 1.0}});
+  const auto out = bisect_biggest(test, std::vector<int>{}, 2);
+  EXPECT_TRUE(out.found.empty());
+  EXPECT_EQ(out.executions, 0);
+}
+
+TEST(BisectBiggest, SingletonValuesAreTheTrueSingletonTests) {
+  const std::map<int, double> w{{6, 3.5}, {14, 7.25}};
+  auto test = weighted(w);
+  const auto out = bisect_biggest(test, universe(16), 0);
+  for (const auto& f : out.found) {
+    EXPECT_DOUBLE_EQ(f.value, w.at(f.element));
+  }
+}
+
+TEST(BisectBiggest, StringElements) {
+  MemoizedTest<std::string> test([](const std::vector<std::string>& items) {
+    double v = 0.0;
+    for (const auto& s : items) {
+      if (s == "big.cpp") v += 10.0;
+      if (s == "small.cpp") v += 1.0;
+    }
+    return v;
+  });
+  std::vector<std::string> files{"a.cpp", "big.cpp", "c.cpp", "small.cpp"};
+  const auto out = bisect_biggest(test, files, 1);
+  ASSERT_EQ(out.found.size(), 1u);
+  EXPECT_EQ(out.found[0].element, "big.cpp");
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// ddmin reference implementation: minimality, agreement with bisect_all
+// under the paper's assumptions, and the execution-cost gap that
+// motivates Bisect.
+
+#include <cmath>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/delta_debug.h"
+
+namespace {
+
+using flit::core::MemoizedTest;
+using flit::core::bisect_all;
+using flit::core::ddmin;
+
+MemoizedTest<int> weighted_test(const std::set<int>& culprits) {
+  return MemoizedTest<int>([culprits](const std::vector<int>& items) {
+    double v = 0.0;
+    for (int e : items) {
+      if (culprits.contains(e)) v += std::ldexp(1.0, e % 50);
+    }
+    return v;
+  });
+}
+
+std::vector<int> universe(int n) {
+  std::vector<int> u(n);
+  for (int i = 0; i < n; ++i) u[i] = i;
+  return u;
+}
+
+TEST(Ddmin, EmptyWhenNothingFails) {
+  auto test = weighted_test({});
+  const auto out = ddmin(test, universe(16));
+  EXPECT_TRUE(out.minimal.empty());
+}
+
+TEST(Ddmin, SingleCulpritIsFoundExactly) {
+  for (int culprit : {0, 5, 15}) {
+    auto test = weighted_test({culprit});
+    const auto out = ddmin(test, universe(16));
+    EXPECT_EQ(out.minimal, std::vector<int>{culprit});
+  }
+}
+
+class DdminPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, unsigned>> {};
+
+TEST_P(DdminPropertyTest, MatchesBisectAllUnderUniqueErrorAssumption) {
+  const auto [n, k, seed] = GetParam();
+  std::mt19937 rng(seed);
+  std::set<int> culprits;
+  while (static_cast<int>(culprits.size()) < k) {
+    culprits.insert(static_cast<int>(rng() % static_cast<unsigned>(n)));
+  }
+  auto t1 = weighted_test(culprits);
+  const auto dd = ddmin(t1, universe(n));
+  EXPECT_EQ(std::set<int>(dd.minimal.begin(), dd.minimal.end()), culprits);
+
+  auto t2 = weighted_test(culprits);
+  const auto bis = bisect_all(t2, universe(n));
+  EXPECT_EQ(std::set<int>(dd.minimal.begin(), dd.minimal.end()),
+            std::set<int>(bis.found.begin(), bis.found.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Universes, DdminPropertyTest,
+    ::testing::Combine(::testing::Values(16, 64, 100),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(7u, 11u)));
+
+TEST(Ddmin, ResultIsOneMinimal) {
+  std::set<int> culprits{3, 17, 40};
+  auto test = weighted_test(culprits);
+  const auto out = ddmin(test, universe(64));
+  // Removing any single element from the result must make Test drop.
+  auto check = weighted_test(culprits);
+  const double full = check(out.minimal);
+  EXPECT_GT(full, 0.0);
+  for (std::size_t i = 0; i < out.minimal.size(); ++i) {
+    std::vector<int> reduced = out.minimal;
+    reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>(i));
+    EXPECT_NE(check(reduced), full);
+  }
+}
+
+TEST(Ddmin, HandlesCoupledCulpritsThatBreakBisect) {
+  // Two elements failing only jointly: ddmin still returns the pair
+  // (Bisect would flag an assumption violation instead).
+  MemoizedTest<int> coupled([](const std::vector<int>& items) {
+    const bool a = std::find(items.begin(), items.end(), 4) != items.end();
+    const bool b = std::find(items.begin(), items.end(), 11) != items.end();
+    return a && b ? 1.0 : 0.0;
+  });
+  const auto out = ddmin(coupled, universe(16));
+  EXPECT_EQ(std::set<int>(out.minimal.begin(), out.minimal.end()),
+            (std::set<int>{4, 11}));
+}
+
+TEST(Ddmin, CostsMoreThanBisectForManyCulprits) {
+  std::mt19937 rng(3);
+  std::set<int> culprits;
+  while (culprits.size() < 6) {
+    culprits.insert(static_cast<int>(rng() % 256u));
+  }
+  auto t1 = weighted_test(culprits);
+  const auto dd = ddmin(t1, universe(256));
+  auto t2 = weighted_test(culprits);
+  const auto bis = bisect_all(t2, universe(256));
+  EXPECT_EQ(std::set<int>(dd.minimal.begin(), dd.minimal.end()),
+            std::set<int>(bis.found.begin(), bis.found.end()));
+  // The complexity gap of Sec. 2.4: O(k^2 log N) vs O(k log N).
+  EXPECT_GT(dd.executions, bis.executions);
+}
+
+}  // namespace

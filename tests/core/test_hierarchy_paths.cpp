@@ -1,0 +1,261 @@
+// Hierarchy driver edge paths, exercised through a purpose-built
+// synthetic application: the -fPIC vanish case of Sec. 2.3, symbol-level
+// interposition crashes, link-step-only variability, digit truncation at
+// the symbol level, and the BisectBiggest early exit.
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.h"
+#include "core/hierarchy.h"
+#include "core/runner.h"
+#include "toolchain/semantics_rules.h"
+
+namespace {
+
+using namespace flit;
+
+// Synthetic app: three files.
+//  * paths/inline.cpp : an inline-candidate reducer (fPIC-vanish target)
+//  * paths/plain.cpp  : a plain reducer
+//  * paths/libm.cpp   : a transcendental user (link-step target)
+const fpsem::FunctionId kInline = fpsem::register_fn({
+    .name = "paths::inline_sum",
+    .file = "paths/inline.cpp",
+    .inline_candidate = true,
+});
+// A pool of inline-candidate reducers in separate files, so the hash-fate
+// scans below can find every wanted combination of -fPIC-vanish and
+// symbol-interposition-crash outcomes.
+std::vector<std::pair<fpsem::FunctionId, std::string>> inline_pool() {
+  static const auto pool = [] {
+    std::vector<std::pair<fpsem::FunctionId, std::string>> p;
+    for (int i = 0; i < 10; ++i) {
+      const std::string file =
+          "paths/pool" + std::to_string(i) + ".cpp";
+      p.emplace_back(fpsem::register_fn({
+                         .name = "paths::pool_sum" + std::to_string(i),
+                         .file = file,
+                         .inline_candidate = true,
+                     }),
+                     file);
+    }
+    return p;
+  }();
+  return pool;
+}
+const fpsem::FunctionId kPlain = fpsem::register_fn({
+    .name = "paths::plain_sum",
+    .file = "paths/plain.cpp",
+});
+const fpsem::FunctionId kLibm = fpsem::register_fn({
+    .name = "paths::libm_eval",
+    .file = "paths/libm.cpp",
+    .uses_libm = true,
+});
+
+std::vector<double> ramp() {
+  std::vector<double> v(33);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = 0.1 * static_cast<double>(i + 1) + 1.0 / (i + 3.0);
+  }
+  return v;
+}
+
+/// Test value: inline_sum(v) + plain_sum(v) + libm_eval(x).
+class PathsTest final : public core::TestBase {
+ public:
+  explicit PathsTest(bool use_inline = true, bool use_plain = true,
+                     bool use_libm = true)
+      : use_inline_(use_inline), use_plain_(use_plain), use_libm_(use_libm) {}
+
+  std::string name() const override { return "PathsTest"; }
+  std::size_t getInputsPerRun() const override { return 0; }
+  std::vector<double> getDefaultInput() const override { return {}; }
+  core::TestResult run_impl(const std::vector<double>&,
+                            fpsem::EvalContext& ctx) const override {
+    const auto v = ramp();
+    long double acc = 0.0L;
+    if (use_inline_) {
+      fpsem::FpEnv env = ctx.fn(kInline);
+      acc += env.sum(v);
+    }
+    if (use_plain_) {
+      fpsem::FpEnv env = ctx.fn(kPlain);
+      acc += env.sum(v);
+    }
+    if (use_libm_) {
+      fpsem::FpEnv env = ctx.fn(kLibm);
+      acc += env.exp(1.2345);
+    }
+    return acc;
+  }
+
+ private:
+  bool use_inline_, use_plain_, use_libm_;
+};
+
+std::vector<std::string> scope() {
+  return {"paths/inline.cpp", "paths/plain.cpp", "paths/libm.cpp"};
+}
+
+core::HierarchicalOutcome drive(const core::TestBase& t,
+                                const toolchain::Compilation& variable,
+                                int k = 0, int digits = 0) {
+  core::BisectConfig cfg;
+  cfg.baseline = toolchain::mfem_baseline();
+  cfg.variable = variable;
+  cfg.scope = scope();
+  cfg.k = k;
+  cfg.digits = digits;
+  core::BisectDriver driver(&fpsem::global_code_model(), &t, cfg);
+  return driver.run();
+}
+
+struct FateMatch {
+  toolchain::Compilation comp;
+  fpsem::FunctionId fn = fpsem::kInvalidFunction;
+  std::string file;
+};
+
+/// Scans reassociating gcc compilations x the inline pool for a pair with
+/// the wanted hazard fates.
+FateMatch find_fate(bool want_inline_vanish,
+                    bool want_symbol_crash_inline_file) {
+  auto& model = fpsem::global_code_model();
+  const auto base = toolchain::mfem_baseline();
+  for (const char* flag : {"-funsafe-math-optimizations"}) {
+    for (auto opt : {toolchain::OptLevel::O1, toolchain::OptLevel::O2,
+                     toolchain::OptLevel::O3}) {
+      const toolchain::Compilation c{toolchain::gcc(), opt, flag};
+      if (toolchain::derive_semantics(c).reassoc_width <= 1) continue;
+      for (const auto& [fn, file] : inline_pool()) {
+        const bool vanish =
+            toolchain::derive_binding(c, model.info(fn), /*fpic=*/true)
+                .sem.strict();
+        const bool crash = toolchain::symbol_mix_toxic(file, base, c);
+        if (vanish == want_inline_vanish &&
+            crash == want_symbol_crash_inline_file) {
+          return FateMatch{c, fn, file};
+        }
+      }
+    }
+  }
+  return {};  // not found; tests skip
+}
+
+/// Runs one pool reducer (the hash-fate-selected culprit).
+class PoolTest final : public core::TestBase {
+ public:
+  explicit PoolTest(fpsem::FunctionId fn) : fn_(fn) {}
+  std::string name() const override { return "PoolTest"; }
+  std::size_t getInputsPerRun() const override { return 0; }
+  std::vector<double> getDefaultInput() const override { return {}; }
+  core::TestResult run_impl(const std::vector<double>&,
+                            fpsem::EvalContext& ctx) const override {
+    fpsem::FpEnv env = ctx.fn(fn_);
+    return static_cast<long double>(env.sum(ramp()));
+  }
+
+ private:
+  fpsem::FunctionId fn_;
+};
+
+core::HierarchicalOutcome drive_pool(const FateMatch& m) {
+  PoolTest t(m.fn);
+  core::BisectConfig cfg;
+  cfg.baseline = toolchain::mfem_baseline();
+  cfg.variable = m.comp;
+  cfg.scope = {m.file, "paths/plain.cpp"};
+  core::BisectDriver driver(&fpsem::global_code_model(), &t, cfg);
+  return driver.run();
+}
+
+TEST(HierarchyPaths, FpicVanishReportsFileLevelOnly) {
+  const auto m = find_fate(/*vanish=*/true, /*crash=*/false);
+  if (m.fn == fpsem::kInvalidFunction) GTEST_SKIP() << "no hash fate";
+  const auto out = drive_pool(m);
+  ASSERT_FALSE(out.crashed) << out.crash_reason;
+  ASSERT_EQ(out.findings.size(), 1u);
+  EXPECT_EQ(out.findings[0].file, m.file);
+  EXPECT_EQ(out.findings[0].status,
+            core::FileFinding::SymbolStatus::VanishedUnderFpic);
+  EXPECT_TRUE(out.findings[0].symbols.empty());
+}
+
+TEST(HierarchyPaths, SymbolInterpositionCrashIsRecordedPerFile) {
+  const auto m = find_fate(/*vanish=*/false, /*crash=*/true);
+  if (m.fn == fpsem::kInvalidFunction) GTEST_SKIP() << "no hash fate";
+  const auto out = drive_pool(m);
+  ASSERT_FALSE(out.crashed);  // File Bisect itself survived
+  ASSERT_EQ(out.findings.size(), 1u);
+  EXPECT_EQ(out.findings[0].status,
+            core::FileFinding::SymbolStatus::Crashed);
+}
+
+TEST(HierarchyPaths, SymbolLevelSuccessOnPlainFile) {
+  PathsTest t(/*use_inline=*/false, /*use_plain=*/true, /*use_libm=*/false);
+  // Pick a reassociating compilation whose interposition hash fate is
+  // clean for this file.
+  toolchain::Compilation comp;
+  for (auto opt : {toolchain::OptLevel::O1, toolchain::OptLevel::O2,
+                   toolchain::OptLevel::O3}) {
+    const toolchain::Compilation c{toolchain::gcc(), opt,
+                                   "-funsafe-math-optimizations"};
+    if (!toolchain::symbol_mix_toxic("paths/plain.cpp",
+                                     toolchain::mfem_baseline(), c)) {
+      comp = c;
+      break;
+    }
+  }
+  if (comp.compiler.name.empty()) GTEST_SKIP() << "no clean hash fate";
+  const auto out = drive(t, comp);
+  ASSERT_FALSE(out.crashed);
+  ASSERT_EQ(out.findings.size(), 1u);
+  EXPECT_EQ(out.findings[0].status, core::FileFinding::SymbolStatus::Found);
+  ASSERT_EQ(out.findings[0].symbols.size(), 1u);
+  EXPECT_EQ(out.findings[0].symbols[0].symbol, "paths::plain_sum");
+}
+
+TEST(HierarchyPaths, LinkStepOnlyVariabilityFindsNothing) {
+  // icpc -O0 compiles strictly, but the Intel link step substitutes the
+  // fast libm; whole-program runs are variable, yet File Bisect (which
+  // links with the baseline toolchain) attributes nothing.
+  PathsTest t(/*inline=*/false, /*plain=*/false, /*libm=*/true);
+  const toolchain::Compilation icpc_o0{toolchain::icpc(),
+                                       toolchain::OptLevel::O0, ""};
+  // Whole-program comparison (explorer-style) shows variability...
+  core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                               toolchain::mfem_baseline(),
+                               toolchain::mfem_speed_reference());
+  const std::vector<toolchain::Compilation> space{icpc_o0};
+  const auto study = explorer.explore(t, space);
+  EXPECT_FALSE(study.outcomes[0].bitwise_equal());
+  // ...but the bisect run finds no file to blame.
+  const auto out = drive(t, icpc_o0);
+  EXPECT_TRUE(out.nothing_found());
+  EXPECT_EQ(out.whole_value, 0.0);
+}
+
+TEST(HierarchyPaths, DigitTruncationSilencesSmallVariability) {
+  PathsTest t(/*inline=*/false, /*plain=*/true, /*libm=*/false);
+  const toolchain::Compilation comp{toolchain::gcc(), toolchain::OptLevel::O2,
+                                    "-funsafe-math-optimizations"};
+  // Reassociation-level variability (~1e-15 relative) disappears when the
+  // comparison only keeps 3 significant digits.
+  const auto out = drive(t, comp, /*k=*/0, /*digits=*/3);
+  EXPECT_TRUE(out.nothing_found());
+}
+
+TEST(HierarchyPaths, BiggestKOneStopsAfterTheDominantFile) {
+  PathsTest t(/*use_inline=*/true, /*use_plain=*/true, /*use_libm=*/false);
+  const toolchain::Compilation comp{toolchain::gcc(),
+                                    toolchain::OptLevel::O2,
+                                    "-funsafe-math-optimizations"};
+  const auto all = drive(t, comp, /*k=*/0);
+  const auto one = drive(t, comp, /*k=*/1);
+  ASSERT_FALSE(one.crashed);
+  EXPECT_LE(one.findings.size(), all.findings.size());
+  EXPECT_LE(one.executions, all.executions);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// The fast-math mixer (Sec. 5 outlook): maximal safe mixes, tolerance
+// semantics, and the speed/precision tradeoff on a synthetic app with one
+// tolerant and one intolerant translation unit.
+
+#include <gtest/gtest.h>
+
+#include "core/mixer.h"
+#include "toolchain/build.h"
+#include "toolchain/linker.h"
+#include "fpsem/env.h"
+#include "toolchain/semantics_rules.h"
+
+namespace {
+
+using namespace flit;
+
+// mixer/cheap.cpp: a short reduction (tiny reassociation error).
+// mixer/hot.cpp:   a long cancellation-heavy reduction (large error, and
+//                  most of the runtime).
+const fpsem::FunctionId kCheap = fpsem::register_fn({
+    .name = "mixer::cheap_sum",
+    .file = "mixer/cheap.cpp",
+});
+const fpsem::FunctionId kHot = fpsem::register_fn({
+    .name = "mixer::hot_sum",
+    .file = "mixer/hot.cpp",
+});
+
+class MixTest final : public core::TestBase {
+ public:
+  std::string name() const override { return "MixTest"; }
+  std::size_t getInputsPerRun() const override { return 0; }
+  std::vector<double> getDefaultInput() const override { return {}; }
+  core::TestResult run_impl(const std::vector<double>&,
+                            fpsem::EvalContext& ctx) const override {
+    long double acc = 0.0L;
+    {
+      std::vector<double> v(64);
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = 0.1 * static_cast<double>(i + 1) + 1.0 / (i + 3.0);
+      }
+      fpsem::FpEnv env = ctx.fn(kCheap);
+      acc += env.sum(v);
+    }
+    {
+      // cancellation-heavy: reassociation changes this one at ~1e-2
+      std::vector<double> v;
+      for (int i = 0; i < 400; ++i) {
+        v.push_back(1e14);
+        v.push_back(3.14159);
+        v.push_back(-1e14);
+      }
+      fpsem::FpEnv env = ctx.fn(kHot);
+      acc += env.sum(v);
+    }
+    return acc;
+  }
+};
+
+core::MixerConfig config(long double tol) {
+  core::MixerConfig cfg;
+  cfg.baseline = toolchain::mfem_baseline();
+  cfg.aggressive = {toolchain::gcc(), toolchain::OptLevel::O3,
+                    "-funsafe-math-optimizations"};
+  cfg.tolerance = tol;
+  cfg.scope = {"mixer/cheap.cpp", "mixer/hot.cpp"};
+  return cfg;
+}
+
+TEST(Mixer, ZeroToleranceKeepsEverythingPrecise) {
+  MixTest t;
+  const auto rec = core::recommend_fast_math_mix(
+      &fpsem::global_code_model(), t, config(0.0L));
+  EXPECT_TRUE(rec.fast_files.empty());
+  EXPECT_EQ(rec.precise_files.size(), 2u);
+  EXPECT_EQ(rec.variability, 0.0L);
+}
+
+TEST(Mixer, ModerateToleranceAdmitsOnlyTheCheapFile) {
+  MixTest t;
+  const auto rec = core::recommend_fast_math_mix(
+      &fpsem::global_code_model(), t, config(1e-8L));
+  ASSERT_EQ(rec.fast_files.size(), 1u);
+  EXPECT_EQ(rec.fast_files[0], "mixer/cheap.cpp");
+  ASSERT_EQ(rec.precise_files.size(), 1u);
+  EXPECT_EQ(rec.precise_files[0], "mixer/hot.cpp");
+  EXPECT_LE(rec.variability, 1e-8L);
+  EXPECT_GE(rec.speedup(), 1.0);
+}
+
+TEST(Mixer, LooseToleranceAdmitsEverything) {
+  MixTest t;
+  const auto rec = core::recommend_fast_math_mix(
+      &fpsem::global_code_model(), t, config(1.0L));
+  EXPECT_EQ(rec.fast_files.size(), 2u);
+  EXPECT_TRUE(rec.precise_files.empty());
+  // The all-fast shortcut costs just two runs (baseline + all-fast).
+  EXPECT_EQ(rec.executions, 2);
+}
+
+TEST(Mixer, RecommendationIsSound) {
+  // Re-run the recommended mix independently: its metric must actually be
+  // within tolerance.
+  MixTest t;
+  const long double tol = 1e-8L;
+  const auto rec = core::recommend_fast_math_mix(
+      &fpsem::global_code_model(), t, config(tol));
+  auto* model = &fpsem::global_code_model();
+  toolchain::BuildSystem build(model);
+  toolchain::Linker linker(model);
+  core::Runner runner(model);
+  const auto base = toolchain::mfem_baseline();
+  std::vector<toolchain::ObjectFile> objs;
+  for (const auto& f : model->files()) {
+    const bool fast = std::find(rec.fast_files.begin(), rec.fast_files.end(),
+                                f) != rec.fast_files.end();
+    objs.push_back(build.compile(
+        f, fast ? config(tol).aggressive : base));
+  }
+  const auto base_out =
+      runner.run(t, linker.link(build.compile_all(base), base.compiler));
+  const auto mix_out = runner.run(t, linker.link(objs, base.compiler));
+  EXPECT_LE(core::Runner::compare_outputs(t, base_out, mix_out), tol);
+}
+
+TEST(Mixer, CyclesAccountingIsConsistent) {
+  MixTest t;
+  const auto rec = core::recommend_fast_math_mix(
+      &fpsem::global_code_model(), t, config(1.0L));
+  EXPECT_GT(rec.baseline_cycles, 0.0);
+  EXPECT_GT(rec.mixed_cycles, 0.0);
+  EXPECT_GT(rec.speedup(), 1.0);  // O3-fast vs O0 baseline is far faster
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Report emitters: CSV shape, summaries, blame rendering.
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace {
+
+using namespace flit;
+using namespace flit::core;
+
+StudyResult sample_study() {
+  StudyResult r;
+  r.test_name = "T";
+  CompilationOutcome a;
+  a.comp = {toolchain::gcc(), toolchain::OptLevel::O2, ""};
+  a.variability = 0.0L;
+  a.speedup = 1.0;
+  CompilationOutcome b;
+  b.comp = {toolchain::gcc(), toolchain::OptLevel::O3,
+            "-funsafe-math-optimizations"};
+  b.variability = 1e-12L;
+  b.speedup = 1.2;
+  r.outcomes = {a, b};
+  return r;
+}
+
+TEST(Report, StudyCsvHasHeaderAndOneRowPerOutcome) {
+  const std::string csv = study_csv(sample_study());
+  EXPECT_NE(csv.find("compilation,speedup,variability,bitwise_equal"),
+            std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("\"g++ -O2\",1,0,1"), std::string::npos);
+}
+
+TEST(Report, StudySummaryNamesBothCategories) {
+  const std::string s = study_summary(sample_study());
+  EXPECT_NE(s.find("1 variable"), std::string::npos);
+  EXPECT_NE(s.find("fastest bitwise-equal g++ -O2"), std::string::npos);
+  EXPECT_NE(s.find("fastest variable g++ -O3"), std::string::npos);
+}
+
+TEST(Report, BisectReportRendersBlameAndStatus) {
+  HierarchicalOutcome out;
+  out.executions = 14;
+  FileFinding ff;
+  ff.file = "a.cpp";
+  ff.value = 0.5;
+  ff.status = FileFinding::SymbolStatus::Found;
+  ff.symbols.push_back(SymbolFinding{"f", 0.5});
+  out.findings.push_back(ff);
+  const std::string s = bisect_report(out);
+  EXPECT_NE(s.find("14 program executions"), std::string::npos);
+  EXPECT_NE(s.find("a.cpp"), std::string::npos);
+  EXPECT_NE(s.find("    f"), std::string::npos);
+  EXPECT_NE(s.find("assumptions verified"), std::string::npos);
+}
+
+TEST(Report, BisectReportCrash) {
+  HierarchicalOutcome out;
+  out.crashed = true;
+  out.crash_reason = "SIGSEGV";
+  out.executions = 3;
+  const std::string s = bisect_report(out);
+  EXPECT_NE(s.find("FAILED"), std::string::npos);
+  EXPECT_NE(s.find("SIGSEGV"), std::string::npos);
+}
+
+TEST(Report, BisectReportLinkStepOnly) {
+  HierarchicalOutcome out;
+  out.executions = 5;
+  const std::string s = bisect_report(out);
+  EXPECT_NE(s.find("link step"), std::string::npos);
+}
+
+TEST(Report, WorkflowReportIncludesRecommendation) {
+  WorkflowReport r;
+  r.study = sample_study();
+  r.fastest_reproducible = &r.study.outcomes[0];
+  const std::string s = workflow_report_text(r);
+  EXPECT_NE(s.find("recommendation: g++ -O2"), std::string::npos);
+}
+
+TEST(Report, WorkflowReportWithoutReproducibleCompilation) {
+  WorkflowReport r;
+  r.study = sample_study();
+  r.fastest_reproducible = nullptr;
+  const std::string s = workflow_report_text(r);
+  EXPECT_NE(s.find("no reproducible compilation"), std::string::npos);
+}
+
+}  // namespace

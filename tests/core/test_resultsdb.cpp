@@ -1,0 +1,124 @@
+// ResultsDb: round-trip persistence, merge-on-record semantics, queries,
+// malformed-file rejection.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/resultsdb.h"
+
+namespace {
+
+using namespace flit;
+using core::ResultsDb;
+using core::StudyResult;
+
+namespace fs = std::filesystem;
+
+class ResultsDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = fs::temp_directory_path() /
+            ("flit_resultsdb_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove(path_);
+  }
+  void TearDown() override { fs::remove(path_); }
+
+  StudyResult study(const std::string& name, double speedup,
+                    long double var) {
+    StudyResult r;
+    r.test_name = name;
+    core::CompilationOutcome o;
+    o.comp = {toolchain::gcc(), toolchain::OptLevel::O2, ""};
+    o.speedup = speedup;
+    o.variability = var;
+    r.outcomes.push_back(o);
+    core::CompilationOutcome o2;
+    o2.comp = {toolchain::icpc(), toolchain::OptLevel::O3,
+               "-fp-model fast=2"};
+    o2.speedup = speedup * 1.1;
+    o2.variability = 1e-9L;
+    r.outcomes.push_back(o2);
+    return r;
+  }
+
+  fs::path path_;
+};
+
+TEST_F(ResultsDbTest, EmptyOnFirstOpen) {
+  ResultsDb db(path_);
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_TRUE(db.tests().empty());
+}
+
+TEST_F(ResultsDbTest, RecordPersistsAcrossReopen) {
+  {
+    ResultsDb db(path_);
+    db.record(study("T1", 1.25, 0.0L));
+  }
+  ResultsDb db2(path_);
+  EXPECT_EQ(db2.size(), 2u);
+  const auto row = db2.find("T1", "g++ -O2");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_DOUBLE_EQ(row->speedup, 1.25);
+  EXPECT_TRUE(row->bitwise_equal());
+  const auto vrow = db2.find("T1", "icpc -O3 -fp-model fast=2");
+  ASSERT_TRUE(vrow.has_value());
+  EXPECT_FALSE(vrow->bitwise_equal());
+}
+
+TEST_F(ResultsDbTest, RecordMergesByKey) {
+  ResultsDb db(path_);
+  db.record(study("T1", 1.0, 0.0L));
+  db.record(study("T1", 2.0, 0.0L));  // same keys, new values
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_DOUBLE_EQ(db.find("T1", "g++ -O2")->speedup, 2.0);
+}
+
+TEST_F(ResultsDbTest, MultipleTestsCoexist) {
+  ResultsDb db(path_);
+  db.record(study("T1", 1.0, 0.0L));
+  db.record(study("T2", 1.5, 1e-12L));
+  EXPECT_EQ(db.size(), 4u);
+  EXPECT_EQ(db.tests(), (std::vector<std::string>{"T1", "T2"}));
+  EXPECT_EQ(db.rows_for("T2").size(), 2u);
+  EXPECT_TRUE(db.rows_for("T3").empty());
+}
+
+TEST_F(ResultsDbTest, VariabilityRoundTripsAtFullPrecision) {
+  const long double v = 1.234567890123456789e-13L;
+  {
+    ResultsDb db(path_);
+    db.record(study("T1", 1.0, v));
+  }
+  ResultsDb db2(path_);
+  EXPECT_EQ(db2.find("T1", "g++ -O2")->variability, v);
+}
+
+TEST_F(ResultsDbTest, RejectsForeignFiles) {
+  {
+    std::ofstream out(path_);
+    out << "not a results db\n";
+  }
+  EXPECT_THROW(ResultsDb{path_}, std::runtime_error);
+}
+
+TEST_F(ResultsDbTest, ReloadDiscardsUnsavedExternalChanges) {
+  ResultsDb db(path_);
+  db.record(study("T1", 1.0, 0.0L));
+  {
+    ResultsDb other(path_);
+    other.record(study("T2", 3.0, 0.0L));
+  }
+  db.reload();
+  EXPECT_EQ(db.tests().size(), 2u);
+}
+
+}  // namespace

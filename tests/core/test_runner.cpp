@@ -1,0 +1,264 @@
+// Runner, TestBase, registry, digit truncation, explorer and workflow over
+// a tiny self-contained synthetic application (registered only in this
+// test binary).
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.h"
+#include "core/hierarchy.h"
+#include "core/registry.h"
+#include "core/runner.h"
+#include "core/workflow.h"
+#include "toolchain/semantics_rules.h"
+
+namespace {
+
+using namespace flit;
+using core::RunOutput;
+using core::Runner;
+using core::TestResult;
+
+// ---- a 2-file synthetic application ------------------------------------
+
+const fpsem::FunctionId kSummer = fpsem::register_fn({
+    .name = "tiny::summer",
+    .file = "tiny/summer.cpp",
+});
+const fpsem::FunctionId kScaler = fpsem::register_fn({
+    .name = "tiny::scaler",
+    .file = "tiny/scaler.cpp",
+});
+
+double tiny_app(fpsem::EvalContext& ctx, const std::vector<double>& input) {
+  std::vector<double> v = input;
+  {
+    fpsem::FpEnv env = ctx.fn(kScaler);
+    env.scal(1.0 / 3.0, v);
+  }
+  fpsem::FpEnv env = ctx.fn(kSummer);
+  return env.sum(v);
+}
+
+class TinyTest final : public core::TestBase {
+ public:
+  [[nodiscard]] std::string name() const override { return "TinyTest"; }
+  [[nodiscard]] std::size_t getInputsPerRun() const override { return 6; }
+  [[nodiscard]] std::vector<double> getDefaultInput() const override {
+    std::vector<double> v(12);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = 0.1 * static_cast<double>(i + 1) + 1.0 / (i + 2.0);
+    }
+    return v;
+  }
+  [[nodiscard]] TestResult run_impl(const std::vector<double>& input,
+                                    fpsem::EvalContext& ctx) const override {
+    return static_cast<long double>(tiny_app(ctx, input));
+  }
+};
+
+FLIT_REGISTER_TEST(TinyTest);
+
+toolchain::Compilation base() { return {toolchain::gcc(), toolchain::OptLevel::O0, ""}; }
+toolchain::Compilation unsafe() {
+  return {toolchain::gcc(), toolchain::OptLevel::O2,
+          "-funsafe-math-optimizations"};
+}
+
+toolchain::Executable build_exe(const toolchain::Compilation& c) {
+  auto& model = fpsem::global_code_model();
+  toolchain::BuildSystem build(&model);
+  toolchain::Linker linker(&model);
+  return linker.link(build.compile_all(c), c.compiler);
+}
+
+// ---- registry ------------------------------------------------------------
+
+TEST(Registry, MacroRegistrationWorks) {
+  auto& reg = core::global_test_registry();
+  ASSERT_TRUE(reg.contains("TinyTest"));
+  auto t = reg.create("TinyTest");
+  EXPECT_EQ(t->name(), "TinyTest");
+  EXPECT_THROW((void)reg.create("NoSuchTest"), std::out_of_range);
+}
+
+TEST(Registry, DuplicateRegistrationRejected) {
+  auto& reg = core::global_test_registry();
+  EXPECT_THROW(
+      reg.add("TinyTest", [] { return std::make_unique<TinyTest>(); }),
+      std::invalid_argument);
+}
+
+// ---- runner ----------------------------------------------------------------
+
+TEST(Runner, DataDrivenSplitting) {
+  TinyTest t;
+  Runner runner(&fpsem::global_code_model());
+  const RunOutput out = runner.run(t, build_exe(base()));
+  EXPECT_EQ(out.results.size(), 2u);  // 12 inputs / 6 per run
+  EXPECT_GT(out.cycles, 0.0);
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  TinyTest t;
+  Runner runner(&fpsem::global_code_model());
+  const RunOutput a = runner.run(t, build_exe(unsafe()));
+  const RunOutput b = runner.run(t, build_exe(unsafe()));
+  EXPECT_EQ(Runner::compare_outputs(t, a, b), 0.0L);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Runner, UnsafeCompilationChangesTheResult) {
+  TinyTest t;
+  Runner runner(&fpsem::global_code_model());
+  const RunOutput a = runner.run(t, build_exe(base()));
+  const RunOutput b = runner.run(t, build_exe(unsafe()));
+  EXPECT_GT(Runner::compare_outputs(t, a, b), 0.0L);
+}
+
+TEST(Runner, CrashingBinaryThrows) {
+  TinyTest t;
+  Runner runner(&fpsem::global_code_model());
+  toolchain::Executable exe = build_exe(base());
+  exe.crashes = true;
+  exe.crash_reason = "SIGSEGV";
+  EXPECT_THROW((void)runner.run(t, exe), core::ExecutionCrash);
+}
+
+TEST(Runner, MismatchedChunkCountsAreMaximalDifference) {
+  TinyTest t;
+  RunOutput a, b;
+  a.results.push_back(1.0L);
+  b.results.push_back(1.0L);
+  b.results.push_back(2.0L);
+  EXPECT_EQ(Runner::compare_outputs(t, a, b), HUGE_VALL);
+}
+
+TEST(TestBase, MixedVariantTypesAreMaximalDifference) {
+  TinyTest t;
+  EXPECT_EQ(t.compare_results(TestResult{1.0L}, TestResult{std::string{"x"}}),
+            HUGE_VALL);
+}
+
+// ---- digit truncation --------------------------------------------------------
+
+TEST(TruncateDigits, RoundsToSignificantDigits) {
+  using core::truncate_digits;
+  EXPECT_EQ(truncate_digits(123456.789L, 3), 123000.0L);
+  EXPECT_EQ(truncate_digits(0.0012345L, 2), 0.0012L);
+  EXPECT_EQ(truncate_digits(-98765.0L, 2), -99000.0L);
+}
+
+TEST(TruncateDigits, NonPositiveDigitsAndZeroAreNoOps) {
+  using core::truncate_digits;
+  EXPECT_EQ(truncate_digits(1.2345L, 0), 1.2345L);
+  EXPECT_EQ(truncate_digits(1.2345L, -3), 1.2345L);
+  EXPECT_EQ(truncate_digits(0.0L, 4), 0.0L);
+}
+
+TEST(TruncateDigits, EqualUpToDigitsCompareEqual) {
+  using core::truncate_digits;
+  const long double a = 129664.9L;
+  const long double b = 129664.2L;
+  EXPECT_EQ(truncate_digits(a, 3), truncate_digits(b, 3));
+  EXPECT_NE(truncate_digits(a, 7), truncate_digits(b, 7));
+}
+
+// ---- explorer -------------------------------------------------------------------
+
+TEST(Explorer, ClassifiesEqualAndVariableCompilations) {
+  TinyTest t;
+  core::SpaceExplorer explorer(&fpsem::global_code_model(), base(),
+                               toolchain::mfem_speed_reference());
+  const std::vector<toolchain::Compilation> space{
+      base(),
+      {toolchain::gcc(), toolchain::OptLevel::O2, ""},
+      unsafe(),
+  };
+  const auto result = explorer.explore(t, space);
+  ASSERT_EQ(result.outcomes.size(), 3u);
+  EXPECT_TRUE(result.outcomes[0].bitwise_equal());   // baseline vs itself
+  EXPECT_TRUE(result.outcomes[1].bitwise_equal());   // plain -O2 is strict
+  EXPECT_FALSE(result.outcomes[2].bitwise_equal());  // unsafe math differs
+  EXPECT_GT(result.outcomes[2].speedup, result.outcomes[0].speedup);
+  EXPECT_EQ(result.variable_count(), 1u);
+}
+
+TEST(Explorer, FastestSelectorsRespectCategories) {
+  TinyTest t;
+  core::SpaceExplorer explorer(&fpsem::global_code_model(), base(),
+                               toolchain::mfem_speed_reference());
+  const std::vector<toolchain::Compilation> space{
+      base(),
+      {toolchain::gcc(), toolchain::OptLevel::O3, ""},
+      unsafe(),
+  };
+  const auto result = explorer.explore(t, space);
+  const auto* fe = result.fastest_equal();
+  const auto* fv = result.fastest_variable();
+  ASSERT_NE(fe, nullptr);
+  ASSERT_NE(fv, nullptr);
+  EXPECT_TRUE(fe->bitwise_equal());
+  EXPECT_FALSE(fv->bitwise_equal());
+  EXPECT_EQ(fe->comp.opt, toolchain::OptLevel::O3);
+}
+
+// ---- hierarchical bisect over the synthetic app ------------------------------
+
+TEST(Hierarchy, RootCausesTheSummerFile) {
+  TinyTest t;
+  core::BisectConfig cfg;
+  cfg.baseline = base();
+  cfg.variable = {toolchain::clang(), toolchain::OptLevel::O3,
+                  "-ffast-math"};  // reassociates the sum
+  core::BisectDriver driver(&fpsem::global_code_model(), &t, cfg);
+  const auto out = driver.run();
+  ASSERT_FALSE(out.crashed) << out.crash_reason;
+  ASSERT_EQ(out.findings.size(), 1u);
+  EXPECT_EQ(out.findings[0].file, "tiny/summer.cpp");
+  EXPECT_GT(out.whole_value, 0.0);
+  if (out.findings[0].status ==
+      core::FileFinding::SymbolStatus::Found) {
+    ASSERT_EQ(out.findings[0].symbols.size(), 1u);
+    EXPECT_EQ(out.findings[0].symbols[0].symbol, "tiny::summer");
+  }
+  EXPECT_GT(out.executions, 0);
+  EXPECT_LT(out.executions, 20);
+}
+
+TEST(Hierarchy, NoVariabilityMeansNothingFound) {
+  TinyTest t;
+  core::BisectConfig cfg;
+  cfg.baseline = base();
+  cfg.variable = {toolchain::gcc(), toolchain::OptLevel::O2, "-mavx"};
+  core::BisectDriver driver(&fpsem::global_code_model(), &t, cfg);
+  const auto out = driver.run();
+  EXPECT_TRUE(out.nothing_found());
+  EXPECT_EQ(out.whole_value, 0.0);
+}
+
+// ---- workflow -----------------------------------------------------------------
+
+TEST(Workflow, EndToEndOverASmallSpace) {
+  TinyTest t;
+  core::WorkflowOptions opts;
+  opts.baseline = base();
+  opts.speed_reference = toolchain::mfem_speed_reference();
+  const std::vector<toolchain::Compilation> space{
+      base(),
+      {toolchain::gcc(), toolchain::OptLevel::O3, ""},
+      unsafe(),
+      {toolchain::clang(), toolchain::OptLevel::O3, "-ffast-math"},
+  };
+  const auto report =
+      core::run_workflow(&fpsem::global_code_model(), t, space, opts);
+  ASSERT_NE(report.fastest_reproducible, nullptr);
+  EXPECT_TRUE(report.fastest_reproducible->bitwise_equal());
+  EXPECT_EQ(report.bisects.size(), 2u);  // the two variable compilations
+  for (const auto& vb : report.bisects) {
+    EXPECT_FALSE(vb.outcome.bitwise_equal());
+    ASSERT_FALSE(vb.bisect.findings.empty());
+    EXPECT_EQ(vb.bisect.findings[0].file, "tiny/summer.cpp");
+  }
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// WorkflowOptions knobs: bisect opt-out, the max_bisects cap, and the
+// k/digits pass-through into the Level 3 searches.
+
+#include <gtest/gtest.h>
+
+#include "core/workflow.h"
+#include "fpsem/env.h"
+#include "toolchain/compiler.h"
+
+namespace {
+
+using namespace flit;
+
+const fpsem::FunctionId kWf = fpsem::register_fn({
+    .name = "wfopt::reduce",
+    .file = "wfopt/reduce.cpp",
+});
+
+class WfTest final : public core::TestBase {
+ public:
+  std::string name() const override { return "WfTest"; }
+  std::size_t getInputsPerRun() const override { return 0; }
+  std::vector<double> getDefaultInput() const override { return {}; }
+  core::TestResult run_impl(const std::vector<double>&,
+                            fpsem::EvalContext& ctx) const override {
+    std::vector<double> v(48);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = 0.3 * static_cast<double>(i + 1) + 1.0 / (i + 2.0);
+    }
+    fpsem::FpEnv env = ctx.fn(kWf);
+    return static_cast<long double>(env.sum(v));
+  }
+};
+
+std::vector<toolchain::Compilation> space() {
+  return {
+      toolchain::mfem_baseline(),
+      {toolchain::gcc(), toolchain::OptLevel::O2, ""},
+      {toolchain::gcc(), toolchain::OptLevel::O2,
+       "-funsafe-math-optimizations"},
+      {toolchain::gcc(), toolchain::OptLevel::O3,
+       "-funsafe-math-optimizations"},
+      {toolchain::clang(), toolchain::OptLevel::O3, "-ffast-math"},
+  };
+}
+
+core::WorkflowOptions base_opts() {
+  core::WorkflowOptions o;
+  o.baseline = toolchain::mfem_baseline();
+  o.speed_reference = toolchain::mfem_speed_reference();
+  return o;
+}
+
+TEST(WorkflowOptions, BisectOptOutSkipsLevel3) {
+  WfTest t;
+  auto o = base_opts();
+  o.run_bisect = false;
+  const auto s = space();
+  const auto r = core::run_workflow(&fpsem::global_code_model(), t, s, o);
+  EXPECT_EQ(r.study.variable_count(), 3u);
+  EXPECT_TRUE(r.bisects.empty());
+}
+
+TEST(WorkflowOptions, MaxBisectsCapsLevel3) {
+  WfTest t;
+  auto o = base_opts();
+  o.max_bisects = 2;
+  const auto s = space();
+  const auto r = core::run_workflow(&fpsem::global_code_model(), t, s, o);
+  EXPECT_EQ(r.bisects.size(), 2u);
+}
+
+TEST(WorkflowOptions, ZeroMaxMeansAll) {
+  WfTest t;
+  auto o = base_opts();
+  o.max_bisects = 0;
+  const auto s = space();
+  const auto r = core::run_workflow(&fpsem::global_code_model(), t, s, o);
+  EXPECT_EQ(r.bisects.size(), 3u);
+}
+
+TEST(WorkflowOptions, DigitsPassThroughSilencesTinyVariability) {
+  WfTest t;
+  auto o = base_opts();
+  o.digits = 3;  // reassociation noise invisible at 3 significant digits
+  const auto s = space();
+  const auto r = core::run_workflow(&fpsem::global_code_model(), t, s, o);
+  for (const auto& vb : r.bisects) {
+    EXPECT_TRUE(vb.bisect.nothing_found());
+  }
+}
+
+TEST(WorkflowOptions, FastestPointersLiveInTheStudy) {
+  WfTest t;
+  auto o = base_opts();
+  o.run_bisect = false;
+  const auto s = space();
+  const auto r = core::run_workflow(&fpsem::global_code_model(), t, s, o);
+  ASSERT_NE(r.fastest_reproducible, nullptr);
+  ASSERT_NE(r.fastest_any, nullptr);
+  EXPECT_GE(r.fastest_any->speedup, r.fastest_reproducible->speedup);
+  // Pointers must point into the returned study's outcome vector.
+  const auto* begin = r.study.outcomes.data();
+  const auto* end = begin + r.study.outcomes.size();
+  EXPECT_TRUE(r.fastest_reproducible >= begin &&
+              r.fastest_reproducible < end);
+}
+
+}  // namespace

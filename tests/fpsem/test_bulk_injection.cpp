@@ -1,0 +1,101 @@
+// Injection probing inside the bulk kernels: a reduction or elementwise
+// loop is ONE static instruction site (recorded once), but an armed
+// injection perturbs every dynamic element passing through it -- the
+// LLVM-pass behaviour of Sec. 3.5 for vectorized loops.
+
+#include <gtest/gtest.h>
+
+#include "fpsem/env.h"
+#include "fpsem/injection_hook.h"
+
+namespace {
+
+using namespace flit::fpsem;
+
+FunctionId bulk_fn() {
+  static const FunctionId id = register_fn({
+      .name = "test::bulk_fn",
+      .file = "test/bulk_injection.cpp",
+  });
+  return id;
+}
+
+EvalContext make_ctx() {
+  (void)bulk_fn();
+  return EvalContext(SemanticsMap(global_code_model().function_count()));
+}
+
+std::vector<double> data(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = 1.0 + 0.5 * i;
+  return v;
+}
+
+struct BulkResult {
+  double sum, dot;
+  std::vector<double> axpy;
+};
+
+BulkResult run_all(InjectionHook* hook) {
+  EvalContext ctx = make_ctx();
+  if (hook != nullptr) ctx.set_injection_hook(hook);
+  FpEnv env = ctx.fn(bulk_fn());
+  const auto v = data(8);
+  BulkResult r;
+  r.sum = env.sum(v);        // site 1
+  r.dot = env.dot(v, v);     // site 2
+  r.axpy = v;
+  env.axpy(2.0, v, r.axpy);  // site 3
+  return r;
+}
+
+TEST(BulkInjection, EachBulkKernelIsOneStaticSite) {
+  auto rec = InjectionHook::recorder();
+  (void)run_all(&rec);
+  EXPECT_EQ(rec.sites().size(), 3u);
+}
+
+TEST(BulkInjection, ArmedSitePerturbsEveryElement) {
+  auto rec = InjectionHook::recorder();
+  (void)run_all(&rec);
+  const auto sites = rec.sites();
+  ASSERT_EQ(sites.size(), 3u);
+  const BulkResult clean = run_all(nullptr);
+
+  // Arm the sum site with +1 per element: total grows by exactly n.
+  auto inj = InjectionHook::injector(sites[0], InjectOp::Add, 1.0);
+  const BulkResult sum_injected = run_all(&inj);
+  EXPECT_EQ(inj.hits(), 8u);  // one perturbation per dynamic element
+  EXPECT_DOUBLE_EQ(sum_injected.sum, clean.sum + 8.0);
+  EXPECT_EQ(sum_injected.dot, clean.dot);    // other sites untouched
+  EXPECT_EQ(sum_injected.axpy, clean.axpy);
+}
+
+TEST(BulkInjection, DotPerturbationScalesWithOperand) {
+  auto rec = InjectionHook::recorder();
+  (void)run_all(&rec);
+  const auto sites = rec.sites();
+  const BulkResult clean = run_all(nullptr);
+
+  auto inj = InjectionHook::injector(sites[1], InjectOp::Mul, 0.5);
+  const BulkResult injected = run_all(&inj);
+  EXPECT_EQ(injected.sum, clean.sum);
+  EXPECT_NEAR(injected.dot, 0.5 * clean.dot, 1e-12);
+}
+
+TEST(BulkInjection, AxpyPerturbationHitsEveryOutputEntry) {
+  auto rec = InjectionHook::recorder();
+  (void)run_all(&rec);
+  const auto sites = rec.sites();
+  const BulkResult clean = run_all(nullptr);
+
+  auto inj = InjectionHook::injector(sites[2], InjectOp::Add, 0.25);
+  const BulkResult injected = run_all(&inj);
+  ASSERT_EQ(injected.axpy.size(), clean.axpy.size());
+  for (std::size_t i = 0; i < clean.axpy.size(); ++i) {
+    // y[i] = 2*(x[i]+0.25) + y0[i] = clean + 0.5
+    EXPECT_NEAR(injected.axpy[i], clean.axpy[i] + 0.5, 1e-12) << i;
+  }
+}
+
+}  // namespace

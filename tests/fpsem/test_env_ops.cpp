@@ -1,0 +1,310 @@
+// Unit and property tests for the floating-point semantics engine: strict
+// IEEE behaviour of the baseline, and each variability mechanism (FMA
+// contraction, lane reassociation, extended precision, unsafe rewrites,
+// FTZ, fast libm) changing results in the expected, bounded way.
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fpsem/env.h"
+
+namespace {
+
+using namespace flit::fpsem;
+
+FunctionId test_fn() {
+  static const FunctionId id = register_fn({
+      .name = "test::env_ops_fn",
+      .file = "test/env_ops.cpp",
+  });
+  return id;
+}
+
+EvalContext make_ctx(FpSemantics sem, CostFactors cost = {}) {
+  const FunctionId id = test_fn();  // ensure registration before sizing
+  SemanticsMap map(global_code_model().function_count());
+  map.binding(id) = FnBinding{sem, cost};
+  return EvalContext(std::move(map));
+}
+
+TEST(EnvScalarOps, StrictMatchesIeee) {
+  EvalContext ctx = make_ctx({});
+  FpEnv env = ctx.fn(test_fn());
+  EXPECT_EQ(env.add(0.1, 0.2), 0.1 + 0.2);
+  EXPECT_EQ(env.sub(1.0, 0.3), 1.0 - 0.3);
+  EXPECT_EQ(env.mul(0.1, 0.3), 0.1 * 0.3);
+  EXPECT_EQ(env.div(1.0, 3.0), 1.0 / 3.0);
+  EXPECT_EQ(env.sqrt(2.0), std::sqrt(2.0));
+  EXPECT_EQ(env.exp(1.5), std::exp(1.5));
+  EXPECT_EQ(env.log(1.5), std::log(1.5));
+  EXPECT_EQ(env.sin(1.5), std::sin(1.5));
+  EXPECT_EQ(env.cos(1.5), std::cos(1.5));
+  EXPECT_EQ(env.pow(1.5, 2.5), std::pow(1.5, 2.5));
+}
+
+TEST(EnvScalarOps, MulAddStrictIsTwoRoundings) {
+  EvalContext ctx = make_ctx({});
+  FpEnv env = ctx.fn(test_fn());
+  const double a = 1.0 + 1e-15, b = 1.0 - 1e-15, c = -1.0;
+  EXPECT_EQ(env.mul_add(a, b, c), a * b + c);
+}
+
+TEST(EnvScalarOps, MulAddContractsToFma) {
+  FpSemantics sem;
+  sem.contract_fma = true;
+  EvalContext ctx = make_ctx(sem);
+  FpEnv env = ctx.fn(test_fn());
+  const double a = 1.0 + 1e-15, b = 1.0 - 1e-15, c = -1.0;
+  EXPECT_EQ(env.mul_add(a, b, c), std::fma(a, b, c));
+  // The classic case where contraction changes the value.
+  EXPECT_NE(env.mul_add(a, b, c), a * b + c);
+}
+
+TEST(EnvScalarOps, UnsafeDivisionUsesReciprocal) {
+  FpSemantics sem;
+  sem.unsafe_math = true;
+  EvalContext ctx = make_ctx(sem);
+  FpEnv env = ctx.fn(test_fn());
+  EXPECT_EQ(env.div(2.0, 3.0), 2.0 * (1.0 / 3.0));
+  // Reciprocal rounding differs from direct division for some pairs.
+  int differing = 0;
+  for (double x : {3.0, 7.0, 10.0, 11.0, 13.0}) {
+    for (double y : {7.0, 49.0, 81.0, 1.3, 2.7}) {
+      if (env.div(x, y) != x / y) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(EnvScalarOps, UnsafeSqrtIsCloseButNotExact) {
+  FpSemantics sem;
+  sem.unsafe_math = true;
+  EvalContext ctx = make_ctx(sem);
+  FpEnv env = ctx.fn(test_fn());
+  int differing = 0;
+  for (double x : {2.0, 3.0, 5.0, 7.0, 11.0, 0.3, 123.456}) {
+    const double approx = env.sqrt(x);
+    EXPECT_NEAR(approx, std::sqrt(x), 1e-11 * std::sqrt(x)) << x;
+    if (approx != std::sqrt(x)) ++differing;
+  }
+  EXPECT_GT(differing, 0);  // it is an approximation, not a relabeling
+  EXPECT_EQ(env.sqrt(0.0), 0.0);
+}
+
+TEST(EnvScalarOps, FastLibmIsLowAccuracy) {
+  FpSemantics sem;
+  sem.fast_libm = true;
+  EvalContext ctx = make_ctx(sem);
+  FpEnv env = ctx.fn(test_fn());
+  EXPECT_NEAR(env.exp(1.0), std::exp(1.0), 1e-6);
+  EXPECT_NE(env.exp(1.0), std::exp(1.0));
+  EXPECT_NEAR(env.sin(1.0), std::sin(1.0), 1e-6);
+  EXPECT_NE(env.sin(1.0), std::sin(1.0));
+}
+
+TEST(EnvScalarOps, UnsafePowGoesThroughExpLog) {
+  FpSemantics sem;
+  sem.unsafe_math = true;
+  EvalContext ctx = make_ctx(sem);
+  FpEnv env = ctx.fn(test_fn());
+  const double v = env.pow(1.7, 2.3);
+  EXPECT_NEAR(v, std::pow(1.7, 2.3), 1e-10);
+}
+
+TEST(EnvScalarOps, FlushSubnormalsToZero) {
+  FpSemantics sem;
+  sem.flush_subnormals = true;
+  EvalContext ctx = make_ctx(sem);
+  FpEnv env = ctx.fn(test_fn());
+  const double tiny = 1e-310;  // subnormal
+  EXPECT_EQ(env.mul(tiny, 0.5), 0.0);
+  EXPECT_EQ(env.mul(-tiny, 0.5), 0.0);
+  EXPECT_TRUE(std::signbit(env.mul(-tiny, 0.5)));
+  // Normal results untouched.
+  EXPECT_EQ(env.mul(2.0, 3.0), 6.0);
+}
+
+std::vector<double> ramp(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 0.1 * static_cast<double>(i + 1) + 1.0 / (i + 3.0);
+  }
+  return v;
+}
+
+TEST(EnvReductions, StrictSumIsLeftToRight) {
+  EvalContext ctx = make_ctx({});
+  FpEnv env = ctx.fn(test_fn());
+  const auto v = ramp(101);
+  double expect = 0.0;
+  for (double x : v) expect += x;
+  EXPECT_EQ(env.sum(v), expect);
+}
+
+TEST(EnvReductions, ReassociationChangesSum) {
+  FpSemantics sem;
+  sem.reassoc_width = 4;
+  EvalContext ctx = make_ctx(sem);
+  FpEnv env = ctx.fn(test_fn());
+  const auto v = ramp(101);
+  double strict = 0.0;
+  for (double x : v) strict += x;
+  const double lanes = env.sum(v);
+  EXPECT_NE(lanes, strict);
+  EXPECT_NEAR(lanes, strict, 1e-10 * std::fabs(strict));
+}
+
+class ReassocWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReassocWidthTest, MatchesExplicitLaneModel) {
+  const int w = GetParam();
+  FpSemantics sem;
+  sem.reassoc_width = w;
+  EvalContext ctx = make_ctx(sem);
+  FpEnv env = ctx.fn(test_fn());
+  const auto v = ramp(57);
+  std::vector<double> acc(static_cast<std::size_t>(w), 0.0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    acc[i % static_cast<std::size_t>(w)] += v[i];
+  }
+  double expect = 0.0;
+  for (double a : acc) expect += a;
+  EXPECT_EQ(env.sum(v), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ReassocWidthTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(EnvReductions, ExtendedPrecisionSumDiffersAndIsMoreAccurate) {
+  FpSemantics sem;
+  sem.extended_precision = true;
+  EvalContext ctx = make_ctx(sem);
+  FpEnv env = ctx.fn(test_fn());
+  // A sum with heavy cancellation: extended precision keeps more bits.
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) {
+    v.push_back(1e16);
+    v.push_back(1.0);
+    v.push_back(-1e16);
+  }
+  double strict = 0.0;
+  for (double x : v) strict += x;
+  const double wide = env.sum(v);
+  EXPECT_NE(wide, strict);
+  EXPECT_EQ(wide, 50.0);  // exact in 80-bit accumulation
+}
+
+TEST(EnvReductions, DotWithFmaDiffersFromStrict) {
+  const auto a = ramp(64);
+  const auto b = ramp(64);
+  EvalContext strict_ctx = make_ctx({});
+  FpSemantics sem;
+  sem.contract_fma = true;
+  EvalContext fma_ctx = make_ctx(sem);
+  const double ds = strict_ctx.fn(test_fn()).dot(a, b);
+  const double df = fma_ctx.fn(test_fn()).dot(a, b);
+  EXPECT_NE(ds, df);
+  EXPECT_NEAR(ds, df, 1e-12 * std::fabs(ds));
+}
+
+TEST(EnvReductions, DotStrictMatchesManual) {
+  const auto a = ramp(33);
+  const auto b = ramp(33);
+  EvalContext ctx = make_ctx({});
+  double expect = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) expect += a[i] * b[i];
+  EXPECT_EQ(ctx.fn(test_fn()).dot(a, b), expect);
+}
+
+TEST(EnvBulkOps, AxpyAndScalMatchManual) {
+  EvalContext ctx = make_ctx({});
+  FpEnv env = ctx.fn(test_fn());
+  auto x = ramp(17);
+  auto y = ramp(17);
+  auto y2 = y;
+  env.axpy(0.5, x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) y2[i] = 0.5 * x[i] + y2[i];
+  EXPECT_EQ(y, y2);
+  env.scal(2.0, y);
+  for (auto& v : y2) v *= 2.0;
+  EXPECT_EQ(y, y2);
+}
+
+TEST(EnvBulkOps, Norm2MatchesSqrtDot) {
+  EvalContext ctx = make_ctx({});
+  const auto v = ramp(29);
+  const double n = ctx.fn(test_fn()).norm2(v);
+  double dd = 0.0;
+  for (double x : v) dd += x * x;
+  EXPECT_EQ(n, std::sqrt(dd));
+}
+
+TEST(EnvDeterminism, SameSemanticsSameResult) {
+  FpSemantics sem;
+  sem.contract_fma = true;
+  sem.reassoc_width = 4;
+  sem.unsafe_math = true;
+  const auto v = ramp(200);
+  EvalContext c1 = make_ctx(sem);
+  EvalContext c2 = make_ctx(sem);
+  EXPECT_EQ(c1.fn(test_fn()).sum(v), c2.fn(test_fn()).sum(v));
+  EXPECT_EQ(c1.fn(test_fn()).dot(v, v), c2.fn(test_fn()).dot(v, v));
+}
+
+TEST(EnvCost, OpsAreTalliedWithTimeScale) {
+  EvalContext ctx = make_ctx({}, CostFactors{2.0, 1.0});
+  FpEnv env = ctx.fn(test_fn());
+  (void)env.add(1.0, 2.0);
+  EXPECT_EQ(ctx.counter().count(OpClass::Add), 1u);
+  EXPECT_DOUBLE_EQ(ctx.counter().cycles(), OpCosts::kAdd * 2.0);
+  (void)env.div(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(ctx.counter().cycles(),
+                   (OpCosts::kAdd + OpCosts::kDiv) * 2.0);
+}
+
+TEST(EnvCost, BulkOpsScaleWithVectorWidth) {
+  EvalContext narrow = make_ctx({}, CostFactors{1.0, 1.0});
+  EvalContext wide = make_ctx({}, CostFactors{1.0, 4.0});
+  const auto v = ramp(64);
+  (void)narrow.fn(test_fn()).sum(v);
+  (void)wide.fn(test_fn()).sum(v);
+  EXPECT_DOUBLE_EQ(narrow.counter().cycles(), 64.0 * OpCosts::kAdd);
+  EXPECT_DOUBLE_EQ(wide.counter().cycles(), 64.0 * OpCosts::kAdd / 4.0);
+}
+
+TEST(EnvCost, UnsafeDivIsNotMoreExpensive) {
+  // Reciprocal division's latency win is absorbed by memory-bound kernels:
+  // the model charges it no more than a precise division.
+  EvalContext strict_ctx = make_ctx({});
+  FpSemantics sem;
+  sem.unsafe_math = true;
+  EvalContext fast_ctx = make_ctx(sem);
+  (void)strict_ctx.fn(test_fn()).div(1.0, 3.0);
+  (void)fast_ctx.fn(test_fn()).div(1.0, 3.0);
+  EXPECT_LE(fast_ctx.counter().cycles(), strict_ctx.counter().cycles());
+}
+
+TEST(EnvCost, FastLibmIsCheaper) {
+  EvalContext strict_ctx = make_ctx({});
+  FpSemantics sem;
+  sem.fast_libm = true;
+  EvalContext fast_ctx = make_ctx(sem);
+  (void)strict_ctx.fn(test_fn()).exp(1.0);
+  (void)fast_ctx.fn(test_fn()).exp(1.0);
+  EXPECT_LT(fast_ctx.counter().cycles(), strict_ctx.counter().cycles());
+}
+
+TEST(EnvSemantics, StrictPredicate) {
+  EXPECT_TRUE(FpSemantics{}.strict());
+  FpSemantics s;
+  s.contract_fma = true;
+  EXPECT_FALSE(s.strict());
+  s = {};
+  s.reassoc_width = 2;
+  EXPECT_FALSE(s.strict());
+}
+
+}  // namespace

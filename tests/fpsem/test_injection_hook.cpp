@@ -1,0 +1,149 @@
+// Injection hook: pass-1 site recording and pass-2 single-site arming.
+
+#include <gtest/gtest.h>
+
+#include "fpsem/env.h"
+#include "fpsem/injection_hook.h"
+
+namespace {
+
+using namespace flit::fpsem;
+
+FunctionId fn_a() {
+  static const FunctionId id = register_fn({
+      .name = "test::inj_fn_a",
+      .file = "test/injection_hook.cpp",
+  });
+  return id;
+}
+FunctionId fn_b() {
+  static const FunctionId id = register_fn({
+      .name = "test::inj_fn_b",
+      .file = "test/injection_hook.cpp",
+  });
+  return id;
+}
+
+/// A tiny "application function" with two static FP instruction sites.
+double work_a(EvalContext& ctx, double x) {
+  FpEnv env = ctx.fn(fn_a());
+  const double y = env.mul(x, 3.0);   // site 1
+  return env.add(y, 1.0);             // site 2
+}
+
+double work_b(EvalContext& ctx, double x) {
+  FpEnv env = ctx.fn(fn_b());
+  return env.sub(x, 2.0);             // site 3
+}
+
+EvalContext make_ctx() {
+  (void)fn_a();  // ensure registration before sizing the map
+  (void)fn_b();
+  return EvalContext(SemanticsMap(global_code_model().function_count()));
+}
+
+TEST(InjectionHook, RecorderEnumeratesDistinctStaticSites) {
+  EvalContext ctx = make_ctx();
+  auto hook = InjectionHook::recorder();
+  ctx.set_injection_hook(&hook);
+  for (int i = 0; i < 5; ++i) {
+    (void)work_a(ctx, 1.0 + i);
+    (void)work_b(ctx, 2.0 + i);
+  }
+  const auto sites = hook.sites();
+  ASSERT_EQ(sites.size(), 3u);  // 3 static instructions despite 5 runs
+  int in_a = 0, in_b = 0;
+  for (const auto& s : sites) {
+    if (s.fn == fn_a()) ++in_a;
+    if (s.fn == fn_b()) ++in_b;
+  }
+  EXPECT_EQ(in_a, 2);
+  EXPECT_EQ(in_b, 1);
+}
+
+TEST(InjectionHook, InjectorPerturbsOnlyTheArmedSite) {
+  // Record to get the exact site identities.
+  EvalContext rctx = make_ctx();
+  auto rec = InjectionHook::recorder();
+  rctx.set_injection_hook(&rec);
+  (void)work_a(rctx, 1.0);
+  (void)work_b(rctx, 1.0);
+  const auto sites = rec.sites();
+  ASSERT_EQ(sites.size(), 3u);
+
+  const double clean_a = [&] {
+    EvalContext c = make_ctx();
+    return work_a(c, 1.0);
+  }();
+  const double clean_b = [&] {
+    EvalContext c = make_ctx();
+    return work_b(c, 1.0);
+  }();
+
+  for (const auto& target : sites) {
+    EvalContext ctx = make_ctx();
+    auto inj = InjectionHook::injector(target, InjectOp::Add, 0.5);
+    ctx.set_injection_hook(&inj);
+    const double a = work_a(ctx, 1.0);
+    const double b = work_b(ctx, 1.0);
+    if (target.fn == fn_a()) {
+      EXPECT_NE(a, clean_a);
+      EXPECT_EQ(b, clean_b);
+    } else {
+      EXPECT_EQ(a, clean_a);
+      EXPECT_NE(b, clean_b);
+    }
+    EXPECT_EQ(inj.hits(), 1u);
+  }
+}
+
+TEST(InjectionHook, AllFourOperationsApply) {
+  EvalContext rctx = make_ctx();
+  auto rec = InjectionHook::recorder();
+  rctx.set_injection_hook(&rec);
+  (void)work_b(rctx, 7.0);
+  const auto sites = rec.sites();
+  ASSERT_EQ(sites.size(), 1u);
+
+  const auto run_with = [&](InjectOp op, double eps) {
+    EvalContext ctx = make_ctx();
+    auto inj = InjectionHook::injector(sites[0], op, eps);
+    ctx.set_injection_hook(&inj);
+    return work_b(ctx, 7.0);
+  };
+  EXPECT_EQ(run_with(InjectOp::Add, 0.5), (7.0 + 0.5) - 2.0);
+  EXPECT_EQ(run_with(InjectOp::Sub, 0.5), (7.0 - 0.5) - 2.0);
+  EXPECT_EQ(run_with(InjectOp::Mul, 0.5), (7.0 * 0.5) - 2.0);
+  EXPECT_EQ(run_with(InjectOp::Div, 0.5), (7.0 / 0.5) - 2.0);
+}
+
+TEST(InjectionHook, TinyEpsilonCanBeBenign) {
+  EvalContext rctx = make_ctx();
+  auto rec = InjectionHook::recorder();
+  rctx.set_injection_hook(&rec);
+  (void)work_b(rctx, 7.0);
+  const auto sites = rec.sites();
+  ASSERT_EQ(sites.size(), 1u);
+
+  EvalContext ctx = make_ctx();
+  auto inj = InjectionHook::injector(sites[0], InjectOp::Add, 1e-100);
+  ctx.set_injection_hook(&inj);
+  EXPECT_EQ(work_b(ctx, 7.0), 7.0 - 2.0);  // absorbed: not measurable
+  EXPECT_EQ(inj.hits(), 1u);
+}
+
+TEST(InjectionHook, SiteOrderingIsDeterministic) {
+  const auto collect = [] {
+    EvalContext ctx = make_ctx();
+    auto rec = InjectionHook::recorder();
+    ctx.set_injection_hook(&rec);
+    (void)work_a(ctx, 1.0);
+    (void)work_b(ctx, 1.0);
+    return rec.sites();
+  };
+  const auto s1 = collect();
+  const auto s2 = collect();
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Geometry substrate (the Sec. 5 CGAL case study): predicate correctness,
+// hull invariants, and the headline phenomenon -- compiler-induced
+// variability changing a *discrete* answer (the hull vertex count).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.h"
+#include "geom/predicates.h"
+#include "toolchain/semantics_rules.h"
+
+namespace {
+
+using namespace flit;
+using geom::Point;
+
+fpsem::EvalContext strict() { return fpsem::strict_context(); }
+
+TEST(Orient2D, SignConventions) {
+  auto c = strict();
+  const Point a{0, 0}, b{1, 0};
+  EXPECT_GT(geom::orient2d(c, a, b, Point{0, 1}), 0.0);   // left turn
+  EXPECT_LT(geom::orient2d(c, a, b, Point{0, -1}), 0.0);  // right turn
+  EXPECT_EQ(geom::orient2d(c, a, b, Point{2, 0}), 0.0);   // collinear
+}
+
+TEST(Orient2D, SignFlipsUnderFmaOnNearCollinearInput) {
+  // The CGAL phenomenon in miniature: among the near-collinear cloud's
+  // consecutive triples, at least one orientation sign must differ
+  // between strict and FMA evaluation.
+  fpsem::FpSemantics fma_sem;
+  fma_sem.contract_fma = true;
+  const auto pts = geom::near_collinear_cloud(48);
+  int flips = 0;
+  for (std::size_t i = 4; i + 2 < pts.size(); ++i) {
+    auto cs = strict();
+    auto cf = fpsem::uniform_context(fpsem::FnBinding{fma_sem, {}});
+    const double s = geom::orient2d(cs, pts[i], pts[i + 1], pts[i + 2]);
+    const double f = geom::orient2d(cf, pts[i], pts[i + 1], pts[i + 2]);
+    if ((s > 0.0) != (f > 0.0) || (s < 0.0) != (f < 0.0)) ++flips;
+  }
+  EXPECT_GT(flips, 0);
+}
+
+TEST(InCircle, SignConventions) {
+  auto c = strict();
+  const Point a{0, 0}, b{2, 0}, cc{0, 2};
+  EXPECT_GT(geom::incircle(c, a, b, cc, Point{0.8, 0.8}), 0.0);  // inside
+  EXPECT_LT(geom::incircle(c, a, b, cc, Point{5, 5}), 0.0);      // outside
+}
+
+TEST(ConvexHull, SquareWithInteriorPoints) {
+  auto c = strict();
+  std::vector<Point> pts{{0, 0}, {4, 0}, {4, 4}, {0, 4},
+                         {2, 2}, {1, 3}, {3, 1}};
+  const auto hull = geom::convex_hull(c, pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_NEAR(geom::polygon_area2(c, hull), 32.0, 1e-12);  // 2 * 16
+}
+
+TEST(ConvexHull, DegenerateInputs) {
+  auto c = strict();
+  EXPECT_EQ(geom::convex_hull(c, {{1, 1}}).size(), 1u);
+  EXPECT_EQ(geom::convex_hull(c, {{1, 1}, {2, 2}}).size(), 2u);
+  // Duplicate points collapse.
+  EXPECT_EQ(geom::convex_hull(c, {{1, 1}, {1, 1}, {2, 2}}).size(), 2u);
+}
+
+TEST(ConvexHull, HullVerticesAreInputPoints) {
+  auto c = strict();
+  const auto pts = geom::near_collinear_cloud(32);
+  const auto hull = geom::convex_hull(c, pts);
+  for (const Point& h : hull) {
+    EXPECT_NE(std::find(pts.begin(), pts.end(), h), pts.end());
+  }
+}
+
+TEST(ConvexHull, DiscreteAnswerChangesUnderFma) {
+  const auto size_under = [&](fpsem::FpSemantics sem) {
+    auto ctx = fpsem::uniform_context(fpsem::FnBinding{sem, {}});
+    return geom::convex_hull(ctx, geom::near_collinear_cloud(48)).size();
+  };
+  fpsem::FpSemantics fma_sem;
+  fma_sem.contract_fma = true;
+  const auto s = size_under({});
+  const auto f = size_under(fma_sem);
+  EXPECT_NE(s, f) << "hull vertex count should be compilation-dependent";
+}
+
+TEST(ConvexHull, DeterministicPerSemantics) {
+  fpsem::FpSemantics fma_sem;
+  fma_sem.contract_fma = true;
+  const auto run = [&] {
+    auto ctx = fpsem::uniform_context(fpsem::FnBinding{fma_sem, {}});
+    return geom::convex_hull(ctx, geom::near_collinear_cloud(48));
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(HullTest, AdapterRoundTrip) {
+  geom::HullTest t;
+  auto ctx = strict();
+  const auto r = t.run_impl({}, ctx);
+  ASSERT_TRUE(std::holds_alternative<std::string>(r));
+  const auto& s = std::get<std::string>(r);
+  EXPECT_EQ(t.compare(s, s), 0.0L);
+}
+
+TEST(HullBisect, RootCausesThePredicateFile) {
+  geom::HullTest t;
+  core::BisectConfig cfg;
+  cfg.baseline = toolchain::mfem_baseline();
+  cfg.variable = {toolchain::gcc(), toolchain::OptLevel::O2, "-mavx2 -mfma"};
+  cfg.scope = geom::geom_source_files();
+  core::BisectDriver driver(&fpsem::global_code_model(), &t, cfg);
+  const auto out = driver.run();
+  ASSERT_FALSE(out.crashed) << out.crash_reason;
+  ASSERT_FALSE(out.findings.empty());
+  EXPECT_EQ(out.findings[0].file, "geom/predicates.cpp");
+  if (out.findings[0].status == core::FileFinding::SymbolStatus::Found) {
+    ASSERT_FALSE(out.findings[0].symbols.empty());
+    EXPECT_EQ(out.findings[0].symbols[0].symbol, "Geom::Orient2D");
+  }
+}
+
+}  // namespace

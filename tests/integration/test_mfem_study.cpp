@@ -1,0 +1,130 @@
+// Integration: the full FLiT pipeline over mini-MFEM examples -- space
+// exploration on a reduced compilation set, hierarchical bisect of found
+// variability, and the headline paper shapes on a sampled space.
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.h"
+#include "core/hierarchy.h"
+#include "core/workflow.h"
+#include "mfemini/examples.h"
+#include "toolchain/semantics_rules.h"
+
+namespace {
+
+using namespace flit;
+using toolchain::Compilation;
+using toolchain::OptLevel;
+
+std::vector<Compilation> small_space() {
+  return {
+      {toolchain::gcc(), OptLevel::O0, ""},
+      {toolchain::gcc(), OptLevel::O2, ""},
+      {toolchain::gcc(), OptLevel::O3, ""},
+      {toolchain::gcc(), OptLevel::O2, "-mavx"},
+      {toolchain::gcc(), OptLevel::O2, "-mavx2 -mfma"},
+      {toolchain::gcc(), OptLevel::O2, "-funsafe-math-optimizations"},
+      {toolchain::clang(), OptLevel::O3, ""},
+      {toolchain::clang(), OptLevel::O3, "-ffast-math"},
+      {toolchain::icpc(), OptLevel::O2, ""},
+      {toolchain::icpc(), OptLevel::O2, "-fp-model precise"},
+  };
+}
+
+core::StudyResult explore(int example) {
+  mfemini::MfemExampleTest t(example);
+  core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                               toolchain::mfem_baseline(),
+                               toolchain::mfem_speed_reference());
+  const auto space = small_space();
+  return explorer.explore(t, space);
+}
+
+TEST(MfemStudy, PlainGccCompilationsAreBitwiseEqual) {
+  const auto r = explore(1);
+  EXPECT_TRUE(r.outcomes[0].bitwise_equal());  // g++ -O0 (the baseline)
+  EXPECT_TRUE(r.outcomes[1].bitwise_equal());  // g++ -O2
+  EXPECT_TRUE(r.outcomes[2].bitwise_equal());  // g++ -O3
+  EXPECT_TRUE(r.outcomes[3].bitwise_equal());  // -mavx does not change values
+}
+
+TEST(MfemStudy, FmaAndUnsafeCompilationsAreVariableOnExample1) {
+  const auto r = explore(1);
+  EXPECT_FALSE(r.outcomes[4].bitwise_equal());  // -mavx2 -mfma
+  EXPECT_FALSE(r.outcomes[5].bitwise_equal());  // -funsafe-math
+  EXPECT_FALSE(r.outcomes[7].bitwise_equal());  // clang -ffast-math
+}
+
+TEST(MfemStudy, IntelIsVariableEvenUnderPreciseModelOnLibmExamples) {
+  // The link step substitutes fast libm regardless of switches (Fig. 5).
+  const auto r = explore(5);
+  EXPECT_FALSE(r.outcomes[8].bitwise_equal());  // icpc -O2
+  EXPECT_FALSE(r.outcomes[9].bitwise_equal());  // icpc -fp-model precise
+}
+
+TEST(MfemStudy, InvariantExamplesHaveNoVariableCompilations) {
+  for (int idx : {12, 18}) {
+    const auto r = explore(idx);
+    EXPECT_EQ(r.variable_count(), 0u) << "example " << idx;
+  }
+}
+
+TEST(MfemStudy, HigherOptLevelsAreFaster) {
+  const auto r = explore(2);
+  EXPECT_GT(r.outcomes[2].speedup, r.outcomes[1].speedup);  // O3 > O2
+  EXPECT_NEAR(r.outcomes[1].speedup, 1.0, 1e-9);  // O2 is the reference
+  EXPECT_LT(r.outcomes[0].speedup, 0.5);          // O0 is far slower
+}
+
+TEST(MfemStudy, BisectRootCausesExample13ToAddMultAAt) {
+  mfemini::MfemExampleTest t(13);
+  core::BisectConfig cfg;
+  cfg.baseline = toolchain::mfem_baseline();
+  cfg.variable = {toolchain::gcc(), OptLevel::O2, "-mavx2 -mfma"};
+  cfg.scope = mfemini::mfem_source_files();
+  core::BisectDriver driver(&fpsem::global_code_model(), &t, cfg);
+  const auto out = driver.run();
+  ASSERT_FALSE(out.crashed) << out.crash_reason;
+  ASSERT_FALSE(out.findings.empty());
+  // The dominant culprit file is the dense matrix kernel file.
+  EXPECT_EQ(out.findings[0].file, "linalg/densemat.cpp");
+  if (out.findings[0].status == core::FileFinding::SymbolStatus::Found) {
+    ASSERT_FALSE(out.findings[0].symbols.empty());
+    // AddMult_aAAt (or the MatMul that feeds it) tops the blame list.
+    const std::string& top = out.findings[0].symbols[0].symbol;
+    EXPECT_TRUE(top == "DenseMatrix::AddMult_aAAt" ||
+                top == "DenseMatrix::MatMul")
+        << top;
+  }
+}
+
+TEST(MfemStudy, BisectExecutionCountIsLogarithmicNotLinear) {
+  mfemini::MfemExampleTest t(13);
+  core::BisectConfig cfg;
+  cfg.baseline = toolchain::mfem_baseline();
+  cfg.variable = {toolchain::gcc(), OptLevel::O2, "-mavx2 -mfma"};
+  cfg.scope = mfemini::mfem_source_files();
+  cfg.k = 1;
+  core::BisectDriver driver(&fpsem::global_code_model(), &t, cfg);
+  const auto out = driver.run();
+  ASSERT_FALSE(out.crashed);
+  // The paper reports ~30 average executions on MFEM; our model is smaller.
+  EXPECT_LE(out.executions, 60);
+}
+
+TEST(MfemStudy, WorkflowRecommendsAReproducibleCompilation) {
+  mfemini::MfemExampleTest t(5);
+  core::WorkflowOptions opts;
+  opts.baseline = toolchain::mfem_baseline();
+  opts.speed_reference = toolchain::mfem_speed_reference();
+  opts.run_bisect = false;
+  const auto space = small_space();
+  const auto report =
+      core::run_workflow(&fpsem::global_code_model(), t, space, opts);
+  ASSERT_NE(report.fastest_reproducible, nullptr);
+  EXPECT_TRUE(report.fastest_reproducible->bitwise_equal());
+  EXPECT_EQ(report.fastest_reproducible->comp.compiler.family,
+            toolchain::CompilerFamily::GCC);
+}
+
+}  // namespace

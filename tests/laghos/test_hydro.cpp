@@ -1,0 +1,165 @@
+// mini-Laghos: physics sanity, determinism, and the two historical bugs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "laghos/hydro.h"
+#include "toolchain/semantics_rules.h"
+
+namespace {
+
+using namespace flit;
+using laghos::HydroOptions;
+using laghos::HydroState;
+
+fpsem::EvalContext uniform(fpsem::FpSemantics sem) {
+  return fpsem::uniform_context(fpsem::FnBinding{sem, {}});
+}
+
+fpsem::FpSemantics xlc_o3_sem() {
+  return toolchain::derive_semantics(toolchain::laghos_variable_xlc());
+}
+fpsem::FpSemantics xlc_o2_sem() {
+  return toolchain::derive_semantics(toolchain::laghos_trusted_xlc());
+}
+
+TEST(LaghosState, SodInitialCondition) {
+  const HydroState s = laghos::initial_state(40);
+  EXPECT_EQ(s.x.size(), 41u);
+  EXPECT_EQ(s.e.size(), 40u);
+  EXPECT_GT(s.rho[0], s.rho[39]);  // high-density left half
+  EXPECT_GT(s.e[0], s.e[39]);
+  double mass = 0.0;
+  for (double m : s.m) mass += m;
+  EXPECT_NEAR(mass, 0.5 * (1.0 + 0.125), 1e-12);
+}
+
+TEST(LaghosPhysics, EosPressureIsIdealGas) {
+  auto ctx = fpsem::strict_context();
+  std::vector<double> rho{1.0, 2.0}, e{2.5, 1.0}, p;
+  laghos::eos_pressure(ctx, 1.4, rho, e, p);
+  EXPECT_NEAR(p[0], 0.4 * 2.5, 1e-15);
+  EXPECT_NEAR(p[1], 0.4 * 2.0, 1e-15);
+}
+
+TEST(LaghosPhysics, SoundSpeedIsSqrtGammaPOverRho) {
+  auto ctx = fpsem::strict_context();
+  std::vector<double> p{1.4}, rho{1.4}, cs;
+  laghos::sound_speed(ctx, 1.4, p, rho, cs);
+  EXPECT_NEAR(cs[0], std::sqrt(1.4), 1e-15);
+}
+
+TEST(LaghosPhysics, SimulationConservesMassAndStaysFinite) {
+  auto ctx = fpsem::strict_context();
+  const HydroState s = laghos::simulate(ctx, {});
+  for (double e : s.e) {
+    EXPECT_TRUE(std::isfinite(e));
+    EXPECT_GT(e, 0.0);
+  }
+  // Lagrangian masses are invariant; density follows geometry.
+  for (std::size_t z = 0; z < s.e.size(); ++z) {
+    const double dx = s.x[z + 1] - s.x[z];
+    EXPECT_NEAR(s.rho[z] * dx, s.m[z], 1e-12) << z;
+  }
+  EXPECT_GT(s.t, 0.0);
+}
+
+TEST(LaghosPhysics, ShockMovesRight) {
+  auto ctx = fpsem::strict_context();
+  HydroOptions opts;
+  opts.steps = 60;
+  const HydroState s = laghos::simulate(ctx, opts);
+  // The contact/shock pushes mass into the right half: some right-half
+  // zone must have compressed noticeably above its initial density.
+  double max_right_rho = 0.0;
+  for (std::size_t z = s.e.size() / 2; z < s.e.size(); ++z) {
+    max_right_rho = std::max(max_right_rho, s.rho[z]);
+  }
+  EXPECT_GT(max_right_rho, 0.15);
+}
+
+TEST(LaghosPhysics, DeterministicUnderEverySemantics) {
+  for (const auto& sem : {fpsem::FpSemantics{}, xlc_o2_sem(), xlc_o3_sem()}) {
+    auto c1 = uniform(sem);
+    auto c2 = uniform(sem);
+    HydroOptions opts;
+    opts.epsilon_zero_compare = true;
+    const double n1 = laghos::energy_norm(c1, laghos::simulate(c1, opts));
+    const double n2 = laghos::energy_norm(c2, laghos::simulate(c2, opts));
+    EXPECT_EQ(n1, n2);
+  }
+}
+
+TEST(LaghosBugs, XorSwapMakesEverythingNanUnderUbOptimizer) {
+  auto ctx = uniform(xlc_o3_sem());
+  HydroOptions opts;
+  opts.use_xor_swap_bug = true;
+  const HydroState s = laghos::simulate(ctx, opts);
+  EXPECT_TRUE(std::isnan(s.last_dt));
+  // A strict compilation of the same buggy source behaves fine (the UB is
+  // only "exploited" by the aggressive optimizer).
+  auto strict = fpsem::strict_context();
+  const HydroState ok = laghos::simulate(strict, opts);
+  EXPECT_FALSE(std::isnan(ok.last_dt));
+}
+
+TEST(LaghosBugs, MinMaxReduceBehaveWithoutTheBug) {
+  auto ctx = fpsem::strict_context();
+  EXPECT_EQ(laghos::min_reduce(ctx, {3.0, 1.0, 2.0}, false), 1.0);
+  EXPECT_EQ(laghos::max_reduce(ctx, {3.0, 1.0, 2.0}, false), 3.0);
+  EXPECT_EQ(laghos::min_reduce(ctx, {3.0, 1.0, 2.0}, true), 1.0);
+}
+
+TEST(LaghosBugs, ZeroCompareBranchAmplifiesVariability) {
+  // With the exact == 0.0 compare, a value-unsafe compilation diverges
+  // macroscopically; with the epsilon fix it stays close to trusted --
+  // exactly the Sec. 3.4 story.
+  const auto norm_under = [&](fpsem::FpSemantics sem, bool fixed) {
+    auto ctx = uniform(sem);
+    HydroOptions opts;
+    opts.epsilon_zero_compare = fixed;
+    return laghos::energy_norm(ctx, laghos::simulate(ctx, opts));
+  };
+  const double trusted = norm_under(xlc_o2_sem(), false);
+  const double buggy_o3 = norm_under(xlc_o3_sem(), false);
+  const double fixed_trusted = norm_under(xlc_o2_sem(), true);
+  const double fixed_o3 = norm_under(xlc_o3_sem(), true);
+
+  const double rel_buggy = std::fabs(buggy_o3 - trusted) / trusted;
+  const double rel_fixed = std::fabs(fixed_o3 - fixed_trusted) / fixed_trusted;
+  EXPECT_GT(rel_buggy, 1e-3);             // macroscopic divergence
+  EXPECT_LT(rel_fixed, rel_buggy / 10.0); // the fix tames it
+}
+
+TEST(LaghosBugs, O3IsMuchFasterThanO2) {
+  // The motivating observation: xlc -O3 ran Laghos ~2.4x faster than -O2.
+  const auto cycles_under = [&](const toolchain::Compilation& c) {
+    auto ctx = fpsem::uniform_context(fpsem::FnBinding{
+        toolchain::derive_semantics(c), toolchain::derive_cost(c)});
+    (void)laghos::simulate(ctx, {});
+    return ctx.counter().cycles();
+  };
+  const double o2 = cycles_under(toolchain::laghos_trusted_xlc());
+  const double o3 = cycles_under(toolchain::laghos_variable_xlc());
+  EXPECT_GT(o2 / o3, 1.8);
+  EXPECT_LT(o2 / o3, 3.5);
+}
+
+TEST(LaghosAdapter, CompareHandlesNan) {
+  laghos::LaghosTest t;
+  const long double nan = std::numeric_limits<long double>::quiet_NaN();
+  EXPECT_EQ(t.compare(nan, nan), 0.0L);
+  EXPECT_EQ(t.compare(1.0L, nan), HUGE_VALL);
+  EXPECT_EQ(t.compare(1.0L, 1.5L), 0.5L);
+}
+
+TEST(LaghosAdapter, SourceFilesMatchTheModel) {
+  const auto files = laghos::laghos_source_files();
+  EXPECT_EQ(files.size(), 4u);
+  for (const auto& f : files) {
+    EXPECT_FALSE(fpsem::global_code_model().functions_in(f).empty()) << f;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Dense matrix kernels: correctness under the strict baseline and the FMA
+// sensitivity of the Finding 2 kernel.
+
+#include <gtest/gtest.h>
+
+#include "linalg/densemat.h"
+
+namespace {
+
+using namespace flit;
+using linalg::DenseMatrix;
+using linalg::Vector;
+
+fpsem::EvalContext ctx() { return fpsem::strict_context(); }
+
+DenseMatrix sample(std::size_t n) {
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = 1.0 / static_cast<double>(i + j + 1) + (i == j ? 2.0 : 0.0);
+    }
+  }
+  return a;
+}
+
+TEST(DenseMatrix, MultMatchesManual) {
+  auto c = ctx();
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;  a(0, 1) = 2;  a(0, 2) = 3;
+  a(1, 0) = 4;  a(1, 1) = 5;  a(1, 2) = 6;
+  Vector x{1.0, 1.0, 1.0}, y;
+  linalg::mult(c, a, x, y);
+  EXPECT_EQ(y, (Vector{6.0, 15.0}));
+}
+
+TEST(DenseMatrix, MultTransposeMatchesManual) {
+  auto c = ctx();
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;  a(0, 1) = 2;  a(0, 2) = 3;
+  a(1, 0) = 4;  a(1, 1) = 5;  a(1, 2) = 6;
+  Vector x{1.0, 1.0}, y;
+  linalg::mult_transpose(c, a, x, y);
+  EXPECT_EQ(y, (Vector{5.0, 7.0, 9.0}));
+}
+
+TEST(DenseMatrix, MatMulIdentity) {
+  auto c = ctx();
+  const DenseMatrix a = sample(4);
+  DenseMatrix eye(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) eye(i, i) = 1.0;
+  DenseMatrix out;
+  linalg::matmul(c, a, eye, out);
+  EXPECT_EQ(out, a);
+}
+
+TEST(DenseMatrix, LuSolveRecoversKnownSolution) {
+  auto c = ctx();
+  const DenseMatrix a = sample(6);
+  Vector x_true(6);
+  for (std::size_t i = 0; i < 6; ++i) x_true[i] = 1.0 + 0.5 * i;
+  Vector b;
+  linalg::mult(c, a, x_true, b);
+  Vector x;
+  linalg::lu_solve(c, a, b, x);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-12);
+}
+
+TEST(DenseMatrix, LuSolveThrowsOnSingular) {
+  auto c = ctx();
+  DenseMatrix a(2, 2);  // all zeros
+  Vector b{1.0, 1.0}, x;
+  EXPECT_THROW(linalg::lu_solve(c, a, b, x), std::domain_error);
+}
+
+TEST(DenseMatrix, DetOfTriangularAndSingular) {
+  auto c = ctx();
+  DenseMatrix a(3, 3);
+  a(0, 0) = 2.0;  a(1, 1) = 3.0;  a(2, 2) = 4.0;
+  EXPECT_NEAR(linalg::det(c, a), 24.0, 1e-12);
+  DenseMatrix z(2, 2);
+  EXPECT_EQ(linalg::det(c, z), 0.0);
+}
+
+TEST(DenseMatrix, FrobeniusNorm) {
+  auto c = ctx();
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;  a(0, 1) = 2.0;  a(1, 0) = 2.0;  a(1, 1) = 4.0;
+  EXPECT_EQ(linalg::frobenius_norm(c, a), 5.0);
+}
+
+TEST(DenseMatrix, PowerStepConvergesTowardDominantEigenvector) {
+  auto c = ctx();
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3.0;  a(1, 1) = 1.0;
+  Vector v{1.0, 1.0}, w;
+  double rayleigh = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    rayleigh = linalg::power_step(c, a, v, w);
+    v = w;
+  }
+  EXPECT_NEAR(std::fabs(v[0]), 1.0, 1e-9);
+  EXPECT_NEAR(v[1], 0.0, 1e-9);
+  EXPECT_NEAR(rayleigh, 3.0, 1e-9);
+}
+
+TEST(DenseMatrix, AddMultAAtMatchesMatmulUnderStrictSemantics) {
+  auto c = ctx();
+  const DenseMatrix a = sample(5);
+  DenseMatrix at(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) at(i, j) = a(j, i);
+  }
+  DenseMatrix aat;
+  linalg::matmul(c, a, at, aat);
+  DenseMatrix m(5, 5);
+  linalg::add_mult_aAAt(c, 1.0, a, m);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(m(i, j), aat(i, j), 1e-13) << i << "," << j;
+    }
+  }
+}
+
+TEST(DenseMatrix, AddMultAAtIsFmaSensitive) {
+  // The Finding 2 mechanism: under FMA contraction the kernel's rounding
+  // differs from the strict evaluation.
+  const DenseMatrix a = sample(6);
+  const auto run = [&](fpsem::FpSemantics sem) {
+    auto c = fpsem::uniform_context(fpsem::FnBinding{sem, {}});
+    DenseMatrix m(6, 6);
+    linalg::add_mult_aAAt(c, 0.7, a, m);
+    return m;
+  };
+  fpsem::FpSemantics fma_sem;
+  fma_sem.contract_fma = true;
+  EXPECT_NE(run({}), run(fma_sem));
+}
+
+TEST(DenseMatrix, AddMultAAtRejectsNonSquare) {
+  auto c = ctx();
+  DenseMatrix a(2, 3), m(2, 2);
+  EXPECT_THROW(linalg::add_mult_aAAt(c, 1.0, a, m), std::invalid_argument);
+}
+
+}  // namespace

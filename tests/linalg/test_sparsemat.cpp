@@ -1,0 +1,150 @@
+// CSR sparse matrix: construction, SpMV, smoothers, utilities.
+
+#include <gtest/gtest.h>
+
+#include "linalg/sparsemat.h"
+
+namespace {
+
+using namespace flit;
+using linalg::SparseMatrix;
+using linalg::Vector;
+
+fpsem::EvalContext ctx() { return fpsem::strict_context(); }
+
+/// 1D Laplacian tridiagonal [-1, 2, -1].
+SparseMatrix laplacian(std::size_t n) {
+  SparseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(i, i, 2.0);
+    if (i > 0) a.add(i, i - 1, -1.0);
+    if (i + 1 < n) a.add(i, i + 1, -1.0);
+  }
+  a.finalize();
+  return a;
+}
+
+TEST(SparseMatrix, TripletsMergeDuplicates) {
+  SparseMatrix a(2, 2);
+  a.add(0, 0, 1.0);
+  a.add(0, 0, 2.5);
+  a.add(1, 0, -1.0);
+  a.finalize();
+  EXPECT_EQ(a.nnz(), 2u);
+  auto c = ctx();
+  Vector x{1.0, 0.0}, y;
+  linalg::mult(c, a, x, y);
+  EXPECT_EQ(y, (Vector{3.5, -1.0}));
+}
+
+TEST(SparseMatrix, AddAfterFinalizeRejected) {
+  SparseMatrix a(2, 2);
+  a.finalize();
+  EXPECT_THROW(a.add(0, 0, 1.0), std::logic_error);
+}
+
+TEST(SparseMatrix, OutOfRangeTripletRejected) {
+  SparseMatrix a(2, 2);
+  EXPECT_THROW(a.add(2, 0, 1.0), std::out_of_range);
+}
+
+TEST(SparseMatrix, KernelsRequireFinalize) {
+  SparseMatrix a(2, 2);
+  a.add(0, 0, 1.0);
+  auto c = ctx();
+  Vector x{1.0, 1.0}, y;
+  EXPECT_THROW(linalg::mult(c, a, x, y), std::logic_error);
+}
+
+TEST(SparseMatrix, MultMatchesDenseEquivalent) {
+  auto c = ctx();
+  const SparseMatrix a = laplacian(5);
+  Vector x{1.0, 2.0, 3.0, 4.0, 5.0}, y;
+  linalg::mult(c, a, x, y);
+  EXPECT_EQ(y, (Vector{0.0, 0.0, 0.0, 0.0, 6.0}));
+}
+
+TEST(SparseMatrix, DiagExtraction) {
+  auto c = ctx();
+  const SparseMatrix a = laplacian(4);
+  Vector d;
+  linalg::diag(c, a, d);
+  EXPECT_EQ(d, (Vector{2.0, 2.0, 2.0, 2.0}));
+}
+
+TEST(SparseMatrix, ResidualIsZeroAtSolution) {
+  auto c = ctx();
+  const SparseMatrix a = laplacian(3);
+  Vector x{1.0, 1.0, 1.0}, b, r;
+  linalg::mult(c, a, x, b);
+  linalg::residual(c, a, b, x, r);
+  EXPECT_EQ(r, (Vector{0.0, 0.0, 0.0}));
+}
+
+TEST(SparseMatrix, GaussSeidelReducesResidual) {
+  auto c = ctx();
+  const SparseMatrix a = laplacian(8);
+  Vector b(8, 1.0), x(8, 0.0), r;
+  linalg::residual(c, a, b, x, r);
+  const double r0 = linalg::norml2(c, r);
+  for (int i = 0; i < 20; ++i) linalg::gauss_seidel(c, a, b, x);
+  linalg::residual(c, a, b, x, r);
+  EXPECT_LT(linalg::norml2(c, r), 0.5 * r0);
+}
+
+TEST(SparseMatrix, GaussSeidelThrowsOnZeroDiagonal) {
+  SparseMatrix a(2, 2);
+  a.add(0, 1, 1.0);
+  a.add(1, 0, 1.0);
+  a.finalize();
+  auto c = ctx();
+  Vector b{1.0, 1.0}, x(2, 0.0);
+  EXPECT_THROW(linalg::gauss_seidel(c, a, b, x), std::domain_error);
+}
+
+TEST(SparseMatrix, JacobiSmoothConvergesOnDiagonallyDominant) {
+  auto c = ctx();
+  SparseMatrix a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a.add(i, i, 4.0);
+    if (i + 1 < 4) {
+      a.add(i, i + 1, -1.0);
+      a.add(i + 1, i, -1.0);
+    }
+  }
+  a.finalize();
+  Vector b(4, 1.0), x(4, 0.0), r;
+  for (int i = 0; i < 50; ++i) linalg::jacobi_smooth(c, a, b, 0.8, x);
+  linalg::residual(c, a, b, x, r);
+  EXPECT_LT(linalg::norml2(c, r), 1e-8);
+}
+
+TEST(SparseMatrix, RowSumsMatchManual) {
+  auto c = ctx();
+  const SparseMatrix a = laplacian(4);
+  Vector s;
+  linalg::row_sums(c, a, s);
+  EXPECT_EQ(s, (Vector{1.0, 0.0, 0.0, 1.0}));
+}
+
+TEST(SparseMatrix, SpmvIsReassociationSensitiveOnLongRows) {
+  // A dense-ish row accumulated with FMA differs from strict.
+  SparseMatrix a(1, 40);
+  for (std::size_t j = 0; j < 40; ++j) {
+    a.add(0, j, 1.0 / static_cast<double>(j + 3));
+  }
+  a.finalize();
+  Vector x(40);
+  for (std::size_t j = 0; j < 40; ++j) x[j] = 0.1 * (j + 1);
+  const auto run = [&](fpsem::FpSemantics sem) {
+    auto c = fpsem::uniform_context(fpsem::FnBinding{sem, {}});
+    Vector y;
+    linalg::mult(c, a, x, y);
+    return y[0];
+  };
+  fpsem::FpSemantics fma_sem;
+  fma_sem.contract_fma = true;
+  EXPECT_NE(run({}), run(fma_sem));
+}
+
+}  // namespace

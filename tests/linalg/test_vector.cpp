@@ -1,0 +1,104 @@
+// Vector kernels under the strict baseline, serialization round-trips and
+// the l2 string metric.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector.h"
+
+namespace {
+
+using namespace flit;
+using linalg::Vector;
+
+fpsem::EvalContext ctx() { return fpsem::strict_context(); }
+
+Vector iota(std::size_t n) {
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = 0.25 * static_cast<double>(i) + 1.0;
+  return v;
+}
+
+TEST(Vector, DotMatchesManual) {
+  auto c = ctx();
+  const Vector a = iota(9), b = iota(9);
+  double expect = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) expect += a[i] * b[i];
+  EXPECT_EQ(linalg::dot(c, a, b), expect);
+}
+
+TEST(Vector, DotRejectsSizeMismatch) {
+  auto c = ctx();
+  EXPECT_THROW((void)linalg::dot(c, iota(3), iota(4)), std::invalid_argument);
+}
+
+TEST(Vector, Norml2) {
+  auto c = ctx();
+  Vector v{3.0, 4.0};
+  EXPECT_EQ(linalg::norml2(c, v), 5.0);
+}
+
+TEST(Vector, SumAddAxpyScale) {
+  auto c = ctx();
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(linalg::sum(c, v), 6.0);
+  Vector y{1.0, 1.0, 1.0};
+  linalg::add(c, v, y);
+  EXPECT_EQ(y, (Vector{2.0, 3.0, 4.0}));
+  linalg::axpy(c, 2.0, v, y);
+  EXPECT_EQ(y, (Vector{4.0, 7.0, 10.0}));
+  linalg::scale(c, 0.5, y);
+  EXPECT_EQ(y, (Vector{2.0, 3.5, 5.0}));
+}
+
+TEST(Vector, SubtractAndDistance) {
+  auto c = ctx();
+  Vector a{5.0, 7.0}, b{2.0, 3.0}, out;
+  linalg::subtract(c, a, b, out);
+  EXPECT_EQ(out, (Vector{3.0, 4.0}));
+  EXPECT_EQ(linalg::distance(c, a, b), 5.0);
+}
+
+TEST(Vector, WeightedMean) {
+  auto c = ctx();
+  Vector v{1.0, 3.0}, w{1.0, 1.0};
+  EXPECT_EQ(linalg::weighted_mean(c, v, w), 2.0);
+}
+
+TEST(Vector, SerializeRoundTripIsLossless) {
+  Vector v{0.1, -1.0 / 3.0, 1e-300, 6.02214076e23, 0.0, -0.0};
+  const Vector back = linalg::deserialize(linalg::serialize(v));
+  ASSERT_EQ(back.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(std::signbit(back[i]), std::signbit(v[i]));
+    EXPECT_EQ(back[i], v[i]);
+  }
+}
+
+TEST(Vector, DeserializeRejectsGarbage) {
+  EXPECT_THROW((void)linalg::deserialize("3 0x1p0"), std::invalid_argument);
+}
+
+TEST(Vector, L2StringMetricZeroForIdentical) {
+  const std::string s = linalg::serialize(iota(8));
+  EXPECT_EQ(linalg::l2_string_metric(s, s), 0.0L);
+}
+
+TEST(Vector, L2StringMetricAbsoluteAndRelative) {
+  Vector a{2.0, 0.0}, b{2.0, 1.0};
+  const auto abs_m =
+      linalg::l2_string_metric(linalg::serialize(a), linalg::serialize(b));
+  EXPECT_EQ(abs_m, 1.0L);
+  const auto rel_m = linalg::l2_string_metric(linalg::serialize(a),
+                                              linalg::serialize(b), true);
+  EXPECT_EQ(rel_m, 0.5L);
+}
+
+TEST(Vector, L2StringMetricSizeMismatchIsInfinite) {
+  EXPECT_EQ(linalg::l2_string_metric(linalg::serialize(iota(3)),
+                                     linalg::serialize(iota(4))),
+            HUGE_VALL);
+}
+
+}  // namespace

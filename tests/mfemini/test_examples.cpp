@@ -1,0 +1,141 @@
+// The 19 MFEM mini examples: every one runs, is deterministic, and has the
+// engineered sensitivity profile (invariance of 12/18, libm use of
+// 4/5/9/10/15, FMA-fragility of 8/13).
+
+#include <gtest/gtest.h>
+
+#include "mfemini/examples.h"
+#include "toolchain/semantics_rules.h"
+
+namespace {
+
+using namespace flit;
+using linalg::Vector;
+
+Vector run_under(int idx, fpsem::FpSemantics sem) {
+  auto ctx = fpsem::uniform_context(fpsem::FnBinding{sem, {}});
+  return mfemini::run_example(idx, ctx);
+}
+
+long double rel_diff(const Vector& a, const Vector& b) {
+  return linalg::l2_string_metric(linalg::serialize(a), linalg::serialize(b),
+                                  /*relative=*/true);
+}
+
+class ExampleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExampleTest, RunsAndProducesFiniteValues) {
+  const Vector v = run_under(GetParam(), {});
+  ASSERT_FALSE(v.empty());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(v[i])) << "entry " << i;
+  }
+}
+
+TEST_P(ExampleTest, DeterministicAcrossRuns) {
+  EXPECT_EQ(run_under(GetParam(), {}), run_under(GetParam(), {}));
+}
+
+TEST_P(ExampleTest, DeterministicUnderAggressiveSemanticsToo) {
+  fpsem::FpSemantics sem;
+  sem.contract_fma = true;
+  sem.reassoc_width = 4;
+  sem.unsafe_math = true;
+  sem.fast_libm = true;
+  EXPECT_EQ(run_under(GetParam(), sem), run_under(GetParam(), sem));
+}
+
+INSTANTIATE_TEST_SUITE_P(All19, ExampleTest,
+                         ::testing::Range(1, mfemini::kNumExamples + 1));
+
+TEST(ExampleInvariance, Examples12And18AreBitwiseInvariant) {
+  for (int idx : {12, 18}) {
+    const Vector base = run_under(idx, {});
+    fpsem::FpSemantics sems[4];
+    sems[0].contract_fma = true;
+    sems[1].reassoc_width = 4;
+    sems[1].unsafe_math = true;
+    sems[2].extended_precision = true;
+    sems[3].contract_fma = true;
+    sems[3].reassoc_width = 8;
+    sems[3].unsafe_math = true;
+    sems[3].flush_subnormals = true;
+    sems[3].fast_libm = true;
+    for (const auto& s : sems) {
+      EXPECT_EQ(run_under(idx, s), base) << "example " << idx;
+    }
+  }
+}
+
+TEST(ExampleSensitivity, MostExamplesChangeUnderFullFastMath) {
+  fpsem::FpSemantics sem;
+  sem.contract_fma = true;
+  sem.reassoc_width = 4;
+  sem.unsafe_math = true;
+  sem.fast_libm = true;
+  int variable = 0;
+  for (int idx = 1; idx <= mfemini::kNumExamples; ++idx) {
+    if (rel_diff(run_under(idx, {}), run_under(idx, sem)) > 0.0L) ++variable;
+  }
+  EXPECT_GE(variable, 14);  // nearly everything except 12/18 moves
+}
+
+TEST(ExampleSensitivity, LibmExamplesReactToFastLibmAlone) {
+  fpsem::FpSemantics sem;
+  sem.fast_libm = true;
+  for (int idx : {4, 5, 9, 10, 15}) {
+    EXPECT_GT(rel_diff(run_under(idx, {}), run_under(idx, sem)), 0.0L)
+        << "example " << idx;
+  }
+}
+
+TEST(ExampleSensitivity, Example13HasCatastrophicRelativeError) {
+  fpsem::FpSemantics sem;
+  sem.contract_fma = true;
+  const long double err = rel_diff(run_under(13, {}), run_under(13, sem));
+  EXPECT_GT(err, 0.5L);   // O(100%) relative error, as in Finding 2
+  EXPECT_LT(err, 50.0L);  // but not unbounded garbage
+}
+
+TEST(ExampleSensitivity, Example8MovesUnderFmaMoreThanTypicalExamples) {
+  fpsem::FpSemantics sem;
+  sem.contract_fma = true;
+  const long double e8 = rel_diff(run_under(8, {}), run_under(8, sem));
+  const long double e1 = rel_diff(run_under(1, {}), run_under(1, sem));
+  EXPECT_GT(e8, 0.0L);
+  EXPECT_GE(e8, e1);
+}
+
+TEST(Examples, InvalidIndexThrows) {
+  auto ctx = fpsem::strict_context();
+  EXPECT_THROW((void)mfemini::run_example(0, ctx), std::out_of_range);
+  EXPECT_THROW((void)mfemini::run_example(20, ctx), std::out_of_range);
+}
+
+TEST(Examples, SourceFileListMatchesTheCodeModel) {
+  const auto files = mfemini::mfem_source_files();
+  EXPECT_EQ(files.size(), 13u);
+  auto& model = fpsem::global_code_model();
+  for (const auto& f : files) {
+    EXPECT_FALSE(model.functions_in(f).empty()) << f;
+  }
+}
+
+TEST(ExampleAdapter, TestBaseRoundTrip) {
+  mfemini::MfemExampleTest t(3);
+  EXPECT_EQ(t.name(), "MFEM_ex3");
+  EXPECT_EQ(t.getInputsPerRun(), 0u);
+  auto ctx = fpsem::strict_context();
+  const auto r = t.run_impl({}, ctx);
+  ASSERT_TRUE(std::holds_alternative<std::string>(r));
+  const auto& s = std::get<std::string>(r);
+  EXPECT_EQ(t.compare(s, s), 0.0L);
+}
+
+TEST(ExampleAdapter, CompareIsRelativeL2) {
+  mfemini::MfemExampleTest t(1);
+  Vector a{2.0, 0.0}, b{2.0, 1.0};
+  EXPECT_EQ(t.compare(linalg::serialize(a), linalg::serialize(b)), 0.5L);
+}
+
+}  // namespace

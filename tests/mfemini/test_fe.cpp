@@ -1,0 +1,108 @@
+// Shape functions: partition of unity, node interpolation, gradients, and
+// the element transformations.
+
+#include <gtest/gtest.h>
+
+#include "mfemini/eltrans.h"
+#include "mfemini/fe.h"
+#include "mfemini/mesh.h"
+
+namespace {
+
+using namespace flit;
+using linalg::Vector;
+using mfemini::Mesh;
+
+fpsem::EvalContext ctx() { return fpsem::strict_context(); }
+
+TEST(FE, Shape1DPartitionOfUnityAndNodes) {
+  auto c = ctx();
+  Vector n;
+  mfemini::shape_1d(c, 0.3, n);
+  EXPECT_NEAR(n[0] + n[1], 1.0, 1e-15);
+  mfemini::shape_1d(c, 0.0, n);
+  EXPECT_EQ(n[0], 1.0);
+  EXPECT_EQ(n[1], 0.0);
+  mfemini::shape_1d(c, 1.0, n);
+  EXPECT_EQ(n[0], 0.0);
+  EXPECT_EQ(n[1], 1.0);
+}
+
+TEST(FE, Shape2DPartitionOfUnityAndNodes) {
+  auto c = ctx();
+  Vector n;
+  mfemini::shape_2d(c, 0.3, 0.7, n);
+  EXPECT_NEAR(n[0] + n[1] + n[2] + n[3], 1.0, 1e-15);
+  mfemini::shape_2d(c, 0.0, 0.0, n);
+  EXPECT_EQ(n[0], 1.0);
+  mfemini::shape_2d(c, 1.0, 1.0, n);
+  EXPECT_EQ(n[2], 1.0);
+}
+
+TEST(FE, DShape2DRowsSumToZero) {
+  auto c = ctx();
+  Vector dxi, deta;
+  mfemini::dshape_2d(c, 0.4, 0.6, dxi, deta);
+  EXPECT_NEAR(dxi[0] + dxi[1] + dxi[2] + dxi[3], 0.0, 1e-15);
+  EXPECT_NEAR(deta[0] + deta[1] + deta[2] + deta[3], 0.0, 1e-15);
+}
+
+TEST(FE, InterpolateReproducesLinearFields) {
+  auto c = ctx();
+  Vector n;
+  mfemini::shape_1d(c, 0.25, n);
+  Vector dofs{2.0, 6.0};  // u(xi) = 2 + 4 xi
+  EXPECT_NEAR(mfemini::interpolate(c, n, dofs), 3.0, 1e-15);
+}
+
+TEST(ElTrans, Jacobian1DIsElementLength) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(5, 0.0, 2.5);
+  for (std::size_t e = 0; e < 5; ++e) {
+    EXPECT_DOUBLE_EQ(mfemini::jacobian_1d(c, m, e), 0.5);
+  }
+}
+
+TEST(ElTrans, Jacobian2DOfAxisAlignedGrid) {
+  auto c = ctx();
+  const Mesh m = Mesh::quad_grid(4, 2);
+  const auto j = mfemini::jacobian_2d(c, m, 0, 0.5, 0.5);
+  EXPECT_NEAR(j.dxdxi, 0.25, 1e-15);
+  EXPECT_NEAR(j.dydeta, 0.5, 1e-15);
+  EXPECT_NEAR(j.dxdeta, 0.0, 1e-15);
+  EXPECT_NEAR(j.dydxi, 0.0, 1e-15);
+  EXPECT_NEAR(j.det, 0.125, 1e-15);
+}
+
+TEST(ElTrans, MapToPhysicalHitsCorners) {
+  auto c = ctx();
+  const Mesh m = Mesh::quad_grid(2, 2);
+  double px = 0.0, py = 0.0;
+  mfemini::map_to_physical(c, m, 0, 0.0, 0.0, px, py);
+  EXPECT_NEAR(px, 0.0, 1e-15);
+  EXPECT_NEAR(py, 0.0, 1e-15);
+  mfemini::map_to_physical(c, m, 0, 1.0, 1.0, px, py);
+  EXPECT_NEAR(px, 0.5, 1e-15);
+  EXPECT_NEAR(py, 0.5, 1e-15);
+}
+
+TEST(ElTrans, PhysicalGradientsOfLinearField) {
+  auto c = ctx();
+  const Mesh m = Mesh::quad_grid(3, 3);
+  // u(x,y) = 2x + 3y on the element's nodes; gradient must be (2, 3).
+  Vector gx, gy;
+  double detj = 0.0;
+  mfemini::physical_gradients(c, m, 4, 0.3, 0.6, gx, gy, detj);
+  const auto& el = m.element(4);
+  double dudx = 0.0, dudy = 0.0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const double u = 2.0 * m.x(el[k]) + 3.0 * m.y(el[k]);
+    dudx += gx[k] * u;
+    dudy += gy[k] * u;
+  }
+  EXPECT_NEAR(dudx, 2.0, 1e-12);
+  EXPECT_NEAR(dudy, 3.0, 1e-12);
+  EXPECT_GT(detj, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Grid functions: projection, error computation, integration, recovery.
+
+#include <gtest/gtest.h>
+
+#include "mfemini/gridfunc.h"
+
+namespace {
+
+using namespace flit;
+using linalg::Vector;
+using mfemini::GridFunction;
+using mfemini::Mesh;
+using mfemini::QuadratureRule;
+
+fpsem::EvalContext ctx() { return fpsem::strict_context(); }
+
+TEST(GridFunction, ProjectionIsNodalInterpolation) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(4);
+  const mfemini::PolyCoefficient f(1.0, 2.0, 0.0, 0.0);  // 1 + 2x
+  GridFunction gf(&m);
+  mfemini::project_coefficient(c, f, gf);
+  for (std::size_t i = 0; i < m.num_nodes(); ++i) {
+    EXPECT_NEAR(gf[i], 1.0 + 2.0 * m.x(i), 1e-15);
+  }
+}
+
+TEST(GridFunction, L2ErrorOfExactlyRepresentedFieldIsZero) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(8);
+  const mfemini::PolyCoefficient f(0.5, 3.0, 0.0, 0.0);  // linear: exact
+  GridFunction gf(&m);
+  mfemini::project_coefficient(c, f, gf);
+  EXPECT_NEAR(
+      mfemini::compute_l2_error(c, gf, f, QuadratureRule::gauss(3)), 0.0,
+      1e-13);
+}
+
+TEST(GridFunction, L2ErrorDetectsMismatch) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(8);
+  const mfemini::ConstantCoefficient zero(0.0);
+  const mfemini::ConstantCoefficient one(1.0);
+  GridFunction gf(&m);
+  mfemini::project_coefficient(c, one, gf);
+  EXPECT_NEAR(
+      mfemini::compute_l2_error(c, gf, zero, QuadratureRule::gauss(2)), 1.0,
+      1e-13);
+}
+
+TEST(GridFunction, IntegrateConstantGivesVolume) {
+  auto c = ctx();
+  const Mesh m = Mesh::quad_grid(3, 3);
+  const mfemini::ConstantCoefficient two(2.0);
+  GridFunction gf(&m);
+  mfemini::project_coefficient(c, two, gf);
+  EXPECT_NEAR(mfemini::integrate_gf(c, gf, QuadratureRule::gauss(2)), 2.0,
+              1e-13);
+}
+
+TEST(GridFunction, NodalNormMatchesVectorNorm) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(3);
+  GridFunction gf(&m);
+  gf[0] = 3.0;
+  gf[1] = 4.0;
+  EXPECT_EQ(mfemini::nodal_norm(c, gf), 5.0);
+}
+
+TEST(GridFunction, GradientRecoveryOfLinearIsExact) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(10);
+  const mfemini::PolyCoefficient f(2.0, 5.0, 0.0, 0.0);  // slope 5
+  GridFunction gf(&m);
+  mfemini::project_coefficient(c, f, gf);
+  Vector grad;
+  mfemini::recover_gradient_1d(c, gf, grad);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_NEAR(grad[i], 5.0, 1e-12);
+  }
+}
+
+TEST(Coefficients, TranscendentalOnesAreFastLibmSensitive) {
+  const auto eval_all = [&](fpsem::FpSemantics sem) {
+    auto c = fpsem::uniform_context(fpsem::FnBinding{sem, {}});
+    const mfemini::SinCoefficient s(1.0, 2.0, 1.0);
+    const mfemini::ExpCoefficient e(3.0, 0.25, 0.25);
+    const mfemini::PowCoefficient p(1.7);
+    return std::tuple{s.eval(c, 0.3, 0.6), e.eval(c, 0.3, 0.6),
+                      p.eval(c, 0.3, 0.6)};
+  };
+  fpsem::FpSemantics fast;
+  fast.fast_libm = true;
+  EXPECT_NE(eval_all({}), eval_all(fast));
+}
+
+TEST(Coefficients, PolyIsLibmFree) {
+  // Fast libm must not change a polynomial coefficient.
+  const auto eval = [&](fpsem::FpSemantics sem) {
+    auto c = fpsem::uniform_context(fpsem::FnBinding{sem, {}});
+    const mfemini::PolyCoefficient p(1.0, 2.0, 3.0, 4.0);
+    return p.eval(c, 0.3, 0.6);
+  };
+  fpsem::FpSemantics fast;
+  fast.fast_libm = true;
+  EXPECT_EQ(eval({}), eval(fast));
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Element integrators and global assembly against known closed forms.
+
+#include <gtest/gtest.h>
+
+#include "mfemini/forms.h"
+#include "mfemini/integrators.h"
+
+namespace {
+
+using namespace flit;
+using linalg::DenseMatrix;
+using linalg::Vector;
+using mfemini::ConstantCoefficient;
+using mfemini::Mesh;
+using mfemini::QuadratureRule;
+
+fpsem::EvalContext ctx() { return fpsem::strict_context(); }
+
+TEST(Integrators, Diffusion1DStiffnessIsOneOverH) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(4);  // h = 0.25
+  const ConstantCoefficient one(1.0);
+  DenseMatrix k;
+  mfemini::diffusion_element_matrix(c, m, 0, one, QuadratureRule::gauss(2),
+                                    k);
+  EXPECT_NEAR(k(0, 0), 4.0, 1e-12);
+  EXPECT_NEAR(k(0, 1), -4.0, 1e-12);
+  EXPECT_NEAR(k(1, 0), -4.0, 1e-12);
+  EXPECT_NEAR(k(1, 1), 4.0, 1e-12);
+}
+
+TEST(Integrators, Mass1DIsHOverSix) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(2);  // h = 0.5
+  const ConstantCoefficient one(1.0);
+  DenseMatrix mm;
+  mfemini::mass_element_matrix(c, m, 0, one, QuadratureRule::gauss(2), mm);
+  EXPECT_NEAR(mm(0, 0), 0.5 / 3.0, 1e-12);
+  EXPECT_NEAR(mm(0, 1), 0.5 / 6.0, 1e-12);
+  EXPECT_NEAR(mm(1, 1), 0.5 / 3.0, 1e-12);
+}
+
+TEST(Integrators, Convection1DRowSumsAreZero) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(4);
+  DenseMatrix cv;
+  mfemini::convection_element_matrix(c, m, 0, 2.0, QuadratureRule::gauss(2),
+                                     cv);
+  // Each row integrates v * N_a * d(sum N)/dx = 0.
+  EXPECT_NEAR(cv(0, 0) + cv(0, 1), 0.0, 1e-14);
+  EXPECT_NEAR(cv(1, 0) + cv(1, 1), 0.0, 1e-14);
+  // And the total integral of N_a dN_b/dx over the element: +-v/2.
+  EXPECT_NEAR(cv(0, 1), 1.0, 1e-12);
+}
+
+TEST(Integrators, Diffusion2DElementMatrixIsSymmetricSingular) {
+  auto c = ctx();
+  const Mesh m = Mesh::quad_grid(2, 2);
+  const ConstantCoefficient one(1.0);
+  DenseMatrix k;
+  mfemini::diffusion_element_matrix(c, m, 0, one, QuadratureRule::gauss(2),
+                                    k);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(k(i, j), k(j, i), 1e-13);
+      row += k(i, j);
+    }
+    EXPECT_NEAR(row, 0.0, 1e-13);  // constants are in the null space
+  }
+  EXPECT_GT(k(0, 0), 0.0);
+}
+
+TEST(Integrators, Mass2DTotalIsElementArea) {
+  auto c = ctx();
+  const Mesh m = Mesh::quad_grid(2, 2);
+  const ConstantCoefficient one(1.0);
+  DenseMatrix mm;
+  mfemini::mass_element_matrix(c, m, 0, one, QuadratureRule::gauss(2), mm);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) total += mm(i, j);
+  }
+  EXPECT_NEAR(total, 0.25, 1e-13);
+}
+
+TEST(Assembly, GlobalStiffnessRowSumsVanish) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(8);
+  const ConstantCoefficient one(1.0);
+  const auto& rule = QuadratureRule::gauss(2);
+  auto a = mfemini::assemble_bilinear(
+      c, m,
+      [&](fpsem::EvalContext& cc, const Mesh& mm, std::size_t e,
+          DenseMatrix& out) {
+        mfemini::diffusion_element_matrix(cc, mm, e, one, rule, out);
+      });
+  Vector ones(m.num_nodes(), 1.0), y;
+  linalg::mult(c, a, ones, y);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], 0.0, 1e-12);
+}
+
+TEST(Assembly, EliminateEssentialBcSetsIdentityRows) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(6);
+  const ConstantCoefficient one(1.0);
+  const auto& rule = QuadratureRule::gauss(2);
+  auto a = mfemini::assemble_bilinear(
+      c, m,
+      [&](fpsem::EvalContext& cc, const Mesh& mm, std::size_t e,
+          DenseMatrix& out) {
+        mfemini::diffusion_element_matrix(cc, mm, e, one, rule, out);
+      });
+  Vector rhs(m.num_nodes(), 1.0);
+  mfemini::eliminate_essential_bc(c, m, a, rhs, 2.5);
+  EXPECT_EQ(rhs[0], 2.5);
+  EXPECT_EQ(rhs[m.num_nodes() - 1], 2.5);
+  // Boundary row is now the identity row.
+  Vector probe(m.num_nodes(), 0.0), y;
+  probe[0] = 1.0;
+  linalg::mult(c, a, probe, y);
+  EXPECT_EQ(y[0], 1.0);
+  for (std::size_t i = 1; i < y.size(); ++i) EXPECT_EQ(y[i], 0.0);
+}
+
+TEST(Assembly, DomainLfOfConstantSumsToVolume) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(8);
+  const ConstantCoefficient one(1.0);
+  const Vector b =
+      mfemini::assemble_domain_lf(c, m, one, QuadratureRule::gauss(2));
+  EXPECT_NEAR(linalg::sum(c, b), 1.0, 1e-13);
+}
+
+TEST(Assembly, DomainLf2DSumsToVolume) {
+  auto c = ctx();
+  const Mesh m = Mesh::quad_grid(3, 3);
+  const ConstantCoefficient one(1.0);
+  const Vector b =
+      mfemini::assemble_domain_lf(c, m, one, QuadratureRule::gauss(2));
+  EXPECT_NEAR(linalg::sum(c, b), 1.0, 1e-13);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Meshes and the geometric kernels.
+
+#include <gtest/gtest.h>
+
+#include "mfemini/mesh.h"
+
+namespace {
+
+using namespace flit;
+using mfemini::Mesh;
+
+fpsem::EvalContext ctx() { return fpsem::strict_context(); }
+
+TEST(Mesh, IntervalStructure) {
+  const Mesh m = Mesh::interval(4, 0.0, 2.0);
+  EXPECT_EQ(m.dim(), 1);
+  EXPECT_EQ(m.num_nodes(), 5u);
+  EXPECT_EQ(m.num_elements(), 4u);
+  EXPECT_EQ(m.nodes_per_element(), 2u);
+  EXPECT_DOUBLE_EQ(m.x(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.x(4), 2.0);
+  EXPECT_TRUE(m.is_boundary_node(0));
+  EXPECT_TRUE(m.is_boundary_node(4));
+  EXPECT_FALSE(m.is_boundary_node(2));
+}
+
+TEST(Mesh, QuadGridStructure) {
+  const Mesh m = Mesh::quad_grid(3, 2);
+  EXPECT_EQ(m.dim(), 2);
+  EXPECT_EQ(m.num_nodes(), 12u);
+  EXPECT_EQ(m.num_elements(), 6u);
+  EXPECT_EQ(m.nodes_per_element(), 4u);
+  // Interior node of a 3x2 grid: node (1,1) = index 5.
+  EXPECT_FALSE(m.is_boundary_node(5));
+  EXPECT_TRUE(m.is_boundary_node(0));
+}
+
+TEST(Mesh, ElementSize1D) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(4, 0.0, 2.0);
+  for (std::size_t e = 0; e < 4; ++e) {
+    EXPECT_DOUBLE_EQ(mfemini::element_size(c, m, e), 0.5);
+  }
+}
+
+TEST(Mesh, ElementSize2DShoelace) {
+  auto c = ctx();
+  const Mesh m = Mesh::quad_grid(2, 2);
+  for (std::size_t e = 0; e < m.num_elements(); ++e) {
+    EXPECT_NEAR(mfemini::element_size(c, m, e), 0.25, 1e-15);
+  }
+}
+
+TEST(Mesh, TotalVolumeIsDomainMeasure) {
+  auto c = ctx();
+  EXPECT_NEAR(mfemini::total_volume(c, Mesh::interval(7, 0.0, 3.0)), 3.0,
+              1e-14);
+  EXPECT_NEAR(mfemini::total_volume(c, Mesh::quad_grid(4, 5)), 1.0, 1e-14);
+}
+
+TEST(Mesh, CurvedWarpPreservesBoundaryAndVolume1D) {
+  auto c = ctx();
+  Mesh m = Mesh::interval(8);
+  mfemini::curved_warp(c, m, 0.05);
+  EXPECT_DOUBLE_EQ(m.x(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.x(8), 1.0);
+  // Interior moved.
+  EXPECT_NE(m.x(3), 0.375);
+  // Total length of a 1D chain is still the domain length.
+  EXPECT_NEAR(mfemini::total_volume(c, m), 1.0, 1e-12);
+}
+
+TEST(Mesh, SizeNormPositive) {
+  auto c = ctx();
+  const Mesh m = Mesh::interval(4);
+  EXPECT_NEAR(mfemini::size_norm(c, m), 0.5, 1e-15);
+}
+
+TEST(Mesh, WarpIsFastLibmSensitive) {
+  const auto run = [&](fpsem::FpSemantics sem) {
+    auto c = fpsem::uniform_context(fpsem::FnBinding{sem, {}});
+    Mesh m = Mesh::interval(8);
+    mfemini::curved_warp(c, m, 0.05);
+    return m.x(3);
+  };
+  fpsem::FpSemantics fast;
+  fast.fast_libm = true;
+  EXPECT_NE(run({}), run(fast));
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Quadrature rules: weights, exactness degrees and the kernels.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mfemini/quadrature.h"
+
+namespace {
+
+using namespace flit;
+using mfemini::QuadratureRule;
+
+fpsem::EvalContext ctx() { return fpsem::strict_context(); }
+
+class GaussRuleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GaussRuleTest, WeightsSumToOne) {
+  const auto& r = QuadratureRule::gauss(GetParam());
+  double s = 0.0;
+  for (double w : r.weights) s += w;
+  EXPECT_NEAR(s, 1.0, 1e-15);
+  EXPECT_EQ(r.points.size(), GetParam());
+}
+
+TEST_P(GaussRuleTest, IntegratesPolynomialsOfDegree2nMinus1) {
+  const std::size_t n = GetParam();
+  const auto& r = QuadratureRule::gauss(n);
+  auto c = ctx();
+  // integral of x^d over [0,1] = 1/(d+1), exact for d <= 2n-1.
+  for (std::size_t d = 0; d + 1 <= 2 * n; ++d) {
+    linalg::Vector f(r.points.size());
+    for (std::size_t q = 0; q < r.points.size(); ++q) {
+      f[q] = std::pow(r.points[q], static_cast<double>(d));
+    }
+    EXPECT_NEAR(mfemini::integrate(c, r, f, 1.0),
+                1.0 / static_cast<double>(d + 1), 1e-14)
+        << "n=" << n << " d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussRuleTest, ::testing::Values(1u, 2u, 3u));
+
+TEST(Quadrature, InvalidOrderRejected) {
+  EXPECT_THROW((void)QuadratureRule::gauss(0), std::invalid_argument);
+  EXPECT_THROW((void)QuadratureRule::gauss(4), std::invalid_argument);
+}
+
+TEST(Quadrature, IntegrateChecksSizes) {
+  auto c = ctx();
+  linalg::Vector wrong(2);
+  EXPECT_THROW(
+      (void)mfemini::integrate(c, QuadratureRule::gauss(3), wrong, 1.0),
+      std::invalid_argument);
+}
+
+TEST(Quadrature, MapPointIsAffine) {
+  auto c = ctx();
+  EXPECT_DOUBLE_EQ(mfemini::map_point(c, 2.0, 6.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(mfemini::map_point(c, 2.0, 6.0, 1.0), 6.0);
+  EXPECT_DOUBLE_EQ(mfemini::map_point(c, 2.0, 6.0, 0.5), 4.0);
+}
+
+TEST(Quadrature, TensorWeight) {
+  auto c = ctx();
+  const auto& r = QuadratureRule::gauss(2);
+  EXPECT_DOUBLE_EQ(mfemini::tensor_weight(c, r, 0, 1, 2.0),
+                   2.0 * r.weights[0] * r.weights[1]);
+}
+
+}  // namespace

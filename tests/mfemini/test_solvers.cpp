@@ -1,0 +1,250 @@
+// Iterative solvers: convergence, stopping behaviour and transfer ops.
+
+#include <gtest/gtest.h>
+
+#include "mfemini/solvers.h"
+
+namespace {
+
+using namespace flit;
+using linalg::SparseMatrix;
+using linalg::Vector;
+
+fpsem::EvalContext ctx() { return fpsem::strict_context(); }
+
+SparseMatrix spd(std::size_t n) {
+  SparseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(i, i, 4.0);
+    if (i + 1 < n) {
+      a.add(i, i + 1, -1.0);
+      a.add(i + 1, i, -1.0);
+    }
+  }
+  a.finalize();
+  return a;
+}
+
+TEST(CG, SolvesSpdSystem) {
+  auto c = ctx();
+  const SparseMatrix a = spd(20);
+  Vector x_true(20);
+  for (std::size_t i = 0; i < 20; ++i) x_true[i] = 0.3 * (i + 1);
+  Vector b;
+  linalg::mult(c, a, x_true, b);
+  Vector x(20, 0.0);
+  const auto stats =
+      mfemini::cg_solve(c, mfemini::sparse_operator(a), b, x, 1e-12, 100);
+  EXPECT_TRUE(stats.converged);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(CG, ZeroRhsConvergesImmediately) {
+  auto c = ctx();
+  const SparseMatrix a = spd(8);
+  Vector b(8, 0.0), x(8, 0.0);
+  const auto stats =
+      mfemini::cg_solve(c, mfemini::sparse_operator(a), b, x, 1e-12, 100);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.iterations, 0);
+}
+
+TEST(CG, RespectsMaxIterations) {
+  auto c = ctx();
+  const SparseMatrix a = spd(30);
+  Vector b(30, 1.0), x(30, 0.0);
+  const auto stats =
+      mfemini::cg_solve(c, mfemini::sparse_operator(a), b, x, 1e-30, 3);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.iterations, 3);
+}
+
+TEST(CG, SizeMismatchRejected) {
+  auto c = ctx();
+  const SparseMatrix a = spd(4);
+  Vector b(4, 1.0), x(5, 0.0);
+  EXPECT_THROW((void)mfemini::cg_solve(c, mfemini::sparse_operator(a), b, x,
+                                       1e-10, 10),
+               std::invalid_argument);
+}
+
+TEST(SLI, GaussSeidelConverges) {
+  auto c = ctx();
+  const SparseMatrix a = spd(16);
+  Vector b(16, 1.0), x(16, 0.0);
+  const auto stats = mfemini::sli_gauss_seidel(c, a, b, x, 1e-10, 200);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(stats.final_residual, 1e-9);
+}
+
+TEST(Jacobi, ApplyDividesByDiagonal) {
+  auto c = ctx();
+  Vector d{2.0, 4.0}, r{1.0, 1.0}, z;
+  mfemini::jacobi_apply(c, d, r, z);
+  EXPECT_EQ(z, (Vector{0.5, 0.25}));
+}
+
+TEST(Transfer, RestrictProlongAreConsistentOnLinears) {
+  auto c = ctx();
+  Vector fine(9);
+  for (std::size_t i = 0; i < 9; ++i) fine[i] = static_cast<double>(i);
+  Vector coarse;
+  mfemini::restrict_1d(c, fine, coarse);
+  ASSERT_EQ(coarse.size(), 5u);
+  // Full weighting preserves linear data at interior points.
+  for (std::size_t i = 1; i + 1 < 5; ++i) {
+    EXPECT_NEAR(coarse[i], 2.0 * static_cast<double>(i), 1e-14);
+  }
+  Vector back;
+  mfemini::prolong_1d(c, coarse, back);
+  ASSERT_EQ(back.size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(back[i], fine[i], 1e-14);
+  }
+}
+
+TEST(Transfer, RestrictRequiresOddSize) {
+  auto c = ctx();
+  Vector fine(8), coarse;
+  EXPECT_THROW(mfemini::restrict_1d(c, fine, coarse), std::invalid_argument);
+}
+
+TEST(CG, IterationPathIsSemanticsSensitiveOnIllConditioned) {
+  // The example 8 mechanism: an ill-conditioned CG takes different paths
+  // under FMA contraction.
+  const auto run = [&](fpsem::FpSemantics sem) {
+    auto c = fpsem::uniform_context(fpsem::FnBinding{sem, {}});
+    SparseMatrix a(12, 12);
+    for (std::size_t i = 0; i < 12; ++i) {
+      for (std::size_t j = 0; j < 12; ++j) {
+        a.add(i, j, 1.0 / static_cast<double>(i + j + 1));
+      }
+    }
+    a.finalize();
+    Vector b(12, 1.0), x(12, 0.0);
+    (void)mfemini::cg_solve(c, mfemini::sparse_operator(a), b, x, 1e-12,
+                            400);
+    return x;
+  };
+  fpsem::FpSemantics fma_sem;
+  fma_sem.contract_fma = true;
+  EXPECT_NE(run({}), run(fma_sem));
+}
+
+TEST(PCG, SolvesSpdSystemFasterThanCgOnIllScaled) {
+  auto c = ctx();
+  // Badly row/column-scaled SPD system A = D T D with smoothly graded D:
+  // Jacobi preconditioning restores the well-conditioned T.
+  SparseMatrix a(16, 16);
+  const auto scale_of = [](std::size_t i) {
+    return std::pow(10.0, static_cast<double>(i) / 5.0);
+  };
+  for (std::size_t i = 0; i < 16; ++i) {
+    a.add(i, i, 4.0 * scale_of(i) * scale_of(i));
+    if (i + 1 < 16) {
+      a.add(i, i + 1, -1.0 * scale_of(i) * scale_of(i + 1));
+      a.add(i + 1, i, -1.0 * scale_of(i) * scale_of(i + 1));
+    }
+  }
+  a.finalize();
+  Vector diag;
+  linalg::diag(c, a, diag);
+  Vector b(16, 1.0);
+
+  Vector x1(16, 0.0), x2(16, 0.0);
+  const auto cg = mfemini::cg_solve(c, mfemini::sparse_operator(a), b, x1,
+                                    1e-12, 500);
+  const auto pcg = mfemini::pcg_solve(c, mfemini::sparse_operator(a), diag,
+                                      b, x2, 1e-12, 500);
+  EXPECT_TRUE(cg.converged);
+  EXPECT_TRUE(pcg.converged);
+  EXPECT_LT(pcg.iterations, cg.iterations);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-8);
+}
+
+TEST(PCG, SizeMismatchRejected) {
+  auto c = ctx();
+  const SparseMatrix a = spd(4);
+  Vector d(3, 1.0), b(4, 1.0), x(4, 0.0);
+  EXPECT_THROW((void)mfemini::pcg_solve(c, mfemini::sparse_operator(a), d,
+                                        b, x, 1e-10, 10),
+               std::invalid_argument);
+}
+
+TEST(GMRES, SolvesNonsymmetricSystem) {
+  auto c = ctx();
+  // Convection-diffusion-like nonsymmetric tridiagonal system.
+  SparseMatrix a(20, 20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    a.add(i, i, 4.0);
+    if (i + 1 < 20) {
+      a.add(i, i + 1, -2.5);  // upwind asymmetry
+      a.add(i + 1, i, -0.5);
+    }
+  }
+  a.finalize();
+  Vector x_true(20);
+  for (std::size_t i = 0; i < 20; ++i) x_true[i] = 1.0 + 0.1 * i;
+  Vector b;
+  linalg::mult(c, a, x_true, b);
+  Vector x(20, 0.0);
+  const auto stats = mfemini::gmres_solve(c, mfemini::sparse_operator(a), b,
+                                          x, 1e-12, 10, 20);
+  EXPECT_TRUE(stats.converged);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(GMRES, FullKrylovSolvesInOneOuterIteration) {
+  auto c = ctx();
+  const SparseMatrix a = spd(8);
+  Vector b(8, 1.0), x(8, 0.0);
+  const auto stats = mfemini::gmres_solve(c, mfemini::sparse_operator(a), b,
+                                          x, 1e-12, 8, 1);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LE(stats.iterations, 8);
+}
+
+TEST(GMRES, ZeroRhsConvergesImmediately) {
+  auto c = ctx();
+  const SparseMatrix a = spd(6);
+  Vector b(6, 0.0), x(6, 0.0);
+  const auto stats = mfemini::gmres_solve(c, mfemini::sparse_operator(a), b,
+                                          x, 1e-12, 6, 3);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.iterations, 0);
+}
+
+TEST(GMRES, RespectsRestartBudget) {
+  auto c = ctx();
+  const SparseMatrix a = spd(30);
+  Vector b(30, 1.0), x(30, 0.0);
+  const auto stats = mfemini::gmres_solve(c, mfemini::sparse_operator(a), b,
+                                          x, 1e-30, 5, 2);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_LE(stats.iterations, 10);
+}
+
+TEST(GMRES, IsSemanticsSensitive) {
+  const auto run = [&](fpsem::FpSemantics sem) {
+    auto c = fpsem::uniform_context(fpsem::FnBinding{sem, {}});
+    SparseMatrix a(24, 24);
+    for (std::size_t i = 0; i < 24; ++i) {
+      a.add(i, i, 3.0 + 1.0 / (i + 1.0));
+      if (i + 1 < 24) {
+        a.add(i, i + 1, -1.3);
+        a.add(i + 1, i, -0.4);
+      }
+    }
+    a.finalize();
+    Vector b(24, 1.0), x(24, 0.0);
+    (void)mfemini::gmres_solve(c, mfemini::sparse_operator(a), b, x, 0.0,
+                               6, 3);
+    return x;
+  };
+  fpsem::FpSemantics sem;
+  sem.contract_fma = true;
+  sem.reassoc_width = 4;
+  EXPECT_NE(run({}), run(sem));
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// The deterministic message-passing substrate and the Sec. 3.6 MPI study:
+// run-to-run determinism, rank-count sensitivity, and Bisect stability
+// under parallelism.
+
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.h"
+#include "mfemini/examples.h"
+#include "par/study.h"
+#include "toolchain/semantics_rules.h"
+
+namespace {
+
+using namespace flit;
+using par::DeterministicComm;
+
+fpsem::EvalContext strict() { return fpsem::strict_context(); }
+
+TEST(Comm, RejectsNonPositiveRankCounts) {
+  EXPECT_THROW(DeterministicComm(0), std::invalid_argument);
+  EXPECT_THROW(DeterministicComm(-2), std::invalid_argument);
+}
+
+TEST(Comm, RangePartitionCoversWithoutOverlap) {
+  const DeterministicComm comm(5);
+  std::size_t covered = 0;
+  std::size_t prev_end = 0;
+  for (int r = 0; r < comm.size(); ++r) {
+    const auto rg = comm.range(r, 23);
+    EXPECT_EQ(rg.begin, prev_end);
+    prev_end = rg.end;
+    covered += rg.size();
+  }
+  EXPECT_EQ(covered, 23u);
+  EXPECT_EQ(prev_end, 23u);
+}
+
+TEST(Comm, AllreduceSumMatchesSequentialForOneRank) {
+  auto ctx = strict();
+  const DeterministicComm comm(1);
+  std::vector<double> partials{1.25};
+  EXPECT_EQ(comm.allreduce_sum(ctx, partials), 1.25);
+}
+
+TEST(Comm, TreeReductionIsDeterministicButOrderSensitive) {
+  auto ctx = strict();
+  const DeterministicComm comm(7);
+  std::vector<double> partials{0.1, 0.2, 0.3, 1e16, -1e16, 0.4, 0.7};
+  const double a = comm.allreduce_sum(ctx, partials);
+  const double b = comm.allreduce_sum(ctx, partials);
+  EXPECT_EQ(a, b);
+  double seq = 0.0;
+  for (double p : partials) seq += p;
+  EXPECT_NE(a, seq);  // the tree groups the cancelling pair differently
+}
+
+TEST(Comm, AllreduceMin) {
+  auto ctx = strict();
+  const DeterministicComm comm(3);
+  std::vector<double> partials{3.0, -1.0, 2.0};
+  EXPECT_EQ(comm.allreduce_min(ctx, partials), -1.0);
+}
+
+TEST(Comm, DistributedDotEqualsSequentialDotForOneRank) {
+  auto ctx = strict();
+  const DeterministicComm comm(1);
+  std::vector<double> a{1.0, 2.0, 3.0}, b{0.5, 0.25, 2.0};
+  double seq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) seq += a[i] * b[i];
+  EXPECT_EQ(par::distributed_dot(ctx, comm, a, b), seq);
+}
+
+TEST(ParStudy, HundredRunsAreBitwiseIdentical) {
+  // The paper's first MPI step: 100 executions checked for bitwise
+  // equality to establish determinism.  (Scaled-down here but the same
+  // check; the full sweep lives in bench_mpi_study.)
+  par::ParallelPoissonTest t(4, 4);
+  auto first = [&] {
+    auto ctx = strict();
+    return std::get<std::string>(t.run_impl({}, ctx));
+  }();
+  for (int i = 0; i < 20; ++i) {
+    auto ctx = strict();
+    EXPECT_EQ(std::get<std::string>(t.run_impl({}, ctx)), first);
+  }
+}
+
+TEST(ParStudy, RankCountChangesTheResult) {
+  // Sec. 3.6: increasing parallelism changed the MFEM results (domain
+  // decomposition changes grid density).
+  auto c1 = strict();
+  auto c24 = strict();
+  const auto v1 = par::parallel_poisson(c1, DeterministicComm(1), 8);
+  const auto v24 = par::parallel_poisson(c24, DeterministicComm(24), 8);
+  EXPECT_NE(v1.size(), v24.size());
+}
+
+TEST(ParStudy, SameRankCountSameDecompositionIsReproducible) {
+  auto c1 = strict();
+  auto c2 = strict();
+  const auto a = par::parallel_poisson(c1, DeterministicComm(24), 4);
+  const auto b = par::parallel_poisson(c2, DeterministicComm(24), 4);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParStudy, BisectFindsTheSameFilesUnderMpi) {
+  // The Sec. 3.6 conclusion: Bisect isolates the same culprits regardless
+  // of the parallelism.  Compare sequential (1 rank) and 24-rank searches
+  // for a reassociating compilation.
+  const auto found_files = [&](int nranks, std::size_t elems_per_rank) {
+    par::ParallelPoissonTest t(nranks, elems_per_rank);
+    core::BisectConfig cfg;
+    cfg.baseline = toolchain::mfem_baseline();
+    cfg.variable = {toolchain::gcc(), toolchain::OptLevel::O2,
+                    "-funsafe-math-optimizations"};
+    core::BisectDriver driver(&fpsem::global_code_model(), &t, cfg);
+    const auto out = driver.run();
+    EXPECT_FALSE(out.crashed) << out.crash_reason;
+    std::vector<std::string> files;
+    for (const auto& ff : out.findings) files.push_back(ff.file);
+    std::sort(files.begin(), files.end());
+    return files;
+  };
+  // Comparable global problem sizes: 32 elements sequentially, 24x4 = 96
+  // under MPI.
+  const auto seq = found_files(1, 32);
+  const auto mpi = found_files(24, 4);
+  EXPECT_FALSE(seq.empty());
+  EXPECT_EQ(seq, mpi);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Compilation triples and the study spaces of Sec. 3.1 / Table 1.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "toolchain/compiler.h"
+
+namespace {
+
+using namespace flit::toolchain;
+
+TEST(Compilation, StringRendering) {
+  const Compilation c{gcc(), OptLevel::O2, "-funsafe-math-optimizations"};
+  EXPECT_EQ(c.str(), "g++ -O2 -funsafe-math-optimizations");
+  const Compilation plain{clang(), OptLevel::O0, ""};
+  EXPECT_EQ(plain.str(), "clang++ -O0");
+}
+
+TEST(Compilation, EqualityIsStructural) {
+  const Compilation a{gcc(), OptLevel::O2, "-mavx"};
+  Compilation b = a;
+  EXPECT_EQ(a, b);
+  b.flag = "";
+  EXPECT_NE(a, b);
+}
+
+TEST(FlagLists, SizesMatchTheTable1RunCounts) {
+  // 19 tests x 4 opt levels x |flags|: 1292 g++, 1368 clang++, 1976 icpc.
+  EXPECT_EQ(gcc_flags().size(), 17u);
+  EXPECT_EQ(clang_flags().size(), 18u);
+  EXPECT_EQ(icpc_flags().size(), 26u);
+}
+
+TEST(FlagLists, EachContainsTheEmptyFlag) {
+  for (const auto* flags : {&gcc_flags(), &clang_flags(), &icpc_flags()}) {
+    EXPECT_NE(std::find(flags->begin(), flags->end(), ""), flags->end());
+  }
+}
+
+TEST(MfemStudySpace, Has244Compilations) {
+  const auto space = mfem_study_space();
+  EXPECT_EQ(space.size(), 244u);  // 68 + 72 + 104, as in the paper
+}
+
+TEST(MfemStudySpace, AllCompilationsDistinct) {
+  const auto space = mfem_study_space();
+  std::set<std::string> keys;
+  for (const auto& c : space) keys.insert(c.str());
+  EXPECT_EQ(keys.size(), space.size());
+}
+
+TEST(MfemStudySpace, PerCompilerCounts) {
+  const auto space = mfem_study_space();
+  std::size_t n_gcc = 0, n_clang = 0, n_icpc = 0;
+  for (const auto& c : space) {
+    switch (c.compiler.family) {
+      case CompilerFamily::GCC: ++n_gcc; break;
+      case CompilerFamily::Clang: ++n_clang; break;
+      case CompilerFamily::Intel: ++n_icpc; break;
+      default: ADD_FAILURE();
+    }
+  }
+  EXPECT_EQ(n_gcc, 68u);
+  EXPECT_EQ(n_clang, 72u);
+  EXPECT_EQ(n_icpc, 104u);
+}
+
+TEST(Baselines, MatchThePaper) {
+  EXPECT_EQ(mfem_baseline().str(), "g++ -O0");
+  EXPECT_EQ(mfem_speed_reference().str(), "g++ -O2");
+  EXPECT_EQ(laghos_trusted_gcc().str(), "g++ -O2");
+  EXPECT_EQ(laghos_trusted_xlc().str(), "xlc++ -O2");
+  EXPECT_EQ(laghos_variable_xlc().str(), "xlc++ -O3");
+  EXPECT_EQ(laghos_strict_xlc().str(), "xlc++ -O3 -qstrict=vectorprecision");
+}
+
+TEST(CompilerSpecs, FamiliesAndNames) {
+  EXPECT_EQ(gcc().family, CompilerFamily::GCC);
+  EXPECT_EQ(clang().family, CompilerFamily::Clang);
+  EXPECT_EQ(icpc().family, CompilerFamily::Intel);
+  EXPECT_EQ(xlc().family, CompilerFamily::XLC);
+  EXPECT_STREQ(to_string(CompilerFamily::Intel), "Intel");
+  EXPECT_STREQ(to_string(OptLevel::O3), "-O3");
+}
+
+}  // namespace

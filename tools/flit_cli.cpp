@@ -1,0 +1,262 @@
+// flit — command-line front end over the library, mirroring the upstream
+// tool's UX on the simulated toolchain:
+//
+//   flit list                      registered FLiT tests
+//   flit explore <test> [--csv]    run the 244-compilation study
+//   flit bisect <test> <compilation...> [--k N] [--digits D]
+//                                  root-cause one compilation
+//   flit workflow <test>           the full Fig. 1 pipeline
+//
+// <compilation...> is e.g.:  g++ -O2 -funsafe-math-optimizations
+//
+// All registered applications (mini-MFEM, Laghos, LULESH, geometry, the
+// parallel study) are linked in, so their tests are available by name.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+#include "core/hierarchy.h"
+#include "core/mixer.h"
+#include "core/registry.h"
+#include "core/report.h"
+#include "core/resultsdb.h"
+#include "core/workflow.h"
+#include "geom/predicates.h"
+#include "laghos/hydro.h"
+#include "lulesh/domain.h"
+#include "mfemini/examples.h"
+#include "par/study.h"
+#include "toolchain/compiler.h"
+
+using namespace flit;
+
+namespace {
+
+/// Registers the bundled application tests under stable names.
+void register_bundled_tests() {
+  auto& reg = core::global_test_registry();
+  for (int ex = 1; ex <= mfemini::kNumExamples; ++ex) {
+    reg.add("MFEM_ex" + std::to_string(ex), [ex] {
+      return std::unique_ptr<core::TestBase>(
+          std::make_unique<mfemini::MfemExampleTest>(ex));
+    });
+  }
+  reg.add("Laghos", [] {
+    return std::unique_ptr<core::TestBase>(
+        std::make_unique<laghos::LaghosTest>());
+  });
+  reg.add("LULESH", [] {
+    return std::unique_ptr<core::TestBase>(
+        std::make_unique<lulesh::LuleshTest>());
+  });
+  reg.add("GeomHull", [] {
+    return std::unique_ptr<core::TestBase>(
+        std::make_unique<geom::HullTest>());
+  });
+  reg.add("ParPoisson", [] {
+    return std::unique_ptr<core::TestBase>(
+        std::make_unique<par::ParallelPoissonTest>(24, 4));
+  });
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: flit list\n"
+               "       flit explore <test> [--csv] [--db file.tsv]\n"
+               "       flit bisect <test> <compiler> <-ON> [flag...] "
+               "[--k N] [--digits D]\n"
+               "       flit workflow <test>\n"
+               "       flit mix <test> <tolerance>\n");
+  return 2;
+}
+
+/// Parses "<compiler> <-ON> [flags...]" from argv[from..to).
+bool parse_compilation(char** argv, int from, int to,
+                       toolchain::Compilation* out) {
+  if (to - from < 2) return false;
+  const std::string name = argv[from];
+  for (const auto* spec : {&toolchain::gcc(), &toolchain::clang(),
+                           &toolchain::icpc(), &toolchain::xlc()}) {
+    if (spec->name == name) out->compiler = *spec;
+  }
+  if (out->compiler.name != name) return false;
+  const std::string opt = argv[from + 1];
+  if (opt == "-O0") {
+    out->opt = toolchain::OptLevel::O0;
+  } else if (opt == "-O1") {
+    out->opt = toolchain::OptLevel::O1;
+  } else if (opt == "-O2") {
+    out->opt = toolchain::OptLevel::O2;
+  } else if (opt == "-O3") {
+    out->opt = toolchain::OptLevel::O3;
+  } else {
+    return false;
+  }
+  std::string flag;
+  for (int i = from + 2; i < to; ++i) {
+    if (!flag.empty()) flag += ' ';
+    flag += argv[i];
+  }
+  out->flag = flag;
+  return true;
+}
+
+int cmd_list() {
+  for (const auto& name : core::global_test_registry().names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+int cmd_explore(const std::string& test_name, bool csv,
+                const std::string& db_path) {
+  auto& reg = core::global_test_registry();
+  if (!reg.contains(test_name)) {
+    std::fprintf(stderr, "unknown test '%s' (try: flit list)\n",
+                 test_name.c_str());
+    return 1;
+  }
+  const auto test = reg.create(test_name);
+  core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                               toolchain::mfem_baseline(),
+                               toolchain::mfem_speed_reference());
+  const auto space = toolchain::mfem_study_space();
+  const auto study = explorer.explore(*test, space);
+  if (!db_path.empty()) {
+    core::ResultsDb db{std::filesystem::path(db_path)};
+    db.record(study);
+    std::fprintf(stderr, "recorded %zu outcomes into %s\n",
+                 study.outcomes.size(), db_path.c_str());
+  }
+  if (csv) {
+    std::fputs(core::study_csv(study).c_str(), stdout);
+  } else {
+    std::printf("%s\n", core::study_summary(study).c_str());
+  }
+  return 0;
+}
+
+int cmd_bisect(const std::string& test_name,
+               const toolchain::Compilation& comp, int k, int digits) {
+  auto& reg = core::global_test_registry();
+  if (!reg.contains(test_name)) {
+    std::fprintf(stderr, "unknown test '%s'\n", test_name.c_str());
+    return 1;
+  }
+  const auto test = reg.create(test_name);
+  core::BisectConfig cfg;
+  cfg.baseline = comp.compiler.family == toolchain::CompilerFamily::XLC
+                     ? toolchain::laghos_trusted_xlc()
+                     : toolchain::mfem_baseline();
+  cfg.variable = comp;
+  cfg.k = k;
+  cfg.digits = digits;
+  core::BisectDriver driver(&fpsem::global_code_model(), test.get(), cfg);
+  std::fputs(core::bisect_report(driver.run()).c_str(), stdout);
+  return 0;
+}
+
+int cmd_workflow(const std::string& test_name) {
+  auto& reg = core::global_test_registry();
+  if (!reg.contains(test_name)) {
+    std::fprintf(stderr, "unknown test '%s'\n", test_name.c_str());
+    return 1;
+  }
+  const auto test = reg.create(test_name);
+  core::WorkflowOptions opts;
+  opts.baseline = toolchain::mfem_baseline();
+  opts.speed_reference = toolchain::mfem_speed_reference();
+  opts.max_bisects = 3;
+  opts.k = 1;
+  const auto report = core::run_workflow(
+      &fpsem::global_code_model(), *test, toolchain::mfem_study_space(),
+      opts);
+  std::fputs(core::workflow_report_text(report).c_str(), stdout);
+  return 0;
+}
+
+int cmd_mix(const std::string& test_name, long double tolerance) {
+  auto& reg = core::global_test_registry();
+  if (!reg.contains(test_name)) {
+    std::fprintf(stderr, "unknown test '%s'\n", test_name.c_str());
+    return 1;
+  }
+  const auto test = reg.create(test_name);
+  core::MixerConfig cfg;
+  cfg.baseline = toolchain::mfem_baseline();
+  cfg.aggressive = {toolchain::gcc(), toolchain::OptLevel::O3,
+                    "-funsafe-math-optimizations"};
+  cfg.tolerance = tolerance;
+  const auto rec = core::recommend_fast_math_mix(
+      &fpsem::global_code_model(), *test, cfg);
+  std::printf("fast-math mix for %s at tolerance %.3Le (%d runs):\n",
+              test_name.c_str(), tolerance, rec.executions);
+  std::printf("  compile aggressively (%zu files):\n",
+              rec.fast_files.size());
+  for (const auto& f : rec.fast_files) std::printf("    %s\n", f.c_str());
+  std::printf("  keep on the trusted compilation (%zu files):\n",
+              rec.precise_files.size());
+  for (const auto& f : rec.precise_files) {
+    std::printf("    %s\n", f.c_str());
+  }
+  std::printf("  mixed variability %.3Le, modeled speedup %.3fx\n",
+              rec.variability, rec.speedup());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_bundled_tests();
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "list") return cmd_list();
+
+  if (cmd == "explore") {
+    if (argc < 3) return usage();
+    bool csv = false;
+    std::string db_path;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+      if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+        db_path = argv[i + 1];
+      }
+    }
+    return cmd_explore(argv[2], csv, db_path);
+  }
+
+  if (cmd == "bisect") {
+    if (argc < 5) return usage();
+    int k = 0, digits = 0;
+    int end = argc;
+    for (int i = 3; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--k") == 0) {
+        k = std::atoi(argv[i + 1]);
+        end = std::min(end, i);
+      } else if (std::strcmp(argv[i], "--digits") == 0) {
+        digits = std::atoi(argv[i + 1]);
+        end = std::min(end, i);
+      }
+    }
+    toolchain::Compilation comp;
+    if (!parse_compilation(argv, 3, end, &comp)) return usage();
+    return cmd_bisect(argv[2], comp, k, digits);
+  }
+
+  if (cmd == "workflow") {
+    if (argc < 3) return usage();
+    return cmd_workflow(argv[2]);
+  }
+
+  if (cmd == "mix") {
+    if (argc < 4) return usage();
+    return cmd_mix(argv[2], strtold(argv[3], nullptr));
+  }
+
+  return usage();
+}
