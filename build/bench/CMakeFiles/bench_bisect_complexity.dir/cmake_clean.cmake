@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bisect_complexity.dir/bench_bisect_complexity.cpp.o"
+  "CMakeFiles/bench_bisect_complexity.dir/bench_bisect_complexity.cpp.o.d"
+  "bench_bisect_complexity"
+  "bench_bisect_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bisect_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

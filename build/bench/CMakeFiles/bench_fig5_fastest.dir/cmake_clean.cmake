@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fastest.dir/bench_fig5_fastest.cpp.o"
+  "CMakeFiles/bench_fig5_fastest.dir/bench_fig5_fastest.cpp.o.d"
+  "bench_fig5_fastest"
+  "bench_fig5_fastest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fastest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_variability.cpp" "bench/CMakeFiles/bench_fig6_variability.dir/bench_fig6_variability.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_variability.dir/bench_fig6_variability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mfemini/CMakeFiles/flit_mfemini.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/flit_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/flit_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpsem/CMakeFiles/flit_fpsem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

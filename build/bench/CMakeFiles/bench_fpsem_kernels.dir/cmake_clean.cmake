@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpsem_kernels.dir/bench_fpsem_kernels.cpp.o"
+  "CMakeFiles/bench_fpsem_kernels.dir/bench_fpsem_kernels.cpp.o.d"
+  "bench_fpsem_kernels"
+  "bench_fpsem_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpsem_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

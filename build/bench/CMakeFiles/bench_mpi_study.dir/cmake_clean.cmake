@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpi_study.dir/bench_mpi_study.cpp.o"
+  "CMakeFiles/bench_mpi_study.dir/bench_mpi_study.cpp.o.d"
+  "bench_mpi_study"
+  "bench_mpi_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpi_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

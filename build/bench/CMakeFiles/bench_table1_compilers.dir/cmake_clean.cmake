@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_compilers.dir/bench_table1_compilers.cpp.o"
+  "CMakeFiles/bench_table1_compilers.dir/bench_table1_compilers.cpp.o.d"
+  "bench_table1_compilers"
+  "bench_table1_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

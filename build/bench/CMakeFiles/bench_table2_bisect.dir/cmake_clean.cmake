@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_bisect.dir/bench_table2_bisect.cpp.o"
+  "CMakeFiles/bench_table2_bisect.dir/bench_table2_bisect.cpp.o.d"
+  "bench_table2_bisect"
+  "bench_table2_bisect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_bisect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_laghos.dir/bench_table4_laghos.cpp.o"
+  "CMakeFiles/bench_table4_laghos.dir/bench_table4_laghos.cpp.o.d"
+  "bench_table4_laghos"
+  "bench_table4_laghos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_laghos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

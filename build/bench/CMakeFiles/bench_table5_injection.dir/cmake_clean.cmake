@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_injection.dir/bench_table5_injection.cpp.o"
+  "CMakeFiles/bench_table5_injection.dir/bench_table5_injection.cpp.o.d"
+  "bench_table5_injection"
+  "bench_table5_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

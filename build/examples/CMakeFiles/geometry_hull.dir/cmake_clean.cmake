@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_hull.dir/geometry_hull.cpp.o"
+  "CMakeFiles/geometry_hull.dir/geometry_hull.cpp.o.d"
+  "geometry_hull"
+  "geometry_hull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_hull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

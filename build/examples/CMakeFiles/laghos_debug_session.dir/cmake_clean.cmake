@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laghos_debug_session.dir/laghos_debug_session.cpp.o"
+  "CMakeFiles/laghos_debug_session.dir/laghos_debug_session.cpp.o.d"
+  "laghos_debug_session"
+  "laghos_debug_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laghos_debug_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

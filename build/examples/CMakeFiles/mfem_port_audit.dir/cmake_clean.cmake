@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfem_port_audit.dir/mfem_port_audit.cpp.o"
+  "CMakeFiles/mfem_port_audit.dir/mfem_port_audit.cpp.o.d"
+  "mfem_port_audit"
+  "mfem_port_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfem_port_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

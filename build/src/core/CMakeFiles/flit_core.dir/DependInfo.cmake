@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/explorer.cpp" "src/core/CMakeFiles/flit_core.dir/explorer.cpp.o" "gcc" "src/core/CMakeFiles/flit_core.dir/explorer.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/flit_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/flit_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/injection.cpp" "src/core/CMakeFiles/flit_core.dir/injection.cpp.o" "gcc" "src/core/CMakeFiles/flit_core.dir/injection.cpp.o.d"
+  "/root/repo/src/core/mixer.cpp" "src/core/CMakeFiles/flit_core.dir/mixer.cpp.o" "gcc" "src/core/CMakeFiles/flit_core.dir/mixer.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/flit_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/flit_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/flit_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/flit_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/resultsdb.cpp" "src/core/CMakeFiles/flit_core.dir/resultsdb.cpp.o" "gcc" "src/core/CMakeFiles/flit_core.dir/resultsdb.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/flit_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/flit_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/workflow.cpp" "src/core/CMakeFiles/flit_core.dir/workflow.cpp.o" "gcc" "src/core/CMakeFiles/flit_core.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpsem/CMakeFiles/flit_fpsem.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/flit_toolchain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

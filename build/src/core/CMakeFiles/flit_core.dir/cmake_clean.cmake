@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_core.dir/explorer.cpp.o"
+  "CMakeFiles/flit_core.dir/explorer.cpp.o.d"
+  "CMakeFiles/flit_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/flit_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/flit_core.dir/injection.cpp.o"
+  "CMakeFiles/flit_core.dir/injection.cpp.o.d"
+  "CMakeFiles/flit_core.dir/mixer.cpp.o"
+  "CMakeFiles/flit_core.dir/mixer.cpp.o.d"
+  "CMakeFiles/flit_core.dir/registry.cpp.o"
+  "CMakeFiles/flit_core.dir/registry.cpp.o.d"
+  "CMakeFiles/flit_core.dir/report.cpp.o"
+  "CMakeFiles/flit_core.dir/report.cpp.o.d"
+  "CMakeFiles/flit_core.dir/resultsdb.cpp.o"
+  "CMakeFiles/flit_core.dir/resultsdb.cpp.o.d"
+  "CMakeFiles/flit_core.dir/runner.cpp.o"
+  "CMakeFiles/flit_core.dir/runner.cpp.o.d"
+  "CMakeFiles/flit_core.dir/workflow.cpp.o"
+  "CMakeFiles/flit_core.dir/workflow.cpp.o.d"
+  "libflit_core.a"
+  "libflit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

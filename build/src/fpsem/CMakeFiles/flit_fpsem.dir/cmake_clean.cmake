@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_fpsem.dir/code_model.cpp.o"
+  "CMakeFiles/flit_fpsem.dir/code_model.cpp.o.d"
+  "libflit_fpsem.a"
+  "libflit_fpsem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_fpsem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_geom.dir/hull.cpp.o"
+  "CMakeFiles/flit_geom.dir/hull.cpp.o.d"
+  "CMakeFiles/flit_geom.dir/predicates.cpp.o"
+  "CMakeFiles/flit_geom.dir/predicates.cpp.o.d"
+  "libflit_geom.a"
+  "libflit_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

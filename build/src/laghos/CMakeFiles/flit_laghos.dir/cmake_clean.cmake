@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_laghos.dir/hydro.cpp.o"
+  "CMakeFiles/flit_laghos.dir/hydro.cpp.o.d"
+  "CMakeFiles/flit_laghos.dir/qupdate.cpp.o"
+  "CMakeFiles/flit_laghos.dir/qupdate.cpp.o.d"
+  "CMakeFiles/flit_laghos.dir/timestep.cpp.o"
+  "CMakeFiles/flit_laghos.dir/timestep.cpp.o.d"
+  "CMakeFiles/flit_laghos.dir/utils.cpp.o"
+  "CMakeFiles/flit_laghos.dir/utils.cpp.o.d"
+  "libflit_laghos.a"
+  "libflit_laghos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_laghos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flit_laghos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/densemat.cpp" "src/linalg/CMakeFiles/flit_linalg.dir/densemat.cpp.o" "gcc" "src/linalg/CMakeFiles/flit_linalg.dir/densemat.cpp.o.d"
+  "/root/repo/src/linalg/sparsemat.cpp" "src/linalg/CMakeFiles/flit_linalg.dir/sparsemat.cpp.o" "gcc" "src/linalg/CMakeFiles/flit_linalg.dir/sparsemat.cpp.o.d"
+  "/root/repo/src/linalg/vector.cpp" "src/linalg/CMakeFiles/flit_linalg.dir/vector.cpp.o" "gcc" "src/linalg/CMakeFiles/flit_linalg.dir/vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpsem/CMakeFiles/flit_fpsem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_linalg.dir/densemat.cpp.o"
+  "CMakeFiles/flit_linalg.dir/densemat.cpp.o.d"
+  "CMakeFiles/flit_linalg.dir/sparsemat.cpp.o"
+  "CMakeFiles/flit_linalg.dir/sparsemat.cpp.o.d"
+  "CMakeFiles/flit_linalg.dir/vector.cpp.o"
+  "CMakeFiles/flit_linalg.dir/vector.cpp.o.d"
+  "libflit_linalg.a"
+  "libflit_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

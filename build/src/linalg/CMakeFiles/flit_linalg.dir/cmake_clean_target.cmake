@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflit_linalg.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lulesh/domain.cpp" "src/lulesh/CMakeFiles/flit_lulesh.dir/domain.cpp.o" "gcc" "src/lulesh/CMakeFiles/flit_lulesh.dir/domain.cpp.o.d"
+  "/root/repo/src/lulesh/eos.cpp" "src/lulesh/CMakeFiles/flit_lulesh.dir/eos.cpp.o" "gcc" "src/lulesh/CMakeFiles/flit_lulesh.dir/eos.cpp.o.d"
+  "/root/repo/src/lulesh/force.cpp" "src/lulesh/CMakeFiles/flit_lulesh.dir/force.cpp.o" "gcc" "src/lulesh/CMakeFiles/flit_lulesh.dir/force.cpp.o.d"
+  "/root/repo/src/lulesh/lagrange.cpp" "src/lulesh/CMakeFiles/flit_lulesh.dir/lagrange.cpp.o" "gcc" "src/lulesh/CMakeFiles/flit_lulesh.dir/lagrange.cpp.o.d"
+  "/root/repo/src/lulesh/q.cpp" "src/lulesh/CMakeFiles/flit_lulesh.dir/q.cpp.o" "gcc" "src/lulesh/CMakeFiles/flit_lulesh.dir/q.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/flit_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/flit_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpsem/CMakeFiles/flit_fpsem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

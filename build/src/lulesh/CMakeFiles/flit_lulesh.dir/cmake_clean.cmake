@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_lulesh.dir/domain.cpp.o"
+  "CMakeFiles/flit_lulesh.dir/domain.cpp.o.d"
+  "CMakeFiles/flit_lulesh.dir/eos.cpp.o"
+  "CMakeFiles/flit_lulesh.dir/eos.cpp.o.d"
+  "CMakeFiles/flit_lulesh.dir/force.cpp.o"
+  "CMakeFiles/flit_lulesh.dir/force.cpp.o.d"
+  "CMakeFiles/flit_lulesh.dir/lagrange.cpp.o"
+  "CMakeFiles/flit_lulesh.dir/lagrange.cpp.o.d"
+  "CMakeFiles/flit_lulesh.dir/q.cpp.o"
+  "CMakeFiles/flit_lulesh.dir/q.cpp.o.d"
+  "libflit_lulesh.a"
+  "libflit_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mfemini/bilinearform.cpp" "src/mfemini/CMakeFiles/flit_mfemini.dir/bilinearform.cpp.o" "gcc" "src/mfemini/CMakeFiles/flit_mfemini.dir/bilinearform.cpp.o.d"
+  "/root/repo/src/mfemini/bilininteg.cpp" "src/mfemini/CMakeFiles/flit_mfemini.dir/bilininteg.cpp.o" "gcc" "src/mfemini/CMakeFiles/flit_mfemini.dir/bilininteg.cpp.o.d"
+  "/root/repo/src/mfemini/coefficients.cpp" "src/mfemini/CMakeFiles/flit_mfemini.dir/coefficients.cpp.o" "gcc" "src/mfemini/CMakeFiles/flit_mfemini.dir/coefficients.cpp.o.d"
+  "/root/repo/src/mfemini/eltrans.cpp" "src/mfemini/CMakeFiles/flit_mfemini.dir/eltrans.cpp.o" "gcc" "src/mfemini/CMakeFiles/flit_mfemini.dir/eltrans.cpp.o.d"
+  "/root/repo/src/mfemini/examples.cpp" "src/mfemini/CMakeFiles/flit_mfemini.dir/examples.cpp.o" "gcc" "src/mfemini/CMakeFiles/flit_mfemini.dir/examples.cpp.o.d"
+  "/root/repo/src/mfemini/fe.cpp" "src/mfemini/CMakeFiles/flit_mfemini.dir/fe.cpp.o" "gcc" "src/mfemini/CMakeFiles/flit_mfemini.dir/fe.cpp.o.d"
+  "/root/repo/src/mfemini/gridfunc.cpp" "src/mfemini/CMakeFiles/flit_mfemini.dir/gridfunc.cpp.o" "gcc" "src/mfemini/CMakeFiles/flit_mfemini.dir/gridfunc.cpp.o.d"
+  "/root/repo/src/mfemini/linearform.cpp" "src/mfemini/CMakeFiles/flit_mfemini.dir/linearform.cpp.o" "gcc" "src/mfemini/CMakeFiles/flit_mfemini.dir/linearform.cpp.o.d"
+  "/root/repo/src/mfemini/mesh.cpp" "src/mfemini/CMakeFiles/flit_mfemini.dir/mesh.cpp.o" "gcc" "src/mfemini/CMakeFiles/flit_mfemini.dir/mesh.cpp.o.d"
+  "/root/repo/src/mfemini/quadrature.cpp" "src/mfemini/CMakeFiles/flit_mfemini.dir/quadrature.cpp.o" "gcc" "src/mfemini/CMakeFiles/flit_mfemini.dir/quadrature.cpp.o.d"
+  "/root/repo/src/mfemini/solvers.cpp" "src/mfemini/CMakeFiles/flit_mfemini.dir/solvers.cpp.o" "gcc" "src/mfemini/CMakeFiles/flit_mfemini.dir/solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/flit_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/flit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/flit_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpsem/CMakeFiles/flit_fpsem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_mfemini.dir/bilinearform.cpp.o"
+  "CMakeFiles/flit_mfemini.dir/bilinearform.cpp.o.d"
+  "CMakeFiles/flit_mfemini.dir/bilininteg.cpp.o"
+  "CMakeFiles/flit_mfemini.dir/bilininteg.cpp.o.d"
+  "CMakeFiles/flit_mfemini.dir/coefficients.cpp.o"
+  "CMakeFiles/flit_mfemini.dir/coefficients.cpp.o.d"
+  "CMakeFiles/flit_mfemini.dir/eltrans.cpp.o"
+  "CMakeFiles/flit_mfemini.dir/eltrans.cpp.o.d"
+  "CMakeFiles/flit_mfemini.dir/examples.cpp.o"
+  "CMakeFiles/flit_mfemini.dir/examples.cpp.o.d"
+  "CMakeFiles/flit_mfemini.dir/fe.cpp.o"
+  "CMakeFiles/flit_mfemini.dir/fe.cpp.o.d"
+  "CMakeFiles/flit_mfemini.dir/gridfunc.cpp.o"
+  "CMakeFiles/flit_mfemini.dir/gridfunc.cpp.o.d"
+  "CMakeFiles/flit_mfemini.dir/linearform.cpp.o"
+  "CMakeFiles/flit_mfemini.dir/linearform.cpp.o.d"
+  "CMakeFiles/flit_mfemini.dir/mesh.cpp.o"
+  "CMakeFiles/flit_mfemini.dir/mesh.cpp.o.d"
+  "CMakeFiles/flit_mfemini.dir/quadrature.cpp.o"
+  "CMakeFiles/flit_mfemini.dir/quadrature.cpp.o.d"
+  "CMakeFiles/flit_mfemini.dir/solvers.cpp.o"
+  "CMakeFiles/flit_mfemini.dir/solvers.cpp.o.d"
+  "libflit_mfemini.a"
+  "libflit_mfemini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_mfemini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

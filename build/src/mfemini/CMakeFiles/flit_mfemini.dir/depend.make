@@ -1,0 +1,2 @@
+# Empty dependencies file for flit_mfemini.
+# This may be replaced when dependencies are built.

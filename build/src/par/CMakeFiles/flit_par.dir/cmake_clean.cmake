@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_par.dir/comm.cpp.o"
+  "CMakeFiles/flit_par.dir/comm.cpp.o.d"
+  "CMakeFiles/flit_par.dir/study.cpp.o"
+  "CMakeFiles/flit_par.dir/study.cpp.o.d"
+  "libflit_par.a"
+  "libflit_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

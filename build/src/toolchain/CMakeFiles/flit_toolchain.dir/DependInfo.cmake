@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toolchain/build.cpp" "src/toolchain/CMakeFiles/flit_toolchain.dir/build.cpp.o" "gcc" "src/toolchain/CMakeFiles/flit_toolchain.dir/build.cpp.o.d"
+  "/root/repo/src/toolchain/compiler.cpp" "src/toolchain/CMakeFiles/flit_toolchain.dir/compiler.cpp.o" "gcc" "src/toolchain/CMakeFiles/flit_toolchain.dir/compiler.cpp.o.d"
+  "/root/repo/src/toolchain/linker.cpp" "src/toolchain/CMakeFiles/flit_toolchain.dir/linker.cpp.o" "gcc" "src/toolchain/CMakeFiles/flit_toolchain.dir/linker.cpp.o.d"
+  "/root/repo/src/toolchain/semantics_rules.cpp" "src/toolchain/CMakeFiles/flit_toolchain.dir/semantics_rules.cpp.o" "gcc" "src/toolchain/CMakeFiles/flit_toolchain.dir/semantics_rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpsem/CMakeFiles/flit_fpsem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

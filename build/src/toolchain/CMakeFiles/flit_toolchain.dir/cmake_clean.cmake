@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_toolchain.dir/build.cpp.o"
+  "CMakeFiles/flit_toolchain.dir/build.cpp.o.d"
+  "CMakeFiles/flit_toolchain.dir/compiler.cpp.o"
+  "CMakeFiles/flit_toolchain.dir/compiler.cpp.o.d"
+  "CMakeFiles/flit_toolchain.dir/linker.cpp.o"
+  "CMakeFiles/flit_toolchain.dir/linker.cpp.o.d"
+  "CMakeFiles/flit_toolchain.dir/semantics_rules.cpp.o"
+  "CMakeFiles/flit_toolchain.dir/semantics_rules.cpp.o.d"
+  "libflit_toolchain.a"
+  "libflit_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

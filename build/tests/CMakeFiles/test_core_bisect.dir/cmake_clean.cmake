@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_bisect.dir/core/test_bisect.cpp.o"
+  "CMakeFiles/test_core_bisect.dir/core/test_bisect.cpp.o.d"
+  "test_core_bisect"
+  "test_core_bisect.pdb"
+  "test_core_bisect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_bisect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_bisect_biggest.dir/core/test_bisect_biggest.cpp.o"
+  "CMakeFiles/test_core_bisect_biggest.dir/core/test_bisect_biggest.cpp.o.d"
+  "test_core_bisect_biggest"
+  "test_core_bisect_biggest.pdb"
+  "test_core_bisect_biggest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_bisect_biggest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

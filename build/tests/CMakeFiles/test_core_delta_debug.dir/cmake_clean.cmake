@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_delta_debug.dir/core/test_delta_debug.cpp.o"
+  "CMakeFiles/test_core_delta_debug.dir/core/test_delta_debug.cpp.o.d"
+  "test_core_delta_debug"
+  "test_core_delta_debug.pdb"
+  "test_core_delta_debug[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_delta_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

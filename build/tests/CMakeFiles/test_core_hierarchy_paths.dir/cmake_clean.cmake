@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_hierarchy_paths.dir/core/test_hierarchy_paths.cpp.o"
+  "CMakeFiles/test_core_hierarchy_paths.dir/core/test_hierarchy_paths.cpp.o.d"
+  "test_core_hierarchy_paths"
+  "test_core_hierarchy_paths.pdb"
+  "test_core_hierarchy_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_hierarchy_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

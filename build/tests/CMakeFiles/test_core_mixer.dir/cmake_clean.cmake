@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_mixer.dir/core/test_mixer.cpp.o"
+  "CMakeFiles/test_core_mixer.dir/core/test_mixer.cpp.o.d"
+  "test_core_mixer"
+  "test_core_mixer.pdb"
+  "test_core_mixer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_mixer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

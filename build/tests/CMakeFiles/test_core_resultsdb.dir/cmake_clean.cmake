@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_resultsdb.dir/core/test_resultsdb.cpp.o"
+  "CMakeFiles/test_core_resultsdb.dir/core/test_resultsdb.cpp.o.d"
+  "test_core_resultsdb"
+  "test_core_resultsdb.pdb"
+  "test_core_resultsdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_resultsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_runner.dir/core/test_runner.cpp.o"
+  "CMakeFiles/test_core_runner.dir/core/test_runner.cpp.o.d"
+  "test_core_runner"
+  "test_core_runner.pdb"
+  "test_core_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_workflow_options.dir/core/test_workflow_options.cpp.o"
+  "CMakeFiles/test_core_workflow_options.dir/core/test_workflow_options.cpp.o.d"
+  "test_core_workflow_options"
+  "test_core_workflow_options.pdb"
+  "test_core_workflow_options[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_workflow_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpsem_bulk_injection.dir/fpsem/test_bulk_injection.cpp.o"
+  "CMakeFiles/test_fpsem_bulk_injection.dir/fpsem/test_bulk_injection.cpp.o.d"
+  "test_fpsem_bulk_injection"
+  "test_fpsem_bulk_injection.pdb"
+  "test_fpsem_bulk_injection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpsem_bulk_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

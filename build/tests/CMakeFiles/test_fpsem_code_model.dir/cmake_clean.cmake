@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpsem_code_model.dir/fpsem/test_code_model.cpp.o"
+  "CMakeFiles/test_fpsem_code_model.dir/fpsem/test_code_model.cpp.o.d"
+  "test_fpsem_code_model"
+  "test_fpsem_code_model.pdb"
+  "test_fpsem_code_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpsem_code_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fpsem_code_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpsem_env.dir/fpsem/test_env_ops.cpp.o"
+  "CMakeFiles/test_fpsem_env.dir/fpsem/test_env_ops.cpp.o.d"
+  "test_fpsem_env"
+  "test_fpsem_env.pdb"
+  "test_fpsem_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpsem_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpsem_injection_hook.dir/fpsem/test_injection_hook.cpp.o"
+  "CMakeFiles/test_fpsem_injection_hook.dir/fpsem/test_injection_hook.cpp.o.d"
+  "test_fpsem_injection_hook"
+  "test_fpsem_injection_hook.pdb"
+  "test_fpsem_injection_hook[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpsem_injection_hook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fpsem_injection_hook.
+# This may be replaced when dependencies are built.

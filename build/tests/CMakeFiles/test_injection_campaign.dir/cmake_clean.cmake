@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_injection_campaign.dir/integration/test_injection.cpp.o"
+  "CMakeFiles/test_injection_campaign.dir/integration/test_injection.cpp.o.d"
+  "test_injection_campaign"
+  "test_injection_campaign.pdb"
+  "test_injection_campaign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_injection_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

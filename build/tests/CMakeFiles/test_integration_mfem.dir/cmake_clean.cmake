@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_mfem.dir/integration/test_mfem_study.cpp.o"
+  "CMakeFiles/test_integration_mfem.dir/integration/test_mfem_study.cpp.o.d"
+  "test_integration_mfem"
+  "test_integration_mfem.pdb"
+  "test_integration_mfem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_mfem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

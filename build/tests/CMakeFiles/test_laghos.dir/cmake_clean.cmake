@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_laghos.dir/laghos/test_conservation.cpp.o"
+  "CMakeFiles/test_laghos.dir/laghos/test_conservation.cpp.o.d"
+  "CMakeFiles/test_laghos.dir/laghos/test_hydro.cpp.o"
+  "CMakeFiles/test_laghos.dir/laghos/test_hydro.cpp.o.d"
+  "test_laghos"
+  "test_laghos.pdb"
+  "test_laghos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_laghos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

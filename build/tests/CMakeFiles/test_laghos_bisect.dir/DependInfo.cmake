@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_laghos_bisect.cpp" "tests/CMakeFiles/test_laghos_bisect.dir/integration/test_laghos_bisect.cpp.o" "gcc" "tests/CMakeFiles/test_laghos_bisect.dir/integration/test_laghos_bisect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/flit_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpsem/CMakeFiles/flit_fpsem.dir/DependInfo.cmake"
+  "/root/repo/build/src/laghos/CMakeFiles/flit_laghos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

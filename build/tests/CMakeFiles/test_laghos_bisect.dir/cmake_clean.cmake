@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_laghos_bisect.dir/integration/test_laghos_bisect.cpp.o"
+  "CMakeFiles/test_laghos_bisect.dir/integration/test_laghos_bisect.cpp.o.d"
+  "test_laghos_bisect"
+  "test_laghos_bisect.pdb"
+  "test_laghos_bisect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_laghos_bisect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lulesh.dir/lulesh/test_lulesh.cpp.o"
+  "CMakeFiles/test_lulesh.dir/lulesh/test_lulesh.cpp.o.d"
+  "CMakeFiles/test_lulesh.dir/lulesh/test_stages.cpp.o"
+  "CMakeFiles/test_lulesh.dir/lulesh/test_stages.cpp.o.d"
+  "test_lulesh"
+  "test_lulesh.pdb"
+  "test_lulesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mfem_examples.dir/mfemini/test_examples.cpp.o"
+  "CMakeFiles/test_mfem_examples.dir/mfemini/test_examples.cpp.o.d"
+  "test_mfem_examples"
+  "test_mfem_examples.pdb"
+  "test_mfem_examples[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mfem_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

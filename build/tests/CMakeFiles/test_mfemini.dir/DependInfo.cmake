@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mfemini/test_convergence.cpp" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_convergence.cpp.o" "gcc" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_convergence.cpp.o.d"
+  "/root/repo/tests/mfemini/test_fe.cpp" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_fe.cpp.o" "gcc" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_fe.cpp.o.d"
+  "/root/repo/tests/mfemini/test_gridfunc.cpp" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_gridfunc.cpp.o" "gcc" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_gridfunc.cpp.o.d"
+  "/root/repo/tests/mfemini/test_integrators.cpp" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_integrators.cpp.o" "gcc" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_integrators.cpp.o.d"
+  "/root/repo/tests/mfemini/test_mesh.cpp" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_mesh.cpp.o.d"
+  "/root/repo/tests/mfemini/test_quadrature.cpp" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_quadrature.cpp.o" "gcc" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_quadrature.cpp.o.d"
+  "/root/repo/tests/mfemini/test_solvers.cpp" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_solvers.cpp.o" "gcc" "tests/CMakeFiles/test_mfemini.dir/mfemini/test_solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/flit_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpsem/CMakeFiles/flit_fpsem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mfemini/CMakeFiles/flit_mfemini.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/flit_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mfemini.dir/mfemini/test_convergence.cpp.o"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_convergence.cpp.o.d"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_fe.cpp.o"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_fe.cpp.o.d"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_gridfunc.cpp.o"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_gridfunc.cpp.o.d"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_integrators.cpp.o"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_integrators.cpp.o.d"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_mesh.cpp.o"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_mesh.cpp.o.d"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_quadrature.cpp.o"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_quadrature.cpp.o.d"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_solvers.cpp.o"
+  "CMakeFiles/test_mfemini.dir/mfemini/test_solvers.cpp.o.d"
+  "test_mfemini"
+  "test_mfemini.pdb"
+  "test_mfemini[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mfemini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolchain_compiler.dir/toolchain/test_compiler.cpp.o"
+  "CMakeFiles/test_toolchain_compiler.dir/toolchain/test_compiler.cpp.o.d"
+  "test_toolchain_compiler"
+  "test_toolchain_compiler.pdb"
+  "test_toolchain_compiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolchain_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

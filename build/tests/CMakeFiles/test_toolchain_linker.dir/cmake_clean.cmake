@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolchain_linker.dir/toolchain/test_linker.cpp.o"
+  "CMakeFiles/test_toolchain_linker.dir/toolchain/test_linker.cpp.o.d"
+  "test_toolchain_linker"
+  "test_toolchain_linker.pdb"
+  "test_toolchain_linker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolchain_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolchain_linker_property.dir/toolchain/test_linker_property.cpp.o"
+  "CMakeFiles/test_toolchain_linker_property.dir/toolchain/test_linker_property.cpp.o.d"
+  "test_toolchain_linker_property"
+  "test_toolchain_linker_property.pdb"
+  "test_toolchain_linker_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolchain_linker_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

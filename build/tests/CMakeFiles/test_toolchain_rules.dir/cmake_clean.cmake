@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolchain_rules.dir/toolchain/test_semantics_rules.cpp.o"
+  "CMakeFiles/test_toolchain_rules.dir/toolchain/test_semantics_rules.cpp.o.d"
+  "test_toolchain_rules"
+  "test_toolchain_rules.pdb"
+  "test_toolchain_rules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolchain_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit.dir/flit_cli.cpp.o"
+  "CMakeFiles/flit.dir/flit_cli.cpp.o.d"
+  "flit"
+  "flit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
