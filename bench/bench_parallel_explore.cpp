@@ -1,0 +1,110 @@
+// The parallel study engine: serial vs. parallel wall time for the MFEM
+// exploration (the Table 1 workload) plus the compilation-cache hit rate,
+// emitted both human-readably and as one machine-readable JSON line for
+// the BENCH trajectory.
+//
+//   bench_parallel_explore [n_examples] [jobs]
+//
+// n_examples defaults to 6 (the first six mini-MFEM examples over the
+// full 244-compilation space); jobs defaults to default_jobs()
+// (FLIT_JOBS / hardware concurrency).  Determinism is asserted, not just
+// claimed: the parallel studies must be bitwise-identical to the serial
+// ones or the bench aborts.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/explorer.h"
+#include "core/parallel.h"
+#include "mfemini/examples.h"
+#include "toolchain/compiler.h"
+
+using namespace flit;
+
+namespace {
+
+struct StudyRun {
+  std::vector<core::StudyResult> results;
+  double seconds = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+StudyRun run_study(int n_examples, unsigned jobs,
+                   const std::vector<toolchain::Compilation>& space) {
+  StudyRun run;
+  core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                               toolchain::mfem_baseline(),
+                               toolchain::mfem_speed_reference(), jobs);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int ex = 1; ex <= n_examples; ++ex) {
+    mfemini::MfemExampleTest test(ex);
+    run.results.push_back(explorer.explore(test, space));
+  }
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  run.cache_hit_rate = explorer.cache().stats().hit_rate();
+  return run;
+}
+
+bool identical(const std::vector<core::StudyResult>& a,
+               const std::vector<core::StudyResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    if (a[r].outcomes.size() != b[r].outcomes.size()) return false;
+    for (std::size_t i = 0; i < a[r].outcomes.size(); ++i) {
+      const auto& x = a[r].outcomes[i];
+      const auto& y = b[r].outcomes[i];
+      if (!(x.comp == y.comp) || x.variability != y.variability ||
+          x.cycles != y.cycles || x.speedup != y.speedup) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_examples =
+      argc > 1 ? std::atoi(argv[1]) : std::min(6, mfemini::kNumExamples);
+  const unsigned jobs = argc > 2
+                            ? static_cast<unsigned>(std::atoi(argv[2]))
+                            : core::default_jobs();
+  const auto space = toolchain::mfem_study_space();
+
+  std::printf("parallel explore bench: %d examples x %zu compilations\n",
+              n_examples, space.size());
+
+  const StudyRun serial = run_study(n_examples, 1, space);
+  std::printf("  serial    (jobs=1):  %7.3fs  cache hit rate %.1f%%\n",
+              serial.seconds, 100.0 * serial.cache_hit_rate);
+
+  const StudyRun parallel = run_study(n_examples, jobs, space);
+  std::printf("  parallel  (jobs=%u):  %7.3fs  cache hit rate %.1f%%\n",
+              jobs, parallel.seconds, 100.0 * parallel.cache_hit_rate);
+
+  if (!identical(serial.results, parallel.results)) {
+    std::fprintf(stderr,
+                 "FATAL: parallel study differs from serial study\n");
+    return 1;
+  }
+
+  const double speedup =
+      parallel.seconds > 0.0 ? serial.seconds / parallel.seconds : 0.0;
+  std::printf("  speedup: %.2fx on %u lanes (results bitwise-identical)\n",
+              speedup, jobs);
+
+  // Machine-readable line for the BENCH trajectory.
+  std::printf(
+      "BENCH_JSON {\"bench\":\"parallel_explore\",\"examples\":%d,"
+      "\"space\":%zu,\"jobs\":%u,\"serial_s\":%.6f,\"parallel_s\":%.6f,"
+      "\"speedup\":%.3f,\"cache_hit_rate\":%.4f,\"identical\":true}\n",
+      n_examples, space.size(), jobs, serial.seconds, parallel.seconds,
+      speedup, parallel.cache_hit_rate);
+  return 0;
+}

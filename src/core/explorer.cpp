@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
+
 namespace flit::core {
 
 std::size_t StudyResult::variable_count() const {
@@ -45,19 +47,26 @@ std::optional<StudyResult::VariabilityStats> StudyResult::variability_stats()
   VariabilityStats s;
   s.min = v.front();
   s.max = v.back();
-  s.median = v[v.size() / 2];
+  const std::size_t mid = v.size() / 2;
+  s.median =
+      v.size() % 2 == 1 ? v[mid] : (v[mid - 1] + v[mid]) / 2.0L;
   return s;
 }
 
 SpaceExplorer::SpaceExplorer(const fpsem::CodeModel* model,
                              toolchain::Compilation baseline,
-                             toolchain::Compilation speed_reference)
+                             toolchain::Compilation speed_reference,
+                             unsigned jobs,
+                             toolchain::CompilationCache* cache)
     : model_(model),
       baseline_(std::move(baseline)),
       speed_reference_(std::move(speed_reference)),
-      build_(model),
+      cache_(cache != nullptr ? cache : &own_cache_),
+      build_(model, cache_),
       linker_(model),
-      runner_(model) {}
+      runner_(model) {
+  set_jobs(jobs);
+}
 
 RunOutput SpaceExplorer::run_whole_program(
     const TestBase& test, const toolchain::Compilation& c) const {
@@ -72,19 +81,35 @@ StudyResult SpaceExplorer::explore(
   StudyResult result;
   result.test_name = test.name();
 
+  // The two anchor runs; when they are the same compilation (or appear
+  // inside the space) the run is executed once and reused -- runs are
+  // deterministic, so reuse is observationally identical to re-running.
   const RunOutput base = run_whole_program(test, baseline_);
-  const RunOutput ref = run_whole_program(test, speed_reference_);
+  const RunOutput ref = speed_reference_ == baseline_
+                            ? base
+                            : run_whole_program(test, speed_reference_);
 
-  result.outcomes.reserve(space.size());
-  for (const toolchain::Compilation& c : space) {
-    const RunOutput out = run_whole_program(test, c);
-    CompilationOutcome o;
+  result.outcomes.resize(space.size());
+  ThreadPool pool(jobs_);
+  pool.parallel_for(space.size(), [&](std::size_t i) {
+    const toolchain::Compilation& c = space[i];
+    const RunOutput* reused = nullptr;
+    if (c == baseline_) {
+      reused = &base;
+    } else if (c == speed_reference_) {
+      reused = &ref;
+    }
+    RunOutput fresh;
+    if (reused == nullptr) {
+      fresh = run_whole_program(test, c);
+      reused = &fresh;
+    }
+    CompilationOutcome& o = result.outcomes[i];
     o.comp = c;
-    o.variability = Runner::compare_outputs(test, base, out);
-    o.cycles = out.cycles;
-    o.speedup = ref.cycles / out.cycles;
-    result.outcomes.push_back(std::move(o));
-  }
+    o.variability = Runner::compare_outputs(test, base, *reused);
+    o.cycles = reused->cycles;
+    o.speedup = ref.cycles / reused->cycles;
+  });
   return result;
 }
 

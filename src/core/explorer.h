@@ -5,6 +5,13 @@
 // variable relative to the trusted baseline, and chart performance
 // (speedup relative to a reference compilation) against reproducibility --
 // the data behind Table 1 and Figures 4-6.
+//
+// The space is embarrassingly parallel, so explore() fans the compilations
+// out over a ThreadPool (set_jobs / the jobs constructor argument) and
+// merges outcomes by space index; the merged StudyResult is
+// bitwise-identical to a serial run at any jobs count.  Per-file objects
+// are memoized in a shared CompilationCache: most of the 244 triples
+// collapse onto a handful of distinct per-file semantics.
 
 #include <optional>
 #include <span>
@@ -14,6 +21,7 @@
 #include "core/runner.h"
 #include "core/test_base.h"
 #include "toolchain/build.h"
+#include "toolchain/compile_cache.h"
 #include "toolchain/compiler.h"
 #include "toolchain/linker.h"
 
@@ -53,13 +61,21 @@ class SpaceExplorer {
  public:
   /// `baseline` is the trusted compilation results are compared against;
   /// `speed_reference` is the compilation speedups are relative to
-  /// (g++ -O0 and g++ -O2 respectively in the MFEM study).
+  /// (g++ -O0 and g++ -O2 respectively in the MFEM study).  `jobs` is the
+  /// number of parallel execution lanes explore() uses (1 = serial);
+  /// `cache`, when non-null, replaces the explorer's internal compilation
+  /// cache (e.g. to share one cache across an explorer and Bisect drivers)
+  /// and must outlive the explorer.
   SpaceExplorer(const fpsem::CodeModel* model,
                 toolchain::Compilation baseline,
-                toolchain::Compilation speed_reference);
+                toolchain::Compilation speed_reference, unsigned jobs = 1,
+                toolchain::CompilationCache* cache = nullptr);
 
-  /// Runs `test` under every compilation in `space`.  Whole-program
-  /// builds: all files under the compilation, linked by its compiler.
+  /// Runs `test` under every compilation in `space` on `jobs()` lanes.
+  /// Whole-program builds: all files under the compilation, linked by its
+  /// compiler.  Compilations equal to the baseline or the speed reference
+  /// reuse those runs instead of re-executing.  Outcomes are merged in
+  /// space order: the result is bitwise-identical at any jobs count.
   [[nodiscard]] StudyResult explore(
       const TestBase& test,
       std::span<const toolchain::Compilation> space) const;
@@ -68,13 +84,25 @@ class SpaceExplorer {
   [[nodiscard]] RunOutput run_whole_program(
       const TestBase& test, const toolchain::Compilation& c) const;
 
+  void set_jobs(unsigned jobs) { jobs_ = jobs >= 1 ? jobs : 1; }
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// The compilation cache explore() compiles through (internal unless one
+  /// was supplied at construction).
+  [[nodiscard]] const toolchain::CompilationCache& cache() const {
+    return *cache_;
+  }
+
  private:
   const fpsem::CodeModel* model_;
   toolchain::Compilation baseline_;
   toolchain::Compilation speed_reference_;
+  mutable toolchain::CompilationCache own_cache_;
+  toolchain::CompilationCache* cache_;  ///< own_cache_ or the external one
   toolchain::BuildSystem build_;
   toolchain::Linker linker_;
   Runner runner_;
+  unsigned jobs_;
 };
 
 }  // namespace flit::core

@@ -23,11 +23,12 @@ RunOutput truncated(RunOutput out, int digits) {
 }  // namespace
 
 BisectDriver::BisectDriver(const fpsem::CodeModel* model, const TestBase* test,
-                           BisectConfig cfg)
+                           BisectConfig cfg,
+                           toolchain::CompilationCache* cache)
     : model_(model),
       test_(test),
       cfg_(std::move(cfg)),
-      build_(model),
+      build_(model, cache),
       linker_(model),
       runner_(model) {}
 

@@ -97,8 +97,12 @@ struct HierarchicalOutcome {
 /// Runs the hierarchical search for one (test, baseline, variable) triple.
 class BisectDriver {
  public:
+  /// `cache`, when non-null, memoizes per-file compilations -- bisects
+  /// relink far more often than they need to recompile, and one shared
+  /// (thread-safe) cache serves many concurrent drivers.  Must outlive the
+  /// driver.
   BisectDriver(const fpsem::CodeModel* model, const TestBase* test,
-               BisectConfig cfg);
+               BisectConfig cfg, toolchain::CompilationCache* cache = nullptr);
 
   [[nodiscard]] HierarchicalOutcome run();
 

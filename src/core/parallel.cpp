@@ -1,0 +1,139 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace flit::core {
+
+unsigned default_jobs() {
+  if (const char* env = std::getenv("FLIT_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<unsigned> active{0};  ///< workers currently inside run_share
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors;  // index-addressed, pre-sized
+
+  /// Claims and runs indices until the range is exhausted.  Every index
+  /// runs even after a failure: claimed work always completes, so the
+  /// caller can wait on a single completion count, and the lowest-index
+  /// exception -- the one a serial loop would have thrown -- is always
+  /// recorded.
+  void run_share() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        failed.store(true, std::memory_order_release);
+      }
+      completed.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned jobs) : jobs_(jobs >= 1 ? jobs : 1) {
+  workers_.reserve(jobs_ - 1);
+  for (unsigned w = 1; w < jobs_; ++w) {
+    workers_.emplace_back([this](std::stop_token st) { worker_loop(st); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // Under the lock so a worker between its predicate check and blocking
+    // cannot miss the stop request (lost wakeup).
+    std::lock_guard lock(mu_);
+    for (auto& w : workers_) w.request_stop();
+  }
+  work_cv_.notify_all();
+  // Join explicitly: the condition variables are destroyed before the
+  // jthread members (reverse declaration order), so no worker may still
+  // be inside wait() when this destructor body returns.
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(std::stop_token st) {
+  std::uint64_t seen = 0;
+  while (true) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return st.stop_requested() ||
+               (batch_ != nullptr && generation_ != seen);
+      });
+      if (st.stop_requested()) return;
+      seen = generation_;
+      batch = batch_;
+      // Registered under the lock: the caller's completion check (also
+      // under the lock) either sees this worker as active or the batch is
+      // already cleared before the worker could have grabbed it.
+      batch->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    batch->run_share();
+    batch->active.fetch_sub(1, std::memory_order_release);
+    // Lock-bounce before notifying: serializes with the caller's predicate
+    // check so the final completion count is never announced into the gap
+    // between that check and the caller blocking (lost wakeup).
+    { std::lock_guard lock(mu_); }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Batch batch;
+  batch.n = n;
+  batch.fn = &fn;
+  batch.errors.resize(n);
+
+  {
+    std::lock_guard lock(mu_);
+    batch_ = &batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  batch.run_share();  // the calling thread is a full participant
+
+  {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [&] {
+      // Both conditions matter: every index done, and no worker still
+      // holding a pointer into this stack-allocated batch.
+      return batch.completed.load(std::memory_order_acquire) == batch.n &&
+             batch.active.load(std::memory_order_acquire) == 0;
+    });
+    batch_ = nullptr;
+  }
+
+  if (batch.failed.load(std::memory_order_acquire)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (batch.errors[i]) std::rethrow_exception(batch.errors[i]);
+    }
+  }
+}
+
+}  // namespace flit::core

@@ -1,0 +1,68 @@
+#pragma once
+
+// The parallel substrate of the study engine.
+//
+// The paper's workloads are embarrassingly parallel -- 244 compilations x
+// 19 MFEM examples for Table 1, thousands of injection runs for Table 5 --
+// and upstream FLiT distributes exactly this sweep across cluster nodes.
+// ThreadPool is the single-node analogue: a fixed set of std::jthread
+// workers fed by a dynamically-chunked index counter.  Callers hand it an
+// index range and a function; results are written into index-addressed
+// slots by the caller, so the merged output is bitwise-identical to a
+// serial loop regardless of the worker count or scheduling order.
+//
+// Exception semantics match serial execution too: indices are claimed in
+// increasing order, every claimed index runs to completion, and the
+// lowest-index exception is rethrown -- the same exception a serial loop
+// would have surfaced.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flit::core {
+
+/// Worker count for `--jobs`-style knobs: the FLIT_JOBS environment
+/// variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (never less than 1).
+[[nodiscard]] unsigned default_jobs();
+
+class ThreadPool {
+ public:
+  /// A pool of `jobs` execution lanes.  The calling thread participates in
+  /// every parallel_for, so the pool spawns jobs - 1 workers; jobs <= 1
+  /// spawns none and parallel_for degenerates to a plain serial loop.
+  explicit ThreadPool(unsigned jobs);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Runs fn(i) for every i in [0, n).  Indices are claimed from a shared
+  /// atomic counter (coarse tasks make chunk size 1 the right grain).
+  /// Blocks until every index has completed; if any fn threw, rethrows the
+  /// exception of the lowest throwing index.  Not reentrant: one
+  /// parallel_for per pool at a time.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Batch;
+
+  void worker_loop(std::stop_token st);
+
+  unsigned jobs_;
+  std::vector<std::jthread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  Batch* batch_ = nullptr;  // guarded by mu_; non-null while a batch runs
+};
+
+}  // namespace flit::core

@@ -1,5 +1,8 @@
 #include "core/workflow.h"
 
+#include "core/parallel.h"
+#include "toolchain/compile_cache.h"
+
 namespace flit::core {
 
 WorkflowReport run_workflow(const fpsem::CodeModel* model,
@@ -8,8 +11,13 @@ WorkflowReport run_workflow(const fpsem::CodeModel* model,
                             const WorkflowOptions& opts) {
   WorkflowReport report;
 
+  // One compilation cache for the whole pipeline: the exploration warms it
+  // and every bisect below compiles through it.
+  toolchain::CompilationCache cache;
+
   // Levels 1 and 2: explore the compilation space.
-  SpaceExplorer explorer(model, opts.baseline, opts.speed_reference);
+  SpaceExplorer explorer(model, opts.baseline, opts.speed_reference,
+                         opts.jobs, &cache);
   report.study = explorer.explore(test, space);
 
   report.fastest_reproducible = report.study.fastest_equal();
@@ -23,21 +31,29 @@ WorkflowReport run_workflow(const fpsem::CodeModel* model,
 
   if (!opts.run_bisect) return report;
 
-  // Level 3: root-cause each variability-inducing compilation.
-  std::size_t done = 0;
+  // Level 3: root-cause each variability-inducing compilation.  The
+  // bisects are independent (the max_bisects cap is applied in study
+  // order first), so they fan out across the pool; the merged report is
+  // index-ordered and bitwise-identical to a serial run.
+  std::vector<const CompilationOutcome*> to_bisect;
   for (const CompilationOutcome& o : report.study.outcomes) {
     if (o.bitwise_equal()) continue;
-    if (opts.max_bisects != 0 && done >= opts.max_bisects) break;
-    ++done;
+    if (opts.max_bisects != 0 && to_bisect.size() >= opts.max_bisects) break;
+    to_bisect.push_back(&o);
+  }
 
+  report.bisects.resize(to_bisect.size());
+  ThreadPool pool(opts.jobs);
+  pool.parallel_for(to_bisect.size(), [&](std::size_t i) {
+    const CompilationOutcome& o = *to_bisect[i];
     BisectConfig cfg;
     cfg.baseline = opts.baseline;
     cfg.variable = o.comp;
     cfg.k = opts.k;
     cfg.digits = opts.digits;
-    BisectDriver driver(model, &test, cfg);
-    report.bisects.push_back(VariableCompilationReport{o, driver.run()});
-  }
+    BisectDriver driver(model, &test, cfg, &cache);
+    report.bisects[i] = VariableCompilationReport{o, driver.run()};
+  });
   return report;
 }
 

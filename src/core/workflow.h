@@ -31,6 +31,11 @@ struct WorkflowOptions {
 
   int k = 0;       ///< BisectBiggest k (0 = BisectAll)
   int digits = 0;  ///< digit-restricted comparison (0 = full precision)
+
+  /// Parallel execution lanes for the space exploration and for the
+  /// per-variable-compilation bisects (1 = serial).  Any value produces a
+  /// report bitwise-identical to the serial one.
+  unsigned jobs = 1;
 };
 
 struct VariableCompilationReport {

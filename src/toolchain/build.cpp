@@ -8,6 +8,15 @@ namespace flit::toolchain {
 
 ObjectFile BuildSystem::compile(const std::string& file, const Compilation& c,
                                 bool fpic, bool injected) const {
+  if (cache_ == nullptr) return compile_uncached(file, c, fpic, injected);
+  return cache_->get_or_build(file, c, fpic, injected, [&] {
+    return compile_uncached(file, c, fpic, injected);
+  });
+}
+
+ObjectFile BuildSystem::compile_uncached(const std::string& file,
+                                         const Compilation& c, bool fpic,
+                                         bool injected) const {
   const auto fns = model_->functions_in(file);
   if (fns.empty()) {
     throw std::invalid_argument("unknown source file: " + file);

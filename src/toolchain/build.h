@@ -8,13 +8,20 @@
 #include <vector>
 
 #include "fpsem/code_model.h"
+#include "toolchain/compile_cache.h"
 #include "toolchain/object.h"
 
 namespace flit::toolchain {
 
 class BuildSystem {
  public:
-  explicit BuildSystem(const fpsem::CodeModel* model) : model_(model) {}
+  /// `cache`, when non-null, memoizes per-file objects across semantically
+  /// equivalent compilations; it may be shared with other BuildSystems and
+  /// with other threads (CompilationCache is thread-safe).  The cache must
+  /// outlive this BuildSystem.
+  explicit BuildSystem(const fpsem::CodeModel* model,
+                       CompilationCache* cache = nullptr)
+      : model_(model), cache_(cache) {}
 
   /// Compiles one source file of the model under `c`.
   /// `fpic` models -fPIC (Symbol Bisect recompiles with it); `injected`
@@ -29,8 +36,16 @@ class BuildSystem {
 
   [[nodiscard]] const fpsem::CodeModel& model() const { return *model_; }
 
+  void set_cache(CompilationCache* cache) { cache_ = cache; }
+  [[nodiscard]] CompilationCache* cache() const { return cache_; }
+
  private:
+  [[nodiscard]] ObjectFile compile_uncached(const std::string& file,
+                                            const Compilation& c, bool fpic,
+                                            bool injected) const;
+
   const fpsem::CodeModel* model_;
+  CompilationCache* cache_;
 };
 
 }  // namespace flit::toolchain

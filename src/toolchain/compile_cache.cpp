@@ -1,0 +1,78 @@
+#include "toolchain/compile_cache.h"
+
+#include <cstdio>
+
+#include "toolchain/semantics_rules.h"
+
+namespace flit::toolchain {
+
+std::uint64_t CompilationCache::fingerprint(const Compilation& c, bool fpic) {
+  const fpsem::FpSemantics s = derive_semantics(c);
+  const fpsem::CostFactors k = derive_cost(c);
+  // The %a renderings keep the cost doubles exact; every semantics field
+  // participates so that fingerprint equality implies binding equality.
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%d|%d|%d|%d|%d|%d|%d|%a|%a",
+                static_cast<int>(s.contract_fma), s.reassoc_width,
+                static_cast<int>(s.extended_precision),
+                static_cast<int>(s.unsafe_math),
+                static_cast<int>(s.flush_subnormals),
+                static_cast<int>(s.fast_libm), static_cast<int>(s.exploits_ub),
+                k.time_scale, k.bulk_scale);
+  std::string material = buf;
+  if (fpic) {
+    // inlining_carries_variability() hashes the raw compilation string, so
+    // -fPIC bindings are only shareable between textually equal triples.
+    material += '|';
+    material += c.str();
+  }
+  return stable_hash(material);
+}
+
+ObjectFile CompilationCache::get_or_build(
+    const std::string& file, const Compilation& c, bool fpic, bool injected,
+    const std::function<ObjectFile()>& build) {
+  const Key key{file, fingerprint(c, fpic), fpic, injected};
+  {
+    std::lock_guard lock(mu_);
+    if (auto it = entries_.find(key); it != entries_.end()) {
+      ++stats_.hits;
+      ObjectFile obj = it->second;
+      obj.comp = c;  // the hazard predicates hash the raw triple
+      return obj;
+    }
+  }
+  // Build outside the lock: compilations are the expensive part and two
+  // threads racing to build the same key is rarer than serializing every
+  // builder behind one mutex.
+  ObjectFile built = build();
+  std::lock_guard lock(mu_);
+  ++stats_.misses;
+  auto [it, inserted] = entries_.try_emplace(key, built);
+  if (inserted) return built;
+  ObjectFile obj = it->second;  // another thread won the race
+  obj.comp = c;
+  return obj;
+}
+
+CompilationCache::Stats CompilationCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void CompilationCache::clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+std::size_t CompilationCache::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = stable_hash(k.file);
+  h ^= k.fingerprint + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= (static_cast<std::uint64_t>(k.fpic) << 1 |
+        static_cast<std::uint64_t>(k.injected)) +
+       0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace flit::toolchain

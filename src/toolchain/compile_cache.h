@@ -1,0 +1,80 @@
+#pragma once
+
+// A shared, thread-safe memo of per-file compilations.
+//
+// The derivation rules collapse many (compiler, -O, switches) triples onto
+// the same per-file floating-point semantics and cost -- inert flags,
+// equivalent fp-models, same-family optimization levels -- so most of the
+// 244-point study space recompiles a file into an object whose bindings
+// already exist.  The cache therefore keys on the *derived-semantics
+// fingerprint* of a compilation, not the raw triple: a fingerprint over
+// derive_semantics(c) and derive_cost(c) (plus, for -fPIC objects, the
+// canonical compilation string, because the -fPIC inlining-loss predicate
+// is seeded by it).  Two compilations with equal fingerprints produce
+// byte-for-byte identical bindings, so a hit only has to restamp the
+// requested Compilation onto the cached object -- the raw `comp` field
+// still matters downstream (ABI-hazard predicates hash it), which is why
+// the Compilation itself cannot be the key *or* be cached.
+//
+// The cache is shared across threads of the parallel study engine and
+// across serial Bisect drivers (which relink far more often than they need
+// to recompile); all methods are safe for concurrent use.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "toolchain/object.h"
+
+namespace flit::toolchain {
+
+class CompilationCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
+    [[nodiscard]] double hit_rate() const {
+      return lookups() == 0 ? 0.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(lookups());
+    }
+  };
+
+  /// Returns the object for (file, c, fpic, injected), invoking `build`
+  /// only when no semantically-equivalent compilation of the file is
+  /// cached.  The returned object always carries `c` as its compilation.
+  [[nodiscard]] ObjectFile get_or_build(
+      const std::string& file, const Compilation& c, bool fpic, bool injected,
+      const std::function<ObjectFile()>& build);
+
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+  /// The semantics fingerprint of `c`: equal fingerprints guarantee equal
+  /// per-file bindings (for the given fpic mode).  Exposed for tests.
+  [[nodiscard]] static std::uint64_t fingerprint(const Compilation& c,
+                                                 bool fpic);
+
+ private:
+  struct Key {
+    std::string file;
+    std::uint64_t fingerprint = 0;
+    bool fpic = false;
+    bool injected = false;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, ObjectFile, KeyHash> entries_;
+  Stats stats_;
+};
+
+}  // namespace flit::toolchain

@@ -1,0 +1,110 @@
+// The parallel substrate: ThreadPool index coverage, deterministic
+// index-ordered results, serial-equivalent exception propagation, pool
+// reuse across batches, and the FLIT_JOBS override of default_jobs().
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel.h"
+
+namespace {
+
+using flit::core::ThreadPool;
+using flit::core::default_jobs;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (unsigned jobs : {1u, 2u, 8u}) {
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{100}}) {
+      std::vector<std::atomic<int>> hits(n);
+      ThreadPool pool(jobs);
+      pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, IndexAddressedResultsMatchSerialBitwise) {
+  const std::size_t n = 257;
+  std::vector<double> serial(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    serial[i] = 1.0 / (static_cast<double>(i) + 0.25);
+  }
+  for (unsigned jobs : {2u, 8u}) {
+    std::vector<double> parallel(n);
+    ThreadPool pool(jobs);
+    pool.parallel_for(n, [&](std::size_t i) {
+      parallel[i] = 1.0 / (static_cast<double>(i) + 0.25);
+    });
+    EXPECT_EQ(parallel, serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(ThreadPool, RethrowsTheLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(64, [](std::size_t i) {
+      if (i == 11 || i == 40) {
+        throw std::runtime_error(std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    // A serial loop would have thrown at index 11 first.
+    EXPECT_STREQ(e.what(), "11");
+  }
+}
+
+TEST(ThreadPool, ExceptionStillCompletesEveryIndex) {
+  std::vector<std::atomic<int>> hits(32);
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(32,
+                                 [&](std::size_t i) {
+                                   ++hits[i];
+                                   if (i == 5) throw std::logic_error("x");
+                                 }),
+               std::logic_error);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<int> out(50, -1);
+    pool.parallel_for(out.size(),
+                      [&](std::size_t i) { out[i] = static_cast<int>(i); });
+    std::vector<int> expect(50);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(out, expect) << "round " << round;
+  }
+}
+
+TEST(DefaultJobs, HonoursFlitJobsEnvironment) {
+  const char* saved = std::getenv("FLIT_JOBS");
+  const std::string saved_value = saved ? saved : "";
+
+  ::setenv("FLIT_JOBS", "5", 1);
+  EXPECT_EQ(default_jobs(), 5u);
+
+  ::setenv("FLIT_JOBS", "0", 1);  // invalid: fall back to hardware
+  EXPECT_GE(default_jobs(), 1u);
+
+  ::setenv("FLIT_JOBS", "banana", 1);  // unparsable: fall back
+  EXPECT_GE(default_jobs(), 1u);
+
+  ::unsetenv("FLIT_JOBS");
+  EXPECT_GE(default_jobs(), 1u);
+
+  if (saved) ::setenv("FLIT_JOBS", saved_value.c_str(), 1);
+}
+
+}  // namespace

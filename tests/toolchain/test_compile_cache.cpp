@@ -1,0 +1,161 @@
+// The shared compilation cache: fingerprint collapse of semantically
+// equivalent triples, byte-identical bindings on hits, hit/miss
+// accounting, and key separation for -fPIC and injected builds.
+
+#include <gtest/gtest.h>
+
+#include "fpsem/code_model.h"
+#include "toolchain/build.h"
+#include "toolchain/compile_cache.h"
+#include "toolchain/compiler.h"
+#include "toolchain/semantics_rules.h"
+
+namespace {
+
+using namespace flit::toolchain;
+using flit::fpsem::CodeModel;
+
+CodeModel make_model() {
+  CodeModel m;
+  m.add({.name = "cc::f", .file = "cc/a.cpp"});
+  m.add({.name = "cc::g", .file = "cc/a.cpp", .uses_libm = true});
+  m.add({.name = "cc::hidden",
+         .file = "cc/a.cpp",
+         .exported = false,
+         .host_symbol = "cc::f"});
+  m.add({.name = "cc::h", .file = "cc/b.cpp", .inline_candidate = true});
+  return m;
+}
+
+/// g++ -O1 with and without the documented-inert -fassociative-math flag:
+/// identical derived semantics and cost, different raw triples.
+Compilation o1_plain() { return {gcc(), OptLevel::O1, ""}; }
+Compilation o1_inert() { return {gcc(), OptLevel::O1, "-fassociative-math"}; }
+
+void expect_same_object(const ObjectFile& a, const ObjectFile& b) {
+  EXPECT_EQ(a.source_file, b.source_file);
+  EXPECT_EQ(a.fpic, b.fpic);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.bindings, b.bindings);
+  EXPECT_EQ(a.internal_fns, b.internal_fns);
+  ASSERT_EQ(a.symbols.size(), b.symbols.size());
+  for (std::size_t i = 0; i < a.symbols.size(); ++i) {
+    EXPECT_EQ(a.symbols[i].name, b.symbols[i].name);
+    EXPECT_EQ(a.symbols[i].fn, b.symbols[i].fn);
+    EXPECT_EQ(a.symbols[i].strong, b.symbols[i].strong);
+  }
+}
+
+TEST(CompilationCache, FingerprintCollapsesSemanticallyEquivalentTriples) {
+  EXPECT_EQ(CompilationCache::fingerprint(o1_plain(), false),
+            CompilationCache::fingerprint(o1_inert(), false));
+  EXPECT_NE(CompilationCache::fingerprint(o1_plain(), false),
+            CompilationCache::fingerprint({gcc(), OptLevel::O2, ""}, false));
+  // Cost differences separate fingerprints even when semantics agree:
+  // -mavx changes bulk_scale only.
+  EXPECT_NE(
+      CompilationCache::fingerprint({gcc(), OptLevel::O2, ""}, false),
+      CompilationCache::fingerprint({gcc(), OptLevel::O2, "-mavx"}, false));
+}
+
+TEST(CompilationCache, FpicFingerprintsAreKeyedByTheRawTriple) {
+  // The -fPIC inlining-loss predicate hashes the raw compilation string,
+  // so equivalent triples must NOT share -fPIC objects.
+  EXPECT_NE(CompilationCache::fingerprint(o1_plain(), true),
+            CompilationCache::fingerprint(o1_inert(), true));
+}
+
+TEST(CompilationCache, HitReturnsTheSameObjectWithTheRequestedTriple) {
+  CodeModel m = make_model();
+  CompilationCache cache;
+  BuildSystem cached(&m, &cache);
+  BuildSystem uncached(&m);
+
+  const ObjectFile first = cached.compile("cc/a.cpp", o1_plain());
+  const ObjectFile hit = cached.compile("cc/a.cpp", o1_inert());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // The hit's bindings are byte-identical to a from-scratch compile of the
+  // *requested* triple, and the raw triple is restamped (the ABI-hazard
+  // predicates hash it).
+  expect_same_object(hit, uncached.compile("cc/a.cpp", o1_inert()));
+  EXPECT_EQ(hit.comp, o1_inert());
+  EXPECT_EQ(first.comp, o1_plain());
+}
+
+TEST(CompilationCache, CompileCountsDropAcrossRepeatedBuilds) {
+  CodeModel m = make_model();
+  CompilationCache cache;
+  BuildSystem build(&m, &cache);
+
+  (void)build.compile_all(o1_plain());
+  const auto after_first = cache.stats();
+  EXPECT_EQ(after_first.misses, m.files().size());
+  EXPECT_EQ(after_first.hits, 0u);
+
+  (void)build.compile_all(o1_plain());
+  (void)build.compile_all(o1_inert());  // equivalent triple: all hits too
+  const auto after_third = cache.stats();
+  EXPECT_EQ(after_third.misses, m.files().size());
+  EXPECT_EQ(after_third.hits, 2 * m.files().size());
+  EXPECT_GT(after_third.hit_rate(), 0.5);
+}
+
+TEST(CompilationCache, FpicAndInjectedAreSeparateEntries) {
+  CodeModel m = make_model();
+  CompilationCache cache;
+  BuildSystem build(&m, &cache);
+
+  const auto plain = build.compile("cc/a.cpp", o1_plain());
+  const auto fpic = build.compile("cc/a.cpp", o1_plain(), /*fpic=*/true);
+  const auto injected = build.compile("cc/a.cpp", o1_plain(), /*fpic=*/false,
+                                      /*injected=*/true);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_FALSE(plain.fpic);
+  EXPECT_TRUE(fpic.fpic);
+  EXPECT_TRUE(injected.injected);
+  EXPECT_FALSE(plain.injected);
+}
+
+TEST(CompilationCache, CachedObjectsEqualUncachedAcrossTheStudySpace) {
+  CodeModel m = make_model();
+  CompilationCache cache;
+  BuildSystem cached(&m, &cache);
+  BuildSystem uncached(&m);
+
+  for (const Compilation& c : mfem_study_space()) {
+    for (const std::string& f : m.files()) {
+      expect_same_object(cached.compile(f, c), uncached.compile(f, c));
+      expect_same_object(cached.compile(f, c, /*fpic=*/true),
+                         uncached.compile(f, c, /*fpic=*/true));
+    }
+  }
+}
+
+TEST(CompilationCache, StudySpaceHitRateExceedsHalf) {
+  // The Table 1 space: 244 triples collapse onto far fewer distinct
+  // per-file semantics, so most non-fPIC compiles are hits.
+  CodeModel m = make_model();
+  CompilationCache cache;
+  BuildSystem build(&m, &cache);
+  for (const Compilation& c : mfem_study_space()) {
+    (void)build.compile_all(c);
+  }
+  EXPECT_GT(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(CompilationCache, ClearResetsEntriesAndCounters) {
+  CodeModel m = make_model();
+  CompilationCache cache;
+  BuildSystem build(&m, &cache);
+  (void)build.compile_all(o1_plain());
+  (void)build.compile_all(o1_plain());
+  cache.clear();
+  EXPECT_EQ(cache.stats().lookups(), 0u);
+  (void)build.compile_all(o1_plain());
+  EXPECT_EQ(cache.stats().misses, m.files().size());
+}
+
+}  // namespace

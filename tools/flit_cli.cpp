@@ -12,6 +12,7 @@
 // All registered applications (mini-MFEM, Laghos, LULESH, geometry, the
 // parallel study) are linked in, so their tests are available by name.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -21,6 +22,7 @@
 #include "core/explorer.h"
 #include "core/hierarchy.h"
 #include "core/mixer.h"
+#include "core/parallel.h"
 #include "core/registry.h"
 #include "core/report.h"
 #include "core/resultsdb.h"
@@ -66,11 +68,17 @@ void register_bundled_tests() {
 int usage() {
   std::fprintf(stderr,
                "usage: flit list\n"
-               "       flit explore <test> [--csv] [--db file.tsv]\n"
+               "       flit explore <test> [--csv] [--db file.tsv] "
+               "[--jobs N]\n"
                "       flit bisect <test> <compiler> <-ON> [flag...] "
                "[--k N] [--digits D]\n"
-               "       flit workflow <test>\n"
-               "       flit mix <test> <tolerance>\n");
+               "       flit workflow <test> [--jobs N]\n"
+               "       flit mix <test> <tolerance>\n"
+               "\n"
+               "--jobs N   parallel execution lanes for explore/workflow\n"
+               "           (default: the FLIT_JOBS environment variable if\n"
+               "           set, else the hardware thread count; results are\n"
+               "           identical at any jobs count)\n");
   return 2;
 }
 
@@ -113,7 +121,7 @@ int cmd_list() {
 }
 
 int cmd_explore(const std::string& test_name, bool csv,
-                const std::string& db_path) {
+                const std::string& db_path, unsigned jobs) {
   auto& reg = core::global_test_registry();
   if (!reg.contains(test_name)) {
     std::fprintf(stderr, "unknown test '%s' (try: flit list)\n",
@@ -123,7 +131,7 @@ int cmd_explore(const std::string& test_name, bool csv,
   const auto test = reg.create(test_name);
   core::SpaceExplorer explorer(&fpsem::global_code_model(),
                                toolchain::mfem_baseline(),
-                               toolchain::mfem_speed_reference());
+                               toolchain::mfem_speed_reference(), jobs);
   const auto space = toolchain::mfem_study_space();
   const auto study = explorer.explore(*test, space);
   if (!db_path.empty()) {
@@ -160,7 +168,7 @@ int cmd_bisect(const std::string& test_name,
   return 0;
 }
 
-int cmd_workflow(const std::string& test_name) {
+int cmd_workflow(const std::string& test_name, unsigned jobs) {
   auto& reg = core::global_test_registry();
   if (!reg.contains(test_name)) {
     std::fprintf(stderr, "unknown test '%s'\n", test_name.c_str());
@@ -172,6 +180,7 @@ int cmd_workflow(const std::string& test_name) {
   opts.speed_reference = toolchain::mfem_speed_reference();
   opts.max_bisects = 3;
   opts.k = 1;
+  opts.jobs = jobs;
   const auto report = core::run_workflow(
       &fpsem::global_code_model(), *test, toolchain::mfem_study_space(),
       opts);
@@ -221,13 +230,17 @@ int main(int argc, char** argv) {
     if (argc < 3) return usage();
     bool csv = false;
     std::string db_path;
+    unsigned jobs = core::default_jobs();
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--csv") == 0) csv = true;
       if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
         db_path = argv[i + 1];
       }
+      if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        jobs = static_cast<unsigned>(std::max(1, std::atoi(argv[i + 1])));
+      }
     }
-    return cmd_explore(argv[2], csv, db_path);
+    return cmd_explore(argv[2], csv, db_path, jobs);
   }
 
   if (cmd == "bisect") {
@@ -250,7 +263,13 @@ int main(int argc, char** argv) {
 
   if (cmd == "workflow") {
     if (argc < 3) return usage();
-    return cmd_workflow(argv[2]);
+    unsigned jobs = core::default_jobs();
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        jobs = static_cast<unsigned>(std::max(1, std::atoi(argv[i + 1])));
+      }
+    }
+    return cmd_workflow(argv[2], jobs);
   }
 
   if (cmd == "mix") {
