@@ -1,17 +1,51 @@
 #include "core/explorer.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/parallel.h"
+#include "core/resultsdb.h"
 
 namespace flit::core {
+
+const char* to_string(OutcomeStatus s) {
+  switch (s) {
+    case OutcomeStatus::Ok: return "ok";
+    case OutcomeStatus::Retried: return "retried";
+    case OutcomeStatus::Crashed: return "crashed";
+    case OutcomeStatus::BuildFailed: return "build-failed";
+  }
+  return "?";
+}
+
+std::optional<OutcomeStatus> outcome_status_from(const std::string& name) {
+  if (name == "ok") return OutcomeStatus::Ok;
+  if (name == "retried") return OutcomeStatus::Retried;
+  if (name == "crashed") return OutcomeStatus::Crashed;
+  if (name == "build-failed") return OutcomeStatus::BuildFailed;
+  return std::nullopt;
+}
 
 std::size_t StudyResult::variable_count() const {
   return static_cast<std::size_t>(
       std::count_if(outcomes.begin(), outcomes.end(),
                     [](const CompilationOutcome& o) {
-                      return !o.bitwise_equal();
+                      return o.ok() && !o.bitwise_equal();
                     }));
+}
+
+std::size_t StudyResult::failed_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(outcomes.begin(), outcomes.end(),
+                    [](const CompilationOutcome& o) { return o.failed(); }));
+}
+
+std::size_t StudyResult::retried_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      outcomes.begin(), outcomes.end(), [](const CompilationOutcome& o) {
+        return o.status == OutcomeStatus::Retried;
+      }));
 }
 
 const CompilationOutcome* StudyResult::fastest_equal(
@@ -30,7 +64,7 @@ const CompilationOutcome* StudyResult::fastest_equal(
 const CompilationOutcome* StudyResult::fastest_variable() const {
   const CompilationOutcome* best = nullptr;
   for (const CompilationOutcome& o : outcomes) {
-    if (o.bitwise_equal()) continue;
+    if (o.failed() || o.bitwise_equal()) continue;
     if (best == nullptr || o.speedup > best->speedup) best = &o;
   }
   return best;
@@ -40,7 +74,7 @@ std::optional<StudyResult::VariabilityStats> StudyResult::variability_stats()
     const {
   std::vector<long double> v;
   for (const CompilationOutcome& o : outcomes) {
-    if (!o.bitwise_equal()) v.push_back(o.variability);
+    if (o.ok() && !o.bitwise_equal()) v.push_back(o.variability);
   }
   if (v.empty()) return std::nullopt;
   std::sort(v.begin(), v.end());
@@ -75,41 +109,148 @@ RunOutput SpaceExplorer::run_whole_program(
   return runner_.run(test, exe);
 }
 
+RunOutput SpaceExplorer::run_anchor(const TestBase& test,
+                                    const toolchain::Compilation& c,
+                                    const RetryPolicy& retry,
+                                    const char* role) const {
+  std::string last;
+  for (int attempt = 0; attempt < retry.attempts(); ++attempt) {
+    FaultInjector::ScopedTrial trial(test.name() + "|" + c.str(), attempt);
+    try {
+      return run_whole_program(test, c);
+    } catch (const std::exception& e) {
+      last = e.what();
+    }
+  }
+  throw StudyAbort(std::string("explore: ") + role + " compilation '" +
+                   c.str() + "' failed after " +
+                   std::to_string(retry.attempts()) +
+                   " attempt(s): " + last +
+                   " (the study cannot classify outcomes without it)");
+}
+
 StudyResult SpaceExplorer::explore(
-    const TestBase& test,
-    std::span<const toolchain::Compilation> space) const {
+    const TestBase& test, std::span<const toolchain::Compilation> space,
+    const ExploreOptions& opts) const {
   StudyResult result;
   result.test_name = test.name();
 
   // The two anchor runs; when they are the same compilation (or appear
   // inside the space) the run is executed once and reused -- runs are
   // deterministic, so reuse is observationally identical to re-running.
-  const RunOutput base = run_whole_program(test, baseline_);
-  const RunOutput ref = speed_reference_ == baseline_
-                            ? base
-                            : run_whole_program(test, speed_reference_);
+  // Anchor failures are fatal: every outcome is classified against them.
+  const RunOutput base = run_anchor(test, baseline_, opts.retry, "baseline");
+  const RunOutput ref =
+      speed_reference_ == baseline_
+          ? base
+          : run_anchor(test, speed_reference_, opts.retry,
+                       "speed-reference");
 
   result.outcomes.resize(space.size());
-  ThreadPool pool(jobs_);
-  pool.parallel_for(space.size(), [&](std::size_t i) {
+
+  // Resume: prefill outcomes already recorded for this test (quarantined
+  // rows included -- a failure that exhausted its retry budget once is
+  // not re-run by a later study) and skip their execution.
+  std::vector<char> prefilled(space.size(), 0);
+  if (opts.db != nullptr && opts.resume) {
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      const auto row = opts.db->find(result.test_name, space[i].str());
+      if (!row.has_value()) continue;
+      CompilationOutcome& o = result.outcomes[i];
+      o.comp = space[i];
+      o.speedup = row->speedup;
+      o.variability = row->variability;
+      o.status = row->status;
+      o.reason = row->reason;
+      prefilled[i] = 1;
+    }
+  }
+
+  const auto run_item = [&](std::size_t i) {
     const toolchain::Compilation& c = space[i];
+    CompilationOutcome& o = result.outcomes[i];
+    o.comp = c;
+
     const RunOutput* reused = nullptr;
     if (c == baseline_) {
       reused = &base;
     } else if (c == speed_reference_) {
       reused = &ref;
     }
-    RunOutput fresh;
-    if (reused == nullptr) {
-      fresh = run_whole_program(test, c);
-      reused = &fresh;
+
+    std::string reason;
+    OutcomeStatus failure = OutcomeStatus::Crashed;
+    const int attempts = opts.retry.attempts();
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      FaultInjector::ScopedTrial trial(result.test_name + "|" + c.str(),
+                                       attempt);
+      try {
+        RunOutput fresh;
+        const RunOutput* run = reused;
+        if (run == nullptr) {
+          fresh = run_whole_program(test, c);
+          run = &fresh;
+        }
+        o.variability = Runner::compare_outputs(test, base, *run);
+        o.cycles = run->cycles;
+        o.speedup = ref.cycles / run->cycles;
+        o.status = attempt == 0 ? OutcomeStatus::Ok : OutcomeStatus::Retried;
+        o.attempts = attempt + 1;
+        o.reason = attempt == 0 ? std::string() : "recovered from: " + reason;
+        return;
+      } catch (const ExecutionCrash& e) {
+        failure = OutcomeStatus::Crashed;
+        reason = e.what();
+        if (!opts.keep_going && attempt + 1 == attempts) throw;
+      } catch (const std::exception& e) {
+        failure = OutcomeStatus::BuildFailed;
+        reason = e.what();
+        if (!opts.keep_going && attempt + 1 == attempts) throw;
+      }
     }
-    CompilationOutcome& o = result.outcomes[i];
-    o.comp = c;
-    o.variability = Runner::compare_outputs(test, base, *reused);
-    o.cycles = reused->cycles;
-    o.speedup = ref.cycles / reused->cycles;
-  });
+    // Quarantined: every attempt failed.
+    o.status = failure;
+    o.attempts = attempts;
+    o.reason = reason;
+    o.variability = 0.0L;
+    o.cycles = 0.0;
+    o.speedup = 0.0;
+  };
+
+  ThreadPool pool(jobs_);
+  const std::size_t batch =
+      opts.db != nullptr && opts.checkpoint_batch > 0 ? opts.checkpoint_batch
+                                                      : space.size();
+  std::size_t batch_ordinal = 0;
+  for (std::size_t start = 0; start < space.size(); start += batch) {
+    const std::size_t n = std::min(batch, space.size() - start);
+    pool.parallel_for(n, [&](std::size_t j) {
+      const std::size_t i = start + j;
+      if (!prefilled[i]) run_item(i);
+    });
+
+    if (opts.db != nullptr) {
+      // Checkpoint the freshly computed slice (resumed rows are already
+      // on disk), so a killed study loses at most one batch.
+      StudyResult slice;
+      slice.test_name = result.test_name;
+      for (std::size_t i = start; i < start + n; ++i) {
+        if (!prefilled[i]) slice.outcomes.push_back(result.outcomes[i]);
+      }
+      if (!slice.outcomes.empty()) opts.db->record(slice);
+
+      ++batch_ordinal;
+      if (FaultInjector::global().should_kill(batch_ordinal)) {
+        // The kill switch of the resume smoke test: die the way SIGKILL
+        // would, after the checkpoint is durably on disk.
+        std::fprintf(stderr,
+                     "explore: injected kill after checkpoint batch %zu\n",
+                     batch_ordinal);
+        std::fflush(nullptr);
+        std::_Exit(137);
+      }
+    }
+  }
   return result;
 }
 

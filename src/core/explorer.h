@@ -12,12 +12,22 @@
 // bitwise-identical to a serial run at any jobs count.  Per-file objects
 // are memoized in a shared CompilationCache: most of the 244 triples
 // collapse onto a handful of distinct per-file semantics.
+//
+// Failures are contained, not fatal: a compilation that crashes or fails
+// to build is recorded in its outcome slot (status + reason) and the
+// study completes -- the paper's evaluation depends on recording failed
+// runs (Table 2), not on avoiding them.  Only the two anchor runs
+// (baseline and speed reference) abort the study, with a StudyAbort
+// naming the compilation.  With a ResultsDb attached, explore checkpoints
+// outcomes incrementally and can resume a killed study, converging to a
+// byte-identical database.
 
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/faults.h"
 #include "core/runner.h"
 #include "core/test_base.h"
 #include "toolchain/build.h"
@@ -27,20 +37,56 @@
 
 namespace flit::core {
 
+class ResultsDb;
+
+/// How a (test, compilation) study item ended.
+enum class OutcomeStatus {
+  Ok,           ///< ran cleanly on the first attempt
+  Retried,      ///< ran cleanly after one or more failed attempts
+  Crashed,      ///< the executable died with a signal on every attempt
+  BuildFailed,  ///< the compile or link step failed on every attempt
+};
+
+[[nodiscard]] const char* to_string(OutcomeStatus s);
+/// Inverse of to_string; nullopt for unrecognized names.
+[[nodiscard]] std::optional<OutcomeStatus> outcome_status_from(
+    const std::string& name);
+
 struct CompilationOutcome {
   toolchain::Compilation comp;
   long double variability = 0.0L;  ///< compare() against the baseline
   double cycles = 0.0;             ///< modeled runtime
   double speedup = 0.0;            ///< reference cycles / cycles
 
-  [[nodiscard]] bool bitwise_equal() const { return variability == 0.0L; }
+  OutcomeStatus status = OutcomeStatus::Ok;
+  int attempts = 1;    ///< attempts consumed (1 = first try succeeded)
+  std::string reason;  ///< failure reason; for Retried, the transient
+                       ///< fault the retry recovered from
+
+  /// The item produced results (possibly after retries).
+  [[nodiscard]] bool ok() const {
+    return status == OutcomeStatus::Ok || status == OutcomeStatus::Retried;
+  }
+  /// The item is quarantined: every attempt failed.
+  [[nodiscard]] bool failed() const { return !ok(); }
+
+  [[nodiscard]] bool bitwise_equal() const {
+    return ok() && variability == 0.0L;
+  }
 };
 
 struct StudyResult {
   std::string test_name;
   std::vector<CompilationOutcome> outcomes;
 
+  /// Outcomes that ran and differ from the baseline (failures excluded).
   [[nodiscard]] std::size_t variable_count() const;
+
+  /// Quarantined outcomes (crashed or failed to build on every attempt).
+  [[nodiscard]] std::size_t failed_count() const;
+
+  /// Outcomes that needed a retry to complete.
+  [[nodiscard]] std::size_t retried_count() const;
 
   /// Fastest outcome that compares equal to the baseline, optionally
   /// restricted to one compiler (by name).
@@ -55,6 +101,37 @@ struct StudyResult {
     long double min = 0.0L, median = 0.0L, max = 0.0L;
   };
   [[nodiscard]] std::optional<VariabilityStats> variability_stats() const;
+};
+
+/// Thrown when an anchor run (baseline or speed reference) fails: without
+/// it no outcome can be classified, so the study cannot proceed.
+class StudyAbort : public std::runtime_error {
+ public:
+  explicit StudyAbort(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ExploreOptions {
+  /// Per-item retry budget (bounded, deterministic; see RetryPolicy).
+  RetryPolicy retry;
+
+  /// true (default): contain per-item failures in their outcome slots.
+  /// false: legacy behavior -- rethrow the lowest-index failure after the
+  /// space completes (the ThreadPool contract).
+  bool keep_going = true;
+
+  /// Checkpoint target: when non-null, outcomes are recorded into the
+  /// database after every completed batch, so a killed study loses at
+  /// most one batch.  Must outlive the explore() call.
+  ResultsDb* db = nullptr;
+
+  /// With `db`: skip space entries whose (test, compilation) row is
+  /// already recorded (including quarantined rows -- failures are not
+  /// re-run), prefilling their outcomes from the database.
+  bool resume = false;
+
+  /// Rows per incremental checkpoint when `db` is set (0 = one final
+  /// checkpoint).  Ignored without a database.
+  std::size_t checkpoint_batch = 32;
 };
 
 class SpaceExplorer {
@@ -75,10 +152,21 @@ class SpaceExplorer {
   /// Whole-program builds: all files under the compilation, linked by its
   /// compiler.  Compilations equal to the baseline or the speed reference
   /// reuse those runs instead of re-executing.  Outcomes are merged in
-  /// space order: the result is bitwise-identical at any jobs count.
+  /// space order: the result is bitwise-identical at any jobs count, with
+  /// or without faults, retries, or a resume in the middle.
+  ///
+  /// Per-item failures are contained per `opts.keep_going`; anchor
+  /// failures throw StudyAbort.
+  [[nodiscard]] StudyResult explore(const TestBase& test,
+                                    std::span<const toolchain::Compilation>
+                                        space,
+                                    const ExploreOptions& opts) const;
+
   [[nodiscard]] StudyResult explore(
       const TestBase& test,
-      std::span<const toolchain::Compilation> space) const;
+      std::span<const toolchain::Compilation> space) const {
+    return explore(test, space, ExploreOptions{});
+  }
 
   /// Runs one whole-program compilation of `test`.
   [[nodiscard]] RunOutput run_whole_program(
@@ -94,6 +182,13 @@ class SpaceExplorer {
   }
 
  private:
+  /// Runs an anchor compilation with the retry budget; throws StudyAbort
+  /// when every attempt fails.
+  [[nodiscard]] RunOutput run_anchor(const TestBase& test,
+                                     const toolchain::Compilation& c,
+                                     const RetryPolicy& retry,
+                                     const char* role) const;
+
   const fpsem::CodeModel* model_;
   toolchain::Compilation baseline_;
   toolchain::Compilation speed_reference_;

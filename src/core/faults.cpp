@@ -1,0 +1,192 @@
+#include "core/faults.h"
+
+#include <cstdlib>
+
+namespace flit::core {
+
+namespace {
+
+thread_local std::string tl_context;      // NOLINT(cert-err58-cpp)
+thread_local int tl_attempt = 0;
+
+/// FNV-1a over a string; the same construction the toolchain's hazard
+/// predicates use, duplicated here to keep faults self-contained.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char ch : s) {
+    h ^= ch;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::size_t site_index(FaultSite s) { return static_cast<std::size_t>(s); }
+
+bool parse_site(const std::string& name, FaultSite* out) {
+  if (name == "compile") {
+    *out = FaultSite::Compile;
+  } else if (name == "link") {
+    *out = FaultSite::Link;
+  } else if (name == "run") {
+    *out = FaultSite::Run;
+  } else if (name == "kill") {
+    *out = FaultSite::Kill;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(FaultSite s) {
+  switch (s) {
+    case FaultSite::Compile: return "compile";
+    case FaultSite::Link: return "link";
+    case FaultSite::Run: return "run";
+    case FaultSite::Kill: return "kill";
+  }
+  return "?";
+}
+
+void FaultInjector::arm(FaultSite site, double rate, std::uint64_t seed) {
+  std::lock_guard lock(mu_);
+  SiteSpec& spec = sites_[site_index(site)];
+  spec.armed = true;
+  if (site == FaultSite::Kill) {
+    spec.rate = rate < 1.0 ? 1.0 : rate;  // a batch ordinal, not a rate
+  } else {
+    spec.rate = rate < 0.0 ? 0.0 : (rate > 1.0 ? 1.0 : rate);
+  }
+  spec.seed = seed;
+  any_armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard lock(mu_);
+  sites_ = {};
+  any_armed_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::armed(FaultSite site) const {
+  std::lock_guard lock(mu_);
+  return sites_[site_index(site)].armed;
+}
+
+bool FaultInjector::any_armed() const {
+  return any_armed_.load(std::memory_order_acquire);
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  FaultInjector parsed;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t c1 = entry.find(':');
+    if (c1 == std::string::npos) {
+      throw std::invalid_argument("FLIT_FAULTS: missing rate in '" + entry +
+                                  "' (expected site:rate[:seed])");
+    }
+    const std::size_t c2 = entry.find(':', c1 + 1);
+    const std::string site_name = entry.substr(0, c1);
+    const std::string rate_str =
+        entry.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
+                                                     : c2 - c1 - 1);
+    const std::string seed_str =
+        c2 == std::string::npos ? "" : entry.substr(c2 + 1);
+
+    FaultSite site{};
+    if (!parse_site(site_name, &site)) {
+      throw std::invalid_argument("FLIT_FAULTS: unknown site '" + site_name +
+                                  "' (expected compile|link|run|kill)");
+    }
+    char* endp = nullptr;
+    const double rate = std::strtod(rate_str.c_str(), &endp);
+    if (rate_str.empty() || endp == nullptr || *endp != '\0' || rate < 0.0) {
+      throw std::invalid_argument("FLIT_FAULTS: bad rate '" + rate_str +
+                                  "' in '" + entry + "'");
+    }
+    std::uint64_t seed = 0;
+    if (!seed_str.empty()) {
+      endp = nullptr;
+      const unsigned long long v = std::strtoull(seed_str.c_str(), &endp, 10);
+      if (endp == nullptr || *endp != '\0') {
+        throw std::invalid_argument("FLIT_FAULTS: bad seed '" + seed_str +
+                                    "' in '" + entry + "'");
+      }
+      seed = v;
+    }
+    parsed.arm(site, rate, seed);
+  }
+
+  std::lock_guard lock(mu_);
+  sites_ = parsed.sites_;
+  any_armed_.store(parsed.any_armed_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+}
+
+FaultInjector::SiteSpec FaultInjector::site_spec(FaultSite site) const {
+  std::lock_guard lock(mu_);
+  return sites_[site_index(site)];
+}
+
+bool FaultInjector::should_fail(FaultSite site,
+                                const std::string& key) const {
+  if (!any_armed()) return false;
+  const SiteSpec spec = site_spec(site);
+  if (!spec.armed || spec.rate <= 0.0) return false;
+  if (spec.rate >= 1.0) return true;
+  const std::string material =
+      "fault|" + std::to_string(spec.seed) + '|' + to_string(site) + '|' +
+      tl_context + '|' + key + '|' + std::to_string(tl_attempt);
+  constexpr std::uint64_t kScale = 1'000'000;
+  return static_cast<double>(fnv1a(material) % kScale) <
+         spec.rate * static_cast<double>(kScale);
+}
+
+void FaultInjector::maybe_fail(FaultSite site, const std::string& key) const {
+  if (!should_fail(site, key)) return;
+  throw InjectedFault(site, std::string("injected fault: ") +
+                                to_string(site) + " step failed for " + key);
+}
+
+bool FaultInjector::should_kill(std::size_t batch_ordinal) const {
+  if (!any_armed()) return false;
+  const SiteSpec spec = site_spec(FaultSite::Kill);
+  return spec.armed &&
+         batch_ordinal >= static_cast<std::size_t>(spec.rate);
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector instance;
+  static const bool from_env = [] {
+    if (const char* env = std::getenv("FLIT_FAULTS")) {
+      instance.configure(env);
+    }
+    return true;
+  }();
+  (void)from_env;
+  return instance;
+}
+
+FaultInjector::ScopedTrial::ScopedTrial(std::string context, int attempt)
+    : prev_context_(std::move(tl_context)), prev_attempt_(tl_attempt) {
+  tl_context = std::move(context);
+  tl_attempt = attempt;
+}
+
+FaultInjector::ScopedTrial::~ScopedTrial() {
+  tl_context = std::move(prev_context_);
+  tl_attempt = prev_attempt_;
+}
+
+const std::string& FaultInjector::current_context() { return tl_context; }
+
+int FaultInjector::current_attempt() { return tl_attempt; }
+
+}  // namespace flit::core

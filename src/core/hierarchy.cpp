@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/bisect_biggest.h"
+#include "core/faults.h"
 #include "toolchain/objcopy.h"
 
 namespace flit::core {
@@ -40,6 +41,13 @@ long double BisectDriver::metric(const RunOutput& out) const {
 RunOutput BisectDriver::execute(
     const std::vector<toolchain::ObjectFile>& objs) {
   ++executions_;
+  // Per-probe fault scope: decisions vary deterministically across the
+  // probes of one search (the execution ordinal is driver-local, so the
+  // sequence is identical at any --jobs count) instead of dooming every
+  // probe of a test at once.
+  FaultInjector::ScopedTrial trial(
+      "bisect|" + cfg_.variable.str() + "#" + std::to_string(executions_),
+      0);
   const toolchain::Executable exe =
       linker_.link(objs, cfg_.baseline.compiler);
   return runner_.run(*test_, exe, cfg_.hook);

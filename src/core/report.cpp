@@ -22,11 +22,36 @@ const char* status_name(FileFinding::SymbolStatus s) {
 
 std::string study_csv(const StudyResult& r) {
   std::ostringstream os;
-  os << "compilation,speedup,variability,bitwise_equal\n";
+  os << "compilation,speedup,variability,bitwise_equal,status,reason\n";
   for (const CompilationOutcome& o : r.outcomes) {
+    std::string reason = o.reason;
+    for (char& c : reason) {
+      if (c == ',' || c == '"' || c == '\n') c = ';';
+    }
     os << '"' << o.comp.str() << "\"," << o.speedup << ','
        << static_cast<double>(o.variability) << ','
-       << (o.bitwise_equal() ? 1 : 0) << '\n';
+       << (o.bitwise_equal() ? 1 : 0) << ',' << to_string(o.status) << ','
+       << reason << '\n';
+  }
+  return os.str();
+}
+
+std::string failure_report(const StudyResult& r) {
+  std::ostringstream os;
+  const std::size_t failed = r.failed_count();
+  const std::size_t retried = r.retried_count();
+  if (failed == 0 && retried == 0) return os.str();
+  os << "failure accounting: " << failed << " of " << r.outcomes.size()
+     << " compilations quarantined, " << retried
+     << " recovered by retry\n";
+  for (const CompilationOutcome& o : r.outcomes) {
+    if (o.failed()) {
+      os << "  QUARANTINED " << o.comp.str() << " [" << to_string(o.status)
+         << " after " << o.attempts << " attempt(s)]: " << o.reason << '\n';
+    } else if (o.status == OutcomeStatus::Retried) {
+      os << "  retried " << o.comp.str() << " (" << o.attempts
+         << " attempts): " << o.reason << '\n';
+    }
   }
   return os.str();
 }
@@ -35,6 +60,12 @@ std::string study_summary(const StudyResult& r) {
   std::ostringstream os;
   os << "test " << r.test_name << ": " << r.outcomes.size()
      << " compilations, " << r.variable_count() << " variable";
+  if (const std::size_t failed = r.failed_count(); failed > 0) {
+    os << ", " << failed << " failed";
+  }
+  if (const std::size_t retried = r.retried_count(); retried > 0) {
+    os << ", " << retried << " retried";
+  }
   if (const auto* fe = r.fastest_equal()) {
     os << "; fastest bitwise-equal " << fe->comp.str() << " (speedup "
        << fe->speedup << ")";
@@ -85,6 +116,11 @@ std::string bisect_report(const HierarchicalOutcome& out) {
 std::string workflow_report_text(const WorkflowReport& report) {
   std::ostringstream os;
   os << study_summary(report.study) << '\n';
+  os << failure_report(report.study);
+  if (const std::size_t fb = report.failed_bisect_count(); fb > 0) {
+    os << "failed searches: " << fb << " of " << report.bisects.size()
+       << " bisects ended without a blame list (Table 2 failure mode)\n";
+  }
   if (report.fastest_reproducible != nullptr) {
     os << "recommendation: " << report.fastest_reproducible->comp.str()
        << " is the fastest reproducible compilation (speedup "

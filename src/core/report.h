@@ -11,11 +11,17 @@
 
 namespace flit::core {
 
-/// CSV: compilation,speedup,variability,bitwise_equal (header included).
+/// CSV: compilation,speedup,variability,bitwise_equal,status,reason
+/// (header included).
 std::string study_csv(const StudyResult& r);
 
-/// One-paragraph human summary of a study (counts, fastest entries).
+/// One-paragraph human summary of a study (counts, fastest entries,
+/// failure/retry tallies).
 std::string study_summary(const StudyResult& r);
+
+/// Failure-accounting section: one line per quarantined or retried
+/// outcome, with status and reason.  Empty string when nothing failed.
+std::string failure_report(const StudyResult& r);
 
 /// Multi-line blame report of a hierarchical bisect outcome.
 std::string bisect_report(const HierarchicalOutcome& out);

@@ -1,6 +1,7 @@
 #include "core/resultsdb.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -9,7 +10,55 @@ namespace flit::core {
 
 namespace {
 
-constexpr char kHeader[] = "test\tcompilation\tspeedup\tvariability";
+// v2 header (status/reason columns); v1 is still accepted on load so
+// databases written before failure accounting existed keep working.
+constexpr char kHeader[] =
+    "test\tcompilation\tspeedup\tvariability\tstatus\treason";
+constexpr char kHeaderV1[] = "test\tcompilation\tspeedup\tvariability";
+
+/// Tabs and newlines are the format's structure; strip them from free-form
+/// reason text before it is persisted.
+std::string sanitized(std::string s) {
+  for (char& c : s) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+/// Parses one data row.  Returns false on a malformed (e.g. truncated)
+/// line instead of throwing; the caller decides whether that is fatal.
+bool parse_row(const std::string& line, bool v1, ResultRow* row) {
+  std::istringstream ls(line);
+  std::string speedup, variability, status;
+  if (!std::getline(ls, row->test_name, '\t') ||
+      !std::getline(ls, row->compilation, '\t') ||
+      !std::getline(ls, speedup, '\t')) {
+    return false;
+  }
+  if (v1) {
+    if (!std::getline(ls, variability, '\t')) return false;
+    row->status = OutcomeStatus::Ok;
+    row->reason.clear();
+  } else {
+    if (!std::getline(ls, variability, '\t') ||
+        !std::getline(ls, status, '\t')) {
+      return false;
+    }
+    const auto parsed = outcome_status_from(status);
+    if (!parsed.has_value()) return false;
+    row->status = *parsed;
+    // The reason is the final field and may be empty (getline fails on an
+    // exhausted stream without consuming anything).
+    if (!std::getline(ls, row->reason)) row->reason.clear();
+  }
+  char* end = nullptr;
+  row->speedup = std::strtod(speedup.c_str(), &end);
+  if (end == speedup.c_str()) return false;
+  end = nullptr;
+  row->variability = strtold(variability.c_str(), &end);
+  if (end == variability.c_str()) return false;
+  return true;
+}
 
 }  // namespace
 
@@ -23,45 +72,68 @@ void ResultsDb::load() {
   if (!in) return;  // first use: created on save
   std::string line;
   if (!std::getline(in, line)) return;
-  if (line != kHeader) {
+  bool v1 = false;
+  if (line == kHeaderV1) {
+    v1 = true;
+  } else if (line != kHeader) {
     throw std::runtime_error("ResultsDb: unrecognized header in " +
                              path_.string());
   }
+
+  std::vector<std::string> lines;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::istringstream ls(line);
+    if (!line.empty()) lines.push_back(std::move(line));
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
     ResultRow row;
-    std::string speedup, variability;
-    if (!std::getline(ls, row.test_name, '\t') ||
-        !std::getline(ls, row.compilation, '\t') ||
-        !std::getline(ls, speedup, '\t') ||
-        !std::getline(ls, variability, '\t')) {
-      throw std::runtime_error("ResultsDb: malformed row in " +
-                               path_.string());
+    if (parse_row(lines[i], v1, &row)) {
+      rows_.push_back(std::move(row));
+      continue;
     }
-    row.speedup = std::strtod(speedup.c_str(), nullptr);
-    row.variability = strtold(variability.c_str(), nullptr);
-    rows_.push_back(std::move(row));
+    if (i + 1 == lines.size()) {
+      // A truncated trailing row is what a crash mid-append leaves
+      // behind; drop it so the database stays usable -- the row's study
+      // will simply re-run it on resume.
+      std::fprintf(stderr,
+                   "ResultsDb: dropping truncated trailing row in %s\n",
+                   path_.string().c_str());
+      return;
+    }
+    throw std::runtime_error("ResultsDb: malformed row in " +
+                             path_.string());
   }
 }
 
 void ResultsDb::save() const {
-  std::ofstream out(path_, std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("ResultsDb: cannot write " + path_.string());
+  // Write-then-rename so a crash at any point leaves either the old or
+  // the new database, never a half-written one.
+  const std::filesystem::path tmp = path_.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("ResultsDb: cannot write " + tmp.string());
+    }
+    out << kHeader << '\n';
+    char buf[64];
+    for (const ResultRow& r : rows_) {
+      std::snprintf(buf, sizeof buf, "%.17g\t%.21Lg", r.speedup,
+                    r.variability);
+      out << r.test_name << '\t' << r.compilation << '\t' << buf << '\t'
+          << to_string(r.status) << '\t' << sanitized(r.reason) << '\n';
+    }
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("ResultsDb: write failed for " +
+                               tmp.string());
+    }
   }
-  out << kHeader << '\n';
-  char buf[64];
-  for (const ResultRow& r : rows_) {
-    std::snprintf(buf, sizeof buf, "%.17g\t%.21Lg", r.speedup,
-                  r.variability);
-    out << r.test_name << '\t' << r.compilation << '\t' << buf << '\n';
-  }
+  std::filesystem::rename(tmp, path_);
 }
 
 void ResultsDb::record(const StudyResult& study) {
   for (const CompilationOutcome& o : study.outcomes) {
-    ResultRow row{study.test_name, o.comp.str(), o.speedup, o.variability};
+    ResultRow row{study.test_name, o.comp.str(), o.speedup, o.variability,
+                  o.status,        o.reason};
     const auto it = std::find_if(
         rows_.begin(), rows_.end(), [&](const ResultRow& r) {
           return r.test_name == row.test_name &&

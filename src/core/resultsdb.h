@@ -2,8 +2,16 @@
 
 // File-backed results database (upstream FLiT records every run in
 // SQLite; this is the same layer as a dependency-free TSV store).  One
-// row per (test, compilation) outcome; appends merge with existing rows
-// so incremental studies accumulate, and queries drive the report layer.
+// row per (test, compilation) outcome -- including crashed and
+// build-failed outcomes, which is what makes studies resumable: a killed
+// `flit explore --db r.tsv --resume` skips every recorded row and
+// converges to the same database an uninterrupted run produces.
+//
+// Durability: save() writes a temporary file in the database's directory
+// and renames it into place, so a crash mid-save never bricks the store;
+// load() tolerates a truncated trailing row (dropped with a warning) and
+// accepts the pre-status four-column header for databases written before
+// failure accounting existed.
 
 #include <filesystem>
 #include <optional>
@@ -19,8 +27,15 @@ struct ResultRow {
   std::string compilation;  ///< canonical Compilation::str()
   double speedup = 0.0;
   long double variability = 0.0L;
+  OutcomeStatus status = OutcomeStatus::Ok;
+  std::string reason;  ///< failure (or recovered-fault) reason; no tabs
 
-  [[nodiscard]] bool bitwise_equal() const { return variability == 0.0L; }
+  [[nodiscard]] bool ok() const {
+    return status == OutcomeStatus::Ok || status == OutcomeStatus::Retried;
+  }
+  [[nodiscard]] bool bitwise_equal() const {
+    return ok() && variability == 0.0L;
+  }
 
   friend bool operator==(const ResultRow&, const ResultRow&) = default;
 };
@@ -32,7 +47,7 @@ class ResultsDb {
   explicit ResultsDb(std::filesystem::path path);
 
   /// Merges a study's outcomes (replacing rows with the same
-  /// test/compilation key) and persists to disk.
+  /// test/compilation key) and persists to disk atomically.
   void record(const StudyResult& study);
 
   /// All rows for one test, in insertion order.

@@ -5,10 +5,20 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/faults.h"
+
 namespace flit::core {
 
 RunOutput Runner::run(const TestBase& test, const toolchain::Executable& exe,
                       fpsem::InjectionHook* hook) const {
+  // The run site throws ExecutionCrash (not InjectedFault) so every
+  // existing crash path -- bisect failed-search recording, explore
+  // containment -- treats an injected signal exactly like a real one.
+  if (FaultInjector::global().any_armed() &&
+      FaultInjector::global().should_fail(FaultSite::Run, test.name())) {
+    throw ExecutionCrash("injected fault: simulated signal while running " +
+                         test.name());
+  }
   if (exe.crashes) throw ExecutionCrash(exe.crash_reason);
 
   fpsem::EvalContext ctx(exe.map);

@@ -1,9 +1,17 @@
 #include "core/workflow.h"
 
+#include <algorithm>
+
 #include "core/parallel.h"
 #include "toolchain/compile_cache.h"
 
 namespace flit::core {
+
+std::size_t WorkflowReport::failed_bisect_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      bisects.begin(), bisects.end(),
+      [](const VariableCompilationReport& b) { return b.bisect.crashed; }));
+}
 
 WorkflowReport run_workflow(const fpsem::CodeModel* model,
                             const TestBase& test,
@@ -18,11 +26,12 @@ WorkflowReport run_workflow(const fpsem::CodeModel* model,
   // Levels 1 and 2: explore the compilation space.
   SpaceExplorer explorer(model, opts.baseline, opts.speed_reference,
                          opts.jobs, &cache);
-  report.study = explorer.explore(test, space);
+  report.study = explorer.explore(test, space, opts.explore);
 
   report.fastest_reproducible = report.study.fastest_equal();
   report.fastest_any = nullptr;
   for (const CompilationOutcome& o : report.study.outcomes) {
+    if (o.failed()) continue;
     if (report.fastest_any == nullptr ||
         o.speedup > report.fastest_any->speedup) {
       report.fastest_any = &o;
@@ -34,10 +43,12 @@ WorkflowReport run_workflow(const fpsem::CodeModel* model,
   // Level 3: root-cause each variability-inducing compilation.  The
   // bisects are independent (the max_bisects cap is applied in study
   // order first), so they fan out across the pool; the merged report is
-  // index-ordered and bitwise-identical to a serial run.
+  // index-ordered and bitwise-identical to a serial run.  Quarantined
+  // outcomes never reach this phase: a compilation that failed every
+  // attempt has no measurable variability to root-cause.
   std::vector<const CompilationOutcome*> to_bisect;
   for (const CompilationOutcome& o : report.study.outcomes) {
-    if (o.bitwise_equal()) continue;
+    if (o.failed() || o.bitwise_equal()) continue;
     if (opts.max_bisects != 0 && to_bisect.size() >= opts.max_bisects) break;
     to_bisect.push_back(&o);
   }
@@ -52,7 +63,19 @@ WorkflowReport run_workflow(const fpsem::CodeModel* model,
     cfg.k = opts.k;
     cfg.digits = opts.digits;
     BisectDriver driver(model, &test, cfg, &cache);
-    report.bisects[i] = VariableCompilationReport{o, driver.run()};
+    try {
+      report.bisects[i] = VariableCompilationReport{o, driver.run()};
+    } catch (const std::exception& e) {
+      // A bisect that dies outside the driver's own crash handling (an
+      // injected compile/link fault, an anchor crash inside the search)
+      // becomes a recorded failed search, matching how the paper's
+      // evaluation reports its failure rates (Table 2).
+      if (!opts.explore.keep_going) throw;
+      HierarchicalOutcome failed;
+      failed.crashed = true;
+      failed.crash_reason = std::string("bisect aborted: ") + e.what();
+      report.bisects[i] = VariableCompilationReport{o, std::move(failed)};
+    }
   });
   return report;
 }

@@ -8,6 +8,11 @@
 //   Level 3 -- for variable compilations (when the fastest reproducible
 //              one is not sufficient, or for root-causing), run the
 //              hierarchical Bisect down to files and functions.
+//
+// Fault isolation mirrors the paper's evaluation: quarantined space
+// entries (crashed / failed to build on every attempt) are excluded from
+// the bisect phase, and a bisect that itself dies is recorded as a
+// Table-2-style failed search instead of aborting the remaining bisects.
 
 #include <cstddef>
 #include <span>
@@ -36,6 +41,12 @@ struct WorkflowOptions {
   /// per-variable-compilation bisects (1 = serial).  Any value produces a
   /// report bitwise-identical to the serial one.
   unsigned jobs = 1;
+
+  /// Fault-tolerance knobs for the exploration phase (retry budget,
+  /// keep-going containment, checkpoint database, resume).  The
+  /// keep_going flag also governs the bisect phase: when false, a
+  /// throwing bisect aborts the workflow (legacy behavior).
+  ExploreOptions explore;
 };
 
 struct VariableCompilationReport {
@@ -53,6 +64,9 @@ struct WorkflowReport {
   const CompilationOutcome* fastest_any = nullptr;
 
   std::vector<VariableCompilationReport> bisects;
+
+  /// Bisects that ended as failed searches (crashed or aborted).
+  [[nodiscard]] std::size_t failed_bisect_count() const;
 };
 
 /// Runs the Figure 1 workflow for one test over one compilation space.

@@ -2,12 +2,23 @@
 
 #include <stdexcept>
 
+#include "core/faults.h"
 #include "toolchain/semantics_rules.h"
 
 namespace flit::toolchain {
 
 ObjectFile BuildSystem::compile(const std::string& file, const Compilation& c,
                                 bool fpic, bool injected) const {
+  // The fault check precedes the cache lookup on purpose: an injected
+  // compiler crash must not depend on whether a semantically equivalent
+  // object happens to be cached (cache state varies with scheduling; the
+  // fault decision must not).
+  if (core::FaultInjector::global().any_armed()) {
+    core::FaultInjector::global().maybe_fail(
+        core::FaultSite::Compile,
+        file + "|" + c.str() + (fpic ? "|fpic" : "") +
+            (injected ? "|injected" : ""));
+  }
   if (cache_ == nullptr) return compile_uncached(file, c, fpic, injected);
   return cache_->get_or_build(file, c, fpic, injected, [&] {
     return compile_uncached(file, c, fpic, injected);

@@ -4,12 +4,17 @@
 #include <set>
 #include <unordered_map>
 
+#include "core/faults.h"
 #include "toolchain/semantics_rules.h"
 
 namespace flit::toolchain {
 
 Executable Linker::link(std::span<const ObjectFile> objects,
                         const CompilerSpec& link_compiler) const {
+  if (core::FaultInjector::global().any_armed()) {
+    core::FaultInjector::global().maybe_fail(
+        core::FaultSite::Link, "link|" + link_compiler.name);
+  }
   const std::size_t n_fns = model_->function_count();
   Executable exe;
   exe.map = fpsem::SemanticsMap(n_fns);

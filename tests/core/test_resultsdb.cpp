@@ -121,4 +121,97 @@ TEST_F(ResultsDbTest, ReloadDiscardsUnsavedExternalChanges) {
   EXPECT_EQ(db.tests().size(), 2u);
 }
 
+TEST_F(ResultsDbTest, CrashStatusRowsRoundTrip) {
+  StudyResult r = study("T1", 0.0, 0.0L);
+  r.outcomes[0].status = core::OutcomeStatus::Crashed;
+  r.outcomes[0].reason = "injected fault: simulated signal";
+  r.outcomes[0].speedup = 0.0;
+  r.outcomes[1].status = core::OutcomeStatus::Retried;
+  r.outcomes[1].reason = "recovered from:\ta\ttransient";  // tabs stripped
+  {
+    ResultsDb db(path_);
+    db.record(r);
+  }
+  ResultsDb db2(path_);
+  const auto crashed = db2.find("T1", "g++ -O2");
+  ASSERT_TRUE(crashed.has_value());
+  EXPECT_EQ(crashed->status, core::OutcomeStatus::Crashed);
+  EXPECT_EQ(crashed->reason, "injected fault: simulated signal");
+  EXPECT_FALSE(crashed->ok());
+  EXPECT_FALSE(crashed->bitwise_equal())
+      << "zero variability on a crashed row must not read as reproducible";
+  const auto retried = db2.find("T1", "icpc -O3 -fp-model fast=2");
+  ASSERT_TRUE(retried.has_value());
+  EXPECT_EQ(retried->status, core::OutcomeStatus::Retried);
+  EXPECT_EQ(retried->reason, "recovered from: a transient");
+  EXPECT_TRUE(retried->ok());
+}
+
+TEST_F(ResultsDbTest, TruncatedTrailingRowIsDroppedNotFatal) {
+  {
+    ResultsDb db(path_);
+    db.record(study("T1", 1.0, 0.0L));
+  }
+  {
+    // Simulate a crash mid-append: a final row missing most of its fields.
+    std::ofstream out(path_, std::ios::app);
+    out << "T1\tclang++ -O3";
+  }
+  ResultsDb db(path_);  // must not throw
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_FALSE(db.find("T1", "clang++ -O3").has_value());
+  // Re-saving heals the file.
+  db.record(study("T2", 1.0, 0.0L));
+  EXPECT_EQ(ResultsDb(path_).size(), 4u);
+}
+
+TEST_F(ResultsDbTest, MalformedMidFileRowIsStillFatal) {
+  {
+    ResultsDb db(path_);
+    db.record(study("T1", 1.0, 0.0L));
+  }
+  // Corrupt the *first* data row; unlike a truncated tail this is not a
+  // crash artifact, so it must be surfaced.
+  std::ifstream in(path_);
+  std::string header, rest, line;
+  std::getline(in, header);
+  std::getline(in, line);  // dropped
+  while (std::getline(in, line)) rest += line + "\n";
+  in.close();
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    out << header << "\nT1\tgarbage row\n" << rest;
+  }
+  EXPECT_THROW(ResultsDb{path_}, std::runtime_error);
+}
+
+TEST_F(ResultsDbTest, LoadsPreStatusV1Databases) {
+  {
+    std::ofstream out(path_);
+    out << "test\tcompilation\tspeedup\tvariability\n"
+        << "T1\tg++ -O2\t1.5\t0\n"
+        << "T1\ticpc -O3\t2\t1e-12\n";
+  }
+  ResultsDb db(path_);
+  EXPECT_EQ(db.size(), 2u);
+  const auto row = db.find("T1", "g++ -O2");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->status, core::OutcomeStatus::Ok);
+  EXPECT_TRUE(row->reason.empty());
+  EXPECT_TRUE(row->bitwise_equal());
+  // A save upgrades the file to the v2 header in place.
+  db.record(study("T2", 1.0, 0.0L));
+  std::ifstream in(path_);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "test\tcompilation\tspeedup\tvariability\tstatus\treason");
+}
+
+TEST_F(ResultsDbTest, SaveLeavesNoTemporaryBehind) {
+  ResultsDb db(path_);
+  db.record(study("T1", 1.0, 0.0L));
+  EXPECT_TRUE(fs::exists(path_));
+  EXPECT_FALSE(fs::exists(path_.string() + ".tmp"));
+}
+
 }  // namespace

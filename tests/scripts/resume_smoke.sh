@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Kill-then-resume smoke test for `flit explore --db/--resume`.
+#
+#   1. an uninterrupted run writes the reference database,
+#   2. a run with the injector's kill site armed (FLIT_FAULTS=kill:2:0)
+#      dies right after its second checkpoint batch and must exit nonzero
+#      with a partial database on disk,
+#   3. `--resume` at a different jobs count completes the study,
+#   4. the resumed database must be byte-identical to the reference.
+#
+# Usage: resume_smoke.sh <path-to-flit-binary>
+
+set -u
+
+flit=${1:?usage: resume_smoke.sh <flit-binary>}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+ref="$workdir/ref.tsv"
+db="$workdir/resume.tsv"
+
+"$flit" explore MFEM_ex12 --db "$ref" --jobs 4 >/dev/null || {
+  echo "FAIL: reference explore did not complete" >&2
+  exit 1
+}
+
+FLIT_FAULTS=kill:2:0 "$flit" explore MFEM_ex12 --db "$db" --jobs 2 \
+  >/dev/null 2>&1
+status=$?
+if [ "$status" -eq 0 ]; then
+  echo "FAIL: the killed run exited 0" >&2
+  exit 1
+fi
+if [ ! -s "$db" ]; then
+  echo "FAIL: the killed run left no partial database" >&2
+  exit 1
+fi
+partial=$(wc -l < "$db")
+total=$(wc -l < "$ref")
+if [ "$partial" -ge "$total" ]; then
+  echo "FAIL: the killed run completed ($partial of $total rows)" >&2
+  exit 1
+fi
+
+"$flit" explore MFEM_ex12 --db "$db" --resume --jobs 8 >/dev/null || {
+  echo "FAIL: --resume did not complete" >&2
+  exit 1
+}
+
+if ! cmp -s "$ref" "$db"; then
+  echo "FAIL: resumed database differs from the uninterrupted reference" >&2
+  diff "$ref" "$db" | head -20 >&2
+  exit 1
+fi
+
+echo "PASS: killed at batch 2 ($partial/$total rows), resumed to a" \
+     "byte-identical database"

@@ -11,11 +11,19 @@
 //
 // All registered applications (mini-MFEM, Laghos, LULESH, geometry, the
 // parallel study) are linked in, so their tests are available by name.
+//
+// Error handling: main catches every escaping exception and exits 1 with
+// the message on stderr (a malformed database or a study abort must never
+// reach std::terminate); numeric options are parsed strictly and
+// value-taking options consume their argument.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -66,20 +74,75 @@ void register_bundled_tests() {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: flit list\n"
-               "       flit explore <test> [--csv] [--db file.tsv] "
-               "[--jobs N]\n"
-               "       flit bisect <test> <compiler> <-ON> [flag...] "
-               "[--k N] [--digits D]\n"
-               "       flit workflow <test> [--jobs N]\n"
-               "       flit mix <test> <tolerance>\n"
-               "\n"
-               "--jobs N   parallel execution lanes for explore/workflow\n"
-               "           (default: the FLIT_JOBS environment variable if\n"
-               "           set, else the hardware thread count; results are\n"
-               "           identical at any jobs count)\n");
+  std::fprintf(
+      stderr,
+      "usage: flit list\n"
+      "       flit explore <test> [--csv] [--db file.tsv] [--resume]\n"
+      "                    [--jobs N] [--retries N]\n"
+      "                    [--keep-going|--no-keep-going]\n"
+      "       flit bisect <test> <compiler> <-ON> [flag...] "
+      "[--k N] [--digits D]\n"
+      "       flit workflow <test> [--jobs N] [--retries N]\n"
+      "                    [--keep-going|--no-keep-going]\n"
+      "       flit mix <test> <tolerance>\n"
+      "\n"
+      "--jobs N        parallel execution lanes for explore/workflow\n"
+      "                (default: the FLIT_JOBS environment variable if\n"
+      "                set, else the hardware thread count; results are\n"
+      "                identical at any jobs count)\n"
+      "--db file.tsv   record outcomes into a results database,\n"
+      "                checkpointing incrementally\n"
+      "--resume        skip (test, compilation) rows already in --db\n"
+      "--retries N     attempts per compilation before quarantine "
+      "(default 1)\n"
+      "--keep-going    record per-compilation failures and continue\n"
+      "                (default; --no-keep-going aborts on the first)\n"
+      "\n"
+      "FLIT_FAULTS=site:rate[:seed][,...] arms the deterministic fault\n"
+      "injector (sites: compile, link, run, kill); see "
+      "docs/fault-tolerance.md\n");
   return 2;
+}
+
+/// Strict numeric parsing: the whole argument must be a number (atoi's
+/// silent 0 for garbage turned `--jobs x` into a serial run).
+long parse_long(const char* flag, const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (s[0] == '\0' || end == nullptr || *end != '\0') {
+    throw std::invalid_argument(std::string(flag) + ": expected an integer, "
+                                "got '" + s + "'");
+  }
+  return v;
+}
+
+unsigned parse_jobs(const char* flag, const char* s) {
+  const long v = parse_long(flag, s);
+  if (v < 1) {
+    throw std::invalid_argument(std::string(flag) +
+                                ": expected a positive integer, got '" +
+                                std::string(s) + "'");
+  }
+  return static_cast<unsigned>(v);
+}
+
+/// Returns the value of a value-taking option, consuming it (advances i).
+const char* option_value(const char* flag, char** argv, int argc, int* i) {
+  if (*i + 1 >= argc) {
+    throw std::invalid_argument(std::string(flag) + ": missing value");
+  }
+  ++*i;
+  return argv[*i];
+}
+
+long double parse_longdouble(const char* what, const char* s) {
+  char* end = nullptr;
+  const long double v = strtold(s, &end);
+  if (s[0] == '\0' || end == nullptr || *end != '\0') {
+    throw std::invalid_argument(std::string(what) +
+                                ": expected a number, got '" + s + "'");
+  }
+  return v;
 }
 
 /// Parses "<compiler> <-ON> [flags...]" from argv[from..to).
@@ -120,30 +183,52 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_explore(const std::string& test_name, bool csv,
-                const std::string& db_path, unsigned jobs) {
+struct ExploreArgs {
+  bool csv = false;
+  std::string db_path;
+  bool resume = false;
+  unsigned jobs = 0;
+  core::RetryPolicy retry;
+  bool keep_going = true;
+};
+
+int cmd_explore(const std::string& test_name, const ExploreArgs& args) {
   auto& reg = core::global_test_registry();
   if (!reg.contains(test_name)) {
     std::fprintf(stderr, "unknown test '%s' (try: flit list)\n",
                  test_name.c_str());
     return 1;
   }
+  if (args.resume && args.db_path.empty()) {
+    std::fprintf(stderr, "--resume requires --db\n");
+    return 2;
+  }
   const auto test = reg.create(test_name);
   core::SpaceExplorer explorer(&fpsem::global_code_model(),
                                toolchain::mfem_baseline(),
-                               toolchain::mfem_speed_reference(), jobs);
+                               toolchain::mfem_speed_reference(), args.jobs);
   const auto space = toolchain::mfem_study_space();
-  const auto study = explorer.explore(*test, space);
-  if (!db_path.empty()) {
-    core::ResultsDb db{std::filesystem::path(db_path)};
-    db.record(study);
-    std::fprintf(stderr, "recorded %zu outcomes into %s\n",
-                 study.outcomes.size(), db_path.c_str());
+
+  core::ExploreOptions opts;
+  opts.retry = args.retry;
+  opts.keep_going = args.keep_going;
+  std::optional<core::ResultsDb> db;
+  if (!args.db_path.empty()) {
+    db.emplace(std::filesystem::path(args.db_path));
+    opts.db = &*db;
+    opts.resume = args.resume;
   }
-  if (csv) {
+
+  const auto study = explorer.explore(*test, space, opts);
+  if (db.has_value()) {
+    std::fprintf(stderr, "recorded %zu outcomes into %s\n",
+                 study.outcomes.size(), args.db_path.c_str());
+  }
+  if (args.csv) {
     std::fputs(core::study_csv(study).c_str(), stdout);
   } else {
     std::printf("%s\n", core::study_summary(study).c_str());
+    std::fputs(core::failure_report(study).c_str(), stdout);
   }
   return 0;
 }
@@ -168,7 +253,8 @@ int cmd_bisect(const std::string& test_name,
   return 0;
 }
 
-int cmd_workflow(const std::string& test_name, unsigned jobs) {
+int cmd_workflow(const std::string& test_name, unsigned jobs,
+                 const core::RetryPolicy& retry, bool keep_going) {
   auto& reg = core::global_test_registry();
   if (!reg.contains(test_name)) {
     std::fprintf(stderr, "unknown test '%s'\n", test_name.c_str());
@@ -181,6 +267,8 @@ int cmd_workflow(const std::string& test_name, unsigned jobs) {
   opts.max_bisects = 3;
   opts.k = 1;
   opts.jobs = jobs;
+  opts.explore.retry = retry;
+  opts.explore.keep_going = keep_going;
   const auto report = core::run_workflow(
       &fpsem::global_code_model(), *test, toolchain::mfem_study_space(),
       opts);
@@ -217,9 +305,11 @@ int cmd_mix(const std::string& test_name, long double tolerance) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int dispatch(int argc, char** argv) {
+  // Force the injector's FLIT_FAULTS parse now: a malformed spec should
+  // die here as `flit: error: FLIT_FAULTS: ...`, not surface later
+  // wrapped in a study-abort diagnostic.
+  (void)core::FaultInjector::global();
   register_bundled_tests();
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
@@ -228,19 +318,31 @@ int main(int argc, char** argv) {
 
   if (cmd == "explore") {
     if (argc < 3) return usage();
-    bool csv = false;
-    std::string db_path;
-    unsigned jobs = core::default_jobs();
+    ExploreArgs args;
+    args.jobs = core::default_jobs();
     for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-      if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
-        db_path = argv[i + 1];
-      }
-      if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-        jobs = static_cast<unsigned>(std::max(1, std::atoi(argv[i + 1])));
+      if (std::strcmp(argv[i], "--csv") == 0) {
+        args.csv = true;
+      } else if (std::strcmp(argv[i], "--db") == 0) {
+        args.db_path = option_value("--db", argv, argc, &i);
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        args.jobs = parse_jobs("--jobs", option_value("--jobs", argv, argc,
+                                                      &i));
+      } else if (std::strcmp(argv[i], "--retries") == 0) {
+        args.retry.max_attempts = static_cast<int>(parse_jobs(
+            "--retries", option_value("--retries", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--resume") == 0) {
+        args.resume = true;
+      } else if (std::strcmp(argv[i], "--keep-going") == 0) {
+        args.keep_going = true;
+      } else if (std::strcmp(argv[i], "--no-keep-going") == 0) {
+        args.keep_going = false;
+      } else {
+        std::fprintf(stderr, "explore: unknown option '%s'\n", argv[i]);
+        return usage();
       }
     }
-    return cmd_explore(argv[2], csv, db_path, jobs);
+    return cmd_explore(argv[2], args);
   }
 
   if (cmd == "bisect") {
@@ -249,10 +351,10 @@ int main(int argc, char** argv) {
     int end = argc;
     for (int i = 3; i + 1 < argc; ++i) {
       if (std::strcmp(argv[i], "--k") == 0) {
-        k = std::atoi(argv[i + 1]);
+        k = static_cast<int>(parse_long("--k", argv[i + 1]));
         end = std::min(end, i);
       } else if (std::strcmp(argv[i], "--digits") == 0) {
-        digits = std::atoi(argv[i + 1]);
+        digits = static_cast<int>(parse_long("--digits", argv[i + 1]));
         end = std::min(end, i);
       }
     }
@@ -264,18 +366,44 @@ int main(int argc, char** argv) {
   if (cmd == "workflow") {
     if (argc < 3) return usage();
     unsigned jobs = core::default_jobs();
+    core::RetryPolicy retry;
+    bool keep_going = true;
     for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-        jobs = static_cast<unsigned>(std::max(1, std::atoi(argv[i + 1])));
+      if (std::strcmp(argv[i], "--jobs") == 0) {
+        jobs = parse_jobs("--jobs", option_value("--jobs", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--retries") == 0) {
+        retry.max_attempts = static_cast<int>(parse_jobs(
+            "--retries", option_value("--retries", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--keep-going") == 0) {
+        keep_going = true;
+      } else if (std::strcmp(argv[i], "--no-keep-going") == 0) {
+        keep_going = false;
+      } else {
+        std::fprintf(stderr, "workflow: unknown option '%s'\n", argv[i]);
+        return usage();
       }
     }
-    return cmd_workflow(argv[2], jobs);
+    return cmd_workflow(argv[2], jobs, retry, keep_going);
   }
 
   if (cmd == "mix") {
     if (argc < 4) return usage();
-    return cmd_mix(argv[2], strtold(argv[3], nullptr));
+    return cmd_mix(argv[2], parse_longdouble("tolerance", argv[3]));
   }
 
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Any escaping exception (study abort, malformed database, bad option)
+  // used to reach std::terminate; a tool in a driver script must fail
+  // with a message and a status instead.
+  try {
+    return dispatch(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "flit: error: %s\n", e.what());
+    return 1;
+  }
 }
