@@ -1,0 +1,141 @@
+// The sharded distributed study engine: fleet wall-clock scaling of the
+// MFEM exploration (the Table 1 workload) at 1/2/4/8 shards, plus the
+// per-shard and aggregate compilation-cache hit rates, emitted both
+// human-readably and as one machine-readable JSON line per shard count
+// for the BENCH trajectory.
+//
+//   bench_shard_scaling [n_examples]
+//
+// n_examples defaults to 6 (the first six mini-MFEM examples over the
+// full 244-compilation space).  Shards model *independent workers* -- a
+// rank owns a contiguous slice of the space, its own cache and its own
+// explorer -- so they execute serially here (the bench host is a single
+// core) and the fleet wall-clock is the slowest shard's time: what a real
+// R-worker deployment would wait for.  "worker_s" is the summed per-shard
+// compute (the fleet's total CPU bill; it grows slightly with R because
+// every shard re-runs the two anchors and re-misses its cold cache).
+// Determinism is asserted, not just claimed: the merged studies must be
+// bitwise-identical to the 1-shard run or the bench aborts.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "mfemini/examples.h"
+#include "toolchain/compiler.h"
+
+using namespace flit;
+
+namespace {
+
+struct FleetRun {
+  std::vector<core::StudyResult> results;
+  double fleet_wall = 0.0;      ///< sum over examples of max shard time
+  double worker_seconds = 0.0;  ///< sum over examples and shards
+  std::vector<toolchain::CacheStats> rank_cache;  ///< summed per rank
+  toolchain::CacheStats aggregate;
+};
+
+FleetRun run_fleet(int n_examples, int shards,
+                   const std::vector<toolchain::Compilation>& space) {
+  dist::ShardOptions opts;
+  opts.shards = shards;
+  opts.jobs = 1;
+  opts.serial_shards = true;  // isolate per-shard timing on one core
+  const dist::ShardCoordinator coord(&fpsem::global_code_model(),
+                                     toolchain::mfem_baseline(),
+                                     toolchain::mfem_speed_reference(),
+                                     opts);
+  FleetRun run;
+  run.rank_cache.resize(static_cast<std::size_t>(shards));
+  for (int ex = 1; ex <= n_examples; ++ex) {
+    mfemini::MfemExampleTest test(ex);
+    dist::ShardedStudy sharded = coord.run(test, space);
+    run.fleet_wall += sharded.max_shard_seconds();
+    run.worker_seconds += sharded.total_shard_seconds();
+    for (const dist::ShardReport& rep : sharded.shards) {
+      run.rank_cache[static_cast<std::size_t>(rep.rank)] += rep.cache;
+    }
+    run.aggregate += sharded.aggregate_cache();
+    run.results.push_back(std::move(sharded.study));
+  }
+  return run;
+}
+
+bool identical(const std::vector<core::StudyResult>& a,
+               const std::vector<core::StudyResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    if (a[r].outcomes.size() != b[r].outcomes.size()) return false;
+    for (std::size_t i = 0; i < a[r].outcomes.size(); ++i) {
+      const auto& x = a[r].outcomes[i];
+      const auto& y = b[r].outcomes[i];
+      if (!(x.comp == y.comp) || x.variability != y.variability ||
+          x.cycles != y.cycles || x.speedup != y.speedup ||
+          x.status != y.status) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_examples =
+      argc > 1 ? std::atoi(argv[1]) : std::min(6, mfemini::kNumExamples);
+  const auto space = toolchain::mfem_study_space();
+
+  std::printf("shard scaling bench: %d examples x %zu compilations\n",
+              n_examples, space.size());
+
+  const FleetRun reference = run_fleet(n_examples, 1, space);
+  double speedup4 = 0.0;
+
+  for (int shards : {1, 2, 4, 8}) {
+    const FleetRun run =
+        shards == 1 ? reference : run_fleet(n_examples, shards, space);
+    if (!identical(run.results, reference.results)) {
+      std::fprintf(stderr,
+                   "FATAL: %d-shard study differs from the 1-shard study\n",
+                   shards);
+      return 1;
+    }
+    const double speedup =
+        run.fleet_wall > 0.0 ? reference.fleet_wall / run.fleet_wall : 0.0;
+    if (shards == 4) speedup4 = speedup;
+
+    std::printf(
+        "  shards=%d: fleet wall %7.3fs  worker total %7.3fs  "
+        "speedup %5.2fx  aggregate cache hit %.1f%%\n",
+        shards, run.fleet_wall, run.worker_seconds, speedup,
+        100.0 * run.aggregate.hit_rate());
+    std::printf("            per-shard cache hit rates:");
+    for (const toolchain::CacheStats& s : run.rank_cache) {
+      std::printf(" %.1f%%", 100.0 * s.hit_rate());
+    }
+    std::printf("\n");
+
+    std::printf(
+        "BENCH_JSON {\"bench\":\"shard_scaling\",\"examples\":%d,"
+        "\"space\":%zu,\"shards\":%d,\"fleet_wall_s\":%.6f,"
+        "\"worker_s\":%.6f,\"speedup\":%.3f,\"cache_hit_rate\":%.4f,"
+        "\"identical\":true}\n",
+        n_examples, space.size(), shards, run.fleet_wall,
+        run.worker_seconds, speedup, run.aggregate.hit_rate());
+  }
+
+  // The acceptance bar: partitioning the space across 4 workers must cut
+  // the fleet wall-clock (slowest worker) at least in half.
+  if (speedup4 < 2.0) {
+    std::fprintf(stderr,
+                 "FATAL: 4-shard fleet speedup %.2fx is below the 2x bar\n",
+                 speedup4);
+    return 1;
+  }
+  return 0;
+}

@@ -16,7 +16,11 @@
 // context), so the same study produces the same faults at any --jobs
 // count and under any scheduling -- and a retried attempt re-rolls the
 // dice deterministically, which is what makes "transient" faults
-// recoverable without wall-clock backoff.
+// recoverable without wall-clock backoff.  Because the trial context is
+// the study item's *global* identity -- the (test, triple) pair, never a
+// shard-local index -- the decision is also invariant under the sharded
+// engine's partition (src/dist): the same study faults the same items at
+// any --shards count.
 //
 // Configuration:
 //   * programmatic: FaultInjector::global().configure("run:0.2:42");

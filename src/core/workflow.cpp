@@ -23,10 +23,17 @@ WorkflowReport run_workflow(const fpsem::CodeModel* model,
   // and every bisect below compiles through it.
   toolchain::CompilationCache cache;
 
-  // Levels 1 and 2: explore the compilation space.
-  SpaceExplorer explorer(model, opts.baseline, opts.speed_reference,
-                         opts.jobs, &cache);
-  report.study = explorer.explore(test, space, opts.explore);
+  // Levels 1 and 2: explore the compilation space.  An override (e.g. the
+  // sharded engine in src/dist) replaces this phase wholesale; its
+  // contract guarantees the StudyResult is bitwise-identical to the
+  // in-process explorer's, so everything downstream is oblivious.
+  if (opts.explore_override) {
+    report.study = opts.explore_override(test, space);
+  } else {
+    SpaceExplorer explorer(model, opts.baseline, opts.speed_reference,
+                           opts.jobs, &cache);
+    report.study = explorer.explore(test, space, opts.explore);
+  }
 
   report.fastest_reproducible = report.study.fastest_equal();
   report.fastest_any = nullptr;

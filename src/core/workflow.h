@@ -15,6 +15,7 @@
 // Table-2-style failed search instead of aborting the remaining bisects.
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -22,6 +23,13 @@
 #include "core/hierarchy.h"
 
 namespace flit::core {
+
+/// A drop-in replacement for the workflow's Level 1/2 exploration.  Must
+/// honor the SpaceExplorer::explore contract: outcomes in space order,
+/// bitwise-identical to a serial single-process run (the sharded engine in
+/// src/dist provides one via ShardCoordinator::explore_override).
+using ExploreFn = std::function<StudyResult(
+    const TestBase&, std::span<const toolchain::Compilation>)>;
 
 struct WorkflowOptions {
   toolchain::Compilation baseline;         ///< trusted compilation
@@ -47,6 +55,12 @@ struct WorkflowOptions {
   /// keep_going flag also governs the bisect phase: when false, a
   /// throwing bisect aborts the workflow (legacy behavior).
   ExploreOptions explore;
+
+  /// When set, replaces the Level 1/2 exploration entirely (jobs and the
+  /// `explore` knobs above are then the override's responsibility).  The
+  /// bisect phase is unchanged: it consumes the returned StudyResult and
+  /// compiles through its own cache.
+  ExploreFn explore_override;
 };
 
 struct VariableCompilationReport {

@@ -1,0 +1,108 @@
+#pragma once
+
+// Typed scatter/gather substrate of the sharded distributed study engine.
+//
+// src/par's DeterministicComm gives the repo a deterministic rank
+// partition (`range`) and fixed-order double reductions; the distributed
+// engine needs the same partition contract applied to arbitrary payloads:
+// scatter a compilation-space index range across ranks and gather the
+// per-rank outcome vectors back *by global space index*, so the merged
+// result is bitwise-identical to a single-rank run at any shard count.
+// ShardComm wraps DeterministicComm and inherits its partition verbatim --
+// contiguous ranges, remainder spread over the first `n % nranks` ranks,
+// empty ranges when there are more ranks than items -- so anything proven
+// about `DeterministicComm::range` (tests/par/test_par.cpp) holds for the
+// scatter path too.
+//
+// Everything here is simulated in-process (the same stance as par/comm.h):
+// ranks execute in a fixed order or on the caller's thread pool, and the
+// gather is a deterministic placement by index, not a message race.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "par/comm.h"
+
+namespace flit::dist {
+
+/// Contiguous [begin, end) slice of the global index space owned by one
+/// rank (the par::DeterministicComm partition type).
+using ShardRange = par::DeterministicComm::Range;
+
+class ShardComm {
+ public:
+  /// A communicator of `nranks` simulated ranks; throws
+  /// std::invalid_argument for nranks < 1 (the DeterministicComm
+  /// contract).
+  explicit ShardComm(int nranks) : comm_(nranks) {}
+
+  [[nodiscard]] int size() const { return comm_.size(); }
+
+  /// The slice of [0, n) owned by `rank`.
+  [[nodiscard]] ShardRange range(int rank, std::size_t n) const {
+    return comm_.range(rank, n);
+  }
+
+  /// The full partition of [0, n): one range per rank, in rank order.
+  /// Ranges are contiguous, non-overlapping, and cover [0, n); ranks past
+  /// the item count receive empty ranges.
+  [[nodiscard]] std::vector<ShardRange> scatter_ranges(std::size_t n) const {
+    std::vector<ShardRange> out;
+    out.reserve(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) out.push_back(range(r, n));
+    return out;
+  }
+
+  /// Scatters `items` into per-rank slices following scatter_ranges.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> scatter(
+      std::span<const T> items) const {
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      const ShardRange rg = range(r, items.size());
+      out[static_cast<std::size_t>(r)].assign(items.begin() + rg.begin,
+                                              items.begin() + rg.end);
+    }
+    return out;
+  }
+
+  /// Reassembles per-rank vectors into one vector of `n` elements, placing
+  /// rank r's k-th element at global index range(r, n).begin + k.  The
+  /// inverse of scatter: gather_ordered(n, scatter(items)) == items.
+  /// Throws std::invalid_argument when the shard count or any shard's size
+  /// disagrees with the partition -- a merge must never silently misplace
+  /// an outcome.
+  template <typename T>
+  [[nodiscard]] std::vector<T> gather_ordered(
+      std::size_t n, std::vector<std::vector<T>> shards) const {
+    if (shards.size() != static_cast<std::size_t>(size())) {
+      throw std::invalid_argument(
+          "gather_ordered: " + std::to_string(shards.size()) +
+          " shards for a " + std::to_string(size()) + "-rank communicator");
+    }
+    std::vector<T> out(n);
+    for (int r = 0; r < size(); ++r) {
+      const ShardRange rg = range(r, n);
+      std::vector<T>& shard = shards[static_cast<std::size_t>(r)];
+      if (shard.size() != rg.size()) {
+        throw std::invalid_argument(
+            "gather_ordered: rank " + std::to_string(r) + " holds " +
+            std::to_string(shard.size()) + " elements, partition expects " +
+            std::to_string(rg.size()));
+      }
+      for (std::size_t k = 0; k < shard.size(); ++k) {
+        out[rg.begin + k] = std::move(shard[k]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  par::DeterministicComm comm_;
+};
+
+}  // namespace flit::dist

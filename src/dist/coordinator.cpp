@@ -1,0 +1,142 @@
+#include "dist/coordinator.h"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/parallel.h"
+#include "toolchain/compile_cache.h"
+
+namespace flit::dist {
+
+ShardCoordinator::ShardCoordinator(const fpsem::CodeModel* model,
+                                   toolchain::Compilation baseline,
+                                   toolchain::Compilation speed_reference,
+                                   ShardOptions opts)
+    : model_(model),
+      baseline_(std::move(baseline)),
+      speed_reference_(std::move(speed_reference)),
+      opts_(std::move(opts)) {
+  if (opts_.shards < 1) {
+    throw std::invalid_argument("ShardCoordinator: shards must be >= 1");
+  }
+  if (opts_.jobs < 1) {
+    throw std::invalid_argument("ShardCoordinator: jobs must be >= 1");
+  }
+  if (opts_.resume && opts_.shard_db_dir.empty()) {
+    throw std::invalid_argument(
+        "ShardCoordinator: resume requires shard_db_dir (the per-shard "
+        "checkpoints to stitch)");
+  }
+}
+
+std::filesystem::path ShardCoordinator::shard_db_path(
+    const std::filesystem::path& dir, int rank, int shards) {
+  return dir / ("shard-" + std::to_string(rank) + "-of-" +
+                std::to_string(shards) + ".tsv");
+}
+
+ShardedStudy ShardCoordinator::run(
+    const core::TestBase& test,
+    std::span<const toolchain::Compilation> space) const {
+  return run_impl(test, space, opts_.resume);
+}
+
+ShardedStudy ShardCoordinator::resume(
+    const core::TestBase& test,
+    std::span<const toolchain::Compilation> space) const {
+  if (opts_.shard_db_dir.empty()) {
+    throw std::invalid_argument(
+        "ShardCoordinator::resume: no shard_db_dir to resume from");
+  }
+  return run_impl(test, space, /*resume_shards=*/true);
+}
+
+core::ExploreFn ShardCoordinator::explore_override() const {
+  return [this](const core::TestBase& test,
+                std::span<const toolchain::Compilation> space) {
+    return run(test, space).study;
+  };
+}
+
+ShardedStudy ShardCoordinator::run_impl(
+    const core::TestBase& test,
+    std::span<const toolchain::Compilation> space, bool resume_shards) const {
+  const ShardComm comm(opts_.shards);
+  const auto ranges = comm.scatter_ranges(space.size());
+  const bool checkpointing = !opts_.shard_db_dir.empty();
+  if (checkpointing) {
+    std::filesystem::create_directories(opts_.shard_db_dir);
+  }
+
+  std::vector<core::StudyResult> partials(ranges.size());
+  std::vector<ShardReport> reports(ranges.size());
+
+  // One rank: an isolated worker with its own cache, explorer and
+  // checkpoint database, exploring its contiguous slice of the space.
+  // Outcomes land in the rank's partial slot; the gather below reassembles
+  // them by global index.
+  const auto run_shard = [&](std::size_t r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ShardRange rg = ranges[r];
+    ShardReport& rep = reports[r];
+    rep.rank = static_cast<int>(r);
+    rep.range = rg;
+    core::StudyResult& out = partials[r];
+    out.test_name = test.name();
+    if (rg.size() == 0) return;  // more ranks than items: nothing to run
+
+    const auto slice = space.subspan(rg.begin, rg.size());
+
+    toolchain::CompilationCache cache;
+    core::SpaceExplorer explorer(model_, baseline_, speed_reference_,
+                                 opts_.jobs, &cache);
+    core::ExploreOptions eo;
+    eo.retry = opts_.retry;
+    eo.keep_going = opts_.keep_going;
+    eo.checkpoint_batch = opts_.checkpoint_batch;
+
+    std::optional<core::ResultsDb> shard_db;
+    if (checkpointing) {
+      shard_db.emplace(shard_db_path(opts_.shard_db_dir,
+                                     static_cast<int>(r), opts_.shards));
+      eo.db = &*shard_db;
+      eo.resume = resume_shards;
+      if (resume_shards) {
+        for (const toolchain::Compilation& c : slice) {
+          if (shard_db->find(test.name(), c.str()).has_value()) {
+            ++rep.prefilled;
+          }
+        }
+      }
+    }
+
+    out = explorer.explore(test, slice, eo);
+    rep.failed = out.failed_count();
+    rep.retried = out.retried_count();
+    rep.cache = cache.stats();
+    rep.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  };
+
+  if (opts_.serial_shards || opts_.shards == 1) {
+    for (std::size_t r = 0; r < ranges.size(); ++r) run_shard(r);
+  } else {
+    // One pool lane per shard; each shard's explorer opens its own inner
+    // pool of `jobs` lanes, composing shards x jobs.  A StudyAbort inside
+    // any shard surfaces through the pool's lowest-index-rethrow contract,
+    // matching what a serial shard loop would throw first.
+    core::ThreadPool pool(static_cast<unsigned>(opts_.shards));
+    pool.parallel_for(ranges.size(), run_shard);
+  }
+
+  ShardedStudy sharded;
+  sharded.study = merge_shards(comm, space.size(), std::move(partials));
+  sharded.shards = std::move(reports);
+  if (opts_.db != nullptr) opts_.db->record(sharded.study);
+  return sharded;
+}
+
+}  // namespace flit::dist

@@ -1,0 +1,123 @@
+#pragma once
+
+// The sharded distributed study engine.
+//
+// The thread-pooled explorer (src/core/parallel.h) parallelizes one study
+// inside a single process; ShardCoordinator is the next scale step: it
+// partitions the compilation-space index range across R simulated ranks
+// via ShardComm, drives each rank as an independent worker -- its own
+// SpaceExplorer, its own CompilationCache, its own RetryPolicy budget,
+// and (optionally) its own ResultsDb checkpoint file -- and merges the
+// per-rank results into a StudyResult that is bitwise-identical to a
+// single-rank run at any shard count.
+//
+// Concurrency composes multiplicatively: shards fan out over a ThreadPool
+// (one lane per shard) and each shard's explorer fans its slice out over
+// `jobs` lanes, so `--shards R --jobs J` uses up to R*J lanes.  With
+// `serial_shards` the ranks run one after another on the calling thread,
+// which is what the scaling bench uses to time each worker in isolation
+// (fleet wall-clock = the slowest shard).
+//
+// Fault injection stays deterministic across shard counts for free: the
+// injector's trial scope is keyed by the study item's global identity
+// ("test|triple", see core/faults.h), which no partition can change.  The
+// checkpoint kill site fires inside whichever shard reaches the armed
+// batch ordinal first -- after that shard's checkpoint is durable -- so a
+// killed sharded study resumes from its shard databases and converges to
+// the same bytes an uninterrupted run produces.
+
+#include <filesystem>
+#include <span>
+
+#include "core/explorer.h"
+#include "core/resultsdb.h"
+#include "core/workflow.h"
+#include "dist/merge.h"
+
+namespace flit::dist {
+
+struct ShardOptions {
+  int shards = 1;     ///< simulated ranks (>= 1)
+  unsigned jobs = 1;  ///< parallel lanes *per shard*
+
+  /// Run the ranks one after another on the calling thread instead of
+  /// fanning them out over a ThreadPool.  Results are identical either
+  /// way; serial execution makes per-shard wall times non-overlapping.
+  bool serial_shards = false;
+
+  /// Per-item fault-tolerance knobs, applied within every shard (the
+  /// retry budget and containment semantics of ExploreOptions).
+  core::RetryPolicy retry;
+  bool keep_going = true;
+
+  /// Rows per incremental shard checkpoint (the ExploreOptions meaning).
+  std::size_t checkpoint_batch = 32;
+
+  /// Directory for per-shard checkpoint databases
+  /// (`shard-<rank>-of-<shards>.tsv`); empty disables shard
+  /// checkpointing.  Created on first use.
+  std::filesystem::path shard_db_dir;
+
+  /// With `shard_db_dir`: prefill each shard from its checkpoint database
+  /// before dispatch (rows are matched by (test, compilation) key, so
+  /// quarantined rows are not re-run).  Resume at the same shard count
+  /// that wrote the checkpoints: the databases are named by partition.
+  bool resume = false;
+
+  /// Converged study database: when non-null, the merged StudyResult is
+  /// recorded into it after the gather, producing a file byte-identical
+  /// to a single-process `explore --db` run.  Must outlive run().
+  core::ResultsDb* db = nullptr;
+};
+
+class ShardCoordinator {
+ public:
+  /// `baseline` / `speed_reference` are the anchor compilations of every
+  /// shard's explorer (each shard re-runs them; runs are deterministic,
+  /// so the redundancy is invisible in the results).  Throws
+  /// std::invalid_argument for opts.shards < 1 or jobs < 1.
+  ShardCoordinator(const fpsem::CodeModel* model,
+                   toolchain::Compilation baseline,
+                   toolchain::Compilation speed_reference, ShardOptions opts);
+
+  /// Scatters `space` across the ranks, executes every shard, gathers the
+  /// outcomes by global index, and (with `opts.db`) records the merged
+  /// study.  An anchor failure in any shard throws core::StudyAbort, as
+  /// in the single-process engine.
+  [[nodiscard]] ShardedStudy run(
+      const core::TestBase& test,
+      std::span<const toolchain::Compilation> space) const;
+
+  /// run() with shard-checkpoint prefill forced on: stitches the
+  /// per-shard databases under `shard_db_dir` into the converged study,
+  /// byte-identical to an uninterrupted run, quarantined rows included.
+  [[nodiscard]] ShardedStudy resume(
+      const core::TestBase& test,
+      std::span<const toolchain::Compilation> space) const;
+
+  /// Adapter for WorkflowOptions::explore_override: the workflow's Level
+  /// 1/2 phase becomes a sharded exploration.  The returned callable
+  /// references this coordinator, which must outlive it.
+  [[nodiscard]] core::ExploreFn explore_override() const;
+
+  /// The checkpoint file of one rank: `dir/shard-<rank>-of-<shards>.tsv`.
+  /// Named by partition so a resume at a different shard count never
+  /// reads a foreign slice.
+  [[nodiscard]] static std::filesystem::path shard_db_path(
+      const std::filesystem::path& dir, int rank, int shards);
+
+  [[nodiscard]] const ShardOptions& options() const { return opts_; }
+
+ private:
+  [[nodiscard]] ShardedStudy run_impl(
+      const core::TestBase& test,
+      std::span<const toolchain::Compilation> space, bool resume_shards)
+      const;
+
+  const fpsem::CodeModel* model_;
+  toolchain::Compilation baseline_;
+  toolchain::Compilation speed_reference_;
+  ShardOptions opts_;
+};
+
+}  // namespace flit::dist

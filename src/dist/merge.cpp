@@ -1,0 +1,82 @@
+#include "dist/merge.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace flit::dist {
+
+namespace {
+
+std::string hit_rate_str(const toolchain::CacheStats& s) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%llu/%llu hits (%.1f%%)",
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.lookups()),
+                100.0 * s.hit_rate());
+  return buf;
+}
+
+}  // namespace
+
+toolchain::CacheStats ShardedStudy::aggregate_cache() const {
+  toolchain::CacheStats total;
+  for (const ShardReport& s : shards) total += s.cache;
+  return total;
+}
+
+double ShardedStudy::total_shard_seconds() const {
+  double total = 0.0;
+  for (const ShardReport& s : shards) total += s.seconds;
+  return total;
+}
+
+double ShardedStudy::max_shard_seconds() const {
+  double worst = 0.0;
+  for (const ShardReport& s : shards) worst = std::max(worst, s.seconds);
+  return worst;
+}
+
+core::StudyResult merge_shards(const ShardComm& comm, std::size_t space_size,
+                               std::vector<core::StudyResult> per_shard) {
+  core::StudyResult merged;
+  if (!per_shard.empty()) merged.test_name = per_shard.front().test_name;
+
+  std::vector<std::vector<core::CompilationOutcome>> slices;
+  slices.reserve(per_shard.size());
+  for (core::StudyResult& r : per_shard) {
+    if (!r.test_name.empty() && r.test_name != merged.test_name) {
+      throw std::invalid_argument("merge_shards: shard results for '" +
+                                  r.test_name + "' and '" +
+                                  merged.test_name + "' cannot merge");
+    }
+    slices.push_back(std::move(r.outcomes));
+  }
+  merged.outcomes = comm.gather_ordered(space_size, std::move(slices));
+  return merged;
+}
+
+std::string shard_report_text(const ShardedStudy& s) {
+  std::ostringstream os;
+  os << "sharded study: " << s.study.outcomes.size() << " compilations over "
+     << s.shards.size() << " shard(s)\n";
+  for (const ShardReport& r : s.shards) {
+    os << "  shard " << r.rank << ": [" << r.range.begin << ", "
+       << r.range.end << ") " << r.executed() << " executed, " << r.prefilled
+       << " resumed, " << r.failed << " failed, " << r.retried
+       << " retried, cache " << hit_rate_str(r.cache) << '\n';
+  }
+  std::size_t failed = 0, retried = 0, prefilled = 0;
+  for (const ShardReport& r : s.shards) {
+    failed += r.failed;
+    retried += r.retried;
+    prefilled += r.prefilled;
+  }
+  os << "  aggregate: " << failed << " failed, " << retried << " retried, "
+     << prefilled << " resumed, cache " << hit_rate_str(s.aggregate_cache())
+     << '\n';
+  return os.str();
+}
+
+}  // namespace flit::dist

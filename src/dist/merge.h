@@ -1,0 +1,73 @@
+#pragma once
+
+// Deterministic merge of per-shard study results.
+//
+// Each shard of the distributed engine produces an index-ordered
+// StudyResult over its slice of the compilation space, plus local
+// bookkeeping: failure/retry tallies, compilation-cache statistics, and
+// (with checkpointing) how many rows were restored from its shard
+// database.  The merge reassembles the outcomes by global space index via
+// ShardComm::gather_ordered -- so the merged StudyResult is
+// bitwise-identical to a single-rank run -- and sums the bookkeeping into
+// a per-shard + aggregate report.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+#include "dist/comm.h"
+#include "toolchain/compile_cache.h"
+
+namespace flit::dist {
+
+/// One shard's execution summary (the merge report's per-shard line).
+struct ShardReport {
+  int rank = 0;
+  ShardRange range{};         ///< global space indices the shard owned
+  std::size_t prefilled = 0;  ///< rows restored from the shard checkpoint
+  std::size_t failed = 0;     ///< quarantined outcomes in the slice
+  std::size_t retried = 0;    ///< outcomes recovered by retry
+  double seconds = 0.0;       ///< shard wall time (meaningful when shards
+                              ///< execute serially; overlaps otherwise)
+  toolchain::CacheStats cache{};
+
+  /// Items this shard actually dispatched (owned minus prefilled).
+  [[nodiscard]] std::size_t executed() const {
+    return range.size() - prefilled;
+  }
+};
+
+/// A merged distributed study: the index-ordered StudyResult plus the
+/// per-shard accounting it was assembled from.
+struct ShardedStudy {
+  core::StudyResult study;
+  std::vector<ShardReport> shards;
+
+  /// Sum of the per-shard cache statistics (CacheStats::operator+=).
+  [[nodiscard]] toolchain::CacheStats aggregate_cache() const;
+
+  /// Sum of per-shard wall times (total worker-seconds) and the slowest
+  /// shard (the fleet's critical path when shards run on dedicated
+  /// workers).
+  [[nodiscard]] double total_shard_seconds() const;
+  [[nodiscard]] double max_shard_seconds() const;
+};
+
+/// Reassembles per-shard outcome vectors into one StudyResult ordered by
+/// global space index.  `per_shard[r]` must hold exactly the outcomes of
+/// comm.range(r, space_size), in slice order; a size mismatch throws
+/// std::invalid_argument (a merge must never silently misplace an
+/// outcome).  The result is bitwise-identical to a single-rank run over
+/// the same space.
+[[nodiscard]] core::StudyResult merge_shards(
+    const ShardComm& comm, std::size_t space_size,
+    std::vector<core::StudyResult> per_shard);
+
+/// Human-readable merge report: one line per shard (owned range, executed
+/// vs. prefilled counts, failures, retries, cache hit rate) and an
+/// aggregate line with the summed failure accounting and cache
+/// statistics.
+[[nodiscard]] std::string shard_report_text(const ShardedStudy& s);
+
+}  // namespace flit::dist

@@ -32,6 +32,9 @@ namespace flit::toolchain {
 
 class CompilationCache {
  public:
+  /// Hit/miss tallies.  A value type with additive merge: the distributed
+  /// engine runs one cache per shard and sums the per-shard stats into an
+  /// aggregate hit-rate report instead of recomputing from scratch.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -42,6 +45,14 @@ class CompilationCache {
                             : static_cast<double>(hits) /
                                   static_cast<double>(lookups());
     }
+
+    Stats& operator+=(const Stats& other) {
+      hits += other.hits;
+      misses += other.misses;
+      return *this;
+    }
+    friend Stats operator+(Stats a, const Stats& b) { return a += b; }
+    friend bool operator==(const Stats&, const Stats&) = default;
   };
 
   /// Returns the object for (file, c, fpic, injected), invoking `build`
@@ -76,5 +87,9 @@ class CompilationCache {
   std::unordered_map<Key, ObjectFile, KeyHash> entries_;
   Stats stats_;
 };
+
+/// The mergeable per-cache statistics value (one per shard in the
+/// distributed engine; summed with operator+= into the aggregate report).
+using CacheStats = CompilationCache::Stats;
 
 }  // namespace flit::toolchain

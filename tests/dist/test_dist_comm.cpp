@@ -1,0 +1,102 @@
+// Unit: the typed scatter/gather substrate.  ShardComm inherits the
+// DeterministicComm partition contract verbatim; scatter must slice and
+// gather_ordered must reassemble by global index -- exact inverses at any
+// rank/item-count combination, including empty ranges -- and a shard
+// vector that disagrees with the partition must be rejected, never
+// silently misplaced.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "dist/comm.h"
+
+namespace {
+
+using flit::dist::ShardComm;
+using flit::dist::ShardRange;
+
+TEST(ShardComm, RejectsNonPositiveRankCounts) {
+  EXPECT_THROW(ShardComm(0), std::invalid_argument);
+  EXPECT_THROW(ShardComm(-3), std::invalid_argument);
+}
+
+TEST(ShardComm, ScatterRangesPartitionTheIndexSpace) {
+  const ShardComm comm(5);
+  const auto ranges = comm.scatter_ranges(23);
+  ASSERT_EQ(ranges.size(), 5u);
+  std::size_t prev_end = 0, covered = 0;
+  for (const ShardRange& rg : ranges) {
+    EXPECT_EQ(rg.begin, prev_end);
+    prev_end = rg.end;
+    covered += rg.size();
+  }
+  EXPECT_EQ(covered, 23u);
+  EXPECT_EQ(prev_end, 23u);
+  // 23 = 5*4 + 3: the remainder goes to the first three ranks.
+  EXPECT_EQ(ranges[0].size(), 5u);
+  EXPECT_EQ(ranges[1].size(), 5u);
+  EXPECT_EQ(ranges[2].size(), 5u);
+  EXPECT_EQ(ranges[3].size(), 4u);
+  EXPECT_EQ(ranges[4].size(), 4u);
+}
+
+TEST(ShardComm, MoreRanksThanItemsYieldsEmptyTrailingRanges) {
+  const ShardComm comm(8);
+  const auto ranges = comm.scatter_ranges(3);
+  ASSERT_EQ(ranges.size(), 8u);
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(ranges[r].size(), 1u) << r;
+  for (int r = 3; r < 8; ++r) EXPECT_EQ(ranges[r].size(), 0u) << r;
+}
+
+TEST(ShardComm, ZeroItemsYieldsAllEmptyRanges) {
+  const ShardComm comm(4);
+  for (const ShardRange& rg : comm.scatter_ranges(0)) {
+    EXPECT_EQ(rg.size(), 0u);
+    EXPECT_EQ(rg.begin, 0u);
+  }
+}
+
+TEST(ShardComm, GatherOrderedInvertsScatter) {
+  for (int nranks : {1, 2, 3, 7, 16}) {
+    for (std::size_t n : {0u, 1u, 5u, 16u, 23u}) {
+      const ShardComm comm(nranks);
+      std::vector<int> items(n);
+      std::iota(items.begin(), items.end(), 100);
+      const auto gathered =
+          comm.gather_ordered(n, comm.scatter(std::span<const int>(items)));
+      EXPECT_EQ(gathered, items) << nranks << " ranks, " << n << " items";
+    }
+  }
+}
+
+TEST(ShardComm, GatherOrderedPlacesByGlobalIndex) {
+  const ShardComm comm(3);
+  // 7 = 3*2 + 1: rank 0 owns [0,3), rank 1 [3,5), rank 2 [5,7).
+  std::vector<std::vector<std::string>> shards{
+      {"a0", "a1", "a2"}, {"b3", "b4"}, {"c5", "c6"}};
+  const auto out = comm.gather_ordered(std::size_t{7}, std::move(shards));
+  const std::vector<std::string> expected{"a0", "a1", "a2", "b3",
+                                          "b4", "c5", "c6"};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ShardComm, GatherOrderedRejectsMismatchedShardCounts) {
+  const ShardComm comm(3);
+  std::vector<std::vector<int>> two_shards{{1, 2}, {3, 4}};
+  EXPECT_THROW(
+      (void)comm.gather_ordered(std::size_t{4}, std::move(two_shards)),
+      std::invalid_argument);
+}
+
+TEST(ShardComm, GatherOrderedRejectsMismatchedShardSizes) {
+  const ShardComm comm(2);
+  // Rank 0 owns [0,3) of 6 items but claims 2 elements.
+  std::vector<std::vector<int>> shards{{1, 2}, {3, 4, 5, 6}};
+  EXPECT_THROW((void)comm.gather_ordered(std::size_t{6}, std::move(shards)),
+               std::invalid_argument);
+}
+
+}  // namespace

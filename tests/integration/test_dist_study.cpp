@@ -1,0 +1,428 @@
+// Integration: the sharded distributed study engine.  The merged
+// StudyResult must be bitwise-identical to the single-process explorer at
+// any (shards, jobs) combination -- fault bookkeeping included -- the
+// converged database and merged report CSV must be byte-identical across
+// shard counts, resume must stitch per-shard checkpoints (quarantined
+// rows included) into the same bytes an uninterrupted run produces, and
+// the workflow's explore override must leave the full report unchanged.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "core/explorer.h"
+#include "core/faults.h"
+#include "core/report.h"
+#include "core/resultsdb.h"
+#include "core/workflow.h"
+#include "dist/coordinator.h"
+#include "mfemini/examples.h"
+#include "toolchain/compiler.h"
+
+namespace {
+
+using namespace flit;
+using core::FaultInjector;
+using core::FaultSite;
+using toolchain::Compilation;
+using toolchain::OptLevel;
+
+namespace fs = std::filesystem;
+
+std::vector<Compilation> small_space() {
+  return {
+      {toolchain::gcc(), OptLevel::O0, ""},
+      {toolchain::gcc(), OptLevel::O2, ""},
+      {toolchain::gcc(), OptLevel::O3, ""},
+      {toolchain::gcc(), OptLevel::O2, "-mavx2 -mfma"},
+      {toolchain::gcc(), OptLevel::O2, "-funsafe-math-optimizations"},
+      {toolchain::clang(), OptLevel::O3, "-ffast-math"},
+      {toolchain::icpc(), OptLevel::O2, ""},
+      {toolchain::icpc(), OptLevel::O2, "-fp-model precise"},
+  };
+}
+
+dist::ShardCoordinator make_coordinator(dist::ShardOptions opts) {
+  return dist::ShardCoordinator(&fpsem::global_code_model(),
+                                toolchain::mfem_baseline(),
+                                toolchain::mfem_speed_reference(),
+                                std::move(opts));
+}
+
+core::StudyResult reference_study(const core::TestBase& test,
+                                  const std::vector<Compilation>& space) {
+  core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                               toolchain::mfem_baseline(),
+                               toolchain::mfem_speed_reference(), 1);
+  return explorer.explore(test, space);
+}
+
+/// Bitwise equality, bookkeeping included -- the distributed merge must be
+/// indistinguishable from a single-rank run.
+void expect_identical_studies(const core::StudyResult& a,
+                              const core::StudyResult& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  EXPECT_EQ(a.test_name, b.test_name);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].comp, b.outcomes[i].comp) << i;
+    EXPECT_EQ(a.outcomes[i].variability, b.outcomes[i].variability) << i;
+    EXPECT_EQ(a.outcomes[i].cycles, b.outcomes[i].cycles) << i;
+    EXPECT_EQ(a.outcomes[i].speedup, b.outcomes[i].speedup) << i;
+    EXPECT_EQ(a.outcomes[i].status, b.outcomes[i].status) << i;
+    EXPECT_EQ(a.outcomes[i].attempts, b.outcomes[i].attempts) << i;
+    EXPECT_EQ(a.outcomes[i].reason, b.outcomes[i].reason) << i;
+  }
+}
+
+std::string file_bytes(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Fresh scratch directory per test, removed on teardown; the injector is
+/// disarmed on entry and exit.
+class DistStudyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::global().disarm();
+    dir_ = fs::temp_directory_path() /
+           ("flit_dist_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::global().disarm();
+    fs::remove_all(dir_);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DistStudyTest, MergedStudyIsBitwiseIdenticalAcrossShardsAndJobs) {
+  const auto space = small_space();
+  mfemini::MfemExampleTest test(5);
+  const auto reference = reference_study(test, space);
+  const std::string reference_csv = core::study_csv(reference);
+
+  for (int shards : {1, 2, 4}) {
+    for (unsigned jobs : {1u, 4u}) {
+      dist::ShardOptions opts;
+      opts.shards = shards;
+      opts.jobs = jobs;
+      const auto sharded = make_coordinator(opts).run(test, space);
+      expect_identical_studies(sharded.study, reference);
+      // The merged report CSV is the same bytes at any shard count.
+      EXPECT_EQ(core::study_csv(sharded.study), reference_csv)
+          << shards << " shards, " << jobs << " jobs";
+      ASSERT_EQ(sharded.shards.size(), static_cast<std::size_t>(shards));
+    }
+  }
+}
+
+TEST_F(DistStudyTest, SerialShardExecutionMatchesPooledExecution) {
+  const auto space = small_space();
+  mfemini::MfemExampleTest test(3);
+
+  dist::ShardOptions pooled;
+  pooled.shards = 3;
+  dist::ShardOptions serial = pooled;
+  serial.serial_shards = true;
+
+  expect_identical_studies(make_coordinator(serial).run(test, space).study,
+                           make_coordinator(pooled).run(test, space).study);
+}
+
+TEST_F(DistStudyTest, MoreShardsThanCompilationsStillMerges) {
+  auto tiny = small_space();
+  tiny.resize(3);
+  mfemini::MfemExampleTest test(1);
+  const auto reference = reference_study(test, tiny);
+
+  dist::ShardOptions opts;
+  opts.shards = 8;
+  const auto sharded = make_coordinator(opts).run(test, tiny);
+  expect_identical_studies(sharded.study, reference);
+  // Ranks past the item count report empty ranges and idle caches.
+  for (std::size_t r = 3; r < sharded.shards.size(); ++r) {
+    EXPECT_EQ(sharded.shards[r].range.size(), 0u);
+    EXPECT_EQ(sharded.shards[r].cache.lookups(), 0u);
+  }
+}
+
+TEST_F(DistStudyTest, PerShardCacheStatsSumIntoTheAggregate) {
+  const auto space = small_space();
+  mfemini::MfemExampleTest test(2);
+
+  dist::ShardOptions opts;
+  opts.shards = 4;
+  const auto sharded = make_coordinator(opts).run(test, space);
+
+  toolchain::CacheStats manual;
+  for (const auto& rep : sharded.shards) manual += rep.cache;
+  EXPECT_EQ(sharded.aggregate_cache(), manual);
+  EXPECT_GT(sharded.aggregate_cache().lookups(), 0u);
+
+  const std::string report = dist::shard_report_text(sharded);
+  EXPECT_NE(report.find("sharded study:"), std::string::npos);
+  EXPECT_NE(report.find("shard 0:"), std::string::npos);
+  EXPECT_NE(report.find("aggregate:"), std::string::npos);
+}
+
+TEST_F(DistStudyTest, FaultedStudiesAreBitwiseIdenticalAcrossShardCounts) {
+  const auto space = small_space();
+  mfemini::MfemExampleTest test(5);
+
+  // Deterministic seed search (the test_fault_tolerance idiom): find a
+  // run-fault seed that quarantines at least one item while the anchors
+  // survive.
+  std::optional<core::StudyResult> reference;
+  std::uint64_t seed = 0;
+  for (; seed < 100; ++seed) {
+    FaultInjector::global().disarm();
+    FaultInjector::global().arm(FaultSite::Run, 0.3, seed);
+    try {
+      auto r = reference_study(test, space);
+      if (r.failed_count() > 0) {
+        reference = std::move(r);
+        break;
+      }
+    } catch (const core::StudyAbort&) {
+    }
+  }
+  ASSERT_TRUE(reference.has_value())
+      << "no seed in [0,100) quarantined an item with live anchors";
+
+  for (int shards : {2, 4}) {
+    FaultInjector::global().disarm();
+    FaultInjector::global().arm(FaultSite::Run, 0.3, seed);
+    dist::ShardOptions opts;
+    opts.shards = shards;
+    const auto sharded = make_coordinator(opts).run(test, space);
+    expect_identical_studies(sharded.study, *reference);
+    EXPECT_GT(sharded.study.failed_count(), 0u);
+  }
+}
+
+TEST_F(DistStudyTest, ConvergedDbIsByteIdenticalAcrossShardCounts) {
+  const auto space = small_space();
+  mfemini::MfemExampleTest test(5);
+
+  // Single-process incremental --db reference.
+  const fs::path ref_path = dir_ / "ref.tsv";
+  {
+    core::ResultsDb ref_db(ref_path);
+    core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                                 toolchain::mfem_baseline(),
+                                 toolchain::mfem_speed_reference(), 2);
+    core::ExploreOptions eo;
+    eo.db = &ref_db;
+    eo.checkpoint_batch = 3;
+    (void)explorer.explore(test, space, eo);
+  }
+  const std::string reference = file_bytes(ref_path);
+  ASSERT_FALSE(reference.empty());
+
+  for (int shards : {1, 2, 4}) {
+    const fs::path conv_path =
+        dir_ / ("converged-" + std::to_string(shards) + ".tsv");
+    core::ResultsDb conv(conv_path);
+    dist::ShardOptions opts;
+    opts.shards = shards;
+    opts.shard_db_dir = dir_ / ("shards-" + std::to_string(shards));
+    opts.db = &conv;
+    (void)make_coordinator(opts).run(test, space);
+    EXPECT_EQ(file_bytes(conv_path), reference) << shards << " shards";
+  }
+}
+
+TEST_F(DistStudyTest, ResumeStitchesShardCheckpointsByteIdentically) {
+  const auto space = small_space();
+  mfemini::MfemExampleTest test(5);
+
+  // Arm a quarantining fault configuration for every phase, so the
+  // stitched study must carry a quarantined row through resume.
+  std::uint64_t seed = 0;
+  std::optional<core::StudyResult> faulted;
+  for (; seed < 100; ++seed) {
+    FaultInjector::global().disarm();
+    FaultInjector::global().arm(FaultSite::Run, 0.3, seed);
+    try {
+      auto r = reference_study(test, space);
+      if (r.failed_count() > 0) {
+        faulted = std::move(r);
+        break;
+      }
+    } catch (const core::StudyAbort&) {
+    }
+  }
+  ASSERT_TRUE(faulted.has_value());
+
+  const int shards = 2;
+  const auto arm = [&] {
+    FaultInjector::global().disarm();
+    FaultInjector::global().arm(FaultSite::Run, 0.3, seed);
+  };
+
+  // Reference: an uninterrupted sharded run under the same faults.
+  const fs::path ref_conv = dir_ / "ref-converged.tsv";
+  arm();
+  {
+    core::ResultsDb conv(ref_conv);
+    dist::ShardOptions opts;
+    opts.shards = shards;
+    opts.shard_db_dir = dir_ / "ref-shards";
+    opts.db = &conv;
+    (void)make_coordinator(opts).run(test, space);
+  }
+
+  // "Killed" run: each shard checkpointed only a prefix of its slice
+  // (simulated by exploring the prefix directly into the shard's
+  // checkpoint file, the file resume will look for).
+  const fs::path part_dir = dir_ / "part-shards";
+  fs::create_directories(part_dir);
+  const dist::ShardComm comm(shards);
+  arm();
+  for (int r = 0; r < shards; ++r) {
+    const auto rg = comm.range(r, space.size());
+    const std::size_t half = rg.size() / 2;
+    if (half == 0) continue;
+    core::ResultsDb shard_db(
+        dist::ShardCoordinator::shard_db_path(part_dir, r, shards));
+    core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                                 toolchain::mfem_baseline(),
+                                 toolchain::mfem_speed_reference(), 1);
+    core::ExploreOptions eo;
+    eo.db = &shard_db;
+    const std::vector<Compilation> prefix(space.begin() + rg.begin,
+                                          space.begin() + rg.begin + half);
+    (void)explorer.explore(test, prefix, eo);
+  }
+
+  // Resume stitches the partial checkpoints and completes the study; the
+  // converged database must be the same bytes as the uninterrupted run.
+  const fs::path conv_path = dir_ / "resumed-converged.tsv";
+  arm();
+  {
+    core::ResultsDb conv(conv_path);
+    dist::ShardOptions opts;
+    opts.shards = shards;
+    opts.jobs = 4;  // resume at a different jobs count on purpose
+    opts.shard_db_dir = part_dir;
+    opts.db = &conv;
+    const auto resumed = make_coordinator(opts).resume(test, space);
+    // Prefilled outcomes carry exactly what the checkpoint persists
+    // (speedup, variability, status, reason -- cycles and attempt counts
+    // are not database-backed), so compare the persisted contract.
+    ASSERT_EQ(resumed.study.outcomes.size(), faulted->outcomes.size());
+    for (std::size_t i = 0; i < faulted->outcomes.size(); ++i) {
+      EXPECT_EQ(resumed.study.outcomes[i].comp, faulted->outcomes[i].comp)
+          << i;
+      EXPECT_EQ(resumed.study.outcomes[i].speedup,
+                faulted->outcomes[i].speedup)
+          << i;
+      EXPECT_EQ(resumed.study.outcomes[i].variability,
+                faulted->outcomes[i].variability)
+          << i;
+      EXPECT_EQ(resumed.study.outcomes[i].status,
+                faulted->outcomes[i].status)
+          << i;
+      EXPECT_EQ(resumed.study.outcomes[i].reason,
+                faulted->outcomes[i].reason)
+          << i;
+    }
+    std::size_t prefilled = 0;
+    for (const auto& rep : resumed.shards) prefilled += rep.prefilled;
+    EXPECT_GT(prefilled, 0u);
+  }
+  EXPECT_EQ(file_bytes(conv_path), file_bytes(ref_conv));
+}
+
+TEST_F(DistStudyTest, ResumeDoesNotRerunQuarantinedRows) {
+  const auto space = small_space();
+  mfemini::MfemExampleTest test(5);
+
+  std::uint64_t seed = 0;
+  bool found = false;
+  for (; seed < 100 && !found; ++seed) {
+    FaultInjector::global().disarm();
+    FaultInjector::global().arm(FaultSite::Run, 0.3, seed);
+    try {
+      found = reference_study(test, space).failed_count() > 0;
+    } catch (const core::StudyAbort&) {
+    }
+  }
+  ASSERT_TRUE(found);
+  --seed;
+
+  dist::ShardOptions opts;
+  opts.shards = 2;
+  opts.shard_db_dir = dir_ / "shards";
+
+  FaultInjector::global().disarm();
+  FaultInjector::global().arm(FaultSite::Run, 0.3, seed);
+  const auto faulted = make_coordinator(opts).run(test, space);
+  ASSERT_GT(faulted.study.failed_count(), 0u);
+
+  // Resume with the injector disarmed: a re-executed quarantined item
+  // would now succeed, so its surviving Crashed status proves the resume
+  // restored it from the shard checkpoint instead of re-running it.
+  FaultInjector::global().disarm();
+  const auto resumed = make_coordinator(opts).resume(test, space);
+  EXPECT_EQ(resumed.study.failed_count(), faulted.study.failed_count());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(resumed.study.outcomes[i].status,
+              faulted.study.outcomes[i].status)
+        << i;
+    EXPECT_EQ(resumed.study.outcomes[i].reason,
+              faulted.study.outcomes[i].reason)
+        << i;
+  }
+}
+
+TEST_F(DistStudyTest, WorkflowExploreOverrideLeavesTheReportUnchanged) {
+  const auto space = small_space();
+  mfemini::MfemExampleTest test(13);
+  core::WorkflowOptions opts;
+  opts.baseline = toolchain::mfem_baseline();
+  opts.speed_reference = toolchain::mfem_speed_reference();
+  opts.max_bisects = 3;
+  opts.k = 1;
+
+  const auto plain =
+      core::run_workflow(&fpsem::global_code_model(), test, space, opts);
+  ASSERT_FALSE(plain.bisects.empty());
+
+  dist::ShardOptions sopts;
+  sopts.shards = 3;
+  const auto coord = make_coordinator(sopts);
+  opts.explore_override = coord.explore_override();
+  const auto sharded =
+      core::run_workflow(&fpsem::global_code_model(), test, space, opts);
+
+  // The rendered report covers the study, the recommendation and every
+  // bisect finding; equal text means the override was invisible.
+  EXPECT_EQ(core::workflow_report_text(sharded),
+            core::workflow_report_text(plain));
+}
+
+TEST_F(DistStudyTest, CoordinatorRejectsInvalidOptions) {
+  dist::ShardOptions zero;
+  zero.shards = 0;
+  EXPECT_THROW(make_coordinator(zero), std::invalid_argument);
+
+  dist::ShardOptions no_dir;
+  no_dir.shards = 2;
+  no_dir.resume = true;  // resume needs the checkpoints to stitch
+  EXPECT_THROW(make_coordinator(no_dir), std::invalid_argument);
+}
+
+}  // namespace

@@ -35,6 +35,39 @@ TEST(Comm, RangePartitionCoversWithoutOverlap) {
   EXPECT_EQ(prev_end, 23u);
 }
 
+TEST(Comm, RangeSpreadsTheRemainderOverTheFirstRanks) {
+  // 23 = 5*4 + 3: ranks 0-2 take the extra element, ranks 3-4 do not.
+  const DeterministicComm comm(5);
+  EXPECT_EQ(comm.range(0, 23).size(), 5u);
+  EXPECT_EQ(comm.range(1, 23).size(), 5u);
+  EXPECT_EQ(comm.range(2, 23).size(), 5u);
+  EXPECT_EQ(comm.range(3, 23).size(), 4u);
+  EXPECT_EQ(comm.range(4, 23).size(), 4u);
+}
+
+TEST(Comm, RangeWithFewerItemsThanRanksLeavesTrailingRanksEmpty) {
+  const DeterministicComm comm(8);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(comm.range(r, 3).size(), 1u) << r;
+  }
+  for (int r = 3; r < 8; ++r) {
+    const auto rg = comm.range(r, 3);
+    EXPECT_EQ(rg.size(), 0u) << r;
+    EXPECT_EQ(rg.begin, rg.end) << r;
+    EXPECT_LE(rg.end, 3u) << r;  // empty ranges stay inside the space
+  }
+}
+
+TEST(Comm, RangeOfZeroItemsIsEmptyOnEveryRank) {
+  const DeterministicComm comm(4);
+  for (int r = 0; r < comm.size(); ++r) {
+    const auto rg = comm.range(r, 0);
+    EXPECT_EQ(rg.begin, 0u) << r;
+    EXPECT_EQ(rg.end, 0u) << r;
+    EXPECT_EQ(rg.size(), 0u) << r;
+  }
+}
+
 TEST(Comm, AllreduceSumMatchesSequentialForOneRank) {
   auto ctx = strict();
   const DeterministicComm comm(1);

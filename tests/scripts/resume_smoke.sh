@@ -8,11 +8,17 @@
 #   3. `--resume` at a different jobs count completes the study,
 #   4. the resumed database must be byte-identical to the reference.
 #
-# Usage: resume_smoke.sh <path-to-flit-binary>
+# In sharded mode the killed run partitions the space with --shards 2 and
+# checkpoints into per-shard databases (--shard-db-dir); --resume stitches
+# the partial shard checkpoints and the *converged* database (--db) must be
+# byte-identical to the unsharded reference.
+#
+# Usage: resume_smoke.sh <path-to-flit-binary> [sharded]
 
 set -u
 
-flit=${1:?usage: resume_smoke.sh <flit-binary>}
+flit=${1:?usage: resume_smoke.sh <flit-binary> [sharded]}
+mode=${2:-plain}
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
@@ -23,6 +29,47 @@ db="$workdir/resume.tsv"
   echo "FAIL: reference explore did not complete" >&2
   exit 1
 }
+
+if [ "$mode" = "sharded" ]; then
+  shard_dir="$workdir/shards"
+
+  FLIT_FAULTS=kill:2:0 "$flit" explore MFEM_ex12 --shards 2 \
+    --shard-db-dir "$shard_dir" --db "$db" --jobs 2 >/dev/null 2>&1
+  status=$?
+  if [ "$status" -eq 0 ]; then
+    echo "FAIL: the killed sharded run exited 0" >&2
+    exit 1
+  fi
+  # The kill fires while a shard is checkpointing, before the merge, so
+  # the partial state lives in the shard databases, not the converged one.
+  partial=$(cat "$shard_dir"/shard-*-of-2.tsv 2>/dev/null | wc -l)
+  if [ "$partial" -eq 0 ]; then
+    echo "FAIL: the killed sharded run left no shard checkpoints" >&2
+    exit 1
+  fi
+  total=$(wc -l < "$ref")
+  if [ "$partial" -ge "$total" ]; then
+    echo "FAIL: the killed sharded run completed ($partial of $total rows)" >&2
+    exit 1
+  fi
+
+  "$flit" explore MFEM_ex12 --shards 2 --shard-db-dir "$shard_dir" \
+    --db "$db" --resume --jobs 4 >/dev/null 2>&1 || {
+    echo "FAIL: sharded --resume did not complete" >&2
+    exit 1
+  }
+
+  if ! cmp -s "$ref" "$db"; then
+    echo "FAIL: the stitched converged database differs from the" \
+         "unsharded reference" >&2
+    diff "$ref" "$db" | head -20 >&2
+    exit 1
+  fi
+
+  echo "PASS: killed at batch 2 ($partial/$total shard rows), stitched 2" \
+       "shards into a byte-identical converged database"
+  exit 0
+fi
 
 FLIT_FAULTS=kill:2:0 "$flit" explore MFEM_ex12 --db "$db" --jobs 2 \
   >/dev/null 2>&1

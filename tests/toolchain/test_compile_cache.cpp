@@ -146,6 +146,55 @@ TEST(CompilationCache, StudySpaceHitRateExceedsHalf) {
   EXPECT_GT(cache.stats().hit_rate(), 0.5);
 }
 
+TEST(CacheStats, MergeSumsTalliesAndPreservesTheHitRateInvariant) {
+  // Per-shard stats are summed into the distributed engine's aggregate
+  // report; the merge must be plain addition on both counters.
+  CacheStats a{.hits = 7, .misses = 3};
+  const CacheStats b{.hits = 1, .misses = 9};
+
+  const CacheStats sum = a + b;
+  EXPECT_EQ(sum.hits, 8u);
+  EXPECT_EQ(sum.misses, 12u);
+  EXPECT_EQ(sum.lookups(), 20u);
+  EXPECT_EQ(sum.hit_rate(), 8.0 / 20.0);
+
+  a += b;
+  EXPECT_EQ(a, sum);
+
+  // Identity: merging an idle shard's stats changes nothing.
+  const CacheStats before = a;
+  a += CacheStats{};
+  EXPECT_EQ(a, before);
+  EXPECT_EQ(CacheStats{}.hit_rate(), 0.0);  // no lookups, no rate
+}
+
+TEST(CacheStats, MergingRealShardCachesMatchesOneSharedCache) {
+  // Two caches each serving half the study space tally, in sum, the same
+  // lookups as one cache serving all of it (hit counts differ -- each
+  // shard re-misses its first equivalent triple -- so only the lookup sum
+  // is partition-invariant).
+  CodeModel m = make_model();
+  const auto space = mfem_study_space();
+  const std::size_t half = space.size() / 2;
+
+  CompilationCache whole;
+  BuildSystem whole_build(&m, &whole);
+  for (const Compilation& c : space) (void)whole_build.compile_all(c);
+
+  CacheStats merged;
+  for (std::size_t begin : {std::size_t{0}, half}) {
+    CompilationCache shard;
+    BuildSystem build(&m, &shard);
+    const std::size_t end = begin == 0 ? half : space.size();
+    for (std::size_t i = begin; i < end; ++i) {
+      (void)build.compile_all(space[i]);
+    }
+    merged += shard.stats();
+  }
+  EXPECT_EQ(merged.lookups(), whole.stats().lookups());
+  EXPECT_GE(merged.misses, whole.stats().misses);
+}
+
 TEST(CompilationCache, ClearResetsEntriesAndCounters) {
   CodeModel m = make_model();
   CompilationCache cache;

@@ -35,6 +35,7 @@
 #include "core/report.h"
 #include "core/resultsdb.h"
 #include "core/workflow.h"
+#include "dist/coordinator.h"
 #include "geom/predicates.h"
 #include "laghos/hydro.h"
 #include "lulesh/domain.h"
@@ -79,10 +80,11 @@ int usage() {
       "usage: flit list\n"
       "       flit explore <test> [--csv] [--db file.tsv] [--resume]\n"
       "                    [--jobs N] [--retries N]\n"
+      "                    [--shards N] [--shard-db-dir dir]\n"
       "                    [--keep-going|--no-keep-going]\n"
       "       flit bisect <test> <compiler> <-ON> [flag...] "
       "[--k N] [--digits D]\n"
-      "       flit workflow <test> [--jobs N] [--retries N]\n"
+      "       flit workflow <test> [--jobs N] [--retries N] [--shards N]\n"
       "                    [--keep-going|--no-keep-going]\n"
       "       flit mix <test> <tolerance>\n"
       "\n"
@@ -90,9 +92,18 @@ int usage() {
       "                (default: the FLIT_JOBS environment variable if\n"
       "                set, else the hardware thread count; results are\n"
       "                identical at any jobs count)\n"
+      "--shards N      partition the compilation space across N simulated\n"
+      "                ranks, each with its own compilation cache (and,\n"
+      "                with --shard-db-dir, its own checkpoint file); the\n"
+      "                merged results are identical at any shard count\n"
+      "--shard-db-dir  directory for per-shard checkpoint databases\n"
+      "                (shard-<r>-of-<N>.tsv); with --resume, shards are\n"
+      "                prefilled from these files\n"
       "--db file.tsv   record outcomes into a results database,\n"
-      "                checkpointing incrementally\n"
+      "                checkpointing incrementally (with --shards: the\n"
+      "                converged database, written after the merge)\n"
       "--resume        skip (test, compilation) rows already in --db\n"
+      "                (with --shards: in the per-shard databases)\n"
       "--retries N     attempts per compilation before quarantine "
       "(default 1)\n"
       "--keep-going    record per-compilation failures and continue\n"
@@ -188,6 +199,8 @@ struct ExploreArgs {
   std::string db_path;
   bool resume = false;
   unsigned jobs = 0;
+  int shards = 1;
+  std::string shard_db_dir;
   core::RetryPolicy retry;
   bool keep_going = true;
 };
@@ -199,27 +212,52 @@ int cmd_explore(const std::string& test_name, const ExploreArgs& args) {
                  test_name.c_str());
     return 1;
   }
-  if (args.resume && args.db_path.empty()) {
+  const bool sharded = args.shards > 1 || !args.shard_db_dir.empty();
+  if (args.resume && !sharded && args.db_path.empty()) {
     std::fprintf(stderr, "--resume requires --db\n");
     return 2;
   }
+  if (args.resume && sharded && args.shard_db_dir.empty()) {
+    std::fprintf(stderr, "--resume with --shards requires --shard-db-dir\n");
+    return 2;
+  }
   const auto test = reg.create(test_name);
-  core::SpaceExplorer explorer(&fpsem::global_code_model(),
-                               toolchain::mfem_baseline(),
-                               toolchain::mfem_speed_reference(), args.jobs);
   const auto space = toolchain::mfem_study_space();
 
-  core::ExploreOptions opts;
-  opts.retry = args.retry;
-  opts.keep_going = args.keep_going;
   std::optional<core::ResultsDb> db;
-  if (!args.db_path.empty()) {
-    db.emplace(std::filesystem::path(args.db_path));
-    opts.db = &*db;
-    opts.resume = args.resume;
+  if (!args.db_path.empty()) db.emplace(std::filesystem::path(args.db_path));
+
+  core::StudyResult study;
+  if (sharded) {
+    dist::ShardOptions sopts;
+    sopts.shards = args.shards;
+    sopts.jobs = args.jobs >= 1 ? args.jobs : 1;
+    sopts.retry = args.retry;
+    sopts.keep_going = args.keep_going;
+    sopts.shard_db_dir = args.shard_db_dir;
+    sopts.db = db.has_value() ? &*db : nullptr;
+    dist::ShardCoordinator coord(&fpsem::global_code_model(),
+                                 toolchain::mfem_baseline(),
+                                 toolchain::mfem_speed_reference(), sopts);
+    const dist::ShardedStudy sharded_study =
+        args.resume ? coord.resume(*test, space) : coord.run(*test, space);
+    study = sharded_study.study;
+    std::fputs(dist::shard_report_text(sharded_study).c_str(), stderr);
+  } else {
+    core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                                 toolchain::mfem_baseline(),
+                                 toolchain::mfem_speed_reference(),
+                                 args.jobs);
+    core::ExploreOptions opts;
+    opts.retry = args.retry;
+    opts.keep_going = args.keep_going;
+    if (db.has_value()) {
+      opts.db = &*db;
+      opts.resume = args.resume;
+    }
+    study = explorer.explore(*test, space, opts);
   }
 
-  const auto study = explorer.explore(*test, space, opts);
   if (db.has_value()) {
     std::fprintf(stderr, "recorded %zu outcomes into %s\n",
                  study.outcomes.size(), args.db_path.c_str());
@@ -253,7 +291,7 @@ int cmd_bisect(const std::string& test_name,
   return 0;
 }
 
-int cmd_workflow(const std::string& test_name, unsigned jobs,
+int cmd_workflow(const std::string& test_name, unsigned jobs, int shards,
                  const core::RetryPolicy& retry, bool keep_going) {
   auto& reg = core::global_test_registry();
   if (!reg.contains(test_name)) {
@@ -269,6 +307,21 @@ int cmd_workflow(const std::string& test_name, unsigned jobs,
   opts.jobs = jobs;
   opts.explore.retry = retry;
   opts.explore.keep_going = keep_going;
+  // With --shards the Level 1/2 exploration runs on the sharded engine;
+  // the merged study is bitwise-identical, so the bisect phase and report
+  // are oblivious.  The coordinator outlives run_workflow's use of the
+  // override.
+  std::optional<dist::ShardCoordinator> coord;
+  if (shards > 1) {
+    dist::ShardOptions sopts;
+    sopts.shards = shards;
+    sopts.jobs = jobs >= 1 ? jobs : 1;
+    sopts.retry = retry;
+    sopts.keep_going = keep_going;
+    coord.emplace(&fpsem::global_code_model(), opts.baseline,
+                  opts.speed_reference, sopts);
+    opts.explore_override = coord->explore_override();
+  }
   const auto report = core::run_workflow(
       &fpsem::global_code_model(), *test, toolchain::mfem_study_space(),
       opts);
@@ -328,6 +381,12 @@ int dispatch(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--jobs") == 0) {
         args.jobs = parse_jobs("--jobs", option_value("--jobs", argv, argc,
                                                       &i));
+      } else if (std::strcmp(argv[i], "--shards") == 0) {
+        args.shards = static_cast<int>(parse_jobs(
+            "--shards", option_value("--shards", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--shard-db-dir") == 0) {
+        args.shard_db_dir =
+            option_value("--shard-db-dir", argv, argc, &i);
       } else if (std::strcmp(argv[i], "--retries") == 0) {
         args.retry.max_attempts = static_cast<int>(parse_jobs(
             "--retries", option_value("--retries", argv, argc, &i)));
@@ -366,11 +425,15 @@ int dispatch(int argc, char** argv) {
   if (cmd == "workflow") {
     if (argc < 3) return usage();
     unsigned jobs = core::default_jobs();
+    int shards = 1;
     core::RetryPolicy retry;
     bool keep_going = true;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--jobs") == 0) {
         jobs = parse_jobs("--jobs", option_value("--jobs", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--shards") == 0) {
+        shards = static_cast<int>(parse_jobs(
+            "--shards", option_value("--shards", argv, argc, &i)));
       } else if (std::strcmp(argv[i], "--retries") == 0) {
         retry.max_attempts = static_cast<int>(parse_jobs(
             "--retries", option_value("--retries", argv, argc, &i)));
@@ -383,7 +446,7 @@ int dispatch(int argc, char** argv) {
         return usage();
       }
     }
-    return cmd_workflow(argv[2], jobs, retry, keep_going);
+    return cmd_workflow(argv[2], jobs, shards, retry, keep_going);
   }
 
   if (cmd == "mix") {
