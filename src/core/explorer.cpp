@@ -6,6 +6,7 @@
 
 #include "core/parallel.h"
 #include "core/resultsdb.h"
+#include "obs/session.h"
 
 namespace flit::core {
 
@@ -104,9 +105,24 @@ SpaceExplorer::SpaceExplorer(const fpsem::CodeModel* model,
 
 RunOutput SpaceExplorer::run_whole_program(
     const TestBase& test, const toolchain::Compilation& c) const {
-  const auto objs = build_.compile_all(c);
-  const toolchain::Executable exe = linker_.link(objs, c.compiler);
-  return runner_.run(test, exe);
+  // The per-compilation phase breakdown: build/link/run spans stamped with
+  // the calling thread's (shard, index, attempt) context.  Inert (a null
+  // check) when tracing is off.
+  obs::Tracer* tr = obs::tracer_if_enabled();
+  std::vector<toolchain::ObjectFile> objs;
+  {
+    obs::Span span(tr, "build", "explore", c.str());
+    objs = build_.compile_all(c);
+  }
+  toolchain::Executable exe;
+  {
+    obs::Span span(tr, "link", "explore", c.str());
+    exe = linker_.link(objs, c.compiler);
+  }
+  obs::Span span(tr, "run", "explore", c.str());
+  RunOutput out = runner_.run(test, exe);
+  span.set_cost(out.cycles);
+  return out;
 }
 
 RunOutput SpaceExplorer::run_anchor(const TestBase& test,
@@ -116,6 +132,8 @@ RunOutput SpaceExplorer::run_anchor(const TestBase& test,
   std::string last;
   for (int attempt = 0; attempt < retry.attempts(); ++attempt) {
     FaultInjector::ScopedTrial trial(test.name() + "|" + c.str(), attempt);
+    obs::Span span(obs::tracer_if_enabled(), "anchor", role, c.str());
+    obs::metrics().counter("explore.anchor_runs").add();
     try {
       return run_whole_program(test, c);
     } catch (const std::exception& e) {
@@ -134,6 +152,21 @@ StudyResult SpaceExplorer::explore(
     const ExploreOptions& opts) const {
   StudyResult result;
   result.test_name = test.name();
+
+  // Study-level accounting.  Counter handles are stable across
+  // MetricsRegistry::reset(), so the static lookups are safe; the
+  // histogram accumulates in fixed-point, so its totals are independent of
+  // the jobs count and scheduling.
+  static obs::Counter& m_executed = obs::metrics().counter("explore.executed");
+  static obs::Counter& m_resumed = obs::metrics().counter("explore.resumed");
+  static obs::Counter& m_retried = obs::metrics().counter("explore.retried");
+  static obs::Counter& m_quarantined =
+      obs::metrics().counter("explore.quarantined");
+  static obs::Counter& m_attempts = obs::metrics().counter("explore.attempts");
+  static obs::Histogram& m_cycles =
+      obs::metrics().histogram("explore.cycles", obs::cycle_buckets());
+  obs::Span explore_span(obs::tracer_if_enabled(), "explore", "explore",
+                         result.test_name);
 
   // The two anchor runs; when they are the same compilation (or appear
   // inside the space) the run is executed once and reused -- runs are
@@ -163,6 +196,7 @@ StudyResult SpaceExplorer::explore(
       o.status = row->status;
       o.reason = row->reason;
       prefilled[i] = 1;
+      m_resumed.add();
     }
   }
 
@@ -181,9 +215,17 @@ StudyResult SpaceExplorer::explore(
     std::string reason;
     OutcomeStatus failure = OutcomeStatus::Crashed;
     const int attempts = opts.retry.attempts();
+    m_executed.add();
     for (int attempt = 0; attempt < attempts; ++attempt) {
       FaultInjector::ScopedTrial trial(result.test_name + "|" + c.str(),
                                        attempt);
+      // The telemetry stamp: the item's *global* identity (shard + global
+      // space index), mirroring the trial context above.
+      obs::ScopedItem obs_item(opts.obs_shard, opts.obs_index_base + i,
+                               attempt);
+      obs::Span span(obs::tracer_if_enabled(), "compilation", "explore",
+                     c.str());
+      m_attempts.add();
       try {
         RunOutput fresh;
         const RunOutput* run = reused;
@@ -197,6 +239,9 @@ StudyResult SpaceExplorer::explore(
         o.status = attempt == 0 ? OutcomeStatus::Ok : OutcomeStatus::Retried;
         o.attempts = attempt + 1;
         o.reason = attempt == 0 ? std::string() : "recovered from: " + reason;
+        span.set_cost(o.cycles);
+        if (o.status == OutcomeStatus::Retried) m_retried.add();
+        m_cycles.observe(o.cycles);
         return;
       } catch (const ExecutionCrash& e) {
         failure = OutcomeStatus::Crashed;
@@ -209,6 +254,7 @@ StudyResult SpaceExplorer::explore(
       }
     }
     // Quarantined: every attempt failed.
+    m_quarantined.add();
     o.status = failure;
     o.attempts = attempts;
     o.reason = reason;

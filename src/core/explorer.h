@@ -132,6 +132,14 @@ struct ExploreOptions {
   /// Rows per incremental checkpoint when `db` is set (0 = one final
   /// checkpoint).  Ignored without a database.
   std::size_t checkpoint_batch = 32;
+
+  /// Telemetry stamping only -- strictly off the result path.  The shard
+  /// that owns this explore call and the global space index of slice
+  /// element 0, so trace events carry the study item's *global* identity
+  /// even when the sharded engine hands each explorer a sub-slice (the
+  /// same invariance the fault injector gets from "test|triple" contexts).
+  int obs_shard = 0;
+  std::size_t obs_index_base = 0;
 };
 
 class SpaceExplorer {

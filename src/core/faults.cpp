@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/session.h"
+
 namespace flit::core {
 
 namespace {
@@ -151,6 +153,12 @@ bool FaultInjector::should_fail(FaultSite site,
 
 void FaultInjector::maybe_fail(FaultSite site, const std::string& key) const {
   if (!should_fail(site, key)) return;
+  // Injected-fault accounting: the fleet total plus a per-site split, so a
+  // metrics dump shows where the injector actually struck.
+  obs::metrics().counter("faults.injected").add();
+  obs::metrics()
+      .counter(std::string("faults.injected.") + to_string(site))
+      .add();
   throw InjectedFault(site, std::string("injected fault: ") +
                                 to_string(site) + " step failed for " + key);
 }

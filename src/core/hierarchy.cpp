@@ -5,6 +5,7 @@
 
 #include "core/bisect_biggest.h"
 #include "core/faults.h"
+#include "obs/session.h"
 #include "toolchain/objcopy.h"
 
 namespace flit::core {
@@ -54,6 +55,24 @@ RunOutput BisectDriver::execute(
 }
 
 HierarchicalOutcome BisectDriver::run() {
+  // The search itself is untouched (run_impl); the wrapper only accounts
+  // for it.  The span cost is the search's headline metric -- real program
+  // executions -- so a trace shows at a glance which searches were cheap
+  // and which burned the budget.
+  static obs::Counter& m_searches = obs::metrics().counter("bisect.searches");
+  static obs::Counter& m_executions =
+      obs::metrics().counter("bisect.executions");
+  m_searches.add();
+  obs::Span span(obs::tracer_if_enabled(), "bisect", "bisect",
+                 cfg_.variable.str());
+  HierarchicalOutcome out = run_impl();
+  m_executions.add(static_cast<std::uint64_t>(
+      out.executions > 0 ? out.executions : 0));
+  span.set_cost(static_cast<double>(out.executions));
+  return out;
+}
+
+HierarchicalOutcome BisectDriver::run_impl() {
   HierarchicalOutcome out;
 
   base_objs_ = build_.compile_all(cfg_.baseline);

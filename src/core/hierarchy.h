@@ -107,6 +107,7 @@ class BisectDriver {
   [[nodiscard]] HierarchicalOutcome run();
 
  private:
+  [[nodiscard]] HierarchicalOutcome run_impl();
   [[nodiscard]] long double metric(const RunOutput& out) const;
   [[nodiscard]] RunOutput execute(const std::vector<toolchain::ObjectFile>& objs);
   void symbol_phase(FileFinding& finding);

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "core/faults.h"
+#include "obs/session.h"
 
 namespace flit::core {
 
@@ -16,6 +17,8 @@ RunOutput Runner::run(const TestBase& test, const toolchain::Executable& exe,
   // containment -- treats an injected signal exactly like a real one.
   if (FaultInjector::global().any_armed() &&
       FaultInjector::global().should_fail(FaultSite::Run, test.name())) {
+    obs::metrics().counter("faults.injected").add();
+    obs::metrics().counter("faults.injected.run").add();
     throw ExecutionCrash("injected fault: simulated signal while running " +
                          test.name());
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/parallel.h"
+#include "obs/session.h"
 #include "toolchain/compile_cache.h"
 
 namespace flit::core {
@@ -27,12 +28,16 @@ WorkflowReport run_workflow(const fpsem::CodeModel* model,
   // sharded engine in src/dist) replaces this phase wholesale; its
   // contract guarantees the StudyResult is bitwise-identical to the
   // in-process explorer's, so everything downstream is oblivious.
-  if (opts.explore_override) {
-    report.study = opts.explore_override(test, space);
-  } else {
-    SpaceExplorer explorer(model, opts.baseline, opts.speed_reference,
-                           opts.jobs, &cache);
-    report.study = explorer.explore(test, space, opts.explore);
+  {
+    obs::Span phase(obs::tracer_if_enabled(), "phase.explore", "explore",
+                    test.name());
+    if (opts.explore_override) {
+      report.study = opts.explore_override(test, space);
+    } else {
+      SpaceExplorer explorer(model, opts.baseline, opts.speed_reference,
+                             opts.jobs, &cache);
+      report.study = explorer.explore(test, space, opts.explore);
+    }
   }
 
   report.fastest_reproducible = report.study.fastest_equal();
@@ -60,24 +65,42 @@ WorkflowReport run_workflow(const fpsem::CodeModel* model,
     to_bisect.push_back(&o);
   }
 
+  // Failed-search accounting (counters sum across shards and reruns; the
+  // text report's "failed searches" line is derived from the same rows, so
+  // the two totals reconcile by construction).
+  static obs::Counter& m_bisects = obs::metrics().counter("workflow.bisects");
+  static obs::Counter& m_failed_bisects =
+      obs::metrics().counter("workflow.failed_bisects");
+
+  obs::Span bisect_phase(obs::tracer_if_enabled(), "phase.bisect", "bisect",
+                         test.name());
   report.bisects.resize(to_bisect.size());
   ThreadPool pool(opts.jobs);
   pool.parallel_for(to_bisect.size(), [&](std::size_t i) {
     const CompilationOutcome& o = *to_bisect[i];
+    // Stamp the bisect with the outcome's index in the study space so its
+    // trace lane matches the explore-phase lane of the same compilation.
+    const std::size_t space_index = static_cast<std::size_t>(
+        to_bisect[i] - report.study.outcomes.data());
+    obs::ScopedItem obs_item(opts.explore.obs_shard,
+                             opts.explore.obs_index_base + space_index, 0);
     BisectConfig cfg;
     cfg.baseline = opts.baseline;
     cfg.variable = o.comp;
     cfg.k = opts.k;
     cfg.digits = opts.digits;
     BisectDriver driver(model, &test, cfg, &cache);
+    m_bisects.add();
     try {
       report.bisects[i] = VariableCompilationReport{o, driver.run()};
+      if (report.bisects[i].bisect.crashed) m_failed_bisects.add();
     } catch (const std::exception& e) {
       // A bisect that dies outside the driver's own crash handling (an
       // injected compile/link fault, an anchor crash inside the search)
       // becomes a recorded failed search, matching how the paper's
       // evaluation reports its failure rates (Table 2).
       if (!opts.explore.keep_going) throw;
+      m_failed_bisects.add();
       HierarchicalOutcome failed;
       failed.crashed = true;
       failed.crash_reason = std::string("bisect aborted: ") + e.what();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/parallel.h"
+#include "obs/session.h"
 #include "toolchain/compile_cache.h"
 
 namespace flit::dist {
@@ -87,6 +88,15 @@ ShardedStudy ShardCoordinator::run_impl(
     out.test_name = test.name();
     if (rg.size() == 0) return;  // more ranks than items: nothing to run
 
+    // The shard's telemetry lane: anchors and shard-level spans carry the
+    // rank, and the explorer stamps each item with its *global* space
+    // index, so the merged trace is independent of which thread ran the
+    // shard.  kNoIndex marks shard-scoped (not per-item) events.
+    obs::ScopedItem obs_lane(static_cast<int>(r), obs::kNoIndex, 0);
+    obs::Span shard_span(obs::tracer_if_enabled(), "shard", "dist",
+                         test.name() + " [" + std::to_string(rg.begin) +
+                             ", " + std::to_string(rg.end) + ")");
+
     const auto slice = space.subspan(rg.begin, rg.size());
 
     toolchain::CompilationCache cache;
@@ -96,6 +106,8 @@ ShardedStudy ShardCoordinator::run_impl(
     eo.retry = opts_.retry;
     eo.keep_going = opts_.keep_going;
     eo.checkpoint_batch = opts_.checkpoint_batch;
+    eo.obs_shard = static_cast<int>(r);
+    eo.obs_index_base = rg.begin;
 
     std::optional<core::ResultsDb> shard_db;
     if (checkpointing) {
@@ -116,6 +128,13 @@ ShardedStudy ShardCoordinator::run_impl(
     rep.failed = out.failed_count();
     rep.retried = out.retried_count();
     rep.cache = cache.stats();
+    // The shard's modeled-cycle skew sample: executed ok outcomes only.
+    // Resumed rows carry no cycle measurement (the checkpoint database
+    // stores classifications, not cycles), so they would register as
+    // zero-cost items and fake a skew that is not there.
+    for (const core::CompilationOutcome& o : out.outcomes) {
+      if (o.ok() && o.cycles > 0.0) rep.cycles.observe(o.cycles);
+    }
     rep.seconds = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();

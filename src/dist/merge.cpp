@@ -18,11 +18,29 @@ std::string hit_rate_str(const toolchain::CacheStats& s) {
   return buf;
 }
 
+std::string cycles_skew_str(const obs::HistogramData& h) {
+  if (h.count == 0) return "cycles n/a";
+  // min and max are exact (fixed-point of observed values); the median is
+  // bucket-interpolated, hence the tilde.
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "cycles min %.0f / ~med %.0f / max %.0f (%llu items)",
+                h.min_value(), h.quantile(0.5), h.max_value(),
+                static_cast<unsigned long long>(h.count));
+  return buf;
+}
+
 }  // namespace
 
 toolchain::CacheStats ShardedStudy::aggregate_cache() const {
   toolchain::CacheStats total;
   for (const ShardReport& s : shards) total += s.cache;
+  return total;
+}
+
+obs::HistogramData ShardedStudy::aggregate_cycles() const {
+  obs::HistogramData total{obs::cycle_buckets()};
+  for (const ShardReport& s : shards) total += s.cycles;
   return total;
 }
 
@@ -65,7 +83,8 @@ std::string shard_report_text(const ShardedStudy& s) {
     os << "  shard " << r.rank << ": [" << r.range.begin << ", "
        << r.range.end << ") " << r.executed() << " executed, " << r.prefilled
        << " resumed, " << r.failed << " failed, " << r.retried
-       << " retried, cache " << hit_rate_str(r.cache) << '\n';
+       << " retried, cache " << hit_rate_str(r.cache) << ", "
+       << cycles_skew_str(r.cycles) << '\n';
   }
   std::size_t failed = 0, retried = 0, prefilled = 0;
   for (const ShardReport& r : s.shards) {
@@ -75,7 +94,7 @@ std::string shard_report_text(const ShardedStudy& s) {
   }
   os << "  aggregate: " << failed << " failed, " << retried << " retried, "
      << prefilled << " resumed, cache " << hit_rate_str(s.aggregate_cache())
-     << '\n';
+     << ", " << cycles_skew_str(s.aggregate_cycles()) << '\n';
   return os.str();
 }
 

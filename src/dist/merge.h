@@ -17,6 +17,7 @@
 
 #include "core/explorer.h"
 #include "dist/comm.h"
+#include "obs/metrics.h"
 #include "toolchain/compile_cache.h"
 
 namespace flit::dist {
@@ -32,6 +33,13 @@ struct ShardReport {
                               ///< execute serially; overlaps otherwise)
   toolchain::CacheStats cache{};
 
+  /// Modeled-cycle distribution of the shard's *executed* ok outcomes
+  /// (resumed rows carry no cycle measurement and are excluded).  All
+  /// shards share cycle_buckets() bounds, so the per-shard histograms
+  /// merge; min/~median/max per shard is the skew measurement the
+  /// work-stealing roadmap item needs.
+  obs::HistogramData cycles{obs::cycle_buckets()};
+
   /// Items this shard actually dispatched (owned minus prefilled).
   [[nodiscard]] std::size_t executed() const {
     return range.size() - prefilled;
@@ -46,6 +54,9 @@ struct ShardedStudy {
 
   /// Sum of the per-shard cache statistics (CacheStats::operator+=).
   [[nodiscard]] toolchain::CacheStats aggregate_cache() const;
+
+  /// Sum of the per-shard cycle histograms (HistogramData::operator+=).
+  [[nodiscard]] obs::HistogramData aggregate_cycles() const;
 
   /// Sum of per-shard wall times (total worker-seconds) and the slowest
   /// shard (the fleet's critical path when shards run on dedicated

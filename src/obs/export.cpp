@@ -1,0 +1,112 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace flit::obs {
+
+namespace {
+
+std::string cost_str(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);  // round-trip exact
+  return buf;
+}
+
+/// The signed index the JSON schema exposes (-1 = outside any item).
+long long json_index(std::uint64_t index) {
+  return index == kNoIndex ? -1LL : static_cast<long long>(index);
+}
+
+struct ItemKey {
+  int shard;
+  std::uint64_t index;
+  int attempt;
+  friend bool operator==(const ItemKey&, const ItemKey&) = default;
+};
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+
+  // Per-lane cursor walk over the sorted stream: an item's events share a
+  // base; the next item (or the lane's item-less tail) starts where the
+  // previous one ended, keeping each lane's ts monotone.
+  std::map<int, std::uint64_t> lane_cursor;
+  bool first = true;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const ItemKey key{events[i].shard, events[i].index, events[i].attempt};
+    std::size_t end = i;
+    std::uint32_t max_tick = 0;
+    while (end < events.size() &&
+           ItemKey{events[end].shard, events[end].index,
+                   events[end].attempt} == key) {
+      max_tick = std::max(max_tick, events[end].end_tick);
+      ++end;
+    }
+    const int tid = key.shard + 1;
+    const std::uint64_t base = lane_cursor[tid];
+    for (; i < end; ++i) {
+      const TraceEvent& e = events[i];
+      os << (first ? "" : ",") << "{\"name\":\"" << json_escape(e.name)
+         << "\",\"cat\":\"" << json_escape(e.phase)
+         << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+         << ",\"ts\":" << base + e.begin_tick
+         << ",\"dur\":" << e.end_tick - e.begin_tick
+         << ",\"args\":{\"detail\":\"" << json_escape(e.detail)
+         << "\",\"shard\":" << e.shard
+         << ",\"index\":" << json_index(e.index)
+         << ",\"attempt\":" << e.attempt << ",\"cost\":" << cost_str(e.cost)
+         << "}}";
+      first = false;
+    }
+    lane_cursor[tid] = base + max_tick + 1;
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string events_jsonl(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  for (const TraceEvent& e : events) {
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"phase\":\""
+       << json_escape(e.phase) << "\",\"detail\":\"" << json_escape(e.detail)
+       << "\",\"shard\":" << e.shard << ",\"index\":" << json_index(e.index)
+       << ",\"attempt\":" << e.attempt << ",\"begin\":" << e.begin_tick
+       << ",\"end\":" << e.end_tick << ",\"cost\":" << cost_str(e.cost)
+       << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace flit::obs

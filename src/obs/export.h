@@ -1,0 +1,41 @@
+#pragma once
+
+// Trace exporters: Chrome trace_event JSON (loadable in about://tracing or
+// https://ui.perfetto.dev) and a JSONL structured event log, both rendered
+// from the deterministic event stream Tracer::drain_sorted() produces.
+//
+// The Chrome export synthesizes a *modeled* timeline, because the events
+// deliberately carry no wall-clock time (see obs/trace.h).  Each shard is
+// one lane (tid = shard + 1); events sharing an item stamp (shard, index,
+// attempt) are laid out at `item base + begin tick`, and the next item's
+// base starts where the previous item ended, so per-lane timestamps are
+// monotone by construction and byte-identical across reruns.  Timestamp
+// units are logical ticks, not microseconds: the layout shows structure
+// (nesting, per-phase breakdown, per-item cost in args.cost), not elapsed
+// time.
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace flit::obs {
+
+/// RFC 8259 string escaping: quote, backslash, and control characters
+/// (\uXXXX for the unprintables).  Returns the escaped body without the
+/// surrounding quotes.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Chrome trace_event JSON ({"traceEvents":[...]}, "X" complete events).
+/// `events` must be in drain_sorted() order -- the synthetic per-lane
+/// timeline depends on it (and per-lane ts monotonicity is only guaranteed
+/// for sorted input).
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<TraceEvent>& events);
+
+/// One JSON object per line, schema:
+/// {"name":...,"phase":...,"detail":...,"shard":N,"index":N|-1,
+///  "attempt":N,"begin":N,"end":N,"cost":X}
+[[nodiscard]] std::string events_jsonl(const std::vector<TraceEvent>& events);
+
+}  // namespace flit::obs

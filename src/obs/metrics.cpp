@@ -1,0 +1,259 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace flit::obs {
+
+FixedPoint to_fixed(double v) {
+  return static_cast<FixedPoint>(
+      std::llround(v * static_cast<double>(kFixedPointScale)));
+}
+
+double from_fixed(FixedPoint v) {
+  return static_cast<double>(v) / static_cast<double>(kFixedPointScale);
+}
+
+HistogramData::HistogramData(std::vector<double> bucket_bounds)
+    : bounds(std::move(bucket_bounds)), counts(bounds.size() + 1, 0) {
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i - 1] < bounds[i])) {
+      throw std::invalid_argument(
+          "HistogramData: bucket bounds must be strictly ascending");
+    }
+  }
+}
+
+void HistogramData::observe(double v) {
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+  ++counts[b];
+  const FixedPoint fp = to_fixed(v);
+  sum += fp;
+  if (count == 0 || fp < min) min = fp;
+  if (count == 0 || fp > max) max = fp;
+  ++count;
+}
+
+double HistogramData::mean() const {
+  return count == 0 ? 0.0 : from_fixed(sum) / static_cast<double>(count);
+}
+
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return min_value();
+  if (q == 1.0) return max_value();
+  // The rank-q observation's bucket, linearly interpolated across the
+  // bucket's span (clamped to the observed min/max so estimates never
+  // leave the data's range).
+  const double target = q * static_cast<double>(count);
+  double before = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (before + in_bucket < target || in_bucket == 0.0) {
+      before += in_bucket;
+      continue;
+    }
+    const double lo = b == 0 ? min_value() : bounds[b - 1];
+    const double hi = b < bounds.size() ? bounds[b] : max_value();
+    const double frac = (target - before) / in_bucket;
+    return std::clamp(lo + frac * (hi - lo), min_value(), max_value());
+  }
+  return max_value();
+}
+
+HistogramData& HistogramData::operator+=(const HistogramData& other) {
+  if (bounds != other.bounds) {
+    throw std::invalid_argument(
+        "HistogramData: cannot merge histograms with different bucket "
+        "bounds");
+  }
+  for (std::size_t b = 0; b < counts.size(); ++b) counts[b] += other.counts[b];
+  sum += other.sum;
+  if (other.count > 0) {
+    if (count == 0 || other.min < min) min = other.min;
+    if (count == 0 || other.max > max) max = other.max;
+  }
+  count += other.count;
+  return *this;
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        int count) {
+  if (start <= 0.0 || factor <= 1.0 || count < 1) {
+    throw std::invalid_argument(
+        "exponential_buckets: need start > 0, factor > 1, count >= 1");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i, v *= factor) bounds.push_back(v);
+  return bounds;
+}
+
+const std::vector<double>& cycle_buckets() {
+  static const std::vector<double> bounds =
+      exponential_buckets(1.0, 2.0, 40);
+  return bounds;
+}
+
+MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) {
+    auto [it, inserted] = gauges.try_emplace(name, v);
+    if (!inserted) it->second = std::max(it->second, v);
+  }
+  for (const auto& [name, h] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, h);
+    } else {
+      it->second += h;
+    }
+  }
+  return *this;
+}
+
+namespace {
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Round-trip-exact double rendering for the JSON export: equal values
+/// always render equal bytes.
+std::string num_exact(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::table() const {
+  std::ostringstream os;
+  os << "metrics summary:\n";
+  for (const auto& [name, v] : counters) {
+    os << "  counter   " << name << " = " << v << '\n';
+  }
+  for (const auto& [name, v] : gauges) {
+    os << "  gauge     " << name << " = " << v << '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    os << "  histogram " << name << ": count " << h.count;
+    if (h.count > 0) {
+      os << ", min " << num(h.min_value()) << ", ~median "
+         << num(h.quantile(0.5)) << ", max " << num(h.max_value())
+         << ", mean " << num(h.mean());
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    os << (first ? "" : ",") << '"' << name << "\":" << v;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    os << (first ? "" : ",") << '"' << name << "\":" << v;
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "" : ",") << '"' << name << "\":{\"count\":" << h.count
+       << ",\"sum\":" << num_exact(from_fixed(h.sum))
+       << ",\"min\":" << num_exact(h.count > 0 ? h.min_value() : 0.0)
+       << ",\"max\":" << num_exact(h.count > 0 ? h.max_value() : 0.0)
+       << ",\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      os << (b == 0 ? "" : ",") << num_exact(h.bounds[b]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      os << (b == 0 ? "" : ",") << h.counts[b];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard lock(mu_);
+  data_.observe(v);
+}
+
+HistogramData Histogram::data() const {
+  std::lock_guard lock(mu_);
+  return data_;
+}
+
+void Histogram::reset() {
+  std::lock_guard lock(mu_);
+  data_ = HistogramData(data_.bounds);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    if (it->second->bounds() != bounds) {
+      throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                  "' re-registered with different bounds");
+    }
+    return *it->second;
+  }
+  return *histograms_
+              .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace(name, h->data());
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace flit::obs

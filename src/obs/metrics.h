@@ -1,0 +1,183 @@
+#pragma once
+
+// The metrics half of the observability subsystem (src/obs): named
+// counters, gauges, and fixed-bucket histograms behind a thread-safe
+// registry, with a plain-value snapshot that merges additively -- the same
+// shape as toolchain::CacheStats::operator+= -- so per-shard metrics sum
+// into a fleet view.
+//
+// Determinism contract: telemetry is strictly off the result path, and the
+// metric *values* themselves are reproducible wherever the underlying
+// tallies are.  Counter and bucket increments are order-independent
+// integer additions, and real-valued observations (modeled cycles)
+// accumulate in fixed-point 1/1024 units, so a histogram's sum is the same
+// at any --jobs count or interleaving.  The one documented exception is
+// counters fed by racy tallies (the compilation cache's hit/miss split can
+// shift when two threads race to build the same key) -- exactly the
+// variance CacheStats already has today.
+//
+// Merge semantics of MetricsSnapshot::operator+=: counters and histogram
+// data sum; gauges record levels (space size, shard count), so a merged
+// gauge takes the maximum (the fleet peak).  Histograms only merge when
+// their bucket bounds match; a mismatch throws rather than silently
+// misfiling observations.
+//
+// This header is standard-library only (like core/faults.h) so the
+// toolchain layer can count cache traffic without a dependency cycle.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace flit::obs {
+
+/// Fixed-point accumulator for real-valued observations: integer 1/1024
+/// units make sums associative, hence independent of thread interleaving.
+using FixedPoint = std::int64_t;
+inline constexpr std::int64_t kFixedPointScale = 1024;
+
+[[nodiscard]] FixedPoint to_fixed(double v);
+[[nodiscard]] double from_fixed(FixedPoint v);
+
+/// The plain-value payload of one histogram: `bounds` are ascending bucket
+/// upper bounds, `counts` has bounds.size() + 1 entries (the last is the
+/// overflow bucket).  A value v lands in the first bucket with
+/// v <= bounds[b].
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  FixedPoint sum = 0;
+  FixedPoint min = 0;  ///< meaningful only when count > 0
+  FixedPoint max = 0;  ///< meaningful only when count > 0
+
+  explicit HistogramData(std::vector<double> bucket_bounds = {});
+
+  void observe(double v);
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min_value() const { return from_fixed(min); }
+  [[nodiscard]] double max_value() const { return from_fixed(max); }
+
+  /// Bucket-interpolated quantile estimate (q in [0, 1]); exact at the
+  /// extremes (q=0 -> min, q=1 -> max), approximate in between -- the
+  /// usual fixed-bucket tradeoff.  0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Additive merge; throws std::invalid_argument when the bucket bounds
+  /// differ (observations must never be silently misfiled).
+  HistogramData& operator+=(const HistogramData& other);
+  friend HistogramData operator+(HistogramData a, const HistogramData& b) {
+    return a += b;
+  }
+  friend bool operator==(const HistogramData&, const HistogramData&) = default;
+};
+
+/// Geometric bucket bounds: start, start*factor, ... (count entries).
+[[nodiscard]] std::vector<double> exponential_buckets(double start,
+                                                      double factor,
+                                                      int count);
+
+/// The default bounds for modeled-cycle histograms: powers of two from 1
+/// to 2^39, wide enough for any study item in the simulated toolchain.
+[[nodiscard]] const std::vector<double>& cycle_buckets();
+
+/// A merged, order-independent view of one registry (or of many, via
+/// operator+=): the value type the distributed engine ships per shard.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  MetricsSnapshot& operator+=(const MetricsSnapshot& other);
+  friend MetricsSnapshot operator+(MetricsSnapshot a,
+                                   const MetricsSnapshot& b) {
+    return a += b;
+  }
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+
+  /// Human-readable summary table (the `flit ... --metrics-out` stderr
+  /// companion): one line per metric, histograms as
+  /// count/min/~median/max/mean.
+  [[nodiscard]] std::string table() const;
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}};
+  /// keys sorted (std::map order), so equal snapshots render equal bytes.
+  [[nodiscard]] std::string json() const;
+};
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds)
+      : data_(std::move(bounds)) {}
+
+  void observe(double v);
+  [[nodiscard]] HistogramData data() const;
+  [[nodiscard]] const std::vector<double>& bounds() const {
+    return data_.bounds;
+  }
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  HistogramData data_;
+};
+
+/// Thread-safe name -> instrument registry.  Handles returned by
+/// counter()/gauge()/histogram() are stable for the registry's lifetime
+/// (reset() zeroes values without invalidating them), so hot paths can
+/// cache the reference once instead of re-resolving the name per event.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  /// Registers (or re-finds) a histogram.  Re-registering an existing name
+  /// with different bounds throws std::invalid_argument.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument, keeping registrations (and outstanding
+  /// references) valid.  For tests and benches that reuse the process
+  /// global.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace flit::obs

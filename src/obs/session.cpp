@@ -1,0 +1,10 @@
+#include "obs/session.h"
+
+namespace flit::obs {
+
+Session& Session::global() {
+  static Session instance;
+  return instance;
+}
+
+}  // namespace flit::obs

@@ -1,0 +1,47 @@
+#pragma once
+
+// The process-global observability session: one MetricsRegistry plus one
+// Tracer, shared by every engine layer (explorer, workflow, bisect,
+// compilation cache, fault injector, shard coordinator) the way
+// FaultInjector::global() is.  Counters are always live -- an atomic add
+// costs nothing worth a flag -- while tracing is opt-in via
+// tracer().set_enabled(true) (the CLI's --trace-out flips it); a disabled
+// tracer makes every Span inert.
+//
+// Tests and benches that need a clean slate call metrics().reset() and
+// drain the tracer; instrument references cached by hot paths stay valid
+// across both.
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace flit::obs {
+
+class Session {
+ public:
+  [[nodiscard]] static Session& global();
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+/// The global metrics registry (shorthand for Session::global().metrics()).
+[[nodiscard]] inline MetricsRegistry& metrics() {
+  return Session::global().metrics();
+}
+
+/// The global tracer.
+[[nodiscard]] inline Tracer& tracer() { return Session::global().tracer(); }
+
+/// The global tracer when tracing is enabled, else null -- the pointer a
+/// Span wants: `obs::Span s(obs::tracer_if_enabled(), "build", ...)`.
+[[nodiscard]] inline Tracer* tracer_if_enabled() {
+  Tracer& t = Session::global().tracer();
+  return t.enabled() ? &t : nullptr;
+}
+
+}  // namespace flit::obs

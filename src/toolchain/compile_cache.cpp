@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/session.h"
 #include "toolchain/semantics_rules.h"
 
 namespace flit::toolchain {
@@ -32,11 +33,19 @@ std::uint64_t CompilationCache::fingerprint(const Compilation& c, bool fpic) {
 ObjectFile CompilationCache::get_or_build(
     const std::string& file, const Compilation& c, bool fpic, bool injected,
     const std::function<ObjectFile()>& build) {
+  // Fleet-wide counters: every cache instance (one per shard in the
+  // distributed engine) feeds the same registry, so the global totals are
+  // the sum the aggregate report prints.  Handles are stable across
+  // MetricsRegistry::reset(), so resolving them once is safe.
+  static obs::Counter& obs_hits = obs::metrics().counter("cache.hits");
+  static obs::Counter& obs_misses = obs::metrics().counter("cache.misses");
+
   const Key key{file, fingerprint(c, fpic), fpic, injected};
   {
     std::lock_guard lock(mu_);
     if (auto it = entries_.find(key); it != entries_.end()) {
       ++stats_.hits;
+      obs_hits.add();
       ObjectFile obj = it->second;
       obj.comp = c;  // the hazard predicates hash the raw triple
       return obj;
@@ -48,6 +57,7 @@ ObjectFile CompilationCache::get_or_build(
   ObjectFile built = build();
   std::lock_guard lock(mu_);
   ++stats_.misses;
+  obs_misses.add();
   auto [it, inserted] = entries_.try_emplace(key, built);
   if (inserted) return built;
   ObjectFile obj = it->second;  // another thread won the race
@@ -61,7 +71,9 @@ CompilationCache::Stats CompilationCache::stats() const {
 }
 
 void CompilationCache::clear() {
+  static obs::Counter& obs_evicted = obs::metrics().counter("cache.evicted");
   std::lock_guard lock(mu_);
+  obs_evicted.add(entries_.size());
   entries_.clear();
   stats_ = Stats{};
 }

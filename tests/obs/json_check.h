@@ -1,0 +1,186 @@
+#pragma once
+
+// Minimal recursive-descent JSON validator for the exporter tests: checks
+// well-formedness (RFC 8259 grammar, without the nesting-depth and number
+// -range liberties real parsers take), not semantics.  Header-only and
+// test-local on purpose -- the library must not grow a JSON parser for
+// the sake of its own tests.
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace flit::test {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  /// True when the whole input is exactly one valid JSON value.
+  [[nodiscard]] bool valid() {
+    i_ = 0;
+    if (!value()) return false;
+    skip_ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' ||
+            s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(i_, n, lit) != 0) return false;
+    i_ += n;
+    return true;
+  }
+
+  bool string() {
+    if (i_ >= s_.size() || s_[i_] != '"') return false;
+    ++i_;
+    while (i_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[i_]);
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+        const char e = s_[i_];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (i_ + static_cast<std::size_t>(k) >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(
+                    s_[i_ + static_cast<std::size_t>(k)])) == 0) {
+              return false;
+            }
+          }
+          i_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++i_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && s_[i_] == '-') ++i_;
+    if (i_ >= s_.size() || std::isdigit(static_cast<unsigned char>(s_[i_])) == 0) {
+      return false;
+    }
+    if (s_[i_] == '0') {
+      ++i_;
+    } else {
+      while (i_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[i_])) != 0) {
+        ++i_;
+      }
+    }
+    if (i_ < s_.size() && s_[i_] == '.') {
+      ++i_;
+      if (i_ >= s_.size() ||
+          std::isdigit(static_cast<unsigned char>(s_[i_])) == 0) {
+        return false;
+      }
+      while (i_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[i_])) != 0) {
+        ++i_;
+      }
+    }
+    if (i_ < s_.size() && (s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+      if (i_ < s_.size() && (s_[i_] == '+' || s_[i_] == '-')) ++i_;
+      if (i_ >= s_.size() ||
+          std::isdigit(static_cast<unsigned char>(s_[i_])) == 0) {
+        return false;
+      }
+      while (i_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[i_])) != 0) {
+        ++i_;
+      }
+    }
+    return i_ > start;
+  }
+
+  bool object() {
+    if (s_[i_] != '{') return false;
+    ++i_;
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == '}') {
+      ++i_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (i_ >= s_.size() || s_[i_] != ':') return false;
+      ++i_;
+      if (!value()) return false;
+      skip_ws();
+      if (i_ >= s_.size()) return false;
+      if (s_[i_] == '}') {
+        ++i_;
+        return true;
+      }
+      if (s_[i_] != ',') return false;
+      ++i_;
+    }
+  }
+
+  bool array() {
+    if (s_[i_] != '[') return false;
+    ++i_;
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == ']') {
+      ++i_;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (i_ >= s_.size()) return false;
+      if (s_[i_] == ']') {
+        ++i_;
+        return true;
+      }
+      if (s_[i_] != ',') return false;
+      ++i_;
+    }
+  }
+
+  bool value() {
+    skip_ws();
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+/// Convenience wrapper: is `text` one well-formed JSON value?
+[[nodiscard]] inline bool is_valid_json(const std::string& text) {
+  return JsonChecker(text).valid();
+}
+
+}  // namespace flit::test

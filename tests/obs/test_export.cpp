@@ -1,0 +1,142 @@
+// Unit tests for the trace exporters: RFC 8259 escaping, JSONL schema,
+// Chrome trace_event validity (checked with the test-local JSON parser)
+// and the synthetic timeline's per-lane monotonicity.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_check.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace flit;
+
+std::vector<obs::TraceEvent> sample_stream() {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  for (int shard = 0; shard < 2; ++shard) {
+    obs::ScopedItem lane(shard, obs::kNoIndex, 0);
+    obs::Span shard_span(&tracer, "shard", "dist", "slice");
+    for (std::uint64_t idx = static_cast<std::uint64_t>(shard) * 3;
+         idx < static_cast<std::uint64_t>(shard) * 3 + 3; ++idx) {
+      obs::ScopedItem item(shard, idx, 0);
+      obs::Span comp(&tracer, "compilation", "explore", "g++ -O2 \"quoted\"");
+      obs::Span run(&tracer, "run", "explore");
+      run.set_cost(static_cast<double>(idx) * 2.5);
+    }
+  }
+  return tracer.drain_sorted();
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(obs::json_escape("\b\f"), "\\b\\f");
+  EXPECT_EQ(obs::json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(obs::json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(ChromeTrace, IsValidJsonEvenWithHostileDetails) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::ScopedItem item(0, 1, 0);
+    obs::Span span(&tracer, "run\"name", "phase\\cat",
+                   "detail with \"quotes\", a \\ and a \n newline");
+  }
+  const std::string json = obs::chrome_trace_json(tracer.drain_sorted());
+  EXPECT_TRUE(flit::test::is_valid_json(json)) << json;
+}
+
+TEST(ChromeTrace, EmptyStreamIsAnEmptyTraceObject) {
+  const std::string json = obs::chrome_trace_json({});
+  EXPECT_EQ(json, "{\"traceEvents\":[]}");
+  EXPECT_TRUE(flit::test::is_valid_json(json));
+}
+
+/// Extracts every ("tid", "ts") pair in stream order.
+std::vector<std::pair<int, long long>> tid_ts_pairs(const std::string& json) {
+  std::vector<std::pair<int, long long>> out;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"tid\":", pos)) != std::string::npos) {
+    pos += 6;
+    const int tid = std::stoi(json.substr(pos));
+    const std::size_t ts_pos = json.find("\"ts\":", pos);
+    out.emplace_back(tid, std::stoll(json.substr(ts_pos + 5)));
+    pos = ts_pos;
+  }
+  return out;
+}
+
+TEST(ChromeTrace, PerLaneTimestampsAreMonotone) {
+  const auto events = sample_stream();
+  ASSERT_FALSE(events.empty());
+  const std::string json = obs::chrome_trace_json(events);
+  ASSERT_TRUE(flit::test::is_valid_json(json)) << json;
+
+  std::map<int, long long> last_ts;
+  for (const auto& [tid, ts] : tid_ts_pairs(json)) {
+    if (auto it = last_ts.find(tid); it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "tid " << tid;
+    }
+    last_ts[tid] = ts;
+  }
+  // One lane per shard (tid = shard + 1).
+  ASSERT_EQ(last_ts.size(), 2u);
+  EXPECT_TRUE(last_ts.count(1) == 1 && last_ts.count(2) == 1);
+}
+
+TEST(ChromeTrace, RenderingIsDeterministic) {
+  const std::string a = obs::chrome_trace_json(sample_stream());
+  const std::string b = obs::chrome_trace_json(sample_stream());
+  EXPECT_EQ(a, b);
+}
+
+TEST(EventsJsonl, OneValidObjectPerLineWithTheDocumentedSchema) {
+  const auto events = sample_stream();
+  const std::string jsonl = obs::events_jsonl(events);
+
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(flit::test::is_valid_json(line)) << line;
+    for (const char* key : {"\"name\":", "\"phase\":", "\"detail\":",
+                            "\"shard\":", "\"index\":", "\"attempt\":",
+                            "\"begin\":", "\"end\":", "\"cost\":"}) {
+      EXPECT_NE(line.find(key), std::string::npos) << key << " in " << line;
+    }
+    ++n;
+  }
+  EXPECT_EQ(n, events.size());
+}
+
+TEST(EventsJsonl, NoIndexRendersAsMinusOne) {
+  obs::TraceEvent e;
+  e.name = "anchor";
+  e.phase = "baseline";
+  const std::string line = obs::events_jsonl({e});
+  EXPECT_NE(line.find("\"index\":-1"), std::string::npos) << line;
+}
+
+TEST(Exporters, CostsRenderRoundTripExact) {
+  obs::TraceEvent e;
+  e.name = "run";
+  e.phase = "p";
+  e.cost = 451881.2501220703125;  // needs %.17g, not %g
+  const std::string jsonl = obs::events_jsonl({e});
+  const double parsed =
+      std::stod(jsonl.substr(jsonl.find("\"cost\":") + 7));
+  EXPECT_EQ(parsed, e.cost);
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+// Unit tests for the metrics half of src/obs: fixed-point accumulation,
+// histogram observation and merge identities, snapshot merge semantics
+// (counters sum, gauges max, histograms sum-with-matching-bounds), and
+// the registry's handle-stability contract across reset().
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "json_check.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace flit;
+
+TEST(FixedPoint, RoundTripsRepresentableValues) {
+  // Multiples of 1/1024 round-trip exactly; everything else rounds to the
+  // nearest unit.
+  EXPECT_EQ(obs::from_fixed(obs::to_fixed(0.0)), 0.0);
+  EXPECT_EQ(obs::from_fixed(obs::to_fixed(1.5)), 1.5);
+  EXPECT_EQ(obs::from_fixed(obs::to_fixed(-2.25)), -2.25);
+  EXPECT_EQ(obs::from_fixed(obs::to_fixed(123456.0)), 123456.0);
+  EXPECT_NEAR(obs::from_fixed(obs::to_fixed(0.3)), 0.3,
+              1.0 / obs::kFixedPointScale);
+}
+
+TEST(HistogramData, ObservesIntoTheRightBuckets) {
+  obs::HistogramData h({1.0, 10.0, 100.0});
+  ASSERT_EQ(h.counts.size(), 4u);  // 3 bounds + overflow
+
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive upper bound)
+  h.observe(5.0);    // <= 10
+  h.observe(100.0);  // <= 100
+  h.observe(1e6);    // overflow
+
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.min_value(), 0.5);
+  EXPECT_EQ(h.max_value(), 1e6);
+}
+
+TEST(HistogramData, SumIsOrderIndependent) {
+  // The fixed-point accumulator makes the sum associative: any permutation
+  // of observations produces bitwise-equal state.
+  const std::vector<double> values = {3.25, 0.125, 977.5, 41.0, 0.0078125};
+  obs::HistogramData forward({1.0, 100.0});
+  obs::HistogramData backward({1.0, 100.0});
+  for (double v : values) forward.observe(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    backward.observe(*it);
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(HistogramData, MergeEqualsObservingTheUnion) {
+  obs::HistogramData a({2.0, 8.0, 32.0});
+  obs::HistogramData b({2.0, 8.0, 32.0});
+  obs::HistogramData whole({2.0, 8.0, 32.0});
+  for (double v : {1.0, 3.0, 100.0}) {
+    a.observe(v);
+    whole.observe(v);
+  }
+  for (double v : {0.5, 9.0, 31.0}) {
+    b.observe(v);
+    whole.observe(v);
+  }
+  a += b;
+  EXPECT_EQ(a, whole);
+}
+
+TEST(HistogramData, MergeWithEmptyIsIdentity) {
+  obs::HistogramData h({1.0, 10.0});
+  h.observe(4.0);
+  const obs::HistogramData before = h;
+  h += obs::HistogramData({1.0, 10.0});
+  EXPECT_EQ(h, before);
+
+  obs::HistogramData empty({1.0, 10.0});
+  empty += before;
+  EXPECT_EQ(empty, before);
+}
+
+TEST(HistogramData, MergeRejectsMismatchedBounds) {
+  obs::HistogramData a({1.0, 10.0});
+  obs::HistogramData b({1.0, 100.0});
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(HistogramData, QuantileIsExactAtTheExtremes) {
+  obs::HistogramData h(obs::exponential_buckets(1.0, 2.0, 20));
+  for (double v : {3.0, 17.0, 220.0, 1000.0}) h.observe(v);
+  EXPECT_EQ(h.quantile(0.0), 3.0);
+  EXPECT_EQ(h.quantile(1.0), 1000.0);
+  // The interior is bucket-interpolated but must stay within [min, max].
+  const double med = h.quantile(0.5);
+  EXPECT_GE(med, 3.0);
+  EXPECT_LE(med, 1000.0);
+  EXPECT_EQ(obs::HistogramData({1.0}).quantile(0.5), 0.0);  // empty
+}
+
+TEST(ExponentialBuckets, AreGeometric) {
+  const auto b = obs::exponential_buckets(1.0, 4.0, 5);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b, (std::vector<double>{1.0, 4.0, 16.0, 64.0, 256.0}));
+  EXPECT_EQ(obs::cycle_buckets().size(), 40u);
+  EXPECT_EQ(obs::cycle_buckets().front(), 1.0);
+}
+
+TEST(MetricsSnapshot, CountersSumGaugesMaxHistogramsMerge) {
+  obs::MetricsSnapshot a;
+  a.counters["runs"] = 3;
+  a.counters["only_a"] = 1;
+  a.gauges["space"] = 244;
+  a.histograms.emplace("cycles", obs::HistogramData({10.0}));
+  a.histograms.at("cycles").observe(4.0);
+
+  obs::MetricsSnapshot b;
+  b.counters["runs"] = 5;
+  b.counters["only_b"] = 7;
+  b.gauges["space"] = 100;  // lower level: the merged gauge keeps the peak
+  b.histograms.emplace("cycles", obs::HistogramData({10.0}));
+  b.histograms.at("cycles").observe(40.0);
+
+  obs::MetricsSnapshot merged = a;
+  merged += b;
+  EXPECT_EQ(merged.counters.at("runs"), 8u);
+  EXPECT_EQ(merged.counters.at("only_a"), 1u);
+  EXPECT_EQ(merged.counters.at("only_b"), 7u);
+  EXPECT_EQ(merged.gauges.at("space"), 244);
+  EXPECT_EQ(merged.histograms.at("cycles").count, 2u);
+  EXPECT_EQ(merged.histograms.at("cycles").min_value(), 4.0);
+  EXPECT_EQ(merged.histograms.at("cycles").max_value(), 40.0);
+}
+
+TEST(MetricsSnapshot, MergeIsCommutativeAndAssociative) {
+  const auto make = [](std::uint64_t runs, std::int64_t level, double obs_v) {
+    obs::MetricsSnapshot s;
+    s.counters["runs"] = runs;
+    s.gauges["level"] = level;
+    s.histograms.emplace("h", obs::HistogramData({8.0}));
+    s.histograms.at("h").observe(obs_v);
+    return s;
+  };
+  const auto a = make(1, 10, 2.0);
+  const auto b = make(2, 30, 9.0);
+  const auto c = make(4, 20, 7.5);
+
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+}
+
+TEST(MetricsSnapshot, EqualSnapshotsRenderEqualJsonBytes) {
+  const auto make = [] {
+    obs::MetricsSnapshot s;
+    s.counters["z.last"] = 2;
+    s.counters["a.first"] = 1;
+    s.gauges["g"] = -5;
+    s.histograms.emplace("h", obs::HistogramData({1.0, 2.0}));
+    s.histograms.at("h").observe(1.5);
+    return s;
+  };
+  const std::string j1 = make().json();
+  const std::string j2 = make().json();
+  EXPECT_EQ(j1, j2);
+  EXPECT_TRUE(flit::test::is_valid_json(j1)) << j1;
+  // std::map ordering: "a.first" renders before "z.last".
+  EXPECT_LT(j1.find("a.first"), j1.find("z.last"));
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossReset) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("hits");
+  obs::Gauge& g = reg.gauge("level");
+  obs::Histogram& h = reg.histogram("cycles", {1.0, 10.0});
+  c.add(5);
+  g.set(9);
+  h.observe(3.0);
+
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.data().count, 0u);
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 10.0}));  // kept
+
+  // The same references keep working after the reset.
+  c.add(2);
+  h.observe(5.0);
+  EXPECT_EQ(&reg.counter("hits"), &c);
+  EXPECT_EQ(&reg.histogram("cycles", {1.0, 10.0}), &h);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("hits"), 2u);
+  EXPECT_EQ(snap.histograms.at("cycles").count, 1u);
+}
+
+TEST(MetricsRegistry, RejectsHistogramReRegistrationWithOtherBounds) {
+  obs::MetricsRegistry reg;
+  (void)reg.histogram("cycles", {1.0, 10.0});
+  EXPECT_THROW((void)reg.histogram("cycles", {1.0, 100.0}),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)reg.histogram("cycles", {1.0, 10.0}));
+}
+
+TEST(MetricsRegistry, ConcurrentAddsAreLossless) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("n");
+  obs::Histogram& h = reg.histogram("v", {8.0, 64.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int k = 0; k < kPerThread; ++k) {
+        c.add();
+        h.observe(16.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  const auto d = h.data();
+  EXPECT_EQ(d.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(d.sum, obs::to_fixed(16.0) * kThreads * kPerThread);
+}
+
+}  // namespace

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -40,6 +41,8 @@
 #include "laghos/hydro.h"
 #include "lulesh/domain.h"
 #include "mfemini/examples.h"
+#include "obs/export.h"
+#include "obs/session.h"
 #include "par/study.h"
 #include "toolchain/compiler.h"
 
@@ -82,10 +85,13 @@ int usage() {
       "                    [--jobs N] [--retries N]\n"
       "                    [--shards N] [--shard-db-dir dir]\n"
       "                    [--keep-going|--no-keep-going]\n"
+      "                    [--trace-out file] [--metrics-out file]\n"
       "       flit bisect <test> <compiler> <-ON> [flag...] "
       "[--k N] [--digits D]\n"
+      "                    [--trace-out file] [--metrics-out file]\n"
       "       flit workflow <test> [--jobs N] [--retries N] [--shards N]\n"
       "                    [--keep-going|--no-keep-going]\n"
+      "                    [--trace-out file] [--metrics-out file]\n"
       "       flit mix <test> <tolerance>\n"
       "\n"
       "--jobs N        parallel execution lanes for explore/workflow\n"
@@ -108,6 +114,13 @@ int usage() {
       "(default 1)\n"
       "--keep-going    record per-compilation failures and continue\n"
       "                (default; --no-keep-going aborts on the first)\n"
+      "--trace-out     write the deterministic span trace: Chrome\n"
+      "                trace_event JSON (load in ui.perfetto.dev), or one\n"
+      "                JSON object per event when the file ends in .jsonl;\n"
+      "                event content is identical at any --jobs count\n"
+      "--metrics-out   write the metrics snapshot as JSON and print the\n"
+      "                summary table to stderr; telemetry never alters\n"
+      "                results\n"
       "\n"
       "FLIT_FAULTS=site:rate[:seed][,...] arms the deterministic fault\n"
       "injector (sites: compile, link, run, kill); see "
@@ -144,6 +157,60 @@ const char* option_value(const char* flag, char** argv, int argc, int* i) {
   }
   ++*i;
   return argv[*i];
+}
+
+/// The --trace-out / --metrics-out pair shared by explore, bisect and
+/// workflow.  Telemetry is strictly off the result path: stdout and every
+/// database byte are identical with or without these flags.
+struct TelemetryArgs {
+  std::string trace_out;
+  std::string metrics_out;
+
+  /// Consumes the option when it is one of ours.
+  bool parse(char** argv, int argc, int* i) {
+    if (std::strcmp(argv[*i], "--trace-out") == 0) {
+      trace_out = option_value("--trace-out", argv, argc, i);
+      return true;
+    }
+    if (std::strcmp(argv[*i], "--metrics-out") == 0) {
+      metrics_out = option_value("--metrics-out", argv, argc, i);
+      return true;
+    }
+    return false;
+  }
+};
+
+void telemetry_begin(const TelemetryArgs& t) {
+  if (!t.trace_out.empty()) obs::tracer().set_enabled(true);
+}
+
+void write_file(const char* flag, const std::string& path,
+                const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error(std::string(flag) + ": cannot write '" + path +
+                             "'");
+  }
+  out << content;
+}
+
+/// Exports the trace and the metrics snapshot after the command ran (the
+/// pools have joined, so the drain is quiescent).
+void telemetry_finish(const TelemetryArgs& t) {
+  if (!t.trace_out.empty()) {
+    const std::vector<obs::TraceEvent> events = obs::tracer().drain_sorted();
+    const bool jsonl =
+        t.trace_out.size() >= 6 &&
+        t.trace_out.compare(t.trace_out.size() - 6, 6, ".jsonl") == 0;
+    write_file("--trace-out", t.trace_out,
+               jsonl ? obs::events_jsonl(events)
+                     : obs::chrome_trace_json(events));
+  }
+  if (!t.metrics_out.empty()) {
+    const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+    write_file("--metrics-out", t.metrics_out, snap.json());
+    std::fputs(snap.table().c_str(), stderr);
+  }
 }
 
 long double parse_longdouble(const char* what, const char* s) {
@@ -372,9 +439,12 @@ int dispatch(int argc, char** argv) {
   if (cmd == "explore") {
     if (argc < 3) return usage();
     ExploreArgs args;
+    TelemetryArgs tel;
     args.jobs = core::default_jobs();
     for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--csv") == 0) {
+      if (tel.parse(argv, argc, &i)) {
+        // consumed
+      } else if (std::strcmp(argv[i], "--csv") == 0) {
         args.csv = true;
       } else if (std::strcmp(argv[i], "--db") == 0) {
         args.db_path = option_value("--db", argv, argc, &i);
@@ -401,25 +471,50 @@ int dispatch(int argc, char** argv) {
         return usage();
       }
     }
-    return cmd_explore(argv[2], args);
+    telemetry_begin(tel);
+    const int rc = cmd_explore(argv[2], args);
+    telemetry_finish(tel);
+    return rc;
   }
 
   if (cmd == "bisect") {
     if (argc < 5) return usage();
+    // The compilation is the positional run up to the first option; every
+    // option is parsed strictly through option_value (a missing or
+    // malformed value is an error, not a silently shortened compilation).
     int k = 0, digits = 0;
+    TelemetryArgs tel;
     int end = argc;
-    for (int i = 3; i + 1 < argc; ++i) {
-      if (std::strcmp(argv[i], "--k") == 0) {
-        k = static_cast<int>(parse_long("--k", argv[i + 1]));
-        end = std::min(end, i);
+    for (int i = 3; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        if (end != argc) {
+          std::fprintf(stderr,
+                       "bisect: unexpected argument '%s' after options\n",
+                       argv[i]);
+          return usage();
+        }
+        continue;  // part of the compilation
+      }
+      if (end == argc) end = i;
+      if (tel.parse(argv, argc, &i)) {
+        // consumed
+      } else if (std::strcmp(argv[i], "--k") == 0) {
+        k = static_cast<int>(
+            parse_long("--k", option_value("--k", argv, argc, &i)));
       } else if (std::strcmp(argv[i], "--digits") == 0) {
-        digits = static_cast<int>(parse_long("--digits", argv[i + 1]));
-        end = std::min(end, i);
+        digits = static_cast<int>(
+            parse_long("--digits", option_value("--digits", argv, argc, &i)));
+      } else {
+        std::fprintf(stderr, "bisect: unknown option '%s'\n", argv[i]);
+        return usage();
       }
     }
     toolchain::Compilation comp;
     if (!parse_compilation(argv, 3, end, &comp)) return usage();
-    return cmd_bisect(argv[2], comp, k, digits);
+    telemetry_begin(tel);
+    const int rc = cmd_bisect(argv[2], comp, k, digits);
+    telemetry_finish(tel);
+    return rc;
   }
 
   if (cmd == "workflow") {
@@ -428,8 +523,11 @@ int dispatch(int argc, char** argv) {
     int shards = 1;
     core::RetryPolicy retry;
     bool keep_going = true;
+    TelemetryArgs tel;
     for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (tel.parse(argv, argc, &i)) {
+        // consumed
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
         jobs = parse_jobs("--jobs", option_value("--jobs", argv, argc, &i));
       } else if (std::strcmp(argv[i], "--shards") == 0) {
         shards = static_cast<int>(parse_jobs(
@@ -446,7 +544,10 @@ int dispatch(int argc, char** argv) {
         return usage();
       }
     }
-    return cmd_workflow(argv[2], jobs, shards, retry, keep_going);
+    telemetry_begin(tel);
+    const int rc = cmd_workflow(argv[2], jobs, shards, retry, keep_going);
+    telemetry_finish(tel);
+    return rc;
   }
 
   if (cmd == "mix") {
