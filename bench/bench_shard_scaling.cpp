@@ -4,7 +4,7 @@
 // human-readably and as one machine-readable JSON line per shard count
 // for the BENCH trajectory.
 //
-//   bench_shard_scaling [n_examples]
+//   bench_shard_scaling [--skew] [n_examples]
 //
 // n_examples defaults to 6 (the first six mini-MFEM examples over the
 // full 244-compilation space).  Shards model *independent workers* -- a
@@ -16,10 +16,20 @@
 // every shard re-runs the two anchors and re-misses its cold cache).
 // Determinism is asserted, not just claimed: the merged studies must be
 // bitwise-identical to the 1-shard run or the bench aborts.
+//
+// --skew benches the work-stealing rebalancer instead: a cost-skewed
+// space (three slices of baseline copies the explorer answers from the
+// anchor run, one slice holding the full study space) is run at 4 shards
+// with stealing off and on.  Static partitioning leaves the tail shard as
+// the fleet's critical path; stealing must cut the fleet wall-clock (the
+// bar is 1.5x) while the merged studies stay bitwise-identical, and the
+// worker total is reported too -- thieves compile stolen work against
+// cold caches, so stealing trades total CPU for wall-clock.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -35,16 +45,19 @@ struct FleetRun {
   std::vector<core::StudyResult> results;
   double fleet_wall = 0.0;      ///< sum over examples of max shard time
   double worker_seconds = 0.0;  ///< sum over examples and shards
+  std::size_t stolen = 0;       ///< items moved by the rebalancer
   std::vector<toolchain::CacheStats> rank_cache;  ///< summed per rank
   toolchain::CacheStats aggregate;
 };
 
 FleetRun run_fleet(int n_examples, int shards,
-                   const std::vector<toolchain::Compilation>& space) {
+                   const std::vector<toolchain::Compilation>& space,
+                   bool steal = true) {
   dist::ShardOptions opts;
   opts.shards = shards;
   opts.jobs = 1;
   opts.serial_shards = true;  // isolate per-shard timing on one core
+  opts.steal = steal;
   const dist::ShardCoordinator coord(&fpsem::global_code_model(),
                                      toolchain::mfem_baseline(),
                                      toolchain::mfem_speed_reference(),
@@ -58,6 +71,7 @@ FleetRun run_fleet(int n_examples, int shards,
     run.worker_seconds += sharded.total_shard_seconds();
     for (const dist::ShardReport& rep : sharded.shards) {
       run.rank_cache[static_cast<std::size_t>(rep.rank)] += rep.cache;
+      run.stolen += rep.stolen;
     }
     run.aggregate += sharded.aggregate_cache();
     run.results.push_back(std::move(sharded.study));
@@ -83,11 +97,90 @@ bool identical(const std::vector<core::StudyResult>& a,
   return true;
 }
 
+/// The --skew workload: under a 4-way partition the first three slices
+/// are baseline copies (answered from the memoized anchor run, so they
+/// cost next to nothing) and the last slice is the full study space --
+/// every fresh compile the fleet pays sits in one shard's slice.
+std::vector<toolchain::Compilation> skewed_space() {
+  const auto tail = toolchain::mfem_study_space();
+  std::vector<toolchain::Compilation> space(3 * tail.size(),
+                                            toolchain::mfem_baseline());
+  space.insert(space.end(), tail.begin(), tail.end());
+  return space;
+}
+
+int run_skew_bench(int n_examples) {
+  const auto space = skewed_space();
+  std::printf(
+      "shard rebalancing bench: %d examples x %zu compilations "
+      "(cost concentrated in the last of 4 slices)\n",
+      n_examples, space.size());
+
+  const FleetRun fixed = run_fleet(n_examples, 4, space, /*steal=*/false);
+  const FleetRun stealing = run_fleet(n_examples, 4, space, /*steal=*/true);
+  if (!identical(stealing.results, fixed.results)) {
+    std::fprintf(stderr,
+                 "FATAL: stealing study differs from the static study\n");
+    return 1;
+  }
+  const double steal_speedup = stealing.fleet_wall > 0.0
+                                   ? fixed.fleet_wall / stealing.fleet_wall
+                                   : 0.0;
+
+  struct Row {
+    const char* label;
+    const FleetRun* run;
+    bool steal;
+  };
+  for (const Row& row : {Row{"static", &fixed, false},
+                         Row{"steal ", &stealing, true}}) {
+    std::printf(
+        "  %s: fleet wall %7.3fs  worker total %7.3fs  stolen %zu\n",
+        row.label, row.run->fleet_wall, row.run->worker_seconds,
+        row.run->stolen);
+    std::printf(
+        "BENCH_JSON {\"bench\":\"shard_scaling_skew\",\"examples\":%d,"
+        "\"space\":%zu,\"shards\":4,\"steal\":%s,\"fleet_wall_s\":%.6f,"
+        "\"worker_s\":%.6f,\"stolen\":%zu,\"steal_speedup\":%.3f,"
+        "\"identical\":true}\n",
+        n_examples, space.size(), row.steal ? "true" : "false",
+        row.run->fleet_wall, row.run->worker_seconds, row.run->stolen,
+        row.steal ? steal_speedup : 1.0);
+  }
+
+  // The acceptance bar: on a skewed space the rebalancer must cut the
+  // fleet wall-clock, not just shuffle work.
+  if (stealing.stolen == 0) {
+    std::fprintf(stderr, "FATAL: the rebalancer never stole an item\n");
+    return 1;
+  }
+  if (steal_speedup < 1.5) {
+    std::fprintf(stderr,
+                 "FATAL: stealing fleet speedup %.2fx is below the 1.5x "
+                 "bar\n",
+                 steal_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool skew = false;
+  int arg_examples = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--skew") {
+      skew = true;
+    } else {
+      arg_examples = std::atoi(argv[i]);
+    }
+  }
   const int n_examples =
-      argc > 1 ? std::atoi(argv[1]) : std::min(6, mfemini::kNumExamples);
+      arg_examples > 0
+          ? arg_examples
+          : std::min(skew ? 3 : 6, mfemini::kNumExamples);
+  if (skew) return run_skew_bench(n_examples);
   const auto space = toolchain::mfem_study_space();
 
   std::printf("shard scaling bench: %d examples x %zu compilations\n",

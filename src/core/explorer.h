@@ -133,6 +133,16 @@ struct ExploreOptions {
   /// checkpoint).  Ignored without a database.
   std::size_t checkpoint_batch = 32;
 
+  /// Checkpoint ordinals already consumed by earlier explore() calls
+  /// against the same database.  The injector's kill site counts
+  /// checkpoint batches (FLIT_FAULTS=kill:N), and the work-stealing
+  /// engine splits one shard's work across many explore() calls -- each
+  /// claimed sub-range is its own call -- so the shard threads its running
+  /// batch count through here to keep the kill firing at the N-th durable
+  /// checkpoint of the *shard*, not of whichever sub-range happens to be
+  /// N batches long.
+  std::size_t checkpoint_ordinal_base = 0;
+
   /// Telemetry stamping only -- strictly off the result path.  The shard
   /// that owns this explore call and the global space index of slice
   /// element 0, so trace events carry the study item's *global* identity
@@ -200,6 +210,20 @@ class SpaceExplorer {
   const fpsem::CodeModel* model_;
   toolchain::Compilation baseline_;
   toolchain::Compilation speed_reference_;
+
+  /// Anchor-run memo for the last explored test.  Runs are deterministic,
+  /// so reusing an anchor run is observationally identical to re-running
+  /// it; the memo makes repeated explore() calls against the same test --
+  /// the work-stealing engine issues one per claimed sub-range -- pay the
+  /// two anchor runs once per explorer instead of once per call.  Accessed
+  /// only from the thread driving explore() (item lanes never touch it).
+  struct AnchorMemo {
+    std::string test_name;
+    RunOutput base;
+    RunOutput ref;
+  };
+  mutable std::optional<AnchorMemo> anchor_memo_;
+
   mutable toolchain::CompilationCache own_cache_;
   toolchain::CompilationCache* cache_;  ///< own_cache_ or the external one
   toolchain::BuildSystem build_;

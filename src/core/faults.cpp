@@ -107,17 +107,23 @@ void FaultInjector::configure(const std::string& spec) {
       throw std::invalid_argument("FLIT_FAULTS: unknown site '" + site_name +
                                   "' (expected compile|link|run|kill)");
     }
+    // Rates are probabilities: [0, 1] for the failure sites.  The kill
+    // site's "rate" is a checkpoint-batch ordinal and may exceed 1.
     char* endp = nullptr;
     const double rate = std::strtod(rate_str.c_str(), &endp);
-    if (rate_str.empty() || endp == nullptr || *endp != '\0' || rate < 0.0) {
+    if (rate_str.empty() || endp == nullptr || *endp != '\0' || rate < 0.0 ||
+        (rate > 1.0 && site != FaultSite::Kill)) {
       throw std::invalid_argument("FLIT_FAULTS: bad rate '" + rate_str +
                                   "' in '" + entry + "'");
     }
     std::uint64_t seed = 0;
     if (!seed_str.empty()) {
+      // strtoull silently wraps a negative seed ("-1" becomes
+      // ULLONG_MAX); reject the sign outright.
       endp = nullptr;
       const unsigned long long v = std::strtoull(seed_str.c_str(), &endp, 10);
-      if (endp == nullptr || *endp != '\0') {
+      if (seed_str[0] == '-' || seed_str[0] == '+' || endp == nullptr ||
+          *endp != '\0') {
         throw std::invalid_argument("FLIT_FAULTS: bad seed '" + seed_str +
                                     "' in '" + entry + "'");
       }

@@ -51,12 +51,14 @@ bool parse_row(const std::string& line, bool v1, ResultRow* row) {
     // exhausted stream without consuming anything).
     if (!std::getline(ls, row->reason)) row->reason.clear();
   }
+  // Numeric fields must be consumed in full: `end == c_str()` alone let a
+  // corrupted "1.5junk" speedup load silently as 1.5.
   char* end = nullptr;
   row->speedup = std::strtod(speedup.c_str(), &end);
-  if (end == speedup.c_str()) return false;
+  if (end == speedup.c_str() || *end != '\0') return false;
   end = nullptr;
   row->variability = strtold(variability.c_str(), &end);
-  if (end == variability.c_str()) return false;
+  if (end == variability.c_str() || *end != '\0') return false;
   return true;
 }
 
@@ -146,6 +148,21 @@ void ResultsDb::record(const StudyResult& study) {
     }
   }
   save();
+}
+
+void ResultsDb::merge_rows(const std::vector<ResultRow>& rows) {
+  for (const ResultRow& row : rows) {
+    const auto it = std::find_if(
+        rows_.begin(), rows_.end(), [&](const ResultRow& r) {
+          return r.test_name == row.test_name &&
+                 r.compilation == row.compilation;
+        });
+    if (it != rows_.end()) {
+      *it = row;
+    } else {
+      rows_.push_back(row);
+    }
+  }
 }
 
 std::vector<ResultRow> ResultsDb::rows_for(

@@ -50,6 +50,16 @@ class ResultsDb {
   /// test/compilation key) and persists to disk atomically.
   void record(const StudyResult& study);
 
+  /// Upserts foreign rows in memory (same key semantics as record)
+  /// without touching disk; they persist with the next record().  The
+  /// work-stealing resume path seeds every shard's database with the
+  /// union of all shard checkpoints this way, so a row a thief shard
+  /// recorded is found no matter which shard re-owns its index.
+  void merge_rows(const std::vector<ResultRow>& rows);
+
+  /// Every row, in insertion order.
+  [[nodiscard]] const std::vector<ResultRow>& rows() const { return rows_; }
+
   /// All rows for one test, in insertion order.
   [[nodiscard]] std::vector<ResultRow> rows_for(
       const std::string& test_name) const;

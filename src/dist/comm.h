@@ -18,7 +18,10 @@
 // ranks execute in a fixed order or on the caller's thread pool, and the
 // gather is a deterministic placement by index, not a message race.
 
+#include <algorithm>
 #include <cstddef>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -103,6 +106,134 @@ class ShardComm {
 
  private:
   par::DeterministicComm comm_;
+};
+
+/// The deal protocol of work-stealing shard rebalancing: the partition's
+/// ranges become per-rank claim slots, and ranks pull grain-sized
+/// sub-ranges instead of owning their slice outright.
+///
+/// A rank claims from the *front* of its own slot, leaving the tail
+/// unclaimed; once its slot is empty it steals a trailing sub-range from
+/// the victim with the most unclaimed items (ties broken by the lowest
+/// rank).  Only slots whose owner has made its first claim are stealable:
+/// an un-started slot is about to be claimed by a live owner anyway, and
+/// the guard keeps ranks past the item count idle instead of racing the
+/// owners for whole slices.  Owners eat forward, thieves eat backward, so
+/// claims are always disjoint contiguous sub-ranges that jointly cover
+/// [0, n) exactly once
+/// -- which is what keeps every outcome index-addressed: no matter which
+/// rank executes an item, its result lands at its global space index and
+/// the merged study is bitwise-identical to the static partition.
+///
+/// The victim rule is a deterministic function of the queue state.  Under
+/// serial (virtual-clock) scheduling the whole claim sequence is therefore
+/// reproducible; under pooled shards the *schedule* may vary with timing,
+/// but the results cannot (see the determinism argument in
+/// docs/distributed-engine.md).
+class StealQueue {
+ public:
+  /// One granted sub-range: `range` is the claim, `victim` the rank whose
+  /// slot it came from, `stolen` whether that rank is not the claimant.
+  struct Claim {
+    ShardRange range{};
+    int victim = 0;
+    bool stolen = false;
+  };
+
+  /// Per-rank accounting, readable after the workers have drained the
+  /// queue (claims mutate it under the lock).
+  struct RankStats {
+    std::size_t claims = 0;   ///< sub-ranges granted to this rank
+    std::size_t steals = 0;   ///< of which were steals
+    std::size_t stolen = 0;   ///< items this rank took from other slots
+    std::size_t donated = 0;  ///< items other ranks took from this slot
+  };
+
+  /// `ranges` is the static partition (ShardComm::scatter_ranges);
+  /// `grain` caps every claim's size (>= 1, clamped).
+  StealQueue(std::vector<ShardRange> ranges, std::size_t grain)
+      : grain_(grain < 1 ? 1 : grain) {
+    slots_.reserve(ranges.size());
+    for (const ShardRange& r : ranges) slots_.push_back({r.begin, r.end});
+    stats_.resize(ranges.size());
+  }
+
+  /// Grants `rank` its next sub-range, or nullopt when nothing is
+  /// claimable *right now* (every started slot is empty).  With un-started
+  /// slots outstanding the queue is not drained -- a pooled thief should
+  /// yield and retry until drained() rather than exit.  Thread-safe.
+  [[nodiscard]] std::optional<Claim> claim(int rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    std::lock_guard lock(mu_);
+    if (r >= slots_.size()) {
+      throw std::invalid_argument("StealQueue: rank " + std::to_string(rank) +
+                                  " outside the " +
+                                  std::to_string(slots_.size()) +
+                                  "-slot partition");
+    }
+    Slot& own = slots_[r];
+    if (own.next < own.end) {
+      // Own work first: a grain-sized chunk off the front, leaving the
+      // trailing sub-range stealable.
+      own.started = true;
+      const std::size_t take = std::min(grain_, own.end - own.next);
+      Claim c{{own.next, own.next + take}, rank, false};
+      own.next += take;
+      ++stats_[r].claims;
+      return c;
+    }
+    // Steal: the most-loaded *started* slot by unclaimed-item count, ties
+    // broken by the lowest rank (a deterministic function of the queue
+    // state).
+    std::size_t victim = slots_.size();
+    std::size_t most = 0;
+    for (std::size_t v = 0; v < slots_.size(); ++v) {
+      if (!slots_[v].started) continue;
+      const std::size_t remaining = slots_[v].end - slots_[v].next;
+      if (remaining > most) {
+        most = remaining;
+        victim = v;
+      }
+    }
+    if (victim == slots_.size()) return std::nullopt;  // drained
+    Slot& loser = slots_[victim];
+    const std::size_t take = std::min(grain_, most);
+    Claim c{{loser.end - take, loser.end}, static_cast<int>(victim), true};
+    loser.end -= take;
+    ++stats_[r].claims;
+    ++stats_[r].steals;
+    stats_[r].stolen += take;
+    stats_[victim].donated += take;
+    return c;
+  }
+
+  /// True once every slot is empty (no further claim can succeed).
+  [[nodiscard]] bool drained() const {
+    std::lock_guard lock(mu_);
+    for (const Slot& s : slots_) {
+      if (s.next < s.end) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] RankStats stats(int rank) const {
+    std::lock_guard lock(mu_);
+    return stats_.at(static_cast<std::size_t>(rank));
+  }
+
+ private:
+  /// Unclaimed items of one rank's slot: owners advance `next`, thieves
+  /// retreat `end`.  `started` flips on the owner's first claim and gates
+  /// stealing.
+  struct Slot {
+    std::size_t next = 0, end = 0;
+    bool started = false;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  std::vector<RankStats> stats_;
+  std::size_t grain_;
 };
 
 }  // namespace flit::dist

@@ -1,8 +1,10 @@
 #include "dist/coordinator.h"
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "core/parallel.h"
@@ -64,12 +66,19 @@ core::ExploreFn ShardCoordinator::explore_override() const {
 ShardedStudy ShardCoordinator::run_impl(
     const core::TestBase& test,
     std::span<const toolchain::Compilation> space, bool resume_shards) const {
+  if (!opts_.shard_db_dir.empty()) {
+    std::filesystem::create_directories(opts_.shard_db_dir);
+  }
+  if (!opts_.steal) return run_static(test, space, resume_shards);
+  return run_stealing(test, space, resume_shards);
+}
+
+ShardedStudy ShardCoordinator::run_static(
+    const core::TestBase& test,
+    std::span<const toolchain::Compilation> space, bool resume_shards) const {
   const ShardComm comm(opts_.shards);
   const auto ranges = comm.scatter_ranges(space.size());
   const bool checkpointing = !opts_.shard_db_dir.empty();
-  if (checkpointing) {
-    std::filesystem::create_directories(opts_.shard_db_dir);
-  }
 
   std::vector<core::StudyResult> partials(ranges.size());
   std::vector<ShardReport> reports(ranges.size());
@@ -127,6 +136,7 @@ ShardedStudy ShardCoordinator::run_impl(
     out = explorer.explore(test, slice, eo);
     rep.failed = out.failed_count();
     rep.retried = out.retried_count();
+    rep.executed_items = rg.size() - rep.prefilled;
     rep.cache = cache.stats();
     // The shard's modeled-cycle skew sample: executed ok outcomes only.
     // Resumed rows carry no cycle measurement (the checkpoint database
@@ -153,6 +163,187 @@ ShardedStudy ShardCoordinator::run_impl(
 
   ShardedStudy sharded;
   sharded.study = merge_shards(comm, space.size(), std::move(partials));
+  sharded.shards = std::move(reports);
+  if (opts_.db != nullptr) opts_.db->record(sharded.study);
+  return sharded;
+}
+
+ShardedStudy ShardCoordinator::run_stealing(
+    const core::TestBase& test,
+    std::span<const toolchain::Compilation> space, bool resume_shards) const {
+  const ShardComm comm(opts_.shards);
+  const auto ranges = comm.scatter_ranges(space.size());
+  const bool checkpointing = !opts_.shard_db_dir.empty();
+  const std::size_t nranks = ranges.size();
+
+  std::vector<ShardReport> reports(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    reports[r].rank = static_cast<int>(r);
+    reports[r].range = ranges[r];
+  }
+
+  // Claims are disjoint contiguous sub-ranges of [0, space.size()), so
+  // every outcome is written straight to its global index: no gather step,
+  // no way for rebalancing to misplace a result.
+  core::StudyResult merged;
+  merged.test_name = test.name();
+  merged.outcomes.resize(space.size());
+
+  // Persistent per-rank worker state: each rank keeps one cache, one
+  // explorer and (with checkpointing) one shard database across all of its
+  // claims, so its bookkeeping spans owned and stolen work alike.  The
+  // database is only written when the rank records a batch, so ranks that
+  // never execute still leave no checkpoint file behind.
+  std::vector<std::unique_ptr<toolchain::CompilationCache>> caches(nranks);
+  std::vector<std::unique_ptr<core::SpaceExplorer>> explorers(nranks);
+  std::vector<std::unique_ptr<core::ResultsDb>> shard_dbs(nranks);
+  std::vector<std::size_t> ordinal_base(nranks, 0);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    caches[r] = std::make_unique<toolchain::CompilationCache>();
+    explorers[r] = std::make_unique<core::SpaceExplorer>(
+        model_, baseline_, speed_reference_, opts_.jobs, caches[r].get());
+    if (checkpointing) {
+      shard_dbs[r] = std::make_unique<core::ResultsDb>(shard_db_path(
+          opts_.shard_db_dir, static_cast<int>(r), opts_.shards));
+    }
+  }
+
+  // Resume under rebalancing: a stolen item checkpoints into the *thief's*
+  // shard database, so the row a claim needs may live in any shard's file.
+  // Seed every shard database with the union of all checkpointed rows; the
+  // explorer's (test, compilation)-keyed prefill then restores each item
+  // no matter which rank recorded it.
+  if (checkpointing && resume_shards) {
+    std::vector<core::ResultRow> union_rows;
+    for (const auto& db : shard_dbs) {
+      union_rows.insert(union_rows.end(), db->rows().begin(),
+                        db->rows().end());
+    }
+    for (const auto& db : shard_dbs) db->merge_rows(union_rows);
+  }
+
+  StealQueue queue(ranges, opts_.steal_grain);
+
+  // Executes one claimed sub-range on rank r's worker state and writes the
+  // outcomes to their global indices (claims are disjoint, so the writes
+  // are race-free).  Returns the claim's wall seconds for the clocks.
+  const auto execute_claim = [&](std::size_t r, const StealQueue::Claim& c) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ShardReport& rep = reports[r];
+
+    // The executing rank's telemetry lane; stolen claims keep their own
+    // span name so a trace shows the rebalance, while the items inside
+    // stay stamped with their global indices either way.
+    obs::ScopedItem obs_lane(static_cast<int>(r), obs::kNoIndex, 0);
+    obs::Span claim_span(
+        obs::tracer_if_enabled(), c.stolen ? "steal" : "shard", "dist",
+        test.name() + " [" + std::to_string(c.range.begin) + ", " +
+            std::to_string(c.range.end) + ")");
+    if (c.stolen) {
+      obs::metrics().counter("dist.steals").add();
+      obs::metrics().counter("dist.stolen_items").add(c.range.size());
+    }
+
+    const auto slice = space.subspan(c.range.begin, c.range.size());
+    core::ExploreOptions eo;
+    eo.retry = opts_.retry;
+    eo.keep_going = opts_.keep_going;
+    eo.checkpoint_batch = opts_.checkpoint_batch;
+    eo.obs_shard = static_cast<int>(r);
+    eo.obs_index_base = c.range.begin;
+    std::size_t claim_prefilled = 0;
+    if (shard_dbs[r] != nullptr) {
+      eo.db = shard_dbs[r].get();
+      eo.resume = resume_shards;
+      // Number this claim's checkpoint batches after the rank's earlier
+      // claims, so the kill site keeps counting durable checkpoints *per
+      // rank* exactly as it does under the static partition.
+      eo.checkpoint_ordinal_base = ordinal_base[r];
+      const std::size_t batch = opts_.checkpoint_batch > 0
+                                    ? opts_.checkpoint_batch
+                                    : c.range.size();
+      ordinal_base[r] += (c.range.size() + batch - 1) / batch;
+      if (resume_shards) {
+        for (const toolchain::Compilation& comp : slice) {
+          if (shard_dbs[r]->find(test.name(), comp.str()).has_value()) {
+            ++claim_prefilled;
+          }
+        }
+      }
+    }
+
+    core::StudyResult part = explorers[r]->explore(test, slice, eo);
+    rep.failed += part.failed_count();
+    rep.retried += part.retried_count();
+    rep.prefilled += claim_prefilled;
+    rep.executed_items += c.range.size() - claim_prefilled;
+    for (const core::CompilationOutcome& o : part.outcomes) {
+      if (o.ok() && o.cycles > 0.0) rep.cycles.observe(o.cycles);
+    }
+    for (std::size_t k = 0; k < part.outcomes.size(); ++k) {
+      merged.outcomes[c.range.begin + k] = std::move(part.outcomes[k]);
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  if (opts_.serial_shards || opts_.shards == 1) {
+    // Virtual-clock fleet emulation: grant the next claim to the rank with
+    // the least accumulated wall time (ties -> lowest rank), which is the
+    // worker that would go idle first on a real fleet.  The claim sequence
+    // is a deterministic function of the queue state and measured
+    // durations, steals land exactly where a concurrent fleet would
+    // rebalance, and per-rank seconds stay the fleet-timing measurement
+    // (fleet wall-clock = max_shard_seconds()).
+    std::vector<double> vclock(nranks, 0.0);
+    std::vector<char> active(nranks, 1);
+    std::size_t live = nranks;
+    while (live > 0) {
+      std::size_t r = nranks;
+      for (std::size_t i = 0; i < nranks; ++i) {
+        if (active[i] != 0 && (r == nranks || vclock[i] < vclock[r])) r = i;
+      }
+      const auto c = queue.claim(static_cast<int>(r));
+      if (!c.has_value()) {
+        active[r] = 0;
+        --live;
+        continue;
+      }
+      vclock[r] += execute_claim(r, *c);
+    }
+    for (std::size_t r = 0; r < nranks; ++r) reports[r].seconds = vclock[r];
+  } else {
+    // One pool lane per rank; each lane loops claims until the queue is
+    // drained.  A nullopt with the queue not yet drained means the only
+    // remaining items sit in un-started slots -- their owner's lane is
+    // about to claim them -- so the thief yields and retries instead of
+    // exiting (task count == lane count, so an unclaimed owner task always
+    // has a free lane and the wait is bounded).
+    core::ThreadPool pool(static_cast<unsigned>(opts_.shards));
+    pool.parallel_for(nranks, [&](std::size_t r) {
+      while (true) {
+        const auto c = queue.claim(static_cast<int>(r));
+        if (!c.has_value()) {
+          if (queue.drained()) return;
+          std::this_thread::yield();
+          continue;
+        }
+        reports[r].seconds += execute_claim(r, *c);
+      }
+    });
+  }
+
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const StealQueue::RankStats st = queue.stats(static_cast<int>(r));
+    reports[r].stolen = st.stolen;
+    reports[r].donated = st.donated;
+    reports[r].steals = st.steals;
+    reports[r].cache = caches[r]->stats();
+  }
+
+  ShardedStudy sharded;
+  sharded.study = std::move(merged);
   sharded.shards = std::move(reports);
   if (opts_.db != nullptr) opts_.db->record(sharded.study);
   return sharded;

@@ -18,6 +18,13 @@
 // which is what the scaling bench uses to time each worker in isolation
 // (fleet wall-clock = the slowest shard).
 //
+// By default the ranks rebalance by work stealing (ShardOptions::steal):
+// the partition becomes a StealQueue of per-rank claim slots, owners pull
+// grain-sized chunks off the front of their slice, and an exhausted rank
+// steals trailing sub-ranges from the most-loaded slot.  Outcomes are
+// index-addressed, so rebalancing changes fleet wall-clock -- never the
+// merged study, report CSV or converged database bytes.
+//
 // Fault injection stays deterministic across shard counts for free: the
 // injector's trial scope is keyed by the study item's global identity
 // ("test|triple", see core/faults.h), which no partition can change.  The
@@ -43,7 +50,28 @@ struct ShardOptions {
   /// Run the ranks one after another on the calling thread instead of
   /// fanning them out over a ThreadPool.  Results are identical either
   /// way; serial execution makes per-shard wall times non-overlapping.
+  /// With stealing, serial execution emulates the concurrent fleet on a
+  /// virtual clock: the rank with the least accumulated wall time claims
+  /// next, so steals happen exactly when an idle worker would grab them
+  /// and per-shard seconds remain the fleet-timing measurement.
   bool serial_shards = false;
+
+  /// Work-stealing shard rebalancing (default on): ranks claim
+  /// `steal_grain`-sized sub-ranges off the front of their own slice, and
+  /// a rank whose slice is exhausted steals a trailing sub-range from the
+  /// unexplored tail of the most-loaded rank (ties broken by rank).
+  /// Outcomes stay index-addressed, so the merged study, report CSV and
+  /// converged database are bitwise-identical with stealing on or off at
+  /// any shards x jobs -- stealing only moves *where* items execute,
+  /// which shard databases they checkpoint into, and the fleet
+  /// wall-clock.  `false` restores the static contiguous partition.
+  bool steal = true;
+
+  /// Claim granularity (items per claim) when `steal` is on.  Slices no
+  /// larger than the grain are claimed whole, so small studies behave
+  /// exactly like the static partition; skewed spaces want a grain well
+  /// below the per-shard slice so idle ranks find a stealable tail.
+  std::size_t steal_grain = 16;
 
   /// Per-item fault-tolerance knobs, applied within every shard (the
   /// retry budget and containment semantics of ExploreOptions).
@@ -110,6 +138,22 @@ class ShardCoordinator {
 
  private:
   [[nodiscard]] ShardedStudy run_impl(
+      const core::TestBase& test,
+      std::span<const toolchain::Compilation> space, bool resume_shards)
+      const;
+
+  /// The static contiguous partition (steal == false): each rank owns its
+  /// ShardComm slice outright and the merge gathers by partition.
+  [[nodiscard]] ShardedStudy run_static(
+      const core::TestBase& test,
+      std::span<const toolchain::Compilation> space, bool resume_shards)
+      const;
+
+  /// The work-stealing path (steal == true): ranks pull grain-sized
+  /// claims from a StealQueue and outcomes are written straight to their
+  /// global indices, so the merged study is bitwise-identical to
+  /// run_static at any shards x jobs.
+  [[nodiscard]] ShardedStudy run_stealing(
       const core::TestBase& test,
       std::span<const toolchain::Compilation> space, bool resume_shards)
       const;

@@ -82,19 +82,24 @@ std::string shard_report_text(const ShardedStudy& s) {
   for (const ShardReport& r : s.shards) {
     os << "  shard " << r.rank << ": [" << r.range.begin << ", "
        << r.range.end << ") " << r.executed() << " executed, " << r.prefilled
-       << " resumed, " << r.failed << " failed, " << r.retried
+       << " resumed, " << r.stolen << " stolen, " << r.donated
+       << " donated, " << r.failed << " failed, " << r.retried
        << " retried, cache " << hit_rate_str(r.cache) << ", "
        << cycles_skew_str(r.cycles) << '\n';
   }
   std::size_t failed = 0, retried = 0, prefilled = 0;
+  std::size_t stolen = 0, steals = 0;
   for (const ShardReport& r : s.shards) {
     failed += r.failed;
     retried += r.retried;
     prefilled += r.prefilled;
+    stolen += r.stolen;
+    steals += r.steals;
   }
   os << "  aggregate: " << failed << " failed, " << retried << " retried, "
-     << prefilled << " resumed, cache " << hit_rate_str(s.aggregate_cache())
-     << ", " << cycles_skew_str(s.aggregate_cycles()) << '\n';
+     << prefilled << " resumed, " << stolen << " stolen over " << steals
+     << " steal(s), cache " << hit_rate_str(s.aggregate_cache()) << ", "
+     << cycles_skew_str(s.aggregate_cycles()) << '\n';
   return os.str();
 }
 

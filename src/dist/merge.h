@@ -33,17 +33,26 @@ struct ShardReport {
                               ///< execute serially; overlaps otherwise)
   toolchain::CacheStats cache{};
 
+  /// Work-stealing rebalance accounting: items this shard pulled from
+  /// other shards' unexplored tails, items other shards pulled from this
+  /// one's, and how many steal claims it made.  All zero with stealing
+  /// off (or when the static partition happened to be balanced).
+  std::size_t stolen = 0;
+  std::size_t donated = 0;
+  std::size_t steals = 0;
+
+  /// Items this shard actually dispatched to its explorer: owned plus
+  /// stolen, minus donated and checkpoint-prefilled rows.
+  std::size_t executed_items = 0;
+
   /// Modeled-cycle distribution of the shard's *executed* ok outcomes
   /// (resumed rows carry no cycle measurement and are excluded).  All
   /// shards share cycle_buckets() bounds, so the per-shard histograms
   /// merge; min/~median/max per shard is the skew measurement the
-  /// work-stealing roadmap item needs.
+  /// work-stealing protocol rebalances against.
   obs::HistogramData cycles{obs::cycle_buckets()};
 
-  /// Items this shard actually dispatched (owned minus prefilled).
-  [[nodiscard]] std::size_t executed() const {
-    return range.size() - prefilled;
-  }
+  [[nodiscard]] std::size_t executed() const { return executed_items; }
 };
 
 /// A merged distributed study: the index-ordered StudyResult plus the

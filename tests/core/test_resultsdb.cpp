@@ -185,6 +185,81 @@ TEST_F(ResultsDbTest, MalformedMidFileRowIsStillFatal) {
   EXPECT_THROW(ResultsDb{path_}, std::runtime_error);
 }
 
+TEST_F(ResultsDbTest, MergeRowsUpsertsInMemoryWithoutSaving) {
+  ResultsDb db(path_);
+  db.record(study("T1", 1.0, 0.0L));
+
+  core::ResultRow fresh;
+  fresh.test_name = "T2";
+  fresh.compilation = "clang++ -O3";
+  fresh.speedup = 2.0;
+  core::ResultRow update;
+  update.test_name = "T1";
+  update.compilation = "g++ -O2";
+  update.speedup = 9.0;
+  db.merge_rows({fresh, update});
+
+  // In memory: the new row is visible and the existing one was replaced.
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_DOUBLE_EQ(db.find("T2", "clang++ -O3")->speedup, 2.0);
+  EXPECT_DOUBLE_EQ(db.find("T1", "g++ -O2")->speedup, 9.0);
+  // On disk: nothing until the next record() persists the merged state.
+  EXPECT_EQ(ResultsDb(path_).size(), 2u);
+  db.record(study("T3", 1.0, 0.0L));
+  EXPECT_EQ(ResultsDb(path_).size(), 5u);
+}
+
+TEST_F(ResultsDbTest, CorruptedNumericFieldIsFatalMidFile) {
+  {
+    ResultsDb db(path_);
+    db.record(study("T1", 1.0, 0.0L));
+  }
+  // A speedup with trailing garbage parses as a number under a lax
+  // strtod check ("1.5junk" -> 1.5); it must be rejected as corruption,
+  // not silently loaded with a plausible value.
+  std::ifstream in(path_);
+  std::string header, rest, line;
+  std::getline(in, header);
+  std::getline(in, line);  // dropped
+  while (std::getline(in, line)) rest += line + "\n";
+  in.close();
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    out << header << "\nT1\tg++ -O2\t1.5junk\t0\tok\t\n" << rest;
+  }
+  EXPECT_THROW(ResultsDb{path_}, std::runtime_error);
+
+  // Same for the variability column.
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    out << header << "\nT1\tg++ -O2\t1.5\t1e-12x\tok\t\n" << rest;
+  }
+  EXPECT_THROW(ResultsDb{path_}, std::runtime_error);
+
+  // An entirely empty numeric field is corruption too.
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    out << header << "\nT1\tg++ -O2\t\t0\tok\t\n" << rest;
+  }
+  EXPECT_THROW(ResultsDb{path_}, std::runtime_error);
+}
+
+TEST_F(ResultsDbTest, CorruptedNumericFieldInTrailingRowIsDropped) {
+  {
+    ResultsDb db(path_);
+    db.record(study("T1", 1.0, 0.0L));
+  }
+  {
+    // A crash can also truncate mid-number; as the *last* row this is a
+    // crash artifact and gets dropped, like any truncated tail.
+    std::ofstream out(path_, std::ios::app);
+    out << "T1\tclang++ -O3\t1.5junk\t0\tok\t\n";
+  }
+  ResultsDb db(path_);  // must not throw
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_FALSE(db.find("T1", "clang++ -O3").has_value());
+}
+
 TEST_F(ResultsDbTest, LoadsPreStatusV1Databases) {
   {
     std::ofstream out(path_);

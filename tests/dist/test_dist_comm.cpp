@@ -3,7 +3,9 @@
 // gather_ordered must reassemble by global index -- exact inverses at any
 // rank/item-count combination, including empty ranges -- and a shard
 // vector that disagrees with the partition must be rejected, never
-// silently misplaced.
+// silently misplaced.  StealQueue must grant disjoint contiguous claims
+// that jointly cover the space exactly once, prefer own work, steal from
+// the most-loaded started slot, and keep exact stolen/donated accounting.
 
 #include <gtest/gtest.h>
 
@@ -17,6 +19,7 @@ namespace {
 
 using flit::dist::ShardComm;
 using flit::dist::ShardRange;
+using flit::dist::StealQueue;
 
 TEST(ShardComm, RejectsNonPositiveRankCounts) {
   EXPECT_THROW(ShardComm(0), std::invalid_argument);
@@ -97,6 +100,112 @@ TEST(ShardComm, GatherOrderedRejectsMismatchedShardSizes) {
   std::vector<std::vector<int>> shards{{1, 2}, {3, 4, 5, 6}};
   EXPECT_THROW((void)comm.gather_ordered(std::size_t{6}, std::move(shards)),
                std::invalid_argument);
+}
+
+// ---- StealQueue -----------------------------------------------------------
+
+TEST(StealQueue, OwnersClaimGrainChunksFromTheFrontInOrder) {
+  const ShardComm comm(2);
+  StealQueue q(comm.scatter_ranges(10), 2);  // rank 0: [0,5), rank 1: [5,10)
+  const auto c1 = q.claim(0);
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->range.begin, 0u);
+  EXPECT_EQ(c1->range.end, 2u);
+  EXPECT_FALSE(c1->stolen);
+  EXPECT_EQ(c1->victim, 0);
+  const auto c2 = q.claim(0);
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ(c2->range.begin, 2u);
+  EXPECT_EQ(c2->range.end, 4u);
+  const auto c3 = q.claim(0);  // remainder smaller than the grain
+  ASSERT_TRUE(c3.has_value());
+  EXPECT_EQ(c3->range.begin, 4u);
+  EXPECT_EQ(c3->range.end, 5u);
+}
+
+TEST(StealQueue, ClaimsCoverTheSpaceExactlyOnceUnderStealing) {
+  for (std::size_t grain : {1u, 2u, 3u, 16u}) {
+    const ShardComm comm(4);
+    const std::size_t n = 23;
+    StealQueue q(comm.scatter_ranges(n), grain);
+    std::vector<int> hits(n, 0);
+    // Round-robin claimants: every rank exhausts its own slot and then
+    // steals, so the full space must be covered without overlap.
+    bool any = true;
+    while (any) {
+      any = false;
+      for (int r = 0; r < 4; ++r) {
+        const auto c = q.claim(r);
+        if (!c.has_value()) continue;
+        any = true;
+        for (std::size_t i = c->range.begin; i < c->range.end; ++i) {
+          ++hits[i];
+        }
+      }
+    }
+    EXPECT_TRUE(q.drained());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i], 1) << "grain " << grain << ", index " << i;
+    }
+  }
+}
+
+TEST(StealQueue, ExhaustedRankStealsTrailingChunkFromMostLoadedStartedSlot) {
+  const ShardComm comm(3);
+  StealQueue q(comm.scatter_ranges(12), 2);  // slots [0,4) [4,8) [8,12)
+  // Start every slot (one own claim each), then drain rank 0.
+  (void)q.claim(0);  // [0,2)
+  (void)q.claim(1);  // [4,6)
+  (void)q.claim(2);  // [8,10)
+  (void)q.claim(0);  // [2,4) -- rank 0's slot is now empty
+  // Ranks 1 and 2 both have 2 unclaimed items; the tie breaks to rank 1,
+  // and the steal takes the *tail* of its slot.
+  const auto s = q.claim(0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->stolen);
+  EXPECT_EQ(s->victim, 1);
+  EXPECT_EQ(s->range.begin, 6u);
+  EXPECT_EQ(s->range.end, 8u);
+
+  const auto stats0 = q.stats(0);
+  EXPECT_EQ(stats0.claims, 3u);
+  EXPECT_EQ(stats0.steals, 1u);
+  EXPECT_EQ(stats0.stolen, 2u);
+  EXPECT_EQ(stats0.donated, 0u);
+  const auto stats1 = q.stats(1);
+  EXPECT_EQ(stats1.donated, 2u);
+  EXPECT_EQ(stats1.stolen, 0u);
+}
+
+TEST(StealQueue, UnstartedSlotsAreNotStealable) {
+  const ShardComm comm(4);
+  // 2 items over 4 ranks: ranks 2 and 3 own empty slots.
+  StealQueue q(comm.scatter_ranges(2), 16);
+  // Before any owner starts, a thief finds nothing claimable...
+  EXPECT_FALSE(q.claim(3).has_value());
+  EXPECT_FALSE(q.drained());  // ...but the queue is not drained.
+  // Owners claim their whole slots (item count <= grain), leaving no
+  // stealable tail; idle ranks never execute anything.
+  EXPECT_TRUE(q.claim(0).has_value());
+  EXPECT_TRUE(q.claim(1).has_value());
+  EXPECT_FALSE(q.claim(2).has_value());
+  EXPECT_TRUE(q.drained());
+  EXPECT_EQ(q.stats(2).claims, 0u);
+  EXPECT_EQ(q.stats(3).claims, 0u);
+}
+
+TEST(StealQueue, GrainIsClampedToAtLeastOne) {
+  const ShardComm comm(1);
+  StealQueue q(comm.scatter_ranges(3), 0);
+  const auto c = q.claim(0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->range.size(), 1u);
+}
+
+TEST(StealQueue, RejectsOutOfRangeRanks) {
+  const ShardComm comm(2);
+  StealQueue q(comm.scatter_ranges(4), 1);
+  EXPECT_THROW((void)q.claim(2), std::invalid_argument);
 }
 
 }  // namespace

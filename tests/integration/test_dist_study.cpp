@@ -47,6 +47,25 @@ std::vector<Compilation> small_space() {
   };
 }
 
+/// A cost-skewed 24-item space for the work-stealing tests.  Under a
+/// 4-way partition the first three slices are copies of the baseline
+/// compilation -- the explorer reuses the anchor run, so they cost next
+/// to nothing -- while the last slice is six distinct compilations that
+/// each pay a fresh compile.  The tail shard is therefore always the
+/// straggler, and with a small steal grain the drained shards reliably
+/// steal from it.
+std::vector<Compilation> skewed_space() {
+  std::vector<Compilation> space(18, toolchain::mfem_baseline());
+  space.push_back({toolchain::gcc(), OptLevel::O3, ""});
+  space.push_back({toolchain::gcc(), OptLevel::O2, "-mavx2 -mfma"});
+  space.push_back(
+      {toolchain::gcc(), OptLevel::O2, "-funsafe-math-optimizations"});
+  space.push_back({toolchain::clang(), OptLevel::O3, "-ffast-math"});
+  space.push_back({toolchain::icpc(), OptLevel::O2, ""});
+  space.push_back({toolchain::icpc(), OptLevel::O2, "-fp-model precise"});
+  return space;
+}
+
 dist::ShardCoordinator make_coordinator(dist::ShardOptions opts) {
   return dist::ShardCoordinator(&fpsem::global_code_model(),
                                 toolchain::mfem_baseline(),
@@ -386,6 +405,226 @@ TEST_F(DistStudyTest, ResumeDoesNotRerunQuarantinedRows) {
               faulted.study.outcomes[i].reason)
         << i;
   }
+}
+
+// ---- work-stealing rebalancing --------------------------------------------
+
+TEST_F(DistStudyTest, SkewedStudiesAreBitwiseIdenticalAcrossStealOnOff) {
+  const auto space = skewed_space();
+  mfemini::MfemExampleTest test(5);
+  const auto reference = reference_study(test, space);
+  const std::string reference_csv = core::study_csv(reference);
+
+  for (bool steal : {false, true}) {
+    for (int shards : {1, 2, 4}) {
+      for (unsigned jobs : {1u, 4u}) {
+        dist::ShardOptions opts;
+        opts.shards = shards;
+        opts.jobs = jobs;
+        opts.steal = steal;
+        opts.steal_grain = 2;
+        const auto sharded = make_coordinator(opts).run(test, space);
+        expect_identical_studies(sharded.study, reference);
+        EXPECT_EQ(core::study_csv(sharded.study), reference_csv)
+            << (steal ? "steal" : "static") << ", " << shards << " shards, "
+            << jobs << " jobs";
+      }
+    }
+  }
+}
+
+TEST_F(DistStudyTest, SerialSkewedRunStealsAndKeepsConvergedDbBytes) {
+  const auto space = skewed_space();
+  mfemini::MfemExampleTest test(5);
+
+  // Single-process incremental --db reference.
+  const fs::path ref_path = dir_ / "ref.tsv";
+  {
+    core::ResultsDb ref_db(ref_path);
+    core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                                 toolchain::mfem_baseline(),
+                                 toolchain::mfem_speed_reference(), 1);
+    core::ExploreOptions eo;
+    eo.db = &ref_db;
+    (void)explorer.explore(test, space, eo);
+  }
+  const std::string reference = file_bytes(ref_path);
+  ASSERT_FALSE(reference.empty());
+
+  for (bool steal : {false, true}) {
+    const fs::path conv_path =
+        dir_ / (std::string(steal ? "steal" : "static") + "-converged.tsv");
+    core::ResultsDb conv(conv_path);
+    dist::ShardOptions opts;
+    opts.shards = 4;
+    opts.serial_shards = true;  // the virtual-clock fleet emulation
+    opts.steal = steal;
+    opts.steal_grain = 1;
+    // No per-shard checkpoint files: a per-claim database save costs
+    // about as much as a study item and would drown the cost skew the
+    // steal assertions below depend on.
+    opts.db = &conv;
+    const auto sharded = make_coordinator(opts).run(test, space);
+
+    std::size_t stolen = 0, donated = 0, executed = 0;
+    for (const auto& rep : sharded.shards) {
+      stolen += rep.stolen;
+      donated += rep.donated;
+      executed += rep.executed();
+    }
+    EXPECT_EQ(stolen, donated);
+    EXPECT_EQ(executed, space.size());
+    if (steal) {
+      // Drained shards must have rebalanced work off a straggler, and the
+      // rebalance shows up in the report text.  (Which shard ends up the
+      // donor depends on measured claim durations -- the virtual clock
+      // consumes real wall time -- so only aggregate stealing is asserted.)
+      EXPECT_GT(stolen, 0u);
+      EXPECT_NE(dist::shard_report_text(sharded).find("stolen over"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(stolen, 0u);
+    }
+    // Rebalancing moves wall-clock, never bytes.
+    EXPECT_EQ(file_bytes(conv_path), reference)
+        << (steal ? "steal" : "static");
+  }
+}
+
+TEST_F(DistStudyTest, FaultedSkewedStudiesAreIdenticalUnderStealing) {
+  const auto space = skewed_space();
+  mfemini::MfemExampleTest test(5);
+
+  // Deterministic seed search: a run-fault seed that quarantines at least
+  // one item while the anchors survive (only the distinct tail items
+  // execute fresh runs, so the quarantined row sits in donated territory).
+  std::optional<core::StudyResult> reference;
+  std::uint64_t seed = 0;
+  for (; seed < 100; ++seed) {
+    FaultInjector::global().disarm();
+    FaultInjector::global().arm(FaultSite::Run, 0.3, seed);
+    try {
+      auto r = reference_study(test, space);
+      if (r.failed_count() > 0) {
+        reference = std::move(r);
+        break;
+      }
+    } catch (const core::StudyAbort&) {
+    }
+  }
+  ASSERT_TRUE(reference.has_value())
+      << "no seed in [0,100) quarantined an item with live anchors";
+
+  for (int shards : {2, 4}) {
+    for (bool serial : {false, true}) {
+      FaultInjector::global().disarm();
+      FaultInjector::global().arm(FaultSite::Run, 0.3, seed);
+      dist::ShardOptions opts;
+      opts.shards = shards;
+      opts.serial_shards = serial;
+      opts.steal_grain = 1;  // steal as aggressively as possible
+      const auto sharded = make_coordinator(opts).run(test, space);
+      expect_identical_studies(sharded.study, *reference);
+      EXPECT_GT(sharded.study.failed_count(), 0u);
+    }
+  }
+}
+
+TEST_F(DistStudyTest, ResumeStitchesRowsCheckpointedByTheThief) {
+  const auto space = skewed_space();
+  mfemini::MfemExampleTest test(5);
+
+  std::uint64_t seed = 0;
+  bool found = false;
+  for (; seed < 100 && !found; ++seed) {
+    FaultInjector::global().disarm();
+    FaultInjector::global().arm(FaultSite::Run, 0.3, seed);
+    try {
+      found = reference_study(test, space).failed_count() > 0;
+    } catch (const core::StudyAbort&) {
+    }
+  }
+  ASSERT_TRUE(found);
+  --seed;
+
+  dist::ShardOptions opts;
+  opts.shards = 4;
+  opts.serial_shards = true;
+  opts.steal_grain = 1;
+  opts.shard_db_dir = dir_ / "shards";
+
+  // Seed the head shards' databases with the baseline row, as if a prior
+  // run was killed right before the tail shard's first checkpoint.  On
+  // resume the head claims all prefill -- a fully prefilled claim skips
+  // the per-claim checkpoint save -- so the head shards drain in
+  // microseconds while the tail shard pays fresh compiles, making the
+  // steal deterministic rather than a race against filesystem latency.
+  FaultInjector::global().disarm();
+  fs::create_directories(opts.shard_db_dir);
+  {
+    core::ResultsDb seed_db(
+        dist::ShardCoordinator::shard_db_path(opts.shard_db_dir, 0, 4));
+    core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                                 toolchain::mfem_baseline(),
+                                 toolchain::mfem_speed_reference(), 1);
+    const std::vector<Compilation> head{toolchain::mfem_baseline()};
+    core::ExploreOptions eo;
+    eo.db = &seed_db;
+    (void)explorer.explore(test, head, eo);
+  }
+  for (int r : {1, 2}) {
+    fs::copy_file(
+        dist::ShardCoordinator::shard_db_path(opts.shard_db_dir, 0, 4),
+        dist::ShardCoordinator::shard_db_path(opts.shard_db_dir, r, 4));
+  }
+
+  FaultInjector::global().disarm();
+  FaultInjector::global().arm(FaultSite::Run, 0.3, seed);
+  const auto faulted = make_coordinator(opts).resume(test, space);
+  ASSERT_GT(faulted.study.failed_count(), 0u);
+  std::size_t stolen = 0;
+  for (const auto& rep : faulted.shards) stolen += rep.stolen;
+  ASSERT_GT(stolen, 0u);
+
+  // Stolen items checkpoint into the thief's shard database: some head
+  // shard's file must hold a row for one of the tail compilations it
+  // does not statically own.
+  bool thief_holds_foreign_row = false;
+  for (int r = 0; r < 3 && !thief_holds_foreign_row; ++r) {
+    const auto p =
+        dist::ShardCoordinator::shard_db_path(opts.shard_db_dir, r, 4);
+    if (!fs::exists(p)) continue;
+    core::ResultsDb db(p);
+    for (std::size_t i = 18; i < space.size(); ++i) {
+      if (db.find(test.name(), space[i].str()).has_value()) {
+        thief_holds_foreign_row = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(thief_holds_foreign_row);
+
+  // Resume with the injector disarmed: every row -- including the ones in
+  // thieves' databases -- must prefill by its (test, compilation) key, so
+  // nothing re-runs and the quarantined statuses survive.
+  FaultInjector::global().disarm();
+  const auto resumed = make_coordinator(opts).resume(test, space);
+  EXPECT_EQ(resumed.study.failed_count(), faulted.study.failed_count());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(resumed.study.outcomes[i].status,
+              faulted.study.outcomes[i].status)
+        << i;
+    EXPECT_EQ(resumed.study.outcomes[i].reason,
+              faulted.study.outcomes[i].reason)
+        << i;
+  }
+  std::size_t prefilled = 0, executed = 0;
+  for (const auto& rep : resumed.shards) {
+    prefilled += rep.prefilled;
+    executed += rep.executed();
+  }
+  EXPECT_EQ(prefilled, space.size());
+  EXPECT_EQ(executed, 0u);
 }
 
 TEST_F(DistStudyTest, WorkflowExploreOverrideLeavesTheReportUnchanged) {

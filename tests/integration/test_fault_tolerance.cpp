@@ -93,6 +93,14 @@ TEST_F(FaultToleranceTest, ConfigureRejectsMalformedSpecs) {
   EXPECT_THROW(inj.configure("run"), std::invalid_argument);
   EXPECT_THROW(inj.configure("run:frog"), std::invalid_argument);
   EXPECT_THROW(inj.configure("run:0.5:frog"), std::invalid_argument);
+  // Probabilities above 1 are configuration mistakes for the failure
+  // sites (strtod happily parses them); only kill's batch ordinal may
+  // exceed 1.
+  EXPECT_THROW(inj.configure("run:1.5"), std::invalid_argument);
+  EXPECT_THROW(inj.configure("compile:2"), std::invalid_argument);
+  // strtoull silently wraps "-1" to ULLONG_MAX; a signed seed is rejected.
+  EXPECT_THROW(inj.configure("run:0.5:-1"), std::invalid_argument);
+  EXPECT_THROW(inj.configure("run:0.5:+3"), std::invalid_argument);
   // A rejected spec must not half-arm the injector.
   EXPECT_FALSE(inj.any_armed());
 
@@ -100,6 +108,10 @@ TEST_F(FaultToleranceTest, ConfigureRejectsMalformedSpecs) {
   EXPECT_TRUE(inj.armed(FaultSite::Run));
   EXPECT_TRUE(inj.armed(FaultSite::Link));
   EXPECT_FALSE(inj.armed(FaultSite::Compile));
+
+  // The kill "rate" is a checkpoint-batch ordinal, not a probability.
+  inj.configure("kill:3:0");
+  EXPECT_TRUE(inj.armed(FaultSite::Kill));
 }
 
 TEST_F(FaultToleranceTest, DecisionsArePureFunctionsOfTrialScope) {

@@ -84,12 +84,14 @@ int usage() {
       "       flit explore <test> [--csv] [--db file.tsv] [--resume]\n"
       "                    [--jobs N] [--retries N]\n"
       "                    [--shards N] [--shard-db-dir dir]\n"
+      "                    [--steal|--no-steal]\n"
       "                    [--keep-going|--no-keep-going]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
       "       flit bisect <test> <compiler> <-ON> [flag...] "
       "[--k N] [--digits D]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
       "       flit workflow <test> [--jobs N] [--retries N] [--shards N]\n"
+      "                    [--steal|--no-steal]\n"
       "                    [--keep-going|--no-keep-going]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
       "       flit mix <test> <tolerance>\n"
@@ -105,6 +107,11 @@ int usage() {
       "--shard-db-dir  directory for per-shard checkpoint databases\n"
       "                (shard-<r>-of-<N>.tsv); with --resume, shards are\n"
       "                prefilled from these files\n"
+      "--steal         rebalance shards by work stealing: an exhausted\n"
+      "                shard steals trailing sub-ranges from the\n"
+      "                most-loaded one (default; results are identical\n"
+      "                either way -- --no-steal restores the static\n"
+      "                partition)\n"
       "--db file.tsv   record outcomes into a results database,\n"
       "                checkpointing incrementally (with --shards: the\n"
       "                converged database, written after the merge)\n"
@@ -268,6 +275,7 @@ struct ExploreArgs {
   unsigned jobs = 0;
   int shards = 1;
   std::string shard_db_dir;
+  bool steal = true;
   core::RetryPolicy retry;
   bool keep_going = true;
 };
@@ -302,6 +310,7 @@ int cmd_explore(const std::string& test_name, const ExploreArgs& args) {
     sopts.retry = args.retry;
     sopts.keep_going = args.keep_going;
     sopts.shard_db_dir = args.shard_db_dir;
+    sopts.steal = args.steal;
     sopts.db = db.has_value() ? &*db : nullptr;
     dist::ShardCoordinator coord(&fpsem::global_code_model(),
                                  toolchain::mfem_baseline(),
@@ -359,7 +368,8 @@ int cmd_bisect(const std::string& test_name,
 }
 
 int cmd_workflow(const std::string& test_name, unsigned jobs, int shards,
-                 const core::RetryPolicy& retry, bool keep_going) {
+                 bool steal, const core::RetryPolicy& retry,
+                 bool keep_going) {
   auto& reg = core::global_test_registry();
   if (!reg.contains(test_name)) {
     std::fprintf(stderr, "unknown test '%s'\n", test_name.c_str());
@@ -383,6 +393,7 @@ int cmd_workflow(const std::string& test_name, unsigned jobs, int shards,
     dist::ShardOptions sopts;
     sopts.shards = shards;
     sopts.jobs = jobs >= 1 ? jobs : 1;
+    sopts.steal = steal;
     sopts.retry = retry;
     sopts.keep_going = keep_going;
     coord.emplace(&fpsem::global_code_model(), opts.baseline,
@@ -457,6 +468,10 @@ int dispatch(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--shard-db-dir") == 0) {
         args.shard_db_dir =
             option_value("--shard-db-dir", argv, argc, &i);
+      } else if (std::strcmp(argv[i], "--steal") == 0) {
+        args.steal = true;
+      } else if (std::strcmp(argv[i], "--no-steal") == 0) {
+        args.steal = false;
       } else if (std::strcmp(argv[i], "--retries") == 0) {
         args.retry.max_attempts = static_cast<int>(parse_jobs(
             "--retries", option_value("--retries", argv, argc, &i)));
@@ -521,6 +536,7 @@ int dispatch(int argc, char** argv) {
     if (argc < 3) return usage();
     unsigned jobs = core::default_jobs();
     int shards = 1;
+    bool steal = true;
     core::RetryPolicy retry;
     bool keep_going = true;
     TelemetryArgs tel;
@@ -532,6 +548,10 @@ int dispatch(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--shards") == 0) {
         shards = static_cast<int>(parse_jobs(
             "--shards", option_value("--shards", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--steal") == 0) {
+        steal = true;
+      } else if (std::strcmp(argv[i], "--no-steal") == 0) {
+        steal = false;
       } else if (std::strcmp(argv[i], "--retries") == 0) {
         retry.max_attempts = static_cast<int>(parse_jobs(
             "--retries", option_value("--retries", argv, argc, &i)));
@@ -545,7 +565,8 @@ int dispatch(int argc, char** argv) {
       }
     }
     telemetry_begin(tel);
-    const int rc = cmd_workflow(argv[2], jobs, shards, retry, keep_going);
+    const int rc =
+        cmd_workflow(argv[2], jobs, shards, steal, retry, keep_going);
     telemetry_finish(tel);
     return rc;
   }
