@@ -1,38 +1,46 @@
 // The sharded distributed study engine: fleet wall-clock scaling of the
 // MFEM exploration (the Table 1 workload) at 1/2/4/8 shards, plus the
-// per-shard and aggregate compilation-cache hit rates, emitted both
-// human-readably and as one machine-readable JSON line per shard count
-// for the BENCH trajectory.
+// per-shard and aggregate compilation-cache hit rates and per-shard
+// modeled-cycle skew (min/~median/max), emitted both human-readably and
+// as one machine-readable JSON line per shard count for the BENCH
+// trajectory.
 //
 //   bench_shard_scaling [--skew] [n_examples]
 //
 // n_examples defaults to 6 (the first six mini-MFEM examples over the
 // full 244-compilation space).  Shards model *independent workers* -- a
-// rank owns a contiguous slice of the space, its own cache and its own
-// explorer -- so they execute serially here (the bench host is a single
-// core) and the fleet wall-clock is the slowest shard's time: what a real
-// R-worker deployment would wait for.  "worker_s" is the summed per-shard
-// compute (the fleet's total CPU bill; it grows slightly with R because
-// every shard re-runs the two anchors and re-misses its cold cache).
-// Determinism is asserted, not just claimed: the merged studies must be
-// bitwise-identical to the 1-shard run or the bench aborts.
+// rank owns a slice of the space, its own cache and its own explorer --
+// so they execute serially here (the bench host is a single core) and the
+// fleet wall-clock is the slowest shard's time: what a real R-worker
+// deployment would wait for.  "worker_s" is the summed per-shard compute
+// (the fleet's total CPU bill; it grows slightly with R because every
+// shard re-runs the two anchors and re-misses its cold cache).
+// Determinism is asserted, not just claimed: the merged studies and their
+// report CSVs must be bitwise-identical to the 1-shard run or the bench
+// aborts.
 //
-// --skew benches the work-stealing rebalancer instead: a cost-skewed
-// space (three slices of baseline copies the explorer answers from the
-// anchor run, one slice holding the full study space) is run at 4 shards
-// with stealing off and on.  Static partitioning leaves the tail shard as
-// the fleet's critical path; stealing must cut the fleet wall-clock (the
-// bar is 1.5x) while the merged studies stay bitwise-identical, and the
-// worker total is reported too -- thieves compile stolen work against
-// cold caches, so stealing trades total CPU for wall-clock.
+// --skew benches the scheduler instead: a cost-skewed space (three slices
+// of baseline copies the explorer answers from the anchor run, one slice
+// holding the full study space) is run at 4 shards under four schedules --
+// the static partition alone, static + work stealing, and the
+// predicted-cost / cache-affinity placements (profiled from the stealing
+// run, stealing on to mop up prediction error).  Stealing must cut the
+// fleet wall-clock vs. the static split (the bar is 1.5x); affinity
+// placement must then beat steal-only on *both* remaining axes: a
+// strictly higher fleet cache hit rate (each fingerprint compiled once
+// per fleet, not once per shard) at a max-shard modeled wall-clock no
+// worse than stealing alone.  The merged studies stay bitwise-identical
+// under every schedule.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "core/report.h"
 #include "dist/coordinator.h"
 #include "mfemini/examples.h"
 #include "toolchain/compiler.h"
@@ -48,29 +56,42 @@ struct FleetRun {
   std::size_t stolen = 0;       ///< items moved by the rebalancer
   std::vector<toolchain::CacheStats> rank_cache;  ///< summed per rank
   toolchain::CacheStats aggregate;
+  std::vector<obs::HistogramData> rank_cycles;  ///< summed per rank
+  double max_fresh_cycles = 0.0;  ///< sum over examples of slowest shard's
+                                  ///< modeled wall-clock (fresh cycles)
+  std::size_t avoided_compiles = 0;  ///< redundant group compiles avoided
 };
 
-FleetRun run_fleet(int n_examples, int shards,
-                   const std::vector<toolchain::Compilation>& space,
-                   bool steal = true) {
+FleetRun run_fleet(
+    int n_examples, int shards,
+    const std::vector<toolchain::Compilation>& space, bool steal = true,
+    dist::PlacementPolicy placement = dist::PlacementPolicy::Static,
+    const dist::CostProfile* profile = nullptr) {
   dist::ShardOptions opts;
   opts.shards = shards;
   opts.jobs = 1;
   opts.serial_shards = true;  // isolate per-shard timing on one core
   opts.steal = steal;
+  opts.placement = placement;
+  if (profile != nullptr) opts.profile = *profile;
   const dist::ShardCoordinator coord(&fpsem::global_code_model(),
                                      toolchain::mfem_baseline(),
                                      toolchain::mfem_speed_reference(),
                                      opts);
   FleetRun run;
   run.rank_cache.resize(static_cast<std::size_t>(shards));
+  run.rank_cycles.assign(static_cast<std::size_t>(shards),
+                         obs::HistogramData{obs::cycle_buckets()});
   for (int ex = 1; ex <= n_examples; ++ex) {
     mfemini::MfemExampleTest test(ex);
     dist::ShardedStudy sharded = coord.run(test, space);
     run.fleet_wall += sharded.max_shard_seconds();
     run.worker_seconds += sharded.total_shard_seconds();
+    run.max_fresh_cycles += sharded.max_shard_fresh_cycles();
+    run.avoided_compiles += sharded.placement.avoided_group_compiles();
     for (const dist::ShardReport& rep : sharded.shards) {
       run.rank_cache[static_cast<std::size_t>(rep.rank)] += rep.cache;
+      run.rank_cycles[static_cast<std::size_t>(rep.rank)] += rep.cycles;
       run.stolen += rep.stolen;
     }
     run.aggregate += sharded.aggregate_cache();
@@ -93,8 +114,30 @@ bool identical(const std::vector<core::StudyResult>& a,
         return false;
       }
     }
+    // Bitwise-identical all the way to the report: the CSV is the
+    // user-visible artifact the determinism contract promises.
+    if (core::study_csv(a[r]) != core::study_csv(b[r])) return false;
   }
   return true;
+}
+
+/// The per-shard modeled-cycle skew summary as a JSON array:
+/// [{"min":..,"med":..,"max":..}, ...] in rank order (zeros for shards
+/// that executed nothing).
+std::string shard_cycles_json(const FleetRun& run) {
+  std::string out = "[";
+  for (std::size_t r = 0; r < run.rank_cycles.size(); ++r) {
+    const obs::HistogramData& h = run.rank_cycles[r];
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"min\":%.0f,\"med\":%.0f,\"max\":%.0f}",
+                  r == 0 ? "" : ",", h.count > 0 ? h.min_value() : 0.0,
+                  h.count > 0 ? h.quantile(0.5) : 0.0,
+                  h.count > 0 ? h.max_value() : 0.0);
+    out += buf;
+  }
+  out += "]";
+  return out;
 }
 
 /// The --skew workload: under a 4-way partition the first three slices
@@ -112,16 +155,29 @@ std::vector<toolchain::Compilation> skewed_space() {
 int run_skew_bench(int n_examples) {
   const auto space = skewed_space();
   std::printf(
-      "shard rebalancing bench: %d examples x %zu compilations "
+      "shard scheduling bench: %d examples x %zu compilations "
       "(cost concentrated in the last of 4 slices)\n",
       n_examples, space.size());
 
   const FleetRun fixed = run_fleet(n_examples, 4, space, /*steal=*/false);
   const FleetRun stealing = run_fleet(n_examples, 4, space, /*steal=*/true);
-  if (!identical(stealing.results, fixed.results)) {
-    std::fprintf(stderr,
-                 "FATAL: stealing study differs from the static study\n");
-    return 1;
+  // The placed runs refine the cost model from the stealing run's first
+  // study -- the "prior run" of the --cost-profile workflow, in-process.
+  const dist::CostProfile profile =
+      dist::CostProfile::from_study(stealing.results.front());
+  const FleetRun cost = run_fleet(n_examples, 4, space, /*steal=*/true,
+                                  dist::PlacementPolicy::Cost, &profile);
+  const FleetRun affinity =
+      run_fleet(n_examples, 4, space, /*steal=*/true,
+                dist::PlacementPolicy::Affinity, &profile);
+
+  for (const auto* run : {&stealing, &cost, &affinity}) {
+    if (!identical(run->results, fixed.results)) {
+      std::fprintf(stderr,
+                   "FATAL: rebalanced/placed study differs from the static "
+                   "study\n");
+      return 1;
+    }
   }
   const double steal_speedup = stealing.fleet_wall > 0.0
                                    ? fixed.fleet_wall / stealing.fleet_wall
@@ -129,27 +185,38 @@ int run_skew_bench(int n_examples) {
 
   struct Row {
     const char* label;
+    const char* placement;
     const FleetRun* run;
     bool steal;
   };
-  for (const Row& row : {Row{"static", &fixed, false},
-                         Row{"steal ", &stealing, true}}) {
+  for (const Row& row :
+       {Row{"static  ", "static", &fixed, false},
+        Row{"steal   ", "static", &stealing, true},
+        Row{"cost    ", "cost", &cost, true},
+        Row{"affinity", "affinity", &affinity, true}}) {
     std::printf(
-        "  %s: fleet wall %7.3fs  worker total %7.3fs  stolen %zu\n",
+        "  %s: fleet wall %7.3fs  worker total %7.3fs  stolen %5zu  "
+        "fleet cache hit %5.1f%%  max shard cycles %.3g  avoided %zu\n",
         row.label, row.run->fleet_wall, row.run->worker_seconds,
-        row.run->stolen);
+        row.run->stolen, 100.0 * row.run->aggregate.hit_rate(),
+        row.run->max_fresh_cycles, row.run->avoided_compiles);
     std::printf(
         "BENCH_JSON {\"bench\":\"shard_scaling_skew\",\"examples\":%d,"
-        "\"space\":%zu,\"shards\":4,\"steal\":%s,\"fleet_wall_s\":%.6f,"
-        "\"worker_s\":%.6f,\"stolen\":%zu,\"steal_speedup\":%.3f,"
-        "\"identical\":true}\n",
-        n_examples, space.size(), row.steal ? "true" : "false",
-        row.run->fleet_wall, row.run->worker_seconds, row.run->stolen,
-        row.steal ? steal_speedup : 1.0);
+        "\"space\":%zu,\"shards\":4,\"placement\":\"%s\",\"steal\":%s,"
+        "\"fleet_wall_s\":%.6f,\"worker_s\":%.6f,\"stolen\":%zu,"
+        "\"steal_speedup\":%.3f,\"hit_rate\":%.4f,"
+        "\"max_fresh_cycles\":%.1f,\"avoided_compiles\":%zu,"
+        "\"shard_cycles\":%s,\"identical\":true}\n",
+        n_examples, space.size(), row.placement,
+        row.steal ? "true" : "false", row.run->fleet_wall,
+        row.run->worker_seconds, row.run->stolen,
+        row.steal ? steal_speedup : 1.0, row.run->aggregate.hit_rate(),
+        row.run->max_fresh_cycles, row.run->avoided_compiles,
+        shard_cycles_json(*row.run).c_str());
   }
 
-  // The acceptance bar: on a skewed space the rebalancer must cut the
-  // fleet wall-clock, not just shuffle work.
+  // Acceptance bar 1: on a skewed space the rebalancer must cut the fleet
+  // wall-clock, not just shuffle work.
   if (stealing.stolen == 0) {
     std::fprintf(stderr, "FATAL: the rebalancer never stole an item\n");
     return 1;
@@ -159,6 +226,34 @@ int run_skew_bench(int n_examples) {
                  "FATAL: stealing fleet speedup %.2fx is below the 1.5x "
                  "bar\n",
                  steal_speedup);
+    return 1;
+  }
+
+  // Acceptance bar 2: affinity placement must beat steal-only static on
+  // both remaining axes -- strictly fewer redundant compilations (higher
+  // fleet hit rate) at a modeled max-shard wall-clock no worse than
+  // stealing alone (5% tolerance: the placement is predicted, stealing
+  // corrects the residue).
+  if (affinity.aggregate.hit_rate() <= stealing.aggregate.hit_rate()) {
+    std::fprintf(stderr,
+                 "FATAL: affinity fleet hit rate %.2f%% does not beat "
+                 "steal-only %.2f%%\n",
+                 100.0 * affinity.aggregate.hit_rate(),
+                 100.0 * stealing.aggregate.hit_rate());
+    return 1;
+  }
+  if (affinity.max_fresh_cycles > 1.05 * stealing.max_fresh_cycles) {
+    std::fprintf(stderr,
+                 "FATAL: affinity max shard cycles %.3g exceeds steal-only "
+                 "%.3g by more than 5%%\n",
+                 affinity.max_fresh_cycles, stealing.max_fresh_cycles);
+    return 1;
+  }
+  if (cost.max_fresh_cycles > 1.05 * stealing.max_fresh_cycles) {
+    std::fprintf(stderr,
+                 "FATAL: cost max shard cycles %.3g exceeds steal-only "
+                 "%.3g by more than 5%%\n",
+                 cost.max_fresh_cycles, stealing.max_fresh_cycles);
     return 1;
   }
   return 0;
@@ -204,7 +299,7 @@ int main(int argc, char** argv) {
 
     std::printf(
         "  shards=%d: fleet wall %7.3fs  worker total %7.3fs  "
-        "speedup %5.2fx  aggregate cache hit %.1f%%\n",
+        "speedup %5.2fx  fleet cache hit %.1f%%\n",
         shards, run.fleet_wall, run.worker_seconds, speedup,
         100.0 * run.aggregate.hit_rate());
     std::printf("            per-shard cache hit rates:");
@@ -217,9 +312,10 @@ int main(int argc, char** argv) {
         "BENCH_JSON {\"bench\":\"shard_scaling\",\"examples\":%d,"
         "\"space\":%zu,\"shards\":%d,\"fleet_wall_s\":%.6f,"
         "\"worker_s\":%.6f,\"speedup\":%.3f,\"cache_hit_rate\":%.4f,"
-        "\"identical\":true}\n",
+        "\"shard_cycles\":%s,\"identical\":true}\n",
         n_examples, space.size(), shards, run.fleet_wall,
-        run.worker_seconds, speedup, run.aggregate.hit_rate());
+        run.worker_seconds, speedup, run.aggregate.hit_rate(),
+        shard_cycles_json(run).c_str());
   }
 
   // The acceptance bar: partitioning the space across 4 workers must cut

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <utility>
 
 #include "core/parallel.h"
@@ -154,6 +155,19 @@ StudyResult SpaceExplorer::explore(
   StudyResult result;
   result.test_name = test.name();
 
+  if (!opts.global_indices.empty() &&
+      opts.global_indices.size() != space.size()) {
+    throw std::invalid_argument(
+        "explore: " + std::to_string(opts.global_indices.size()) +
+        " global indices for a " + std::to_string(space.size()) +
+        "-item slice");
+  }
+  // The telemetry index of slice element i (the item's global identity).
+  const auto global_index = [&](std::size_t i) {
+    return opts.global_indices.empty() ? opts.obs_index_base + i
+                                       : opts.global_indices[i];
+  };
+
   // Study-level accounting.  Counter handles are stable across
   // MetricsRegistry::reset(), so the static lookups are safe; the
   // histogram accumulates in fixed-point, so its totals are independent of
@@ -231,8 +245,7 @@ StudyResult SpaceExplorer::explore(
                                        attempt);
       // The telemetry stamp: the item's *global* identity (shard + global
       // space index), mirroring the trial context above.
-      obs::ScopedItem obs_item(opts.obs_shard, opts.obs_index_base + i,
-                               attempt);
+      obs::ScopedItem obs_item(opts.obs_shard, global_index(i), attempt);
       obs::Span span(obs::tracer_if_enabled(), "compilation", "explore",
                      c.str());
       m_attempts.add();

@@ -150,6 +150,16 @@ struct ExploreOptions {
   /// same invariance the fault injector gets from "test|triple" contexts).
   int obs_shard = 0;
   std::size_t obs_index_base = 0;
+
+  /// Non-contiguous slices (the placement engine's cost/affinity
+  /// partitions hand a rank an arbitrary index set): when non-empty, slice
+  /// element i is global space item global_indices[i] and its telemetry
+  /// stamp uses that index instead of obs_index_base + i.  Must match the
+  /// slice length exactly (explore() throws std::invalid_argument
+  /// otherwise); still telemetry-only -- results are merged by slice
+  /// position, and fault-injection identity is the "test|triple" string,
+  /// which no index permutation can change.
+  std::span<const std::size_t> global_indices{};
 };
 
 class SpaceExplorer {

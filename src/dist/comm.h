@@ -104,6 +104,63 @@ class ShardComm {
     return out;
   }
 
+  /// gather_ordered generalized to permuted partitions: rank r's k-th
+  /// element lands at global index rank_indices[r][k].  The placement
+  /// engine hands each rank a non-contiguous index set, so the gather
+  /// validates what the contiguous partition made structural: the index
+  /// sets must be disjoint and cover [0, n) exactly, and each shard must
+  /// hold exactly one element per owned index.  Any violation throws
+  /// std::invalid_argument -- a merge must never silently misplace or
+  /// double-write an outcome.
+  template <typename T>
+  [[nodiscard]] std::vector<T> gather_indexed(
+      std::size_t n,
+      const std::vector<std::vector<std::size_t>>& rank_indices,
+      std::vector<std::vector<T>> shards) const {
+    if (rank_indices.size() != static_cast<std::size_t>(size()) ||
+        shards.size() != static_cast<std::size_t>(size())) {
+      throw std::invalid_argument(
+          "gather_indexed: " + std::to_string(rank_indices.size()) +
+          " index sets / " + std::to_string(shards.size()) +
+          " shards for a " + std::to_string(size()) + "-rank communicator");
+    }
+    std::vector<T> out(n);
+    std::vector<bool> placed(n, false);
+    for (std::size_t r = 0; r < shards.size(); ++r) {
+      const std::vector<std::size_t>& idx = rank_indices[r];
+      std::vector<T>& shard = shards[r];
+      if (shard.size() != idx.size()) {
+        throw std::invalid_argument(
+            "gather_indexed: rank " + std::to_string(r) + " holds " +
+            std::to_string(shard.size()) + " elements, placement owns " +
+            std::to_string(idx.size()));
+      }
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        if (idx[k] >= n) {
+          throw std::invalid_argument(
+              "gather_indexed: rank " + std::to_string(r) +
+              " owns out-of-space index " + std::to_string(idx[k]) +
+              " (space is " + std::to_string(n) + " items)");
+        }
+        if (placed[idx[k]]) {
+          throw std::invalid_argument(
+              "gather_indexed: global index " + std::to_string(idx[k]) +
+              " owned by more than one rank");
+        }
+        placed[idx[k]] = true;
+        out[idx[k]] = std::move(shard[k]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!placed[i]) {
+        throw std::invalid_argument("gather_indexed: global index " +
+                                    std::to_string(i) +
+                                    " owned by no rank");
+      }
+    }
+    return out;
+  }
+
  private:
   par::DeterministicComm comm_;
 };

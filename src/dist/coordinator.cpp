@@ -1,6 +1,7 @@
 #include "dist/coordinator.h"
 
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -13,6 +14,31 @@
 
 namespace flit::dist {
 
+namespace {
+
+/// The report's per-shard range field: the exact ShardComm slice under a
+/// contiguous placement, the [min, max+1) envelope of the owned set under
+/// a permuted one (envelopes may overlap across ranks; owned_items is the
+/// authoritative count).
+ShardRange report_range(const ShardComm& comm, std::size_t space_size,
+                        const Placement& placement, std::size_t r) {
+  if (placement.contiguous) {
+    return comm.range(static_cast<int>(r), space_size);
+  }
+  const std::vector<std::size_t>& idx = placement.rank_indices[r];
+  if (idx.empty()) return comm.range(static_cast<int>(r), space_size);
+  return ShardRange{idx.front(), idx.back() + 1};
+}
+
+void fill_placement_fields(ShardReport& rep, const Placement& placement,
+                           std::size_t r) {
+  rep.owned_items = placement.rank_indices[r].size();
+  rep.owned_groups = placement.rank_groups[r];
+  rep.predicted = placement.predicted[r];
+}
+
+}  // namespace
+
 ShardCoordinator::ShardCoordinator(const fpsem::CodeModel* model,
                                    toolchain::Compilation baseline,
                                    toolchain::Compilation speed_reference,
@@ -20,7 +46,8 @@ ShardCoordinator::ShardCoordinator(const fpsem::CodeModel* model,
     : model_(model),
       baseline_(std::move(baseline)),
       speed_reference_(std::move(speed_reference)),
-      opts_(std::move(opts)) {
+      opts_(std::move(opts)),
+      cost_model_(baseline_, speed_reference_) {
   if (opts_.shards < 1) {
     throw std::invalid_argument("ShardCoordinator: shards must be >= 1");
   }
@@ -31,6 +58,11 @@ ShardCoordinator::ShardCoordinator(const fpsem::CodeModel* model,
     throw std::invalid_argument(
         "ShardCoordinator: resume requires shard_db_dir (the per-shard "
         "checkpoints to stitch)");
+  }
+  if (!opts_.cost_profile.empty()) {
+    cost_model_.set_profile(CostProfile::from_results_db(opts_.cost_profile));
+  } else if (!opts_.profile.empty()) {
+    cost_model_.set_profile(opts_.profile);
   }
 }
 
@@ -69,44 +101,135 @@ ShardedStudy ShardCoordinator::run_impl(
   if (!opts_.shard_db_dir.empty()) {
     std::filesystem::create_directories(opts_.shard_db_dir);
   }
-  if (!opts_.steal) return run_static(test, space, resume_shards);
-  return run_stealing(test, space, resume_shards);
+
+  const Placement placement =
+      place_space(space, opts_.shards, opts_.placement, cost_model_);
+
+  ShardedStudy sharded =
+      opts_.steal ? run_placed_stealing(test, space, placement, resume_shards)
+                  : run_placed_static(test, space, placement, resume_shards);
+
+  sharded.placement.policy = placement.policy;
+  sharded.placement.contiguous = placement.contiguous;
+  sharded.placement.profiled = cost_model_.has_profile();
+  sharded.placement.total_groups = placement.total_groups;
+  sharded.placement.duplicated_groups = placement.duplicated_groups;
+  sharded.placement.static_duplicated_groups =
+      placement.static_duplicated_groups;
+
+  if (placement.policy != PlacementPolicy::Static) {
+    // Placement telemetry -- strictly off the result path, and recorded
+    // once per run on the coordinating thread, so the totals are
+    // independent of shards x jobs x stealing.
+    obs::MetricsRegistry& m = obs::metrics();
+    m.counter("dist.placement.runs").add();
+    m.counter("dist.placement.duplicated_groups")
+        .add(placement.duplicated_groups);
+    m.counter("dist.placement.avoided_compiles")
+        .add(placement.avoided_group_compiles());
+    m.gauge("dist.placement.groups")
+        .set(static_cast<std::int64_t>(placement.total_groups));
+
+    // Predicted-vs-actual cycle error: the model predicts in relative
+    // units, so rescale its predictions to the run's actual cycle total
+    // before comparing.  Anchor-equal items are answered from the memoized
+    // anchor run (their "cost" is reuse, not execution) and quarantined
+    // items carry no cycles; both are excluded.  Iterated in global index
+    // order with fixed-point accumulation, the histogram is deterministic.
+    double predicted_sum = 0.0, actual_sum = 0.0;
+    const auto fresh = [&](const core::CompilationOutcome& o) {
+      return o.ok() && o.cycles > 0.0 && o.comp != baseline_ &&
+             o.comp != speed_reference_;
+    };
+    for (const core::CompilationOutcome& o : sharded.study.outcomes) {
+      if (!fresh(o)) continue;
+      predicted_sum += cost_model_.predict(o.comp);
+      actual_sum += o.cycles;
+    }
+    if (predicted_sum > 0.0 && actual_sum > 0.0) {
+      obs::Histogram& err =
+          m.histogram("dist.cost.error_pct", cost_error_buckets());
+      const double scale = actual_sum / predicted_sum;
+      for (const core::CompilationOutcome& o : sharded.study.outcomes) {
+        if (!fresh(o)) continue;
+        const double predicted = cost_model_.predict(o.comp) * scale;
+        err.observe(100.0 * std::fabs(predicted - o.cycles) / o.cycles);
+      }
+    }
+  }
+
+  if (opts_.db != nullptr) opts_.db->record(sharded.study);
+  return sharded;
 }
 
-ShardedStudy ShardCoordinator::run_static(
+ShardedStudy ShardCoordinator::run_placed_static(
     const core::TestBase& test,
-    std::span<const toolchain::Compilation> space, bool resume_shards) const {
+    std::span<const toolchain::Compilation> space, const Placement& placement,
+    bool resume_shards) const {
   const ShardComm comm(opts_.shards);
-  const auto ranges = comm.scatter_ranges(space.size());
   const bool checkpointing = !opts_.shard_db_dir.empty();
+  const std::size_t nranks = placement.shards();
 
-  std::vector<core::StudyResult> partials(ranges.size());
-  std::vector<ShardReport> reports(ranges.size());
+  std::vector<core::StudyResult> partials(nranks);
+  std::vector<ShardReport> reports(nranks);
+
+  // Per-rank checkpoint databases, opened up front so a resume can
+  // union-seed them: under a permuted placement (or after a prior run at a
+  // different policy, or with stealing) the row an item needs may have
+  // been checkpointed by any rank, so every database is seeded with the
+  // union of all rows and the explorer's (test, compilation)-keyed
+  // prefill restores each item no matter who recorded it.  A database is
+  // only written when its rank records a batch, so idle ranks still leave
+  // no checkpoint file behind.
+  std::vector<std::unique_ptr<core::ResultsDb>> shard_dbs(nranks);
+  if (checkpointing) {
+    for (std::size_t r = 0; r < nranks; ++r) {
+      shard_dbs[r] = std::make_unique<core::ResultsDb>(shard_db_path(
+          opts_.shard_db_dir, static_cast<int>(r), opts_.shards));
+    }
+    if (resume_shards) {
+      std::vector<core::ResultRow> union_rows;
+      for (const auto& db : shard_dbs) {
+        union_rows.insert(union_rows.end(), db->rows().begin(),
+                          db->rows().end());
+      }
+      for (const auto& db : shard_dbs) db->merge_rows(union_rows);
+    }
+  }
 
   // One rank: an isolated worker with its own cache, explorer and
-  // checkpoint database, exploring its contiguous slice of the space.
-  // Outcomes land in the rank's partial slot; the gather below reassembles
+  // checkpoint database, exploring its owned index set.  Outcomes land in
+  // the rank's partial slot in owned-index order; merge_placed reassembles
   // them by global index.
   const auto run_shard = [&](std::size_t r) {
     const auto t0 = std::chrono::steady_clock::now();
-    const ShardRange rg = ranges[r];
+    const std::vector<std::size_t>& indices = placement.rank_indices[r];
     ShardReport& rep = reports[r];
     rep.rank = static_cast<int>(r);
-    rep.range = rg;
+    rep.range = report_range(comm, space.size(), placement, r);
+    fill_placement_fields(rep, placement, r);
     core::StudyResult& out = partials[r];
     out.test_name = test.name();
-    if (rg.size() == 0) return;  // more ranks than items: nothing to run
+    if (indices.empty()) return;  // more ranks than items: nothing to run
 
     // The shard's telemetry lane: anchors and shard-level spans carry the
     // rank, and the explorer stamps each item with its *global* space
     // index, so the merged trace is independent of which thread ran the
     // shard.  kNoIndex marks shard-scoped (not per-item) events.
     obs::ScopedItem obs_lane(static_cast<int>(r), obs::kNoIndex, 0);
-    obs::Span shard_span(obs::tracer_if_enabled(), "shard", "dist",
-                         test.name() + " [" + std::to_string(rg.begin) +
-                             ", " + std::to_string(rg.end) + ")");
+    obs::Span shard_span(
+        obs::tracer_if_enabled(), "shard", "dist",
+        placement.contiguous
+            ? test.name() + " [" + std::to_string(indices.front()) + ", " +
+                  std::to_string(indices.back() + 1) + ")"
+            : test.name() + " " + std::to_string(indices.size()) +
+                  " item(s)");
 
-    const auto slice = space.subspan(rg.begin, rg.size());
+    // Densify the owned set: the explorer runs a compact slice and the
+    // index vector carries each element's global identity.
+    std::vector<toolchain::Compilation> items;
+    items.reserve(indices.size());
+    for (std::size_t i : indices) items.push_back(space[i]);
 
     toolchain::CompilationCache cache;
     core::SpaceExplorer explorer(model_, baseline_, speed_reference_,
@@ -116,34 +239,39 @@ ShardedStudy ShardCoordinator::run_static(
     eo.keep_going = opts_.keep_going;
     eo.checkpoint_batch = opts_.checkpoint_batch;
     eo.obs_shard = static_cast<int>(r);
-    eo.obs_index_base = rg.begin;
+    eo.obs_index_base = indices.front();
+    eo.global_indices = indices;
 
-    std::optional<core::ResultsDb> shard_db;
     if (checkpointing) {
-      shard_db.emplace(shard_db_path(opts_.shard_db_dir,
-                                     static_cast<int>(r), opts_.shards));
-      eo.db = &*shard_db;
+      eo.db = shard_dbs[r].get();
       eo.resume = resume_shards;
       if (resume_shards) {
-        for (const toolchain::Compilation& c : slice) {
-          if (shard_db->find(test.name(), c.str()).has_value()) {
+        for (const toolchain::Compilation& c : items) {
+          if (shard_dbs[r]->find(test.name(), c.str()).has_value()) {
             ++rep.prefilled;
           }
         }
       }
     }
 
-    out = explorer.explore(test, slice, eo);
+    out = explorer.explore(test, items, eo);
     rep.failed = out.failed_count();
     rep.retried = out.retried_count();
-    rep.executed_items = rg.size() - rep.prefilled;
+    rep.executed_items = indices.size() - rep.prefilled;
     rep.cache = cache.stats();
     // The shard's modeled-cycle skew sample: executed ok outcomes only.
     // Resumed rows carry no cycle measurement (the checkpoint database
     // stores classifications, not cycles), so they would register as
-    // zero-cost items and fake a skew that is not there.
+    // zero-cost items and fake a skew that is not there.  fresh_cycles
+    // additionally drops anchor-equal items, whose cycles are recorded
+    // but whose execution is a memoized-anchor reuse.
     for (const core::CompilationOutcome& o : out.outcomes) {
-      if (o.ok() && o.cycles > 0.0) rep.cycles.observe(o.cycles);
+      if (o.ok() && o.cycles > 0.0) {
+        rep.cycles.observe(o.cycles);
+        if (o.comp != baseline_ && o.comp != speed_reference_) {
+          rep.fresh_cycles.observe(o.cycles);
+        }
+      }
     }
     rep.seconds = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
@@ -151,40 +279,57 @@ ShardedStudy ShardCoordinator::run_static(
   };
 
   if (opts_.serial_shards || opts_.shards == 1) {
-    for (std::size_t r = 0; r < ranges.size(); ++r) run_shard(r);
+    for (std::size_t r = 0; r < nranks; ++r) run_shard(r);
   } else {
     // One pool lane per shard; each shard's explorer opens its own inner
     // pool of `jobs` lanes, composing shards x jobs.  A StudyAbort inside
     // any shard surfaces through the pool's lowest-index-rethrow contract,
     // matching what a serial shard loop would throw first.
     core::ThreadPool pool(static_cast<unsigned>(opts_.shards));
-    pool.parallel_for(ranges.size(), run_shard);
+    pool.parallel_for(nranks, run_shard);
   }
 
   ShardedStudy sharded;
-  sharded.study = merge_shards(comm, space.size(), std::move(partials));
+  sharded.study =
+      merge_placed(comm, space.size(), placement, std::move(partials));
   sharded.shards = std::move(reports);
-  if (opts_.db != nullptr) opts_.db->record(sharded.study);
   return sharded;
 }
 
-ShardedStudy ShardCoordinator::run_stealing(
+ShardedStudy ShardCoordinator::run_placed_stealing(
     const core::TestBase& test,
-    std::span<const toolchain::Compilation> space, bool resume_shards) const {
+    std::span<const toolchain::Compilation> space, const Placement& placement,
+    bool resume_shards) const {
   const ShardComm comm(opts_.shards);
-  const auto ranges = comm.scatter_ranges(space.size());
   const bool checkpointing = !opts_.shard_db_dir.empty();
-  const std::size_t nranks = ranges.size();
+  const std::size_t nranks = placement.shards();
+
+  // The steal queue deals in contiguous ranges; a permuted placement's
+  // owned sets are made contiguous by *position*: `order` concatenates the
+  // per-rank index sets, each rank's slot is its position range, and a
+  // claim's positions map back to global indices through `order`.  Under
+  // the Static policy `order` is the identity, so positions equal global
+  // indices and this is the historical stealing path verbatim.
+  std::vector<std::size_t> order;
+  order.reserve(space.size());
+  std::vector<ShardRange> slots(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    slots[r].begin = order.size();
+    order.insert(order.end(), placement.rank_indices[r].begin(),
+                 placement.rank_indices[r].end());
+    slots[r].end = order.size();
+  }
 
   std::vector<ShardReport> reports(nranks);
   for (std::size_t r = 0; r < nranks; ++r) {
     reports[r].rank = static_cast<int>(r);
-    reports[r].range = ranges[r];
+    reports[r].range = report_range(comm, space.size(), placement, r);
+    fill_placement_fields(reports[r], placement, r);
   }
 
-  // Claims are disjoint contiguous sub-ranges of [0, space.size()), so
-  // every outcome is written straight to its global index: no gather step,
-  // no way for rebalancing to misplace a result.
+  // Claims are disjoint position sub-ranges that jointly cover the space
+  // exactly once, so every outcome is written straight to its global
+  // index: no gather step, no way for rebalancing to misplace a result.
   core::StudyResult merged;
   merged.test_name = test.name();
   merged.outcomes.resize(space.size());
@@ -209,8 +354,9 @@ ShardedStudy ShardCoordinator::run_stealing(
   }
 
   // Resume under rebalancing: a stolen item checkpoints into the *thief's*
-  // shard database, so the row a claim needs may live in any shard's file.
-  // Seed every shard database with the union of all checkpointed rows; the
+  // shard database (and a re-placed item into whichever rank owned it last
+  // run), so the row a claim needs may live in any shard's file.  Seed
+  // every shard database with the union of all checkpointed rows; the
   // explorer's (test, compilation)-keyed prefill then restores each item
   // no matter which rank recorded it.
   if (checkpointing && resume_shards) {
@@ -222,11 +368,12 @@ ShardedStudy ShardCoordinator::run_stealing(
     for (const auto& db : shard_dbs) db->merge_rows(union_rows);
   }
 
-  StealQueue queue(ranges, opts_.steal_grain);
+  StealQueue queue(slots, opts_.steal_grain);
 
-  // Executes one claimed sub-range on rank r's worker state and writes the
-  // outcomes to their global indices (claims are disjoint, so the writes
-  // are race-free).  Returns the claim's wall seconds for the clocks.
+  // Executes one claimed position sub-range on rank r's worker state and
+  // writes the outcomes to their global indices (claims are disjoint, so
+  // the writes are race-free).  Returns the claim's wall seconds for the
+  // clocks.
   const auto execute_claim = [&](std::size_t r, const StealQueue::Claim& c) {
     const auto t0 = std::chrono::steady_clock::now();
     ShardReport& rep = reports[r];
@@ -244,13 +391,21 @@ ShardedStudy ShardCoordinator::run_stealing(
       obs::metrics().counter("dist.stolen_items").add(c.range.size());
     }
 
-    const auto slice = space.subspan(c.range.begin, c.range.size());
+    // The claim's global index set and dense compilation slice.
+    std::vector<std::size_t> indices(
+        order.begin() + static_cast<std::ptrdiff_t>(c.range.begin),
+        order.begin() + static_cast<std::ptrdiff_t>(c.range.end));
+    std::vector<toolchain::Compilation> items;
+    items.reserve(indices.size());
+    for (std::size_t i : indices) items.push_back(space[i]);
+
     core::ExploreOptions eo;
     eo.retry = opts_.retry;
     eo.keep_going = opts_.keep_going;
     eo.checkpoint_batch = opts_.checkpoint_batch;
     eo.obs_shard = static_cast<int>(r);
-    eo.obs_index_base = c.range.begin;
+    eo.obs_index_base = indices.empty() ? 0 : indices.front();
+    eo.global_indices = indices;
     std::size_t claim_prefilled = 0;
     if (shard_dbs[r] != nullptr) {
       eo.db = shard_dbs[r].get();
@@ -264,7 +419,7 @@ ShardedStudy ShardCoordinator::run_stealing(
                                     : c.range.size();
       ordinal_base[r] += (c.range.size() + batch - 1) / batch;
       if (resume_shards) {
-        for (const toolchain::Compilation& comp : slice) {
+        for (const toolchain::Compilation& comp : items) {
           if (shard_dbs[r]->find(test.name(), comp.str()).has_value()) {
             ++claim_prefilled;
           }
@@ -272,16 +427,21 @@ ShardedStudy ShardCoordinator::run_stealing(
       }
     }
 
-    core::StudyResult part = explorers[r]->explore(test, slice, eo);
+    core::StudyResult part = explorers[r]->explore(test, items, eo);
     rep.failed += part.failed_count();
     rep.retried += part.retried_count();
     rep.prefilled += claim_prefilled;
     rep.executed_items += c.range.size() - claim_prefilled;
     for (const core::CompilationOutcome& o : part.outcomes) {
-      if (o.ok() && o.cycles > 0.0) rep.cycles.observe(o.cycles);
+      if (o.ok() && o.cycles > 0.0) {
+        rep.cycles.observe(o.cycles);
+        if (o.comp != baseline_ && o.comp != speed_reference_) {
+          rep.fresh_cycles.observe(o.cycles);
+        }
+      }
     }
     for (std::size_t k = 0; k < part.outcomes.size(); ++k) {
-      merged.outcomes[c.range.begin + k] = std::move(part.outcomes[k]);
+      merged.outcomes[indices[k]] = std::move(part.outcomes[k]);
     }
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          t0)
@@ -345,7 +505,6 @@ ShardedStudy ShardCoordinator::run_stealing(
   ShardedStudy sharded;
   sharded.study = std::move(merged);
   sharded.shards = std::move(reports);
-  if (opts_.db != nullptr) opts_.db->record(sharded.study);
   return sharded;
 }
 

@@ -18,12 +18,16 @@
 // which is what the scaling bench uses to time each worker in isolation
 // (fleet wall-clock = the slowest shard).
 //
-// By default the ranks rebalance by work stealing (ShardOptions::steal):
-// the partition becomes a StealQueue of per-rank claim slots, owners pull
+// The partition itself is a placement decision (ShardOptions::placement):
+// the contiguous index split by default, or a predicted-cost LPT balance /
+// fingerprint-affine grouping from dist/placement.h.  By default the ranks
+// additionally rebalance by work stealing (ShardOptions::steal): the
+// placement becomes a StealQueue of per-rank claim slots, owners pull
 // grain-sized chunks off the front of their slice, and an exhausted rank
 // steals trailing sub-ranges from the most-loaded slot.  Outcomes are
-// index-addressed, so rebalancing changes fleet wall-clock -- never the
-// merged study, report CSV or converged database bytes.
+// index-addressed, so neither placement nor rebalancing changes anything
+// but fleet wall-clock and cache traffic -- never the merged study,
+// report CSV or converged database bytes.
 //
 // Fault injection stays deterministic across shard counts for free: the
 // injector's trial scope is keyed by the study item's global identity
@@ -39,7 +43,9 @@
 #include "core/explorer.h"
 #include "core/resultsdb.h"
 #include "core/workflow.h"
+#include "dist/cost_model.h"
 #include "dist/merge.h"
+#include "dist/placement.h"
 
 namespace flit::dist {
 
@@ -72,6 +78,27 @@ struct ShardOptions {
   /// exactly like the static partition; skewed spaces want a grain well
   /// below the per-shard slice so idle ranks find a stealable tail.
   std::size_t steal_grain = 16;
+
+  /// How the space is partitioned across the ranks before anything runs
+  /// (see dist/placement.h).  Static is the historical contiguous split;
+  /// Cost balances the predicted per-item load LPT-style; Affinity
+  /// additionally keeps semantics-fingerprint siblings on one shard so
+  /// each fingerprint is compiled once per fleet.  Outcomes stay
+  /// index-addressed under every policy, so the merged study, report CSV
+  /// and converged database bytes never depend on this choice -- only the
+  /// fleet's balance and cache traffic do.  Stealing composes with any
+  /// policy and mops up what the prediction got wrong.
+  PlacementPolicy placement = PlacementPolicy::Static;
+
+  /// Optional prior-run results database (`--cost-profile`) refining the
+  /// cost model's static estimates with measured relative costs.  A
+  /// missing or malformed file throws at coordinator construction.
+  std::filesystem::path cost_profile;
+
+  /// Optional pre-built profile (e.g. CostProfile::from_study of an
+  /// earlier run in the same process).  Ignored when `cost_profile`
+  /// names a file.
+  CostProfile profile;
 
   /// Per-item fault-tolerance knobs, applied within every shard (the
   /// retry budget and containment semantics of ExploreOptions).
@@ -136,32 +163,41 @@ class ShardCoordinator {
 
   [[nodiscard]] const ShardOptions& options() const { return opts_; }
 
+  /// The per-item cost model the placement pass partitions with (profiled
+  /// when ShardOptions supplied a profile or cost_profile file).
+  [[nodiscard]] const CostModel& cost_model() const { return cost_model_; }
+
  private:
   [[nodiscard]] ShardedStudy run_impl(
       const core::TestBase& test,
       std::span<const toolchain::Compilation> space, bool resume_shards)
       const;
 
-  /// The static contiguous partition (steal == false): each rank owns its
-  /// ShardComm slice outright and the merge gathers by partition.
-  [[nodiscard]] ShardedStudy run_static(
+  /// The non-stealing path (steal == false): each rank owns its placement
+  /// index set outright and the merge gathers by owned index
+  /// (merge_placed validates disjoint exact coverage).  With the Static
+  /// policy this is the historical contiguous partition.
+  [[nodiscard]] ShardedStudy run_placed_static(
       const core::TestBase& test,
-      std::span<const toolchain::Compilation> space, bool resume_shards)
-      const;
+      std::span<const toolchain::Compilation> space,
+      const Placement& placement, bool resume_shards) const;
 
-  /// The work-stealing path (steal == true): ranks pull grain-sized
-  /// claims from a StealQueue and outcomes are written straight to their
-  /// global indices, so the merged study is bitwise-identical to
-  /// run_static at any shards x jobs.
-  [[nodiscard]] ShardedStudy run_stealing(
+  /// The work-stealing path (steal == true): the placement's per-rank
+  /// index sets are concatenated into a position order, ranks pull
+  /// grain-sized position claims from a StealQueue, and outcomes are
+  /// written straight to their global indices -- so the merged study is
+  /// bitwise-identical to run_placed_static at any shards x jobs, under
+  /// any placement policy.
+  [[nodiscard]] ShardedStudy run_placed_stealing(
       const core::TestBase& test,
-      std::span<const toolchain::Compilation> space, bool resume_shards)
-      const;
+      std::span<const toolchain::Compilation> space,
+      const Placement& placement, bool resume_shards) const;
 
   const fpsem::CodeModel* model_;
   toolchain::Compilation baseline_;
   toolchain::Compilation speed_reference_;
   ShardOptions opts_;
+  CostModel cost_model_;
 };
 
 }  // namespace flit::dist

@@ -1,0 +1,83 @@
+#include "dist/cost_model.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/resultsdb.h"
+#include "obs/metrics.h"
+#include "toolchain/semantics_rules.h"
+
+namespace flit::dist {
+
+void CostProfile::add(const std::string& compilation, double cost) {
+  if (!std::isfinite(cost) || cost <= 0.0) {
+    throw std::invalid_argument(
+        "CostProfile: cost for '" + compilation +
+        "' must be finite and > 0 (got " + std::to_string(cost) + ")");
+  }
+  Acc& acc = costs_[compilation];
+  acc.sum += cost;
+  ++acc.n;
+}
+
+std::optional<double> CostProfile::cost(const std::string& compilation) const {
+  const auto it = costs_.find(compilation);
+  if (it == costs_.end()) return std::nullopt;
+  return it->second.sum / static_cast<double>(it->second.n);
+}
+
+CostProfile CostProfile::from_study(const core::StudyResult& study) {
+  CostProfile p;
+  for (const core::CompilationOutcome& o : study.outcomes) {
+    if (o.ok() && o.cycles > 0.0) p.add(o.comp.str(), o.cycles);
+  }
+  return p;
+}
+
+CostProfile CostProfile::from_results_db(const std::filesystem::path& path) {
+  if (!std::filesystem::exists(path)) {
+    throw std::runtime_error("cost profile '" + path.string() +
+                             "' does not exist");
+  }
+  const core::ResultsDb db(path);  // strict parse: malformed rows throw
+  CostProfile p;
+  for (const core::ResultRow& row : db.rows()) {
+    // The database stores speedup = reference_cycles / cycles, so the
+    // row's relative cycle count is 1/speedup.  Failed rows carry no
+    // timing and are skipped (their cost stays a static-model question).
+    if (!row.ok() || row.speedup <= 0.0) continue;
+    p.add(row.compilation, 1.0 / row.speedup);
+  }
+  return p;
+}
+
+CostModel::CostModel(toolchain::Compilation baseline,
+                     toolchain::Compilation speed_reference)
+    : baseline_(std::move(baseline)),
+      speed_reference_(std::move(speed_reference)) {}
+
+double CostModel::static_estimate(const toolchain::Compilation& c) {
+  const fpsem::CostFactors k = toolchain::derive_cost(c);
+  // The simulated runtime bills scalar ops at time_scale and vectorizable
+  // ops at time_scale / bulk_scale; the bundled kernels sit near an even
+  // split, so the blend below tracks their relative cycle counts.  The
+  // profile replaces this with measured numbers when one is loaded.
+  return k.time_scale * (0.5 + 0.5 / k.bulk_scale);
+}
+
+double CostModel::predict(const toolchain::Compilation& c) const {
+  if (c == baseline_ || c == speed_reference_) return kAnchorReuseCost;
+  if (const auto observed = profile_.cost(c.str()); observed.has_value()) {
+    return *observed;
+  }
+  return static_estimate(c);
+}
+
+const std::vector<double>& cost_error_buckets() {
+  static const std::vector<double> bounds =
+      obs::exponential_buckets(0.125, 2.0, 16);
+  return bounds;
+}
+
+}  // namespace flit::dist

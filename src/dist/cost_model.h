@@ -1,0 +1,123 @@
+#pragma once
+
+// Per-item predicted cost for the placement engine.
+//
+// Work stealing (dist/comm.h) reacts to skew after it happens; the
+// placement pass (dist/placement.h) wants to prevent it, which needs a
+// prediction of what each (test, compilation) study item will cost before
+// anything runs.  The model here estimates *executed* modeled cycles per
+// item in relative units:
+//
+//  * Static seed: the derivation rules already map a compilation triple to
+//    deterministic cost factors (toolchain::derive_cost -- the same
+//    factors the simulated runtime bills cycles with: scalar ops scale by
+//    time_scale, vectorizable ops by time_scale / bulk_scale), so a
+//    triple's relative cycle count is predictable from the optimization
+//    level and flag set alone, before any run.
+//  * Anchor reuse: a compilation equal to the study's baseline or speed
+//    reference is answered from the explorer's memoized anchor run and
+//    costs the shard essentially nothing, whatever its cycle count.  The
+//    model predicts a near-zero cost for those items, which is what makes
+//    the skewed spaces (slabs of baseline copies) balance correctly.
+//  * Profile refinement: a prior run knows the real numbers.  A
+//    CostProfile built from a previous StudyResult (actual modeled
+//    cycles) or from a ResultsDb checkpoint (1/speedup as relative
+//    cycles) overrides the static seed per compilation string, making
+//    repeated studies of the same space balance on measured cost.
+//
+// Everything is a pure function of the compilation (and the loaded
+// profile), so a placement computed from the model is deterministic and
+// reproducible -- the property the bitwise-identity guarantee of the
+// distributed engine leans on.
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/explorer.h"
+#include "toolchain/compiler.h"
+
+namespace flit::dist {
+
+/// Observed per-compilation relative costs from a prior run, keyed by the
+/// canonical compilation string.  Repeated observations of one key
+/// average; iteration order is the map's (deterministic).
+class CostProfile {
+ public:
+  /// Accumulates one observation (cost must be finite and > 0; anything
+  /// else throws std::invalid_argument -- a profile must never smuggle a
+  /// zero or negative weight into the partitioner).
+  void add(const std::string& compilation, double cost);
+
+  /// Mean observed cost of `compilation`, if any observation was added.
+  [[nodiscard]] std::optional<double> cost(
+      const std::string& compilation) const;
+
+  [[nodiscard]] std::size_t size() const { return costs_.size(); }
+  [[nodiscard]] bool empty() const { return costs_.empty(); }
+
+  /// Profile from a completed study: the actual modeled cycles of every
+  /// ok outcome (quarantined and cycle-less rows are skipped).
+  [[nodiscard]] static CostProfile from_study(const core::StudyResult& study);
+
+  /// Profile from a results database (a prior `--db` file or shard
+  /// checkpoint): the database stores speedups relative to the study's
+  /// speed reference, so 1/speedup is the row's relative cycle count.
+  /// Rows without a usable timing (failed, or speedup <= 0) are skipped.
+  /// Throws std::runtime_error when the file does not exist and
+  /// propagates the database's strict-parse errors for malformed rows.
+  [[nodiscard]] static CostProfile from_results_db(
+      const std::filesystem::path& path);
+
+ private:
+  struct Acc {
+    double sum = 0.0;
+    std::uint64_t n = 0;
+  };
+  std::map<std::string, Acc> costs_;
+};
+
+/// Deterministic per-item cost model: relative executed modeled cycles of
+/// one study item, from static triple features refined by an optional
+/// profile of prior observations.
+class CostModel {
+ public:
+  /// `baseline` / `speed_reference` are the study's anchor compilations
+  /// (their runs are memoized by the explorer, so items equal to them are
+  /// predicted nearly free).
+  CostModel(toolchain::Compilation baseline,
+            toolchain::Compilation speed_reference);
+
+  void set_profile(CostProfile profile) { profile_ = std::move(profile); }
+  [[nodiscard]] bool has_profile() const { return !profile_.empty(); }
+
+  /// Predicted executed cost of running `c`, in relative cycle units:
+  /// the profile's observation when one exists, else the static estimate;
+  /// anchor-equal compilations collapse to kAnchorReuseCost either way.
+  /// Always finite and > 0 (LPT bins must strictly grow).
+  [[nodiscard]] double predict(const toolchain::Compilation& c) const;
+
+  /// The static-feature seed: relative modeled cycles from the derivation
+  /// rules alone (optimization level + flag set -> cost factors), assuming
+  /// the bundled kernels' roughly even scalar/vectorizable op mix.
+  [[nodiscard]] static double static_estimate(const toolchain::Compilation& c);
+
+  /// Predicted cost of an anchor-equal item: not exactly zero (ties in
+  /// the partitioner must still be broken by load), but small enough that
+  /// a slab of baseline copies never outweighs one fresh compilation.
+  static constexpr double kAnchorReuseCost = 1.0 / 1024.0;
+
+ private:
+  toolchain::Compilation baseline_;
+  toolchain::Compilation speed_reference_;
+  CostProfile profile_;
+};
+
+/// Bucket bounds of the predicted-vs-actual cycle error histogram
+/// (`dist.cost.error_pct`): relative error percentages, geometric from
+/// 1/8 % to ~4096 %.
+[[nodiscard]] const std::vector<double>& cost_error_buckets();
+
+}  // namespace flit::dist

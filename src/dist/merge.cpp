@@ -44,6 +44,20 @@ obs::HistogramData ShardedStudy::aggregate_cycles() const {
   return total;
 }
 
+obs::HistogramData ShardedStudy::aggregate_fresh_cycles() const {
+  obs::HistogramData total{obs::cycle_buckets()};
+  for (const ShardReport& s : shards) total += s.fresh_cycles;
+  return total;
+}
+
+double ShardedStudy::max_shard_fresh_cycles() const {
+  double worst = 0.0;
+  for (const ShardReport& s : shards) {
+    worst = std::max(worst, s.fresh_cycle_sum());
+  }
+  return worst;
+}
+
 double ShardedStudy::total_shard_seconds() const {
   double total = 0.0;
   for (const ShardReport& s : shards) total += s.seconds;
@@ -75,17 +89,55 @@ core::StudyResult merge_shards(const ShardComm& comm, std::size_t space_size,
   return merged;
 }
 
+core::StudyResult merge_placed(const ShardComm& comm, std::size_t space_size,
+                               const Placement& placement,
+                               std::vector<core::StudyResult> per_shard) {
+  core::StudyResult merged;
+  if (!per_shard.empty()) merged.test_name = per_shard.front().test_name;
+
+  std::vector<std::vector<core::CompilationOutcome>> slices;
+  slices.reserve(per_shard.size());
+  for (core::StudyResult& r : per_shard) {
+    if (!r.test_name.empty() && r.test_name != merged.test_name) {
+      throw std::invalid_argument("merge_placed: shard results for '" +
+                                  r.test_name + "' and '" +
+                                  merged.test_name + "' cannot merge");
+    }
+    slices.push_back(std::move(r.outcomes));
+  }
+  merged.outcomes = comm.gather_indexed(space_size, placement.rank_indices,
+                                        std::move(slices));
+  return merged;
+}
+
 std::string shard_report_text(const ShardedStudy& s) {
   std::ostringstream os;
   os << "sharded study: " << s.study.outcomes.size() << " compilations over "
      << s.shards.size() << " shard(s)\n";
   for (const ShardReport& r : s.shards) {
-    os << "  shard " << r.rank << ": [" << r.range.begin << ", "
-       << r.range.end << ") " << r.executed() << " executed, " << r.prefilled
-       << " resumed, " << r.stolen << " stolen, " << r.donated
-       << " donated, " << r.failed << " failed, " << r.retried
-       << " retried, cache " << hit_rate_str(r.cache) << ", "
-       << cycles_skew_str(r.cycles) << '\n';
+    os << "  shard " << r.rank << ": ";
+    if (s.placement.contiguous) {
+      // The legacy contiguous-slice line, byte-for-byte.
+      os << "[" << r.range.begin << ", " << r.range.end << ") ";
+    } else {
+      // A permuted placement owns an arbitrary index set; the slice
+      // notation would lie, so print the owned item/group counts instead.
+      os << r.owned_items << " item(s) in " << r.owned_groups
+         << " group(s) ";
+    }
+    os << r.executed() << " executed, " << r.prefilled << " resumed, "
+       << r.stolen << " stolen, " << r.donated << " donated, " << r.failed
+       << " failed, " << r.retried << " retried, cache "
+       << hit_rate_str(r.cache) << ", " << cycles_skew_str(r.cycles) << '\n';
+  }
+  if (s.placement.policy != PlacementPolicy::Static) {
+    os << "  placement: " << to_string(s.placement.policy)
+       << (s.placement.profiled ? " (profiled)" : " (static model)") << ", "
+       << s.placement.total_groups << " fingerprint group(s), "
+       << s.placement.duplicated_groups << " duplicated (static split: "
+       << s.placement.static_duplicated_groups << "), "
+       << s.placement.avoided_group_compiles()
+       << " redundant compiles avoided\n";
   }
   std::size_t failed = 0, retried = 0, prefilled = 0;
   std::size_t stolen = 0, steals = 0;
@@ -98,8 +150,8 @@ std::string shard_report_text(const ShardedStudy& s) {
   }
   os << "  aggregate: " << failed << " failed, " << retried << " retried, "
      << prefilled << " resumed, " << stolen << " stolen over " << steals
-     << " steal(s), cache " << hit_rate_str(s.aggregate_cache()) << ", "
-     << cycles_skew_str(s.aggregate_cycles()) << '\n';
+     << " steal(s), fleet cache " << hit_rate_str(s.aggregate_cache())
+     << ", " << cycles_skew_str(s.aggregate_cycles()) << '\n';
   return os.str();
 }
 

@@ -17,6 +17,7 @@
 
 #include "core/explorer.h"
 #include "dist/comm.h"
+#include "dist/placement.h"
 #include "obs/metrics.h"
 #include "toolchain/compile_cache.h"
 
@@ -25,7 +26,10 @@ namespace flit::dist {
 /// One shard's execution summary (the merge report's per-shard line).
 struct ShardReport {
   int rank = 0;
-  ShardRange range{};         ///< global space indices the shard owned
+  ShardRange range{};         ///< global index envelope the shard owned:
+                              ///< the exact slice under contiguous
+                              ///< placement, [min, max+1) of the owned set
+                              ///< under a permuted one (see owned_items)
   std::size_t prefilled = 0;  ///< rows restored from the shard checkpoint
   std::size_t failed = 0;     ///< quarantined outcomes in the slice
   std::size_t retried = 0;    ///< outcomes recovered by retry
@@ -45,6 +49,14 @@ struct ShardReport {
   /// stolen, minus donated and checkpoint-prefilled rows.
   std::size_t executed_items = 0;
 
+  /// Placement accounting: items and distinct semantics-fingerprint
+  /// groups the placement assigned to this shard, and the cost model's
+  /// predicted load (the rank's LPT bin sum).  Under the legacy contiguous
+  /// partition owned_items == range.size() and the rest stay zero.
+  std::size_t owned_items = 0;
+  std::size_t owned_groups = 0;
+  double predicted = 0.0;
+
   /// Modeled-cycle distribution of the shard's *executed* ok outcomes
   /// (resumed rows carry no cycle measurement and are excluded).  All
   /// shards share cycle_buckets() bounds, so the per-shard histograms
@@ -52,7 +64,40 @@ struct ShardReport {
   /// work-stealing protocol rebalances against.
   obs::HistogramData cycles{obs::cycle_buckets()};
 
+  /// Like `cycles`, restricted to *fresh* work: anchor-equal items are
+  /// excluded, because the explorer answers them from the memoized anchor
+  /// run at near-zero wall cost while still recording full cycle counts.
+  /// The fixed-point sum of this histogram is the shard's modeled
+  /// wall-clock -- the balance axis the cost model predicts -- where the
+  /// unrestricted `cycles` histogram would charge a slab of baseline
+  /// copies as if each were re-executed.
+  obs::HistogramData fresh_cycles{obs::cycle_buckets()};
+
   [[nodiscard]] std::size_t executed() const { return executed_items; }
+
+  /// The shard's modeled wall-clock: summed fresh-executed cycles.
+  [[nodiscard]] double fresh_cycle_sum() const {
+    return obs::from_fixed(fresh_cycles.sum);
+  }
+};
+
+/// The placement decision a sharded study ran under, summarized for the
+/// merge report and the scaling bench.
+struct PlacementSummary {
+  PlacementPolicy policy = PlacementPolicy::Static;
+  bool contiguous = true;    ///< rank index sets were the ShardComm slices
+  bool profiled = false;     ///< the cost model carried a loaded profile
+  std::size_t total_groups = 0;
+  std::size_t duplicated_groups = 0;
+  std::size_t static_duplicated_groups = 0;
+
+  /// Fingerprint re-compilations avoided relative to the contiguous
+  /// static split (Placement::avoided_group_compiles()).
+  [[nodiscard]] std::size_t avoided_group_compiles() const {
+    return static_duplicated_groups > duplicated_groups
+               ? static_duplicated_groups - duplicated_groups
+               : 0;
+  }
 };
 
 /// A merged distributed study: the index-ordered StudyResult plus the
@@ -60,12 +105,22 @@ struct ShardReport {
 struct ShardedStudy {
   core::StudyResult study;
   std::vector<ShardReport> shards;
+  PlacementSummary placement;
 
-  /// Sum of the per-shard cache statistics (CacheStats::operator+=).
+  /// Sum of the per-shard cache statistics (CacheStats::operator+=) --
+  /// the *fleet* hit rate the affinity placer optimizes.
   [[nodiscard]] toolchain::CacheStats aggregate_cache() const;
 
   /// Sum of the per-shard cycle histograms (HistogramData::operator+=).
   [[nodiscard]] obs::HistogramData aggregate_cycles() const;
+
+  /// Sum of the per-shard fresh-cycle histograms.
+  [[nodiscard]] obs::HistogramData aggregate_fresh_cycles() const;
+
+  /// The slowest shard by modeled wall-clock (summed fresh-executed
+  /// cycles): the fleet's critical path in model units, comparable across
+  /// runs where real seconds are not.
+  [[nodiscard]] double max_shard_fresh_cycles() const;
 
   /// Sum of per-shard wall times (total worker-seconds) and the slowest
   /// shard (the fleet's critical path when shards run on dedicated
@@ -84,10 +139,22 @@ struct ShardedStudy {
     const ShardComm& comm, std::size_t space_size,
     std::vector<core::StudyResult> per_shard);
 
-/// Human-readable merge report: one line per shard (owned range, executed
-/// vs. prefilled counts, failures, retries, cache hit rate) and an
-/// aggregate line with the summed failure accounting and cache
-/// statistics.
+/// merge_shards generalized to the placement engine's permuted
+/// partitions: `per_shard[r]` holds the outcomes of rank r's owned index
+/// set (placement.rank_indices[r]), in owned-index order, and the gather
+/// places each at its global index via ShardComm::gather_indexed --
+/// validating disjoint exact coverage of the space.  With a contiguous
+/// placement this is merge_shards exactly.
+[[nodiscard]] core::StudyResult merge_placed(
+    const ShardComm& comm, std::size_t space_size, const Placement& placement,
+    std::vector<core::StudyResult> per_shard);
+
+/// Human-readable merge report: one line per shard (owned range or item
+/// count, executed vs. prefilled counts, failures, retries, cache hit
+/// rate, cycle skew), a placement line (policy, fingerprint groups,
+/// redundant compiles avoided vs. the static split), and an aggregate
+/// line with the summed failure accounting and the *fleet* cache hit
+/// rate.
 [[nodiscard]] std::string shard_report_text(const ShardedStudy& s);
 
 }  // namespace flit::dist

@@ -70,6 +70,16 @@ class CompilationCache {
   [[nodiscard]] static std::uint64_t fingerprint(const Compilation& c,
                                                  bool fpic);
 
+  /// The affinity-grouping key of `c`: compilations with equal groups hit
+  /// each other in this cache for every non-fPIC object, so a placement
+  /// that co-locates a group compiles its fingerprint once per fleet.
+  /// (-fPIC objects additionally key on the raw triple, but a study item's
+  /// object set is dominated by non-fPIC bindings, so the non-fPIC
+  /// fingerprint is the right co-location key.)
+  [[nodiscard]] static std::uint64_t semantics_group(const Compilation& c) {
+    return fingerprint(c, /*fpic=*/false);
+  }
+
  private:
   struct Key {
     std::string file;

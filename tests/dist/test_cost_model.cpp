@@ -1,0 +1,173 @@
+// Unit: the predicted-cost model feeding the placement pass.  The
+// profile must reject non-positive/non-finite observations and average
+// repeats; from_study/from_results_db must skip rows without a usable
+// timing; predict() must be finite and strictly positive for every
+// compilation, collapse anchor-equal items to the near-zero reuse cost
+// (profile or not), and prefer a profile observation over the static
+// seed.  All of it is a pure function of its inputs -- the determinism
+// the placement pass leans on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+
+#include "core/explorer.h"
+#include "core/resultsdb.h"
+#include "dist/cost_model.h"
+#include "toolchain/compiler.h"
+
+namespace {
+
+using namespace flit;
+using core::CompilationOutcome;
+using core::OutcomeStatus;
+using core::StudyResult;
+using dist::CostModel;
+using dist::CostProfile;
+using toolchain::Compilation;
+using toolchain::OptLevel;
+
+namespace fs = std::filesystem;
+
+Compilation o0() { return {toolchain::gcc(), OptLevel::O0, ""}; }
+Compilation o3() { return {toolchain::gcc(), OptLevel::O3, ""}; }
+
+TEST(CostProfile, RejectsNonPositiveAndNonFiniteObservations) {
+  CostProfile p;
+  EXPECT_THROW(p.add("c", 0.0), std::invalid_argument);
+  EXPECT_THROW(p.add("c", -1.0), std::invalid_argument);
+  EXPECT_THROW(p.add("c", std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(p.add("c", std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(CostProfile, AveragesRepeatedObservationsPerKey) {
+  CostProfile p;
+  p.add("a", 10.0);
+  p.add("a", 30.0);
+  p.add("b", 5.0);
+  EXPECT_EQ(p.size(), 2u);
+  ASSERT_TRUE(p.cost("a").has_value());
+  EXPECT_DOUBLE_EQ(*p.cost("a"), 20.0);
+  EXPECT_DOUBLE_EQ(*p.cost("b"), 5.0);
+  EXPECT_FALSE(p.cost("missing").has_value());
+}
+
+TEST(CostProfile, FromStudyKeepsOnlyOkOutcomesWithCycles) {
+  StudyResult study;
+  study.test_name = "t";
+  CompilationOutcome ok;
+  ok.comp = o3();
+  ok.cycles = 123.0;
+  CompilationOutcome crashed;
+  crashed.comp = o0();
+  crashed.cycles = 456.0;
+  crashed.status = OutcomeStatus::Crashed;
+  CompilationOutcome cycleless;
+  cycleless.comp = {toolchain::clang(), OptLevel::O2, ""};
+  cycleless.cycles = 0.0;
+  study.outcomes = {ok, crashed, cycleless};
+
+  const CostProfile p = CostProfile::from_study(study);
+  EXPECT_EQ(p.size(), 1u);
+  ASSERT_TRUE(p.cost(o3().str()).has_value());
+  EXPECT_DOUBLE_EQ(*p.cost(o3().str()), 123.0);
+}
+
+TEST(CostProfile, FromResultsDbUsesInverseSpeedupAndSkipsFailures) {
+  const fs::path path =
+      fs::temp_directory_path() / "flit_cost_profile_roundtrip.tsv";
+  fs::remove(path);
+  {
+    StudyResult study;
+    study.test_name = "t";
+    CompilationOutcome fast;
+    fast.comp = o3();
+    fast.speedup = 2.0;
+    CompilationOutcome failed;
+    failed.comp = o0();
+    failed.speedup = 0.0;
+    failed.status = OutcomeStatus::BuildFailed;
+    study.outcomes = {fast, failed};
+    core::ResultsDb db(path);
+    db.record(study);
+  }
+  const CostProfile p = CostProfile::from_results_db(path);
+  EXPECT_EQ(p.size(), 1u);
+  ASSERT_TRUE(p.cost(o3().str()).has_value());
+  EXPECT_DOUBLE_EQ(*p.cost(o3().str()), 0.5);  // 1 / speedup
+  fs::remove(path);
+}
+
+TEST(CostProfile, FromResultsDbThrowsWhenTheFileIsMissing) {
+  EXPECT_THROW(CostProfile::from_results_db(
+                   fs::temp_directory_path() / "flit_no_such_profile.tsv"),
+               std::runtime_error);
+}
+
+TEST(CostModel, PredictsFinitePositiveCostForTheWholeStudySpace) {
+  const CostModel model(toolchain::mfem_baseline(),
+                        toolchain::mfem_speed_reference());
+  for (const Compilation& c : toolchain::mfem_study_space()) {
+    const double cost = model.predict(c);
+    EXPECT_TRUE(std::isfinite(cost)) << c.str();
+    EXPECT_GT(cost, 0.0) << c.str();
+  }
+}
+
+TEST(CostModel, StaticEstimateOrdersUnoptimizedAboveOptimized) {
+  // O0 compilations pay the largest time scale and no vector width; the
+  // static seed must rank them above an optimized build of the same
+  // compiler, or the partitioner would balance skew backwards.
+  EXPECT_GT(CostModel::static_estimate(o0()), CostModel::static_estimate(o3()));
+}
+
+TEST(CostModel, AnchorEqualItemsCollapseToTheReuseCost) {
+  CostModel model(toolchain::mfem_baseline(),
+                  toolchain::mfem_speed_reference());
+  EXPECT_DOUBLE_EQ(model.predict(toolchain::mfem_baseline()),
+                   CostModel::kAnchorReuseCost);
+  EXPECT_DOUBLE_EQ(model.predict(toolchain::mfem_speed_reference()),
+                   CostModel::kAnchorReuseCost);
+
+  // Even a profile observation for the anchor's string must not undo the
+  // collapse: the explorer answers those items from the memoized anchor
+  // run, whatever a prior study measured for the compilation itself.
+  CostProfile p;
+  p.add(toolchain::mfem_baseline().str(), 1e9);
+  model.set_profile(std::move(p));
+  EXPECT_DOUBLE_EQ(model.predict(toolchain::mfem_baseline()),
+                   CostModel::kAnchorReuseCost);
+}
+
+TEST(CostModel, ProfileObservationOverridesTheStaticSeed) {
+  CostModel model(toolchain::mfem_baseline(),
+                  toolchain::mfem_speed_reference());
+  const Compilation vec{toolchain::gcc(), OptLevel::O2, "-mavx2 -mfma"};
+  const double seed = model.predict(vec);
+  EXPECT_DOUBLE_EQ(seed, CostModel::static_estimate(vec));
+  CostProfile p;
+  p.add(vec.str(), seed * 7.0);
+  model.set_profile(std::move(p));
+  EXPECT_TRUE(model.has_profile());
+  EXPECT_DOUBLE_EQ(model.predict(vec), seed * 7.0);
+  // Unprofiled compilations keep the static seed.
+  const Compilation other{toolchain::clang(), OptLevel::O3, ""};
+  EXPECT_DOUBLE_EQ(model.predict(other), CostModel::static_estimate(other));
+}
+
+TEST(CostErrorBuckets, AreGeometricAndStrictlyIncreasing) {
+  const auto& b = dist::cost_error_buckets();
+  ASSERT_EQ(b.size(), 16u);
+  EXPECT_DOUBLE_EQ(b.front(), 0.125);
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b[i], b[i - 1] * 2.0) << i;
+  }
+}
+
+}  // namespace

@@ -102,6 +102,84 @@ TEST(ShardComm, GatherOrderedRejectsMismatchedShardSizes) {
                std::invalid_argument);
 }
 
+// ---- gather_indexed -------------------------------------------------------
+
+TEST(ShardComm, GatherIndexedReassemblesAPermutedPartition) {
+  const ShardComm comm(3);
+  // A deliberately non-contiguous ownership: round-robin by index.
+  const std::vector<std::vector<std::size_t>> owners{
+      {0, 3, 6}, {1, 4, 7}, {2, 5}};
+  std::vector<std::vector<int>> shards(3);
+  for (std::size_t r = 0; r < owners.size(); ++r) {
+    for (std::size_t i : owners[r]) {
+      shards[r].push_back(static_cast<int>(100 + i));
+    }
+  }
+  const auto gathered =
+      comm.gather_indexed(std::size_t{8}, owners, std::move(shards));
+  ASSERT_EQ(gathered.size(), 8u);
+  for (std::size_t i = 0; i < gathered.size(); ++i) {
+    EXPECT_EQ(gathered[i], static_cast<int>(100 + i)) << i;
+  }
+}
+
+TEST(ShardComm, GatherIndexedMatchesGatherOrderedOnContiguousRanges) {
+  const ShardComm comm(3);
+  const std::size_t n = 7;
+  std::vector<std::vector<std::size_t>> owners(3);
+  const auto ranges = comm.scatter_ranges(n);
+  for (std::size_t r = 0; r < ranges.size(); ++r) {
+    for (std::size_t i = ranges[r].begin; i < ranges[r].end; ++i) {
+      owners[r].push_back(i);
+    }
+  }
+  std::vector<int> items(n);
+  std::iota(items.begin(), items.end(), 42);
+  const auto shards = comm.scatter(std::span<const int>(items));
+  EXPECT_EQ(comm.gather_indexed(n, owners, shards), items);
+}
+
+TEST(ShardComm, GatherIndexedRejectsDoubleOwnership) {
+  const ShardComm comm(2);
+  const std::vector<std::vector<std::size_t>> owners{{0, 1}, {1, 2}};
+  std::vector<std::vector<int>> shards{{10, 11}, {11, 12}};
+  EXPECT_THROW(
+      (void)comm.gather_indexed(std::size_t{3}, owners, std::move(shards)),
+      std::invalid_argument);
+}
+
+TEST(ShardComm, GatherIndexedRejectsUncoveredIndices) {
+  const ShardComm comm(2);
+  const std::vector<std::vector<std::size_t>> owners{{0}, {2}};  // 1 orphaned
+  std::vector<std::vector<int>> shards{{10}, {12}};
+  EXPECT_THROW(
+      (void)comm.gather_indexed(std::size_t{3}, owners, std::move(shards)),
+      std::invalid_argument);
+}
+
+TEST(ShardComm, GatherIndexedRejectsOutOfSpaceIndices) {
+  const ShardComm comm(2);
+  const std::vector<std::vector<std::size_t>> owners{{0, 1}, {5}};
+  std::vector<std::vector<int>> shards{{10, 11}, {15}};
+  EXPECT_THROW(
+      (void)comm.gather_indexed(std::size_t{3}, owners, std::move(shards)),
+      std::invalid_argument);
+}
+
+TEST(ShardComm, GatherIndexedRejectsShardAndOwnerSizeMismatches) {
+  const ShardComm comm(2);
+  const std::vector<std::vector<std::size_t>> owners{{0, 1}, {2}};
+  std::vector<std::vector<int>> short_shard{{10}, {12}};
+  EXPECT_THROW((void)comm.gather_indexed(std::size_t{3}, owners,
+                                         std::move(short_shard)),
+               std::invalid_argument);
+  const std::vector<std::vector<std::size_t>> one_owner{{0, 1, 2}};
+  std::vector<std::vector<int>> shards{{10, 11}, {12}};
+  EXPECT_THROW((void)comm.gather_indexed(std::size_t{3}, one_owner,
+                                         std::move(shards)),
+               std::invalid_argument);
+}
+
 // ---- StealQueue -----------------------------------------------------------
 
 TEST(StealQueue, OwnersClaimGrainChunksFromTheFrontInOrder) {

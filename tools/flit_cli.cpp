@@ -84,14 +84,18 @@ int usage() {
       "       flit explore <test> [--csv] [--db file.tsv] [--resume]\n"
       "                    [--jobs N] [--retries N]\n"
       "                    [--shards N] [--shard-db-dir dir]\n"
-      "                    [--steal|--no-steal]\n"
+      "                    [--steal|--no-steal] [--steal-grain N]\n"
+      "                    [--placement static|cost|affinity]\n"
+      "                    [--cost-profile file.tsv]\n"
       "                    [--keep-going|--no-keep-going]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
       "       flit bisect <test> <compiler> <-ON> [flag...] "
       "[--k N] [--digits D]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
       "       flit workflow <test> [--jobs N] [--retries N] [--shards N]\n"
-      "                    [--steal|--no-steal]\n"
+      "                    [--steal|--no-steal] [--steal-grain N]\n"
+      "                    [--placement static|cost|affinity]\n"
+      "                    [--cost-profile file.tsv]\n"
       "                    [--keep-going|--no-keep-going]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
       "       flit mix <test> <tolerance>\n"
@@ -112,6 +116,16 @@ int usage() {
       "                most-loaded one (default; results are identical\n"
       "                either way -- --no-steal restores the static\n"
       "                partition)\n"
+      "--steal-grain N items per steal claim (default 16); smaller grains\n"
+      "                rebalance finer at more claim overhead\n"
+      "--placement P   how the space is split across shards: 'static'\n"
+      "                (contiguous index split, default), 'cost'\n"
+      "                (predicted-cost LPT balance), or 'affinity' (cost\n"
+      "                balance that keeps fingerprint-equal compilations\n"
+      "                on one shard, so each is compiled once per fleet);\n"
+      "                merged results are identical under every policy\n"
+      "--cost-profile  prior-run results database refining the placement\n"
+      "                cost model with measured per-compilation costs\n"
       "--db file.tsv   record outcomes into a results database,\n"
       "                checkpointing incrementally (with --shards: the\n"
       "                converged database, written after the merge)\n"
@@ -155,6 +169,17 @@ unsigned parse_jobs(const char* flag, const char* s) {
                                 std::string(s) + "'");
   }
   return static_cast<unsigned>(v);
+}
+
+/// Strict placement-policy parsing: only the names place_space knows.
+dist::PlacementPolicy parse_placement(const char* flag, const char* s) {
+  const auto p = dist::placement_policy_from(s);
+  if (!p.has_value()) {
+    throw std::invalid_argument(std::string(flag) +
+                                ": expected static|cost|affinity, got '" +
+                                s + "'");
+  }
+  return *p;
 }
 
 /// Returns the value of a value-taking option, consuming it (advances i).
@@ -276,6 +301,9 @@ struct ExploreArgs {
   int shards = 1;
   std::string shard_db_dir;
   bool steal = true;
+  std::size_t steal_grain = 16;
+  dist::PlacementPolicy placement = dist::PlacementPolicy::Static;
+  std::string cost_profile;
   core::RetryPolicy retry;
   bool keep_going = true;
 };
@@ -311,6 +339,9 @@ int cmd_explore(const std::string& test_name, const ExploreArgs& args) {
     sopts.keep_going = args.keep_going;
     sopts.shard_db_dir = args.shard_db_dir;
     sopts.steal = args.steal;
+    sopts.steal_grain = args.steal_grain;
+    sopts.placement = args.placement;
+    sopts.cost_profile = args.cost_profile;
     sopts.db = db.has_value() ? &*db : nullptr;
     dist::ShardCoordinator coord(&fpsem::global_code_model(),
                                  toolchain::mfem_baseline(),
@@ -367,9 +398,18 @@ int cmd_bisect(const std::string& test_name,
   return 0;
 }
 
-int cmd_workflow(const std::string& test_name, unsigned jobs, int shards,
-                 bool steal, const core::RetryPolicy& retry,
-                 bool keep_going) {
+struct WorkflowArgs {
+  unsigned jobs = 0;
+  int shards = 1;
+  bool steal = true;
+  std::size_t steal_grain = 16;
+  dist::PlacementPolicy placement = dist::PlacementPolicy::Static;
+  std::string cost_profile;
+  core::RetryPolicy retry;
+  bool keep_going = true;
+};
+
+int cmd_workflow(const std::string& test_name, const WorkflowArgs& args) {
   auto& reg = core::global_test_registry();
   if (!reg.contains(test_name)) {
     std::fprintf(stderr, "unknown test '%s'\n", test_name.c_str());
@@ -381,21 +421,24 @@ int cmd_workflow(const std::string& test_name, unsigned jobs, int shards,
   opts.speed_reference = toolchain::mfem_speed_reference();
   opts.max_bisects = 3;
   opts.k = 1;
-  opts.jobs = jobs;
-  opts.explore.retry = retry;
-  opts.explore.keep_going = keep_going;
+  opts.jobs = args.jobs;
+  opts.explore.retry = args.retry;
+  opts.explore.keep_going = args.keep_going;
   // With --shards the Level 1/2 exploration runs on the sharded engine;
   // the merged study is bitwise-identical, so the bisect phase and report
   // are oblivious.  The coordinator outlives run_workflow's use of the
   // override.
   std::optional<dist::ShardCoordinator> coord;
-  if (shards > 1) {
+  if (args.shards > 1) {
     dist::ShardOptions sopts;
-    sopts.shards = shards;
-    sopts.jobs = jobs >= 1 ? jobs : 1;
-    sopts.steal = steal;
-    sopts.retry = retry;
-    sopts.keep_going = keep_going;
+    sopts.shards = args.shards;
+    sopts.jobs = args.jobs >= 1 ? args.jobs : 1;
+    sopts.steal = args.steal;
+    sopts.steal_grain = args.steal_grain;
+    sopts.placement = args.placement;
+    sopts.cost_profile = args.cost_profile;
+    sopts.retry = args.retry;
+    sopts.keep_going = args.keep_going;
     coord.emplace(&fpsem::global_code_model(), opts.baseline,
                   opts.speed_reference, sopts);
     opts.explore_override = coord->explore_override();
@@ -472,6 +515,15 @@ int dispatch(int argc, char** argv) {
         args.steal = true;
       } else if (std::strcmp(argv[i], "--no-steal") == 0) {
         args.steal = false;
+      } else if (std::strcmp(argv[i], "--steal-grain") == 0) {
+        args.steal_grain = parse_jobs(
+            "--steal-grain", option_value("--steal-grain", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--placement") == 0) {
+        args.placement = parse_placement(
+            "--placement", option_value("--placement", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--cost-profile") == 0) {
+        args.cost_profile =
+            option_value("--cost-profile", argv, argc, &i);
       } else if (std::strcmp(argv[i], "--retries") == 0) {
         args.retry.max_attempts = static_cast<int>(parse_jobs(
             "--retries", option_value("--retries", argv, argc, &i)));
@@ -534,39 +586,45 @@ int dispatch(int argc, char** argv) {
 
   if (cmd == "workflow") {
     if (argc < 3) return usage();
-    unsigned jobs = core::default_jobs();
-    int shards = 1;
-    bool steal = true;
-    core::RetryPolicy retry;
-    bool keep_going = true;
+    WorkflowArgs args;
+    args.jobs = core::default_jobs();
     TelemetryArgs tel;
     for (int i = 3; i < argc; ++i) {
       if (tel.parse(argv, argc, &i)) {
         // consumed
       } else if (std::strcmp(argv[i], "--jobs") == 0) {
-        jobs = parse_jobs("--jobs", option_value("--jobs", argv, argc, &i));
+        args.jobs =
+            parse_jobs("--jobs", option_value("--jobs", argv, argc, &i));
       } else if (std::strcmp(argv[i], "--shards") == 0) {
-        shards = static_cast<int>(parse_jobs(
+        args.shards = static_cast<int>(parse_jobs(
             "--shards", option_value("--shards", argv, argc, &i)));
       } else if (std::strcmp(argv[i], "--steal") == 0) {
-        steal = true;
+        args.steal = true;
       } else if (std::strcmp(argv[i], "--no-steal") == 0) {
-        steal = false;
+        args.steal = false;
+      } else if (std::strcmp(argv[i], "--steal-grain") == 0) {
+        args.steal_grain = parse_jobs(
+            "--steal-grain", option_value("--steal-grain", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--placement") == 0) {
+        args.placement = parse_placement(
+            "--placement", option_value("--placement", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--cost-profile") == 0) {
+        args.cost_profile =
+            option_value("--cost-profile", argv, argc, &i);
       } else if (std::strcmp(argv[i], "--retries") == 0) {
-        retry.max_attempts = static_cast<int>(parse_jobs(
+        args.retry.max_attempts = static_cast<int>(parse_jobs(
             "--retries", option_value("--retries", argv, argc, &i)));
       } else if (std::strcmp(argv[i], "--keep-going") == 0) {
-        keep_going = true;
+        args.keep_going = true;
       } else if (std::strcmp(argv[i], "--no-keep-going") == 0) {
-        keep_going = false;
+        args.keep_going = false;
       } else {
         std::fprintf(stderr, "workflow: unknown option '%s'\n", argv[i]);
         return usage();
       }
     }
     telemetry_begin(tel);
-    const int rc =
-        cmd_workflow(argv[2], jobs, shards, steal, retry, keep_going);
+    const int rc = cmd_workflow(argv[2], args);
     telemetry_finish(tel);
     return rc;
   }
