@@ -5,7 +5,7 @@
 // as one machine-readable JSON line per shard count for the BENCH
 // trajectory.
 //
-//   bench_shard_scaling [--skew] [n_examples]
+//   bench_shard_scaling [--skew|--faulted] [n_examples]
 //
 // n_examples defaults to 6 (the first six mini-MFEM examples over the
 // full 244-compilation space).  Shards model *independent workers* -- a
@@ -31,6 +31,16 @@
 // per fleet, not once per shard) at a max-shard modeled wall-clock no
 // worse than stealing alone.  The merged studies stay bitwise-identical
 // under every schedule.
+//
+// --faulted benches the fleet supervisor instead: the same workload runs
+// through the supervised virtual-clock loop three times -- unfaulted
+// (the baseline fleet clock), with the injector's shard site armed (ranks
+// die mid-claim and the supervisor restarts them, reassigning the
+// orphaned claims), and with a 100% fault rate under a zero restart
+// budget in --allow-partial mode (every cell degrades).  The recovered
+// study must be bitwise-identical to the unfaulted baseline and the
+// recovery overhead -- faulted over unfaulted fleet virtual cycles --
+// must stay within 1.25x, or the bench aborts.
 
 #include <algorithm>
 #include <cstdio>
@@ -40,8 +50,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/faults.h"
 #include "core/report.h"
 #include "dist/coordinator.h"
+#include "dist/supervisor.h"
 #include "mfemini/examples.h"
 #include "toolchain/compiler.h"
 
@@ -259,14 +271,157 @@ int run_skew_bench(int n_examples) {
   return 0;
 }
 
+/// One pass of the supervised virtual-clock loop over the first
+/// n_examples, with the injector in whatever state the caller armed.
+/// Supervisor counters are summed across examples.
+struct SupervisedRun {
+  std::vector<core::StudyResult> results;
+  dist::SupervisorSummary totals;
+};
+
+SupervisedRun run_supervised_fleet(
+    int n_examples, int shards,
+    const std::vector<toolchain::Compilation>& space, int max_restarts,
+    bool allow_partial) {
+  dist::SupervisorOptions opts;
+  opts.shard.shards = shards;
+  opts.shard.jobs = 1;
+  opts.max_restarts = max_restarts;
+  opts.allow_partial = allow_partial;
+  opts.force_supervised = true;  // unfaulted baseline takes the same loop
+  const dist::FleetSupervisor fleet(&fpsem::global_code_model(),
+                                    toolchain::mfem_baseline(),
+                                    toolchain::mfem_speed_reference(),
+                                    opts);
+  SupervisedRun run;
+  for (int ex = 1; ex <= n_examples; ++ex) {
+    mfemini::MfemExampleTest test(ex);
+    dist::ShardedStudy sharded = fleet.run(test, space);
+    run.totals.rank_faults += sharded.supervisor.rank_faults;
+    run.totals.stalls += sharded.supervisor.stalls;
+    run.totals.restarts += sharded.supervisor.restarts;
+    run.totals.reassigned_claims += sharded.supervisor.reassigned_claims;
+    run.totals.reassigned_items += sharded.supervisor.reassigned_items;
+    run.totals.degraded_cells += sharded.supervisor.degraded_cells;
+    run.totals.dead_ranks += sharded.supervisor.dead_ranks;
+    run.totals.backoff_cycles += sharded.supervisor.backoff_cycles;
+    run.totals.fleet_cycles += sharded.supervisor.fleet_cycles;
+    run.results.push_back(std::move(sharded.study));
+  }
+  return run;
+}
+
+int run_faulted_bench(int n_examples) {
+  const auto space = toolchain::mfem_study_space();
+  std::printf(
+      "fleet supervisor bench: %d examples x %zu compilations at 2 "
+      "shards\n",
+      n_examples, space.size());
+  auto& injector = core::FaultInjector::global();
+
+  injector.disarm();
+  const SupervisedRun baseline =
+      run_supervised_fleet(n_examples, 2, space, /*max_restarts=*/2,
+                           /*allow_partial=*/false);
+
+  // shard:0.05:3 is seed-picked to fire on this workload (the injector
+  // hashes site x seed x rank context x claim key).  A generous restart
+  // budget keeps every fault recoverable.
+  injector.configure("shard:0.05:3");
+  const SupervisedRun recovered =
+      run_supervised_fleet(n_examples, 2, space, /*max_restarts=*/8,
+                           /*allow_partial=*/false);
+  injector.disarm();
+
+  // Every claim roll faults and no restart is allowed: the whole fleet
+  // dies and --allow-partial degrades every cell.
+  injector.configure("shard:1.0:1");
+  const SupervisedRun degraded =
+      run_supervised_fleet(n_examples, 2, space, /*max_restarts=*/0,
+                           /*allow_partial=*/true);
+  injector.disarm();
+
+  const double overhead =
+      baseline.totals.fleet_cycles > 0.0
+          ? recovered.totals.fleet_cycles / baseline.totals.fleet_cycles
+          : 0.0;
+
+  struct Row {
+    const char* label;
+    const char* mode;
+    const SupervisedRun* run;
+  };
+  for (const Row& row : {Row{"unfaulted", "unfaulted", &baseline},
+                         Row{"recovered", "recovered", &recovered},
+                         Row{"degraded ", "degraded", &degraded}}) {
+    const dist::SupervisorSummary& t = row.run->totals;
+    std::printf(
+        "  %s: fleet clock %12.0f cycles  faults %3zu  restarts %3zu  "
+        "reassigned %3zu claim(s)/%4zu item(s)  degraded %4zu  dead %2zu\n",
+        row.label, t.fleet_cycles, t.rank_faults, t.restarts,
+        t.reassigned_claims, t.reassigned_items, t.degraded_cells,
+        t.dead_ranks);
+    std::printf(
+        "BENCH_JSON {\"bench\":\"shard_scaling_faulted\",\"examples\":%d,"
+        "\"space\":%zu,\"shards\":2,\"mode\":\"%s\","
+        "\"fleet_cycles\":%.1f,\"rank_faults\":%zu,\"restarts\":%zu,"
+        "\"reassigned_claims\":%zu,\"reassigned_items\":%zu,"
+        "\"degraded_cells\":%zu,\"dead_ranks\":%zu,"
+        "\"backoff_cycles\":%.1f,\"recovery_overhead\":%.4f}\n",
+        n_examples, space.size(), row.mode, t.fleet_cycles, t.rank_faults,
+        t.restarts, t.reassigned_claims, t.reassigned_items,
+        t.degraded_cells, t.dead_ranks, t.backoff_cycles,
+        row.run == &recovered ? overhead : 1.0);
+  }
+
+  // Acceptance bar 1: the faulted run must actually have been faulted --
+  // a seed that never fires benches nothing.
+  if (recovered.totals.rank_faults == 0 ||
+      recovered.totals.reassigned_claims == 0) {
+    std::fprintf(stderr,
+                 "FATAL: the shard fault seed never fired (no recovery "
+                 "exercised)\n");
+    return 1;
+  }
+  // Acceptance bar 2: recovery must preserve the study bytes exactly.
+  if (!identical(recovered.results, baseline.results)) {
+    std::fprintf(stderr,
+                 "FATAL: the recovered study differs from the unfaulted "
+                 "baseline\n");
+    return 1;
+  }
+  // Acceptance bar 3: restart/backoff and claim reassignment must stay
+  // cheap -- within 1.25x of the unfaulted fleet virtual clock.
+  if (overhead > 1.25) {
+    std::fprintf(stderr,
+                 "FATAL: recovery overhead %.3fx exceeds the 1.25x bar\n",
+                 overhead);
+    return 1;
+  }
+  // Acceptance bar 4: budget exhaustion under --allow-partial must
+  // degrade every cell rather than abort.
+  if (degraded.totals.degraded_cells !=
+      static_cast<std::size_t>(n_examples) * space.size()) {
+    std::fprintf(stderr,
+                 "FATAL: expected %zu degraded cells, got %zu\n",
+                 static_cast<std::size_t>(n_examples) * space.size(),
+                 degraded.totals.degraded_cells);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool skew = false;
+  bool faulted = false;
   int arg_examples = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--skew") {
       skew = true;
+    } else if (std::string_view(argv[i]) == "--faulted") {
+      faulted = true;
     } else {
       arg_examples = std::atoi(argv[i]);
     }
@@ -274,8 +429,9 @@ int main(int argc, char** argv) {
   const int n_examples =
       arg_examples > 0
           ? arg_examples
-          : std::min(skew ? 3 : 6, mfemini::kNumExamples);
+          : std::min(skew || faulted ? 3 : 6, mfemini::kNumExamples);
   if (skew) return run_skew_bench(n_examples);
+  if (faulted) return run_faulted_bench(n_examples);
   const auto space = toolchain::mfem_study_space();
 
   std::printf("shard scaling bench: %d examples x %zu compilations\n",

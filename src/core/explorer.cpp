@@ -18,6 +18,7 @@ const char* to_string(OutcomeStatus s) {
     case OutcomeStatus::Retried: return "retried";
     case OutcomeStatus::Crashed: return "crashed";
     case OutcomeStatus::BuildFailed: return "build-failed";
+    case OutcomeStatus::Degraded: return "degraded";
   }
   return "?";
 }
@@ -27,6 +28,7 @@ std::optional<OutcomeStatus> outcome_status_from(const std::string& name) {
   if (name == "retried") return OutcomeStatus::Retried;
   if (name == "crashed") return OutcomeStatus::Crashed;
   if (name == "build-failed") return OutcomeStatus::BuildFailed;
+  if (name == "degraded") return OutcomeStatus::Degraded;
   return std::nullopt;
 }
 
@@ -48,6 +50,13 @@ std::size_t StudyResult::retried_count() const {
   return static_cast<std::size_t>(std::count_if(
       outcomes.begin(), outcomes.end(), [](const CompilationOutcome& o) {
         return o.status == OutcomeStatus::Retried;
+      }));
+}
+
+std::size_t StudyResult::degraded_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      outcomes.begin(), outcomes.end(), [](const CompilationOutcome& o) {
+        return o.status == OutcomeStatus::Degraded;
       }));
 }
 
@@ -207,12 +216,16 @@ StudyResult SpaceExplorer::explore(
 
   // Resume: prefill outcomes already recorded for this test (quarantined
   // rows included -- a failure that exhausted its retry budget once is
-  // not re-run by a later study) and skip their execution.
+  // not re-run by a later study) and skip their execution.  Degraded rows
+  // are the exception: the fleet supervisor records them when it ran out
+  // of live ranks, so the item itself was never attempted -- a resume
+  // re-runs it rather than locking the infrastructure failure in.
   std::vector<char> prefilled(space.size(), 0);
   if (opts.db != nullptr && opts.resume) {
     for (std::size_t i = 0; i < space.size(); ++i) {
       const auto row = opts.db->find(result.test_name, space[i].str());
       if (!row.has_value()) continue;
+      if (row->status == OutcomeStatus::Degraded) continue;
       CompilationOutcome& o = result.outcomes[i];
       o.comp = space[i];
       o.speedup = row->speedup;

@@ -45,6 +45,10 @@ enum class OutcomeStatus {
   Retried,      ///< ran cleanly after one or more failed attempts
   Crashed,      ///< the executable died with a signal on every attempt
   BuildFailed,  ///< the compile or link step failed on every attempt
+  Degraded,     ///< never executed: the fleet supervisor ran out of live
+                ///< ranks before the item's claim could run (an
+                ///< infrastructure failure, not an item failure -- a
+                ///< resume re-runs degraded rows, unlike quarantined ones)
 };
 
 [[nodiscard]] const char* to_string(OutcomeStatus s);
@@ -87,6 +91,10 @@ struct StudyResult {
 
   /// Outcomes that needed a retry to complete.
   [[nodiscard]] std::size_t retried_count() const;
+
+  /// Outcomes the fleet supervisor marked degraded (never executed).
+  /// A subset of failed_count().
+  [[nodiscard]] std::size_t degraded_count() const;
 
   /// Fastest outcome that compares equal to the baseline, optionally
   /// restricted to one compiler (by name).

@@ -33,6 +33,10 @@ bool parse_site(const std::string& name, FaultSite* out) {
     *out = FaultSite::Run;
   } else if (name == "kill") {
     *out = FaultSite::Kill;
+  } else if (name == "shard") {
+    *out = FaultSite::Shard;
+  } else if (name == "stall") {
+    *out = FaultSite::Stall;
   } else {
     return false;
   }
@@ -47,6 +51,8 @@ const char* to_string(FaultSite s) {
     case FaultSite::Link: return "link";
     case FaultSite::Run: return "run";
     case FaultSite::Kill: return "kill";
+    case FaultSite::Shard: return "shard";
+    case FaultSite::Stall: return "stall";
   }
   return "?";
 }
@@ -104,8 +110,16 @@ void FaultInjector::configure(const std::string& spec) {
 
     FaultSite site{};
     if (!parse_site(site_name, &site)) {
-      throw std::invalid_argument("FLIT_FAULTS: unknown site '" + site_name +
-                                  "' (expected compile|link|run|kill)");
+      throw std::invalid_argument(
+          "FLIT_FAULTS: unknown site '" + site_name +
+          "' (expected compile|link|run|kill|shard|stall)");
+    }
+    // A repeated site would silently overwrite the earlier spec; the user
+    // almost certainly meant a different site, so reject the duplicate by
+    // name instead of keeping whichever entry happened to come last.
+    if (parsed.armed(site)) {
+      throw std::invalid_argument("FLIT_FAULTS: duplicate site '" +
+                                  site_name + "' in '" + spec + "'");
     }
     // Rates are probabilities: [0, 1] for the failure sites.  The kill
     // site's "rate" is a checkpoint-batch ordinal and may exceed 1.

@@ -7,7 +7,11 @@
 // testable under faults it did not cause itself.  FaultInjector provides
 // seed-driven injection sites at the three places a real study dies --
 // the compiler invocation, the link step, and the program run -- plus a
-// checkpoint kill switch used by the kill-then-resume smoke test.
+// checkpoint kill switch used by the kill-then-resume smoke test, and two
+// rank-level sites consumed by the fleet supervisor (src/dist): `shard`
+// (a rank's explore lane throws mid-claim and the rank dies) and `stall`
+// (a rank hangs on a claim and is detected at a modeled-cycle deadline on
+// the supervisor's virtual clock -- no wall clock anywhere).
 //
 // Determinism is the whole point: a fault decision is a pure hash of
 // (site, seed, trial context, operation key, attempt number).  The trial
@@ -25,9 +29,11 @@
 // Configuration:
 //   * programmatic: FaultInjector::global().configure("run:0.2:42");
 //   * environment:  FLIT_FAULTS=site:rate:seed[,site:rate:seed...]
-//     where site is compile|link|run|kill, rate is a probability in
-//     [0, 1] (for kill: the 1-based checkpoint-batch ordinal to die at),
-//     and seed is an optional unsigned integer (default 0).
+//     where site is compile|link|run|kill|shard|stall, rate is a
+//     probability in [0, 1] (for kill: the 1-based checkpoint-batch
+//     ordinal to die at), and seed is an optional unsigned integer
+//     (default 0).  A site may appear at most once; unknown or duplicate
+//     sites are rejected with a message naming the offending token.
 //
 // This header is deliberately self-contained (standard library only) so
 // the toolchain layer can consult the injector without depending on the
@@ -44,7 +50,7 @@
 
 namespace flit::core {
 
-enum class FaultSite { Compile, Link, Run, Kill };
+enum class FaultSite { Compile, Link, Run, Kill, Shard, Stall };
 
 [[nodiscard]] const char* to_string(FaultSite s);
 
@@ -139,7 +145,7 @@ class FaultInjector {
   [[nodiscard]] SiteSpec site_spec(FaultSite site) const;
 
   mutable std::mutex mu_;
-  std::array<SiteSpec, 4> sites_{};
+  std::array<SiteSpec, 6> sites_{};
   // Fast path for the common disarmed case; written under mu_.
   std::atomic<bool> any_armed_{false};
 };

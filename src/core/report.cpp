@@ -40,12 +40,21 @@ std::string failure_report(const StudyResult& r) {
   std::ostringstream os;
   const std::size_t failed = r.failed_count();
   const std::size_t retried = r.retried_count();
+  const std::size_t degraded = r.degraded_count();
   if (failed == 0 && retried == 0) return os.str();
-  os << "failure accounting: " << failed << " of " << r.outcomes.size()
-     << " compilations quarantined, " << retried
-     << " recovered by retry\n";
+  // Degraded cells were never attempted (the fleet ran out of live
+  // ranks), so they are reported apart from the quarantined items whose
+  // every attempt failed.  With none, the line is byte-identical to the
+  // historical format.
+  os << "failure accounting: " << failed - degraded << " of "
+     << r.outcomes.size() << " compilations quarantined, " << retried
+     << " recovered by retry";
+  if (degraded > 0) os << ", " << degraded << " degraded";
+  os << '\n';
   for (const CompilationOutcome& o : r.outcomes) {
-    if (o.failed()) {
+    if (o.status == OutcomeStatus::Degraded) {
+      os << "  DEGRADED " << o.comp.str() << ": " << o.reason << '\n';
+    } else if (o.failed()) {
       os << "  QUARANTINED " << o.comp.str() << " [" << to_string(o.status)
          << " after " << o.attempts << " attempt(s)]: " << o.reason << '\n';
     } else if (o.status == OutcomeStatus::Retried) {
@@ -62,6 +71,9 @@ std::string study_summary(const StudyResult& r) {
      << " compilations, " << r.variable_count() << " variable";
   if (const std::size_t failed = r.failed_count(); failed > 0) {
     os << ", " << failed << " failed";
+  }
+  if (const std::size_t degraded = r.degraded_count(); degraded > 0) {
+    os << " (" << degraded << " degraded)";
   }
   if (const std::size_t retried = r.retried_count(); retried > 0) {
     os << ", " << retried << " retried";

@@ -5,7 +5,10 @@
 // row per (test, compilation) outcome -- including crashed and
 // build-failed outcomes, which is what makes studies resumable: a killed
 // `flit explore --db r.tsv --resume` skips every recorded row and
-// converges to the same database an uninterrupted run produces.
+// converges to the same database an uninterrupted run produces.  The one
+// status a resume does NOT skip is "degraded" (the fleet supervisor ran
+// out of live ranks before the item ever executed): re-running with
+// --resume fills those cells in and converges to the unfaulted bytes.
 //
 // Durability: save() writes a temporary file in the database's directory
 // and renames it into place, so a crash mid-save never bricks the store;

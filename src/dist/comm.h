@@ -187,29 +187,44 @@ class ShardComm {
 /// reproducible; under pooled shards the *schedule* may vary with timing,
 /// but the results cannot (see the determinism argument in
 /// docs/distributed-engine.md).
+///
+/// Fault containment composes over the same protocol: the fleet
+/// supervisor returns a dead rank's unfinished claim with release() and
+/// retires its remaining slot with mark_dead(); both land in a FIFO
+/// orphan pool that any rank may claim from -- even with stealing
+/// disabled, because taking over for a dead rank is recovery, not load
+/// balancing.  A queue that never sees release()/mark_dead() behaves
+/// exactly as before.
 class StealQueue {
  public:
   /// One granted sub-range: `range` is the claim, `victim` the rank whose
-  /// slot it came from, `stolen` whether that rank is not the claimant.
+  /// slot it came from, `stolen` whether that rank is not the claimant,
+  /// `reassigned` whether the range was orphaned by a failed rank.
   struct Claim {
     ShardRange range{};
     int victim = 0;
     bool stolen = false;
+    bool reassigned = false;
   };
 
   /// Per-rank accounting, readable after the workers have drained the
   /// queue (claims mutate it under the lock).
   struct RankStats {
-    std::size_t claims = 0;   ///< sub-ranges granted to this rank
-    std::size_t steals = 0;   ///< of which were steals
-    std::size_t stolen = 0;   ///< items this rank took from other slots
-    std::size_t donated = 0;  ///< items other ranks took from this slot
+    std::size_t claims = 0;      ///< sub-ranges granted to this rank
+    std::size_t steals = 0;      ///< of which were steals
+    std::size_t stolen = 0;      ///< items this rank took from other slots
+    std::size_t donated = 0;     ///< items other ranks took from this slot
+    std::size_t reassigned = 0;  ///< items this rank took from the orphan
+                                 ///< pool (failed ranks' returned work)
   };
 
   /// `ranges` is the static partition (ShardComm::scatter_ranges);
-  /// `grain` caps every claim's size (>= 1, clamped).
-  StealQueue(std::vector<ShardRange> ranges, std::size_t grain)
-      : grain_(grain < 1 ? 1 : grain) {
+  /// `grain` caps every claim's size (>= 1, clamped).  `steal_enabled`
+  /// false disables stealing from live slots (the --no-steal fleet);
+  /// orphaned work stays claimable by everyone either way.
+  StealQueue(std::vector<ShardRange> ranges, std::size_t grain,
+             bool steal_enabled = true)
+      : grain_(grain < 1 ? 1 : grain), steal_enabled_(steal_enabled) {
     slots_.reserve(ranges.size());
     for (const ShardRange& r : ranges) slots_.push_back({r.begin, r.end});
     stats_.resize(ranges.size());
@@ -234,11 +249,25 @@ class StealQueue {
       // trailing sub-range stealable.
       own.started = true;
       const std::size_t take = std::min(grain_, own.end - own.next);
-      Claim c{{own.next, own.next + take}, rank, false};
+      Claim c{{own.next, own.next + take}, rank, false, false};
       own.next += take;
       ++stats_[r].claims;
       return c;
     }
+    // Orphaned work next: FIFO over the ranges failed ranks returned, a
+    // grain off the front of the oldest.  Recovery outranks stealing --
+    // an orphan has no live owner coming back for it.
+    if (!orphans_.empty()) {
+      Orphan& o = orphans_.front();
+      const std::size_t take = std::min(grain_, o.range.size());
+      Claim c{{o.range.begin, o.range.begin + take}, o.owner, false, true};
+      o.range.begin += take;
+      if (o.range.begin >= o.range.end) orphans_.erase(orphans_.begin());
+      ++stats_[r].claims;
+      stats_[r].reassigned += take;
+      return c;
+    }
+    if (!steal_enabled_) return std::nullopt;
     // Steal: the most-loaded *started* slot by unclaimed-item count, ties
     // broken by the lowest rank (a deterministic function of the queue
     // state).
@@ -255,7 +284,8 @@ class StealQueue {
     if (victim == slots_.size()) return std::nullopt;  // drained
     Slot& loser = slots_[victim];
     const std::size_t take = std::min(grain_, most);
-    Claim c{{loser.end - take, loser.end}, static_cast<int>(victim), true};
+    Claim c{{loser.end - take, loser.end}, static_cast<int>(victim), true,
+            false};
     loser.end -= take;
     ++stats_[r].claims;
     ++stats_[r].steals;
@@ -264,13 +294,56 @@ class StealQueue {
     return c;
   }
 
-  /// True once every slot is empty (no further claim can succeed).
+  /// Returns an unfinished claim to the queue (the claimant died before
+  /// completing it): the range joins the orphan pool for any rank to
+  /// re-claim.  `owner` is recorded as the orphan's victim for
+  /// accounting.  Empty ranges are ignored.
+  void release(ShardRange range, int owner) {
+    if (range.begin >= range.end) return;
+    std::lock_guard lock(mu_);
+    orphans_.push_back({range, owner});
+  }
+
+  /// Retires a rank permanently: its remaining unclaimed slot moves to
+  /// the orphan pool so survivors pick it up even with stealing disabled.
+  /// The supervisor calls this when a rank exhausts its restart budget;
+  /// the dead rank must make no further claim() calls.
+  void mark_dead(int rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    std::lock_guard lock(mu_);
+    Slot& s = slots_.at(r);
+    if (s.next < s.end) {
+      orphans_.push_back({{s.next, s.end}, rank});
+      s.next = s.end;
+    }
+  }
+
+  /// True when claim(rank) would grant something *right now*: own work,
+  /// an orphan, or (with stealing) a started victim.  The supervisor's
+  /// virtual-clock loop schedules only claimable ranks, so a rank whose
+  /// remaining work sits in another live rank's un-started slot never
+  /// spins.
+  [[nodiscard]] bool claimable(int rank) const {
+    const auto r = static_cast<std::size_t>(rank);
+    std::lock_guard lock(mu_);
+    const Slot& own = slots_.at(r);
+    if (own.next < own.end) return true;
+    if (!orphans_.empty()) return true;
+    if (!steal_enabled_) return false;
+    for (const Slot& s : slots_) {
+      if (s.started && s.next < s.end) return true;
+    }
+    return false;
+  }
+
+  /// True once every slot and the orphan pool are empty (no further claim
+  /// can succeed).
   [[nodiscard]] bool drained() const {
     std::lock_guard lock(mu_);
     for (const Slot& s : slots_) {
       if (s.next < s.end) return false;
     }
-    return true;
+    return orphans_.empty();
   }
 
   [[nodiscard]] RankStats stats(int rank) const {
@@ -287,10 +360,18 @@ class StealQueue {
     bool started = false;
   };
 
+  /// A failed rank's returned range, claimable by anyone in FIFO order.
+  struct Orphan {
+    ShardRange range{};
+    int owner = 0;
+  };
+
   mutable std::mutex mu_;
   std::vector<Slot> slots_;
+  std::vector<Orphan> orphans_;
   std::vector<RankStats> stats_;
   std::size_t grain_;
+  bool steal_enabled_;
 };
 
 }  // namespace flit::dist

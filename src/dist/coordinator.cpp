@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
+#include <system_error>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -58,6 +60,30 @@ ShardCoordinator::ShardCoordinator(const fpsem::CodeModel* model,
     throw std::invalid_argument(
         "ShardCoordinator: resume requires shard_db_dir (the per-shard "
         "checkpoints to stitch)");
+  }
+  if (!opts_.shard_db_dir.empty()) {
+    // Fail fast with an actionable message instead of a raw filesystem
+    // exception at the first checkpoint: create the directory now and
+    // prove it is writable with a probe file.
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.shard_db_dir, ec);
+    if (ec) {
+      throw std::invalid_argument(
+          "ShardCoordinator: cannot create shard-db directory '" +
+          opts_.shard_db_dir.string() + "': " + ec.message());
+    }
+    const std::filesystem::path probe =
+        opts_.shard_db_dir / ".flit-write-probe";
+    if (std::FILE* f = std::fopen(probe.string().c_str(), "w");
+        f != nullptr) {
+      std::fclose(f);
+      std::filesystem::remove(probe, ec);
+    } else {
+      throw std::invalid_argument(
+          "ShardCoordinator: shard-db directory '" +
+          opts_.shard_db_dir.string() +
+          "' is not writable (checkpoints could not be saved)");
+    }
   }
   if (!opts_.cost_profile.empty()) {
     cost_model_.set_profile(CostProfile::from_results_db(opts_.cost_profile));

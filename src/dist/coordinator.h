@@ -110,7 +110,10 @@ struct ShardOptions {
 
   /// Directory for per-shard checkpoint databases
   /// (`shard-<rank>-of-<shards>.tsv`); empty disables shard
-  /// checkpointing.  Created on first use.
+  /// checkpointing.  Created at coordinator construction, which throws
+  /// std::invalid_argument with an actionable message when the directory
+  /// cannot be created or is not writable -- never a raw stream error at
+  /// the first checkpoint.
   std::filesystem::path shard_db_dir;
 
   /// With `shard_db_dir`: prefill each shard from its checkpoint database

@@ -129,6 +129,13 @@ std::string shard_report_text(const ShardedStudy& s) {
        << r.stolen << " stolen, " << r.donated << " donated, " << r.failed
        << " failed, " << r.retried << " retried, cache "
        << hit_rate_str(r.cache) << ", " << cycles_skew_str(r.cycles) << '\n';
+    if (s.supervisor.enabled) {
+      os << "    recovery: " << r.rank_faults << " fault(s), "
+         << r.rank_stalls << " stall(s), " << r.restarts << " restart(s), "
+         << r.reassigned << " reassigned item(s), backoff "
+         << r.backoff_cycles << " cycle(s)"
+         << (r.dead ? ", DEAD (budget exhausted)" : "") << '\n';
+    }
   }
   if (s.placement.policy != PlacementPolicy::Static) {
     os << "  placement: " << to_string(s.placement.policy)
@@ -152,6 +159,18 @@ std::string shard_report_text(const ShardedStudy& s) {
      << prefilled << " resumed, " << stolen << " stolen over " << steals
      << " steal(s), fleet cache " << hit_rate_str(s.aggregate_cache())
      << ", " << cycles_skew_str(s.aggregate_cycles()) << '\n';
+  if (s.supervisor.enabled) {
+    const SupervisorSummary& sup = s.supervisor;
+    os << "  supervisor: " << sup.rank_faults << " rank fault(s), "
+       << sup.stalls << " stall(s), " << sup.restarts << " restart(s) (budget "
+       << sup.restart_budget << "/rank), " << sup.reassigned_claims
+       << " claim(s) reassigned (" << sup.reassigned_items << " item(s)), "
+       << sup.dead_ranks << " rank(s) dead, " << sup.degraded_cells
+       << " cell(s) degraded"
+       << (sup.allow_partial ? " [--allow-partial]" : "") << ", backoff "
+       << sup.backoff_cycles << " cycle(s), fleet clock " << sup.fleet_cycles
+       << " cycle(s)\n";
+  }
   return os.str();
 }
 

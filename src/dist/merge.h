@@ -49,6 +49,19 @@ struct ShardReport {
   /// stolen, minus donated and checkpoint-prefilled rows.
   std::size_t executed_items = 0;
 
+  /// Fleet-supervisor recovery accounting (all zero outside a supervised
+  /// run): injected rank deaths and stall detections this rank suffered,
+  /// restarts the supervisor granted it, items it claimed from the orphan
+  /// pool (other ranks' returned work), virtual-clock cycles it sat in
+  /// restart backoff, and whether it ended the run permanently dead
+  /// (restart budget exhausted).
+  std::size_t rank_faults = 0;
+  std::size_t rank_stalls = 0;
+  std::size_t restarts = 0;
+  std::size_t reassigned = 0;
+  double backoff_cycles = 0.0;
+  bool dead = false;
+
   /// Placement accounting: items and distinct semantics-fingerprint
   /// groups the placement assigned to this shard, and the cost model's
   /// predicted load (the rank's LPT bin sum).  Under the legacy contiguous
@@ -100,12 +113,34 @@ struct PlacementSummary {
   }
 };
 
+/// Fleet-supervisor summary of a supervised run (dist/supervisor.h).
+/// `enabled` false (the default) means the run was not supervised and
+/// shard_report_text stays byte-identical to the historical format.
+struct SupervisorSummary {
+  bool enabled = false;
+  int restart_budget = 0;       ///< restarts granted per rank
+  bool allow_partial = false;   ///< degraded cells instead of an abort
+  std::size_t rank_faults = 0;  ///< injected shard-site rank deaths
+  std::size_t stalls = 0;       ///< stall detections (deadline exceeded)
+  std::size_t restarts = 0;     ///< restarts consumed fleet-wide
+  std::size_t reassigned_claims = 0;  ///< orphaned claims re-granted
+  std::size_t reassigned_items = 0;   ///< items inside those claims
+  std::size_t degraded_cells = 0;     ///< cells no live rank could run
+  std::size_t dead_ranks = 0;         ///< ranks that exhausted the budget
+  double backoff_cycles = 0.0;  ///< total virtual-clock backoff served
+  double fleet_cycles = 0.0;    ///< max rank virtual clock (modeled
+                                ///< cycles incl. backoff and stall
+                                ///< deadlines): the fleet wall under
+                                ///< faults, comparable across runs
+};
+
 /// A merged distributed study: the index-ordered StudyResult plus the
 /// per-shard accounting it was assembled from.
 struct ShardedStudy {
   core::StudyResult study;
   std::vector<ShardReport> shards;
   PlacementSummary placement;
+  SupervisorSummary supervisor;
 
   /// Sum of the per-shard cache statistics (CacheStats::operator+=) --
   /// the *fleet* hit rate the affinity placer optimizes.
@@ -154,7 +189,9 @@ struct ShardedStudy {
 /// rate, cycle skew), a placement line (policy, fingerprint groups,
 /// redundant compiles avoided vs. the static split), and an aggregate
 /// line with the summed failure accounting and the *fleet* cache hit
-/// rate.
+/// rate.  A supervised run (supervisor.enabled) appends per-shard
+/// recovery detail and a supervisor line; unsupervised runs are
+/// byte-identical to the historical format.
 [[nodiscard]] std::string shard_report_text(const ShardedStudy& s);
 
 }  // namespace flit::dist

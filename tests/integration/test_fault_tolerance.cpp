@@ -101,6 +101,26 @@ TEST_F(FaultToleranceTest, ConfigureRejectsMalformedSpecs) {
   // strtoull silently wraps "-1" to ULLONG_MAX; a signed seed is rejected.
   EXPECT_THROW(inj.configure("run:0.5:-1"), std::invalid_argument);
   EXPECT_THROW(inj.configure("run:0.5:+3"), std::invalid_argument);
+  // A site may appear at most once: a duplicate is a configuration
+  // mistake (which spec wins?), rejected with the offending token named.
+  EXPECT_THROW(inj.configure("run:0.5,run:0.1"), std::invalid_argument);
+  EXPECT_THROW(inj.configure("shard:0.2:1,compile:0.1,shard:0.3"),
+               std::invalid_argument);
+  try {
+    inj.configure("run:0.5,run:0.1");
+    FAIL() << "duplicate site accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate site 'run'"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    inj.configure("run:0.5,frobnicate:0.1");
+    FAIL() << "unknown site accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos)
+        << e.what();
+  }
   // A rejected spec must not half-arm the injector.
   EXPECT_FALSE(inj.any_armed());
 
@@ -108,6 +128,13 @@ TEST_F(FaultToleranceTest, ConfigureRejectsMalformedSpecs) {
   EXPECT_TRUE(inj.armed(FaultSite::Run));
   EXPECT_TRUE(inj.armed(FaultSite::Link));
   EXPECT_FALSE(inj.armed(FaultSite::Compile));
+
+  // The rank-level sites the fleet supervisor consumes parse like the
+  // item-level ones.
+  inj.configure("shard:0.25:7,stall:0.1:3");
+  EXPECT_TRUE(inj.armed(FaultSite::Shard));
+  EXPECT_TRUE(inj.armed(FaultSite::Stall));
+  EXPECT_FALSE(inj.armed(FaultSite::Run));
 
   // The kill "rate" is a checkpoint-batch ordinal, not a probability.
   inj.configure("kill:3:0");

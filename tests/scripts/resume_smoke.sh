@@ -13,7 +13,18 @@
 # the partial shard checkpoints and the *converged* database (--db) must be
 # byte-identical to the unsharded reference.
 #
-# Usage: resume_smoke.sh <path-to-flit-binary> [sharded]
+# In supervised mode the run also arms the injector's shard site, so a rank
+# dies mid-claim and the fleet supervisor must restart it:
+#   a. with only the shard site armed the run completes, the report counts
+#      at least one recovered rank fault, and the converged database is
+#      byte-identical to the unfaulted reference,
+#   b. with the kill site added the process dies at its second checkpoint
+#      batch -- after the supervisor has been exercised -- leaving partial
+#      shard checkpoints,
+#   c. a disarmed --resume stitches them to the same byte-identical
+#      converged database.
+#
+# Usage: resume_smoke.sh <path-to-flit-binary> [sharded|supervised]
 
 set -u
 
@@ -29,6 +40,76 @@ db="$workdir/resume.tsv"
   echo "FAIL: reference explore did not complete" >&2
   exit 1
 }
+
+if [ "$mode" = "supervised" ]; then
+  shard_dir="$workdir/shards"
+  rep="$workdir/supervised_report.txt"
+
+  # shard:0.05:3 is seed-picked to fire on this space at 2 shards (the
+  # injector hashes site x seed x rank context x claim key, so firing
+  # seeds are per-configuration).  The supervisor must recover every
+  # fault and still converge to the unfaulted reference bytes.
+  FLIT_FAULTS=shard:0.05:3 "$flit" explore MFEM_ex12 --shards 2 \
+    --shard-db-dir "$shard_dir" --db "$db" --jobs 2 2>"$rep" >/dev/null || {
+    echo "FAIL: the supervised faulted run did not complete" >&2
+    cat "$rep" >&2
+    exit 1
+  }
+  faults=$(sed -n 's/.*supervisor: \([0-9][0-9]*\) rank fault(s).*/\1/p' "$rep")
+  if [ -z "$faults" ] || [ "$faults" -eq 0 ]; then
+    echo "FAIL: the supervised run recovered no rank fault" >&2
+    cat "$rep" >&2
+    exit 1
+  fi
+  if ! cmp -s "$ref" "$db"; then
+    echo "FAIL: the recovered database differs from the unfaulted" \
+         "reference" >&2
+    diff "$ref" "$db" | head -20 >&2
+    exit 1
+  fi
+
+  # Same faults plus a kill at the second checkpoint batch: the process
+  # must die with partial shard checkpoints on disk.
+  rm -rf "$shard_dir"
+  rm -f "$db"
+  FLIT_FAULTS=shard:0.05:3,kill:2:0 "$flit" explore MFEM_ex12 --shards 2 \
+    --shard-db-dir "$shard_dir" --db "$db" --jobs 2 >/dev/null 2>&1
+  status=$?
+  if [ "$status" -eq 0 ]; then
+    echo "FAIL: the killed supervised run exited 0" >&2
+    exit 1
+  fi
+  partial=$(cat "$shard_dir"/shard-*-of-2.tsv 2>/dev/null | wc -l)
+  total=$(wc -l < "$ref")
+  if [ "$partial" -eq 0 ]; then
+    echo "FAIL: the killed supervised run left no shard checkpoints" >&2
+    exit 1
+  fi
+  if [ "$partial" -ge "$total" ]; then
+    echo "FAIL: the killed supervised run completed" \
+         "($partial of $total rows)" >&2
+    exit 1
+  fi
+
+  # Disarmed resume: stitches the supervised checkpoints to the same
+  # converged bytes as the uninterrupted unfaulted run.
+  "$flit" explore MFEM_ex12 --shards 2 --shard-db-dir "$shard_dir" \
+    --db "$db" --resume --jobs 4 >/dev/null 2>&1 || {
+    echo "FAIL: supervised --resume did not complete" >&2
+    exit 1
+  }
+  if ! cmp -s "$ref" "$db"; then
+    echo "FAIL: the resumed converged database differs from the unfaulted" \
+         "reference" >&2
+    diff "$ref" "$db" | head -20 >&2
+    exit 1
+  fi
+
+  echo "PASS: recovered $faults rank fault(s), killed at batch 2" \
+       "($partial/$total shard rows), resumed to a byte-identical" \
+       "converged database"
+  exit 0
+fi
 
 if [ "$mode" = "sharded" ]; then
   shard_dir="$workdir/shards"

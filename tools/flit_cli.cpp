@@ -37,6 +37,7 @@
 #include "core/resultsdb.h"
 #include "core/workflow.h"
 #include "dist/coordinator.h"
+#include "dist/supervisor.h"
 #include "geom/predicates.h"
 #include "laghos/hydro.h"
 #include "lulesh/domain.h"
@@ -87,6 +88,8 @@ int usage() {
       "                    [--steal|--no-steal] [--steal-grain N]\n"
       "                    [--placement static|cost|affinity]\n"
       "                    [--cost-profile file.tsv]\n"
+      "                    [--max-restarts N] [--stall-deadline C]\n"
+      "                    [--allow-partial]\n"
       "                    [--keep-going|--no-keep-going]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
       "       flit bisect <test> <compiler> <-ON> [flag...] "
@@ -96,6 +99,8 @@ int usage() {
       "                    [--steal|--no-steal] [--steal-grain N]\n"
       "                    [--placement static|cost|affinity]\n"
       "                    [--cost-profile file.tsv]\n"
+      "                    [--max-restarts N] [--stall-deadline C]\n"
+      "                    [--allow-partial]\n"
       "                    [--keep-going|--no-keep-going]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
       "       flit mix <test> <tolerance>\n"
@@ -126,6 +131,15 @@ int usage() {
       "                merged results are identical under every policy\n"
       "--cost-profile  prior-run results database refining the placement\n"
       "                cost model with measured per-compilation costs\n"
+      "--max-restarts  restarts the fleet supervisor grants each shard\n"
+      "                before declaring it dead (default 2); supervision\n"
+      "                engages when FLIT_FAULTS arms a shard/stall site\n"
+      "--stall-deadline modeled-cycle deadline at which a stalled shard is\n"
+      "                detected (default: the restart backoff unit)\n"
+      "--allow-partial after the restart budget is exhausted, record the\n"
+      "                unrecoverable cells as 'degraded' and complete the\n"
+      "                study instead of aborting; a later --resume re-runs\n"
+      "                degraded rows and converges to the unfaulted bytes\n"
       "--db file.tsv   record outcomes into a results database,\n"
       "                checkpointing incrementally (with --shards: the\n"
       "                converged database, written after the merge)\n"
@@ -144,7 +158,7 @@ int usage() {
       "                results\n"
       "\n"
       "FLIT_FAULTS=site:rate[:seed][,...] arms the deterministic fault\n"
-      "injector (sites: compile, link, run, kill); see "
+      "injector (sites: compile, link, run, kill, shard, stall); see "
       "docs/fault-tolerance.md\n");
   return 2;
 }
@@ -169,6 +183,27 @@ unsigned parse_jobs(const char* flag, const char* s) {
                                 std::string(s) + "'");
   }
   return static_cast<unsigned>(v);
+}
+
+int parse_nonneg(const char* flag, const char* s) {
+  const long v = parse_long(flag, s);
+  if (v < 0) {
+    throw std::invalid_argument(std::string(flag) +
+                                ": expected a non-negative integer, got '" +
+                                std::string(s) + "'");
+  }
+  return static_cast<int>(v);
+}
+
+double parse_nonneg_double(const char* flag, const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (s[0] == '\0' || end == nullptr || *end != '\0' || v < 0.0) {
+    throw std::invalid_argument(std::string(flag) +
+                                ": expected a non-negative number, got '" +
+                                std::string(s) + "'");
+  }
+  return v;
 }
 
 /// Strict placement-policy parsing: only the names place_space knows.
@@ -306,6 +341,9 @@ struct ExploreArgs {
   std::string cost_profile;
   core::RetryPolicy retry;
   bool keep_going = true;
+  int max_restarts = 2;
+  double stall_deadline = 0.0;
+  bool allow_partial = false;
 };
 
 int cmd_explore(const std::string& test_name, const ExploreArgs& args) {
@@ -343,11 +381,20 @@ int cmd_explore(const std::string& test_name, const ExploreArgs& args) {
     sopts.placement = args.placement;
     sopts.cost_profile = args.cost_profile;
     sopts.db = db.has_value() ? &*db : nullptr;
-    dist::ShardCoordinator coord(&fpsem::global_code_model(),
-                                 toolchain::mfem_baseline(),
-                                 toolchain::mfem_speed_reference(), sopts);
+    // Sharded runs go through the fleet supervisor: with no rank-level
+    // fault site armed it delegates to the plain coordinator (identical
+    // bytes, full concurrency); with FLIT_FAULTS=shard/stall it contains
+    // rank deaths and stalls per --max-restarts / --allow-partial.
+    dist::SupervisorOptions vopts;
+    vopts.shard = sopts;
+    vopts.max_restarts = args.max_restarts;
+    vopts.stall_deadline = args.stall_deadline;
+    vopts.allow_partial = args.allow_partial;
+    dist::FleetSupervisor fleet(&fpsem::global_code_model(),
+                                toolchain::mfem_baseline(),
+                                toolchain::mfem_speed_reference(), vopts);
     const dist::ShardedStudy sharded_study =
-        args.resume ? coord.resume(*test, space) : coord.run(*test, space);
+        args.resume ? fleet.resume(*test, space) : fleet.run(*test, space);
     study = sharded_study.study;
     std::fputs(dist::shard_report_text(sharded_study).c_str(), stderr);
   } else {
@@ -407,6 +454,9 @@ struct WorkflowArgs {
   std::string cost_profile;
   core::RetryPolicy retry;
   bool keep_going = true;
+  int max_restarts = 2;
+  double stall_deadline = 0.0;
+  bool allow_partial = false;
 };
 
 int cmd_workflow(const std::string& test_name, const WorkflowArgs& args) {
@@ -428,20 +478,23 @@ int cmd_workflow(const std::string& test_name, const WorkflowArgs& args) {
   // the merged study is bitwise-identical, so the bisect phase and report
   // are oblivious.  The coordinator outlives run_workflow's use of the
   // override.
-  std::optional<dist::ShardCoordinator> coord;
+  std::optional<dist::FleetSupervisor> fleet;
   if (args.shards > 1) {
-    dist::ShardOptions sopts;
-    sopts.shards = args.shards;
-    sopts.jobs = args.jobs >= 1 ? args.jobs : 1;
-    sopts.steal = args.steal;
-    sopts.steal_grain = args.steal_grain;
-    sopts.placement = args.placement;
-    sopts.cost_profile = args.cost_profile;
-    sopts.retry = args.retry;
-    sopts.keep_going = args.keep_going;
-    coord.emplace(&fpsem::global_code_model(), opts.baseline,
-                  opts.speed_reference, sopts);
-    opts.explore_override = coord->explore_override();
+    dist::SupervisorOptions vopts;
+    vopts.shard.shards = args.shards;
+    vopts.shard.jobs = args.jobs >= 1 ? args.jobs : 1;
+    vopts.shard.steal = args.steal;
+    vopts.shard.steal_grain = args.steal_grain;
+    vopts.shard.placement = args.placement;
+    vopts.shard.cost_profile = args.cost_profile;
+    vopts.shard.retry = args.retry;
+    vopts.shard.keep_going = args.keep_going;
+    vopts.max_restarts = args.max_restarts;
+    vopts.stall_deadline = args.stall_deadline;
+    vopts.allow_partial = args.allow_partial;
+    fleet.emplace(&fpsem::global_code_model(), opts.baseline,
+                  opts.speed_reference, vopts);
+    opts.explore_override = fleet->explore_override();
   }
   const auto report = core::run_workflow(
       &fpsem::global_code_model(), *test, toolchain::mfem_study_space(),
@@ -529,6 +582,15 @@ int dispatch(int argc, char** argv) {
             "--retries", option_value("--retries", argv, argc, &i)));
       } else if (std::strcmp(argv[i], "--resume") == 0) {
         args.resume = true;
+      } else if (std::strcmp(argv[i], "--max-restarts") == 0) {
+        args.max_restarts = parse_nonneg(
+            "--max-restarts", option_value("--max-restarts", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--stall-deadline") == 0) {
+        args.stall_deadline = parse_nonneg_double(
+            "--stall-deadline",
+            option_value("--stall-deadline", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--allow-partial") == 0) {
+        args.allow_partial = true;
       } else if (std::strcmp(argv[i], "--keep-going") == 0) {
         args.keep_going = true;
       } else if (std::strcmp(argv[i], "--no-keep-going") == 0) {
@@ -614,6 +676,15 @@ int dispatch(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--retries") == 0) {
         args.retry.max_attempts = static_cast<int>(parse_jobs(
             "--retries", option_value("--retries", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--max-restarts") == 0) {
+        args.max_restarts = parse_nonneg(
+            "--max-restarts", option_value("--max-restarts", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--stall-deadline") == 0) {
+        args.stall_deadline = parse_nonneg_double(
+            "--stall-deadline",
+            option_value("--stall-deadline", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--allow-partial") == 0) {
+        args.allow_partial = true;
       } else if (std::strcmp(argv[i], "--keep-going") == 0) {
         args.keep_going = true;
       } else if (std::strcmp(argv[i], "--no-keep-going") == 0) {
