@@ -1,0 +1,151 @@
+// The multi-tenant study service: throughput of one `flit serve` daemon
+// running N tenants' full-space studies through the shared bounded
+// compilation cache, against the same N studies run sequentially as
+// cold-start solo explorations (a fresh explorer and a fresh cache per
+// study -- what N separate one-shot CLI invocations would pay).
+//
+//   bench_serve_throughput [n_requests]
+//
+// n_requests defaults to 8 (MFEM_ex1..ex8 over the full 244-compilation
+// space, one tenant each).  The service runs them on 4 virtual-clock
+// lanes with work stealing; the sequential baseline runs them one after
+// another.  Both paths are timed, and the per-tenant byte identity the
+// service guarantees is asserted, not just claimed: every tenant's
+// report CSV must equal its solo run's.
+//
+// The acceptance bar is the cache, not the clock (host wall time is
+// noisy): the shared cache's fleet hit rate must strictly beat the
+// sequential cold-start aggregate -- if sharing one cache across tenants
+// does not save compilations over per-study caches, the service's
+// central design claim is false.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+#include "core/registry.h"
+#include "core/report.h"
+#include "mfemini/examples.h"
+#include "serve/request.h"
+#include "serve/service.h"
+#include "toolchain/compiler.h"
+
+using namespace flit;
+
+namespace {
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int arg_requests = argc > 1 ? std::atoi(argv[1]) : 0;
+  const int n_requests =
+      arg_requests > 0 ? std::min(arg_requests, mfemini::kNumExamples)
+                       : std::min(8, mfemini::kNumExamples);
+  const auto space = toolchain::mfem_study_space();
+
+  auto& reg = core::global_test_registry();
+  std::vector<serve::StudyRequest> requests;
+  for (int ex = 1; ex <= n_requests; ++ex) {
+    const std::string name = "MFEM_ex" + std::to_string(ex);
+    if (!reg.contains(name)) {
+      reg.add(name, [ex] {
+        return std::unique_ptr<core::TestBase>(
+            std::make_unique<mfemini::MfemExampleTest>(ex));
+      });
+    }
+    serve::StudyRequest req;
+    req.id = "r" + std::to_string(ex);
+    req.tenant = "tenant" + std::to_string(ex);
+    req.test = name;
+    requests.push_back(std::move(req));
+  }
+
+  std::printf("serve throughput bench: %d tenants x %zu compilations\n",
+              n_requests, space.size());
+
+  // The service: one daemon, one shared cache, 4 lanes with stealing.
+  serve::ServeOptions opts;
+  opts.shards = 4;
+  opts.jobs = 1;  // isolate modeled scheduling on one core
+  const auto serve_start = std::chrono::steady_clock::now();
+  serve::StudyService service(&fpsem::global_code_model(),
+                              toolchain::mfem_baseline(),
+                              toolchain::mfem_speed_reference(), space,
+                              opts);
+  const serve::ServeReport report = service.run(requests);
+  const double serve_wall = seconds_since(serve_start);
+
+  // The sequential cold-start baseline: a fresh explorer (and so a fresh
+  // cache) per study, run back to back.
+  std::vector<std::string> solo_csvs;
+  toolchain::CacheStats seq_cache;
+  const auto seq_start = std::chrono::steady_clock::now();
+  for (const serve::StudyRequest& req : requests) {
+    core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                                 toolchain::mfem_baseline(),
+                                 toolchain::mfem_speed_reference(), 1);
+    const core::StudyResult study =
+        explorer.explore(*reg.create(req.test), space);
+    solo_csvs.push_back(core::study_csv(study));
+    seq_cache += explorer.cache().stats();
+  }
+  const double seq_wall = seconds_since(seq_start);
+
+  // The identity contract: every tenant's served CSV equals its solo run.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (report.requests[i].csv != solo_csvs[i]) {
+      std::fprintf(stderr,
+                   "FATAL: tenant %s's served study differs from its solo "
+                   "run\n",
+                   requests[i].tenant.c_str());
+      return 1;
+    }
+  }
+
+  const double serve_hit = report.cache.hit_rate();
+  const double seq_hit = seq_cache.hit_rate();
+  const double speedup = serve_wall > 0.0 ? seq_wall / serve_wall : 0.0;
+
+  std::printf(
+      "  serve:      wall %7.3fs  cache hit %5.1f%%  misses %llu  "
+      "fleet clock %.3g cycles\n",
+      serve_wall, 100.0 * serve_hit,
+      static_cast<unsigned long long>(report.cache.misses),
+      report.fleet_cycles);
+  std::printf(
+      "  sequential: wall %7.3fs  cache hit %5.1f%%  misses %llu\n",
+      seq_wall, 100.0 * seq_hit,
+      static_cast<unsigned long long>(seq_cache.misses));
+  std::printf(
+      "BENCH_JSON {\"bench\":\"serve_throughput\",\"requests\":%d,"
+      "\"space\":%zu,\"lanes\":4,\"serve_wall_s\":%.6f,"
+      "\"seq_wall_s\":%.6f,\"speedup\":%.3f,\"serve_hit_rate\":%.4f,"
+      "\"seq_hit_rate\":%.4f,\"serve_misses\":%llu,\"seq_misses\":%llu,"
+      "\"fleet_cycles\":%.1f,\"identical\":true}\n",
+      n_requests, space.size(), serve_wall, seq_wall, speedup, serve_hit,
+      seq_hit, static_cast<unsigned long long>(report.cache.misses),
+      static_cast<unsigned long long>(seq_cache.misses),
+      report.fleet_cycles);
+
+  // The acceptance bar: sharing one cache across tenants must strictly
+  // beat per-study cold caches.
+  if (serve_hit <= seq_hit) {
+    std::fprintf(stderr,
+                 "FATAL: shared-cache hit rate %.2f%% does not beat the "
+                 "sequential cold-start rate %.2f%%\n",
+                 100.0 * serve_hit, 100.0 * seq_hit);
+    return 1;
+  }
+  return 0;
+}

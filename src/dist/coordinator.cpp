@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/parallel.h"
+#include "dist/vclock.h"
 #include "obs/session.h"
 #include "toolchain/compile_cache.h"
 
@@ -482,23 +483,19 @@ ShardedStudy ShardCoordinator::run_placed_stealing(
     // durations, steals land exactly where a concurrent fleet would
     // rebalance, and per-rank seconds stay the fleet-timing measurement
     // (fleet wall-clock = max_shard_seconds()).
-    std::vector<double> vclock(nranks, 0.0);
-    std::vector<char> active(nranks, 1);
-    std::size_t live = nranks;
-    while (live > 0) {
-      std::size_t r = nranks;
-      for (std::size_t i = 0; i < nranks; ++i) {
-        if (active[i] != 0 && (r == nranks || vclock[i] < vclock[r])) r = i;
-      }
+    VirtualClocks clocks(nranks);
+    while (clocks.live() > 0) {
+      const std::size_t r = clocks.min_active();
       const auto c = queue.claim(static_cast<int>(r));
       if (!c.has_value()) {
-        active[r] = 0;
-        --live;
+        clocks.deactivate(r);
         continue;
       }
-      vclock[r] += execute_claim(r, *c);
+      clocks.advance(r, execute_claim(r, *c));
     }
-    for (std::size_t r = 0; r < nranks; ++r) reports[r].seconds = vclock[r];
+    for (std::size_t r = 0; r < nranks; ++r) {
+      reports[r].seconds = clocks.clock(r);
+    }
   } else {
     // One pool lane per rank; each lane loops claims until the queue is
     // drained.  A nullopt with the queue not yet drained means the only

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "dist/vclock.h"
 #include "obs/session.h"
 #include "toolchain/compile_cache.h"
 
@@ -166,12 +167,10 @@ ShardedStudy FleetSupervisor::run_supervised(
   // only time source), incarnation ordinals (the fault-decision attempt
   // axis: a restarted rank re-rolls its dice), restart budgets, and the
   // per-position completion map the degraded pass reads.
-  std::vector<double> vcycles(nranks, 0.0);
+  VirtualClocks clocks(nranks);
   std::vector<int> incarnation(nranks, 0);
   std::vector<int> restarts_used(nranks, 0);
-  std::vector<char> dead(nranks, 0);
   std::vector<char> done_pos(order.size(), 0);
-  std::size_t live = nranks;
   SupervisorSummary sup;
   sup.enabled = true;
   sup.restart_budget = opts_.max_restarts;
@@ -265,14 +264,9 @@ ShardedStudy FleetSupervisor::run_supervised(
   // coordinator's serial fleet emulation with the clock in cycles.  Every
   // quantity the loop branches on -- claim grants, fault hashes, costs,
   // backoff -- is deterministic, so the whole schedule is.
-  while (live > 0) {
-    std::size_t r = nranks;
-    for (std::size_t i = 0; i < nranks; ++i) {
-      if (dead[i] == 0 && queue.claimable(static_cast<int>(i)) &&
-          (r == nranks || vcycles[i] < vcycles[r])) {
-        r = i;
-      }
-    }
+  while (clocks.live() > 0) {
+    const std::size_t r = clocks.min_active_where(
+        [&](std::size_t i) { return queue.claimable(static_cast<int>(i)); });
     if (r == nranks) break;  // no live rank can claim: drained
     const std::optional<StealQueue::Claim> c =
         queue.claim(static_cast<int>(r));
@@ -294,7 +288,7 @@ ShardedStudy FleetSupervisor::run_supervised(
     }
 
     if (!rank_fault && !rank_stall) {
-      vcycles[r] += execute_claim(r, *c);
+      clocks.advance(r, execute_claim(r, *c));
       continue;
     }
 
@@ -311,7 +305,7 @@ ShardedStudy FleetSupervisor::run_supervised(
       ++rep.rank_stalls;
       ++sup.stalls;
       m.counter("dist.supervisor.stalls").add();
-      vcycles[r] += stall_detect;  // the modeled detection latency
+      clocks.advance(r, stall_detect);  // the modeled detection latency
     }
     queue.release(c->range, c->victim);
 
@@ -322,7 +316,7 @@ ShardedStudy FleetSupervisor::run_supervised(
       ++sup.restarts;
       const double backoff =
           std::ldexp(opts_.backoff_base, restarts_used[r] - 1);
-      vcycles[r] += backoff;
+      clocks.advance(r, backoff);
       rep.backoff_cycles += backoff;
       sup.backoff_cycles += backoff;
       m.counter("dist.supervisor.restarts").add();
@@ -341,8 +335,7 @@ ShardedStudy FleetSupervisor::run_supervised(
           model_, baseline_, speed_reference_, opts_.shard.jobs,
           caches[r].get());
     } else {
-      dead[r] = 1;
-      --live;
+      clocks.deactivate(r);
       rep.dead = true;
       ++sup.dead_ranks;
       queue.mark_dead(static_cast<int>(r));
@@ -385,8 +378,8 @@ ShardedStudy FleetSupervisor::run_supervised(
     reports[r].reassigned = st.reassigned;
     reports[r].cache = caches[r]->stats();
     sup.reassigned_items += st.reassigned;
-    sup.fleet_cycles = std::max(sup.fleet_cycles, vcycles[r]);
   }
+  sup.fleet_cycles = clocks.max_clock();
 
   ShardedStudy sharded;
   sharded.study = std::move(merged);

@@ -1,0 +1,93 @@
+#pragma once
+
+// Min-virtual-clock scheduling, factored out of the fleet emulations.
+//
+// Three engines drive work with the same deterministic discipline: a set
+// of lanes (simulated ranks, or the study service's fleet slots) each
+// carries a virtual clock, and the next unit of work goes to the active
+// lane with the smallest clock -- the worker that would go idle first on
+// a real concurrent fleet.  ShardCoordinator's serial stealing path uses
+// measured wall seconds as the clock (fleet timing), FleetSupervisor uses
+// modeled cycles (so fault schedules are reproducible), and the study
+// service multiplexes whole tenant studies over its fleet lanes the same
+// way.  The policy is identical in all three; only the cost unit differs,
+// so the clock set itself is unit-agnostic.
+//
+// Determinism: selection is a pure function of the clock values and the
+// activity flags (ties break to the lowest lane), so identical cost
+// sequences produce identical schedules.  Not thread-safe -- the whole
+// point is a *serial* emulation of a concurrent fleet.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace flit::dist {
+
+class VirtualClocks {
+ public:
+  explicit VirtualClocks(std::size_t lanes)
+      : clock_(lanes, 0.0), active_(lanes, 1), live_(lanes) {}
+
+  [[nodiscard]] std::size_t size() const { return clock_.size(); }
+
+  /// Lanes still eligible for selection.
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] bool active(std::size_t lane) const {
+    return active_[lane] != 0;
+  }
+
+  /// Permanently (until reactivate) removes a lane from selection: it has
+  /// drained its work, or died.
+  void deactivate(std::size_t lane) {
+    if (active_[lane] != 0) {
+      active_[lane] = 0;
+      --live_;
+    }
+  }
+  void reactivate(std::size_t lane) {
+    if (active_[lane] == 0) {
+      active_[lane] = 1;
+      ++live_;
+    }
+  }
+
+  /// Charges `cost` (seconds, modeled cycles -- the caller's unit) to a
+  /// lane's clock.
+  void advance(std::size_t lane, double cost) { clock_[lane] += cost; }
+
+  [[nodiscard]] double clock(std::size_t lane) const { return clock_[lane]; }
+
+  /// The fleet wall under this emulation: the largest clock, active or
+  /// not (a dead rank's spent time still happened).
+  [[nodiscard]] double max_clock() const {
+    return clock_.empty() ? 0.0
+                          : *std::max_element(clock_.begin(), clock_.end());
+  }
+
+  /// The active lane with the smallest clock among those satisfying
+  /// `pred` (ties -> lowest lane); size() when none qualifies.
+  template <class Pred>
+  [[nodiscard]] std::size_t min_active_where(Pred&& pred) const {
+    std::size_t best = clock_.size();
+    for (std::size_t i = 0; i < clock_.size(); ++i) {
+      if (active_[i] != 0 && pred(i) &&
+          (best == clock_.size() || clock_[i] < clock_[best])) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  /// min_active_where with no extra predicate.
+  [[nodiscard]] std::size_t min_active() const {
+    return min_active_where([](std::size_t) { return true; });
+  }
+
+ private:
+  std::vector<double> clock_;
+  std::vector<char> active_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace flit::dist

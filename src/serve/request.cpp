@@ -1,0 +1,278 @@
+#include "serve/request.h"
+
+#include <cctype>
+#include <istream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace flit::serve {
+
+namespace {
+
+/// Minimal strict parser for the one JSON shape a request line may take:
+/// a flat object of string, unsigned-integer, and string-array values.
+/// No nesting, no floats, no escapes beyond \" \\ \/ \n \t -- a request
+/// has no business containing anything fancier, and rejecting the rest
+/// keeps the admission surface auditable.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& text) : s_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != '"') fail("expected a string");
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: fail(std::string("unsupported escape '\\") + e + "'");
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  [[nodiscard]] std::size_t parse_uint() {
+    skip_ws();
+    if (pos_ >= s_.size() || std::isdigit(static_cast<unsigned char>(
+                                 s_[pos_])) == 0) {
+      fail("expected a non-negative integer");
+    }
+    std::size_t v = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) {
+      const std::size_t digit = static_cast<std::size_t>(s_[pos_] - '0');
+      if (v > (static_cast<std::size_t>(-1) - digit) / 10) {
+        fail("integer out of range");
+      }
+      v = v * 10 + digit;
+      ++pos_;
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::vector<std::string> parse_string_array() {
+    expect('[');
+    std::vector<std::string> out;
+    if (consume(']')) return out;
+    do {
+      out.push_back(parse_string());
+    } while (consume(','));
+    expect(']');
+    return out;
+  }
+
+  void expect_end() {
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after the object");
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("request: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Ids and tenants become result-file names; restrict them to a charset
+/// that can never traverse, glob, or collide across filesystems.
+[[nodiscard]] bool filesystem_safe(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return s != "." && s != "..";
+}
+
+}  // namespace
+
+const char* to_string(RequestMode m) {
+  switch (m) {
+    case RequestMode::Explore: return "explore";
+    case RequestMode::Workflow: return "workflow";
+  }
+  return "?";
+}
+
+std::string StudyRequest::payload_key() const {
+  std::string key = test;
+  key += '|';
+  key += to_string(mode);
+  key += '|';
+  for (const std::string& c : compilers) {
+    key += c;
+    key += ',';
+  }
+  key += '|';
+  key += std::to_string(limit);
+  return key;
+}
+
+StudyRequest parse_request_line(const std::string& line) {
+  FlatJsonParser p(line);
+  StudyRequest req;
+  bool have_id = false, have_test = false, have_mode = false;
+  bool have_tenant = false, have_compilers = false, have_limit = false;
+  p.expect('{');
+  if (!p.consume('}')) {
+    do {
+      const std::string key = p.parse_string();
+      p.expect(':');
+      if (key == "id") {
+        if (have_id) p.fail("duplicate key 'id'");
+        req.id = p.parse_string();
+        have_id = true;
+      } else if (key == "tenant") {
+        if (have_tenant) p.fail("duplicate key 'tenant'");
+        req.tenant = p.parse_string();
+        have_tenant = true;
+      } else if (key == "test") {
+        if (have_test) p.fail("duplicate key 'test'");
+        req.test = p.parse_string();
+        have_test = true;
+      } else if (key == "mode") {
+        if (have_mode) p.fail("duplicate key 'mode'");
+        const std::string mode = p.parse_string();
+        if (mode == "explore") {
+          req.mode = RequestMode::Explore;
+        } else if (mode == "workflow") {
+          req.mode = RequestMode::Workflow;
+        } else {
+          throw std::invalid_argument(
+              "request: mode must be 'explore' or 'workflow', got '" + mode +
+              "'");
+        }
+        have_mode = true;
+      } else if (key == "compilers") {
+        if (have_compilers) p.fail("duplicate key 'compilers'");
+        req.compilers = p.parse_string_array();
+        have_compilers = true;
+      } else if (key == "limit") {
+        if (have_limit) p.fail("duplicate key 'limit'");
+        req.limit = p.parse_uint();
+        have_limit = true;
+      } else {
+        throw std::invalid_argument("request: unknown key '" + key + "'");
+      }
+    } while (p.consume(','));
+    p.expect('}');
+  }
+  p.expect_end();
+
+  if (!have_id) throw std::invalid_argument("request: missing required 'id'");
+  if (!have_test) {
+    throw std::invalid_argument("request: missing required 'test'");
+  }
+  if (!filesystem_safe(req.id)) {
+    throw std::invalid_argument(
+        "request: id '" + req.id +
+        "' must be non-empty [A-Za-z0-9_.-] (it names result files)");
+  }
+  if (req.tenant.empty()) req.tenant = req.id;
+  if (!filesystem_safe(req.tenant)) {
+    throw std::invalid_argument(
+        "request: tenant '" + req.tenant +
+        "' must be non-empty [A-Za-z0-9_.-] (it names the event stream)");
+  }
+  for (const std::string& c : req.compilers) {
+    if (c.empty()) {
+      throw std::invalid_argument("request: empty compiler name");
+    }
+  }
+  return req;
+}
+
+std::vector<StudyRequest> read_requests(std::istream& in) {
+  std::vector<StudyRequest> reqs;
+  std::unordered_set<std::string> ids;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Tolerate CRLF streams and operator comments; nothing else.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t first = 0;
+    while (first < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[first])) != 0) {
+      ++first;
+    }
+    if (first == line.size() || line[first] == '#') continue;
+    StudyRequest req;
+    try {
+      req = parse_request_line(line);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("line " + std::to_string(lineno) + ": " +
+                                  e.what());
+    }
+    if (!ids.insert(req.id).second) {
+      throw std::invalid_argument("line " + std::to_string(lineno) +
+                                  ": duplicate request id '" + req.id + "'");
+    }
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+std::vector<toolchain::Compilation> request_subspace(
+    const StudyRequest& req, std::span<const toolchain::Compilation> space) {
+  std::vector<toolchain::Compilation> out;
+  for (const toolchain::Compilation& c : space) {
+    if (!req.compilers.empty()) {
+      bool wanted = false;
+      for (const std::string& name : req.compilers) {
+        if (c.compiler.name == name) {
+          wanted = true;
+          break;
+        }
+      }
+      if (!wanted) continue;
+    }
+    out.push_back(c);
+    if (req.limit != 0 && out.size() == req.limit) break;
+  }
+  return out;
+}
+
+}  // namespace flit::serve

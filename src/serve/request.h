@@ -1,0 +1,73 @@
+#pragma once
+
+// Study requests: the admission-side vocabulary of the study service.
+//
+// A tenant submits one JSON object per line (JSONL) -- a file or a stdin
+// stream -- naming a registered test, an optional compilation subspace
+// (compiler subset plus a size cap over the canonical study space), and a
+// mode (plain exploration, or the full Fig. 1 workflow).  Parsing is
+// strict: the request line is a flat JSON object with a fixed key set,
+// and anything else -- trailing garbage, unknown keys, a duplicate id, an
+// id that is not filesystem-safe -- is a hard admission error naming the
+// offending line, not a silently skipped request.  A service multiplexing
+// unattended tenant streams must reject malformed traffic at the door;
+// half-accepting it would burn fleet cycles on studies nobody asked for.
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "toolchain/compiler.h"
+
+namespace flit::serve {
+
+enum class RequestMode {
+  Explore,   ///< Level 1/2 study: outcomes, CSV, converged database
+  Workflow,  ///< the full Fig. 1 pipeline (bisect phase included)
+};
+
+[[nodiscard]] const char* to_string(RequestMode m);
+
+/// One tenant's study order.
+struct StudyRequest {
+  std::string id;      ///< unique per stream; names the result files
+  std::string tenant;  ///< stream/accounting identity (defaults to id)
+  std::string test;    ///< registered test name (flit list)
+  RequestMode mode = RequestMode::Explore;
+
+  /// Compiler-name subset of the canonical study space (empty = all).
+  std::vector<std::string> compilers;
+
+  /// Cap on the subspace size after the compiler filter (0 = no cap).
+  std::size_t limit = 0;
+
+  /// The admission-dedup identity: two requests with equal payload keys
+  /// order byte-identical results (the subspace and mode are the whole
+  /// study input), so the service runs the study once and fans the
+  /// results out.  Tenant and id are deliberately excluded.
+  [[nodiscard]] std::string payload_key() const;
+};
+
+/// Parses one JSONL request line.  Strict: flat JSON object, keys from
+/// {id, tenant, test, mode, compilers, limit} only, `id` and `test`
+/// required, ids/tenants restricted to [A-Za-z0-9_.-] (they name result
+/// files).  Throws std::invalid_argument with the offending detail.
+[[nodiscard]] StudyRequest parse_request_line(const std::string& line);
+
+/// Reads every request of a JSONL stream (blank lines and `#` comment
+/// lines skipped).  Rejects duplicate request ids naming the offending
+/// id.  Throws std::invalid_argument; the message carries the 1-based
+/// line number.
+[[nodiscard]] std::vector<StudyRequest> read_requests(std::istream& in);
+
+/// The request's compilation subspace: `space` filtered to the requested
+/// compiler names (all when empty), then truncated to `limit` entries
+/// (when nonzero).  Selection preserves space order, so a subspace is a
+/// deterministic function of the request -- the property the dedup key
+/// and the solo-run identity guarantee both lean on.
+[[nodiscard]] std::vector<toolchain::Compilation> request_subspace(
+    const StudyRequest& req, std::span<const toolchain::Compilation> space);
+
+}  // namespace flit::serve

@@ -1,11 +1,38 @@
 #include "toolchain/compile_cache.h"
 
 #include <cstdio>
+#include <utility>
 
 #include "obs/session.h"
 #include "toolchain/semantics_rules.h"
 
 namespace flit::toolchain {
+
+namespace {
+
+/// The one fleet-wide eviction counter (every cache instance feeds it, as
+/// with cache.hits/cache.misses).  Incremented once *per evicted entry* --
+/// historically it only moved on wholesale clear()s, which under-counted
+/// any policy that removes entries one group at a time.
+obs::Counter& evicted_counter() {
+  static obs::Counter& c = obs::metrics().counter("cache.evicted");
+  return c;
+}
+
+}  // namespace
+
+std::uint64_t approx_object_bytes(const ObjectFile& obj) {
+  // Deterministic content-derived footprint: fixed per-record charges plus
+  // the variable-length payloads.  The constants approximate the in-memory
+  // cost of each record (object + hash-map overhead) without depending on
+  // allocator or padding details.
+  std::uint64_t b = 64 + obj.source_file.size() + obj.comp.flag.size() +
+                    obj.comp.compiler.name.size();
+  for (const SymbolDef& s : obj.symbols) b += 48 + s.name.size();
+  b += 8 * obj.internal_fns.size();
+  b += 96 * obj.bindings.size();
+  return b;
+}
 
 std::uint64_t CompilationCache::fingerprint(const Compilation& c, bool fpic) {
   const fpsem::FpSemantics s = derive_semantics(c);
@@ -41,12 +68,14 @@ ObjectFile CompilationCache::get_or_build(
   static obs::Counter& obs_misses = obs::metrics().counter("cache.misses");
 
   const Key key{file, fingerprint(c, fpic), fpic, injected};
+  const std::uint64_t group = semantics_group(c);
   {
     std::lock_guard lock(mu_);
     if (auto it = entries_.find(key); it != entries_.end()) {
       ++stats_.hits;
       obs_hits.add();
-      ObjectFile obj = it->second;
+      touch_group_locked(group);
+      ObjectFile obj = it->second.obj;
       obj.comp = c;  // the hazard predicates hash the raw triple
       return obj;
     }
@@ -58,9 +87,20 @@ ObjectFile CompilationCache::get_or_build(
   std::lock_guard lock(mu_);
   ++stats_.misses;
   obs_misses.add();
-  auto [it, inserted] = entries_.try_emplace(key, built);
-  if (inserted) return built;
-  ObjectFile obj = it->second;  // another thread won the race
+  auto [it, inserted] = entries_.try_emplace(key, Entry{built, group, 0});
+  if (inserted) {
+    const std::uint64_t bytes = approx_object_bytes(built);
+    it->second.bytes = bytes;
+    stats_.inserted_bytes += bytes;
+    resident_bytes_ += bytes;
+    touch_group_locked(group);
+    groups_[group].keys.push_back(key);
+    groups_[group].bytes += bytes;
+    evict_to_budget_locked();
+    return built;
+  }
+  touch_group_locked(group);
+  ObjectFile obj = it->second.obj;  // another thread won the race
   obj.comp = c;
   return obj;
 }
@@ -71,11 +111,70 @@ CompilationCache::Stats CompilationCache::stats() const {
 }
 
 void CompilationCache::clear() {
-  static obs::Counter& obs_evicted = obs::metrics().counter("cache.evicted");
   std::lock_guard lock(mu_);
-  obs_evicted.add(entries_.size());
+  evicted_counter().add(entries_.size());
   entries_.clear();
-  stats_ = Stats{};
+  groups_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
+  stats_ = Stats{};  // a clear resets the tallies too (a fresh cache)
+}
+
+void CompilationCache::set_budget(std::optional<std::uint64_t> bytes) {
+  std::lock_guard lock(mu_);
+  budget_ = bytes;
+  evict_to_budget_locked();
+}
+
+std::optional<std::uint64_t> CompilationCache::budget() const {
+  std::lock_guard lock(mu_);
+  return budget_;
+}
+
+std::uint64_t CompilationCache::resident_bytes() const {
+  std::lock_guard lock(mu_);
+  return resident_bytes_;
+}
+
+std::size_t CompilationCache::resident_entries() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+void CompilationCache::touch_group_locked(std::uint64_t group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    lru_.push_back(group);
+    GroupInfo info;
+    info.lru_pos = std::prev(lru_.end());
+    groups_.emplace(group, std::move(info));
+    return;
+  }
+  lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+  it->second.lru_pos = std::prev(lru_.end());
+}
+
+void CompilationCache::evict_to_budget_locked() {
+  if (!budget_.has_value()) return;
+  // Whole-group eviction, least recently used first.  The loop also
+  // retires the most recent group when it alone exceeds the budget (the
+  // zero-budget configuration retains nothing) -- correctness never
+  // depends on residency, only hit rates do.
+  while (resident_bytes_ > *budget_ && !lru_.empty()) {
+    const std::uint64_t victim = lru_.front();
+    auto git = groups_.find(victim);
+    for (const Key& key : git->second.keys) {
+      auto it = entries_.find(key);
+      if (it == entries_.end()) continue;
+      ++stats_.evictions;
+      evicted_counter().add();
+      stats_.evicted_bytes += it->second.bytes;
+      resident_bytes_ -= it->second.bytes;
+      entries_.erase(it);
+    }
+    lru_.pop_front();
+    groups_.erase(git);
+  }
 }
 
 std::size_t CompilationCache::KeyHash::operator()(const Key& k) const {

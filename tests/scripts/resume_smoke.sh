@@ -24,7 +24,17 @@
 #   c. a disarmed --resume stitches them to the same byte-identical
 #      converged database.
 #
-# Usage: resume_smoke.sh <path-to-flit-binary> [sharded|supervised]
+# In serve mode the daemon runs two tenants' studies from a JSONL request
+# stream with per-request state databases:
+#   a. solo one-shot references are recorded for both tests,
+#   b. a serve run with the kill site armed dies after a tenant's second
+#      durable checkpoint, leaving partial per-request databases and a
+#      truncated event stream,
+#   c. a disarmed `serve --resume` restart completes the stream, and every
+#      tenant's converged database must be byte-identical to its solo
+#      reference.
+#
+# Usage: resume_smoke.sh <path-to-flit-binary> [sharded|supervised|serve]
 
 set -u
 
@@ -35,6 +45,79 @@ trap 'rm -rf "$workdir"' EXIT
 
 ref="$workdir/ref.tsv"
 db="$workdir/resume.tsv"
+
+if [ "$mode" = "serve" ]; then
+  state="$workdir/state"
+  streams="$workdir/streams"
+  reqs="$workdir/requests.jsonl"
+  cat > "$reqs" <<'EOF'
+{"id":"r12","tenant":"alice","test":"MFEM_ex12"}
+{"id":"r13","tenant":"bob","test":"MFEM_ex13"}
+EOF
+
+  # Solo one-shot references: the bytes every tenant's converged database
+  # must match no matter how the service was killed and resumed.
+  ref12="$workdir/ref12.tsv"
+  ref13="$workdir/ref13.tsv"
+  "$flit" explore MFEM_ex12 --db "$ref12" --jobs 4 >/dev/null || {
+    echo "FAIL: reference explore MFEM_ex12 did not complete" >&2
+    exit 1
+  }
+  "$flit" explore MFEM_ex13 --db "$ref13" --jobs 4 >/dev/null || {
+    echo "FAIL: reference explore MFEM_ex13 did not complete" >&2
+    exit 1
+  }
+
+  # Kill the daemon after a tenant's second durable checkpoint: partial
+  # per-request databases must be on disk, neither stream complete.
+  FLIT_FAULTS=kill:2:0 "$flit" serve "$reqs" --state-dir "$state" \
+    --stream-out "$streams" --shards 2 --jobs 2 >/dev/null 2>&1
+  status=$?
+  if [ "$status" -eq 0 ]; then
+    echo "FAIL: the killed serve run exited 0" >&2
+    exit 1
+  fi
+  partial=$(cat "$state"/r1?.tsv 2>/dev/null | wc -l)
+  total=$(($(wc -l < "$ref12") + $(wc -l < "$ref13")))
+  if [ "$partial" -eq 0 ]; then
+    echo "FAIL: the killed serve run left no request checkpoints" >&2
+    exit 1
+  fi
+  if [ "$partial" -ge "$total" ]; then
+    echo "FAIL: the killed serve run completed ($partial of $total rows)" >&2
+    exit 1
+  fi
+
+  # Disarmed restart with --resume: prefills every request from its
+  # checkpoint and converges each tenant's database to the solo bytes.
+  "$flit" serve "$reqs" --state-dir "$state" --stream-out "$streams" \
+    --shards 2 --jobs 4 --resume >/dev/null 2>&1 || {
+    echo "FAIL: serve --resume did not complete" >&2
+    exit 1
+  }
+  if ! cmp -s "$ref12" "$state/r12.tsv"; then
+    echo "FAIL: tenant alice's converged database differs from the solo" \
+         "reference" >&2
+    diff "$ref12" "$state/r12.tsv" | head -20 >&2
+    exit 1
+  fi
+  if ! cmp -s "$ref13" "$state/r13.tsv"; then
+    echo "FAIL: tenant bob's converged database differs from the solo" \
+         "reference" >&2
+    diff "$ref13" "$state/r13.tsv" | head -20 >&2
+    exit 1
+  fi
+  for tenant in alice bob; do
+    if ! grep -q '"event":"done"' "$streams/$tenant.jsonl"; then
+      echo "FAIL: tenant $tenant's event stream has no completion event" >&2
+      exit 1
+    fi
+  done
+
+  echo "PASS: daemon killed at checkpoint 2 ($partial/$total rows)," \
+       "resumed to per-tenant databases byte-identical to solo runs"
+  exit 0
+fi
 
 "$flit" explore MFEM_ex12 --db "$ref" --jobs 4 >/dev/null || {
   echo "FAIL: reference explore did not complete" >&2

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# CLI smoke test for `flit serve` request admission and a small service run.
+#
+#   1. a request file with a duplicate id must be rejected at the door,
+#      before any study runs, and the error must name the offending id;
+#   2. a request naming an unknown test must be rejected the same way;
+#   3. a well-formed three-tenant stream (one request a byte-for-byte
+#      duplicate of another) must complete, write per-request state and
+#      per-tenant event streams, and report the dedup on stderr.
+#
+# Usage: serve_smoke.sh <path-to-flit-binary>
+
+set -u
+
+flit=${1:?usage: serve_smoke.sh <flit-binary>}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# --- duplicate request ids are rejected naming the id --------------------
+cat > "$workdir/dup.jsonl" <<'EOF'
+{"id":"s1","test":"MFEM_ex1","limit":6}
+{"id":"s1","test":"MFEM_ex2","limit":6}
+EOF
+err=$("$flit" serve "$workdir/dup.jsonl" 2>&1 >/dev/null)
+status=$?
+if [ "$status" -eq 0 ]; then
+  echo "FAIL: a request file with duplicate ids was admitted" >&2
+  exit 1
+fi
+case "$err" in
+  *"duplicate request id 's1'"*) ;;
+  *)
+    echo "FAIL: the duplicate-id rejection does not name the id:" >&2
+    echo "$err" >&2
+    exit 1
+    ;;
+esac
+
+# --- unknown tests are rejected before any study runs --------------------
+cat > "$workdir/unknown.jsonl" <<'EOF'
+{"id":"s1","test":"NoSuchTest"}
+EOF
+err=$("$flit" serve "$workdir/unknown.jsonl" 2>&1 >/dev/null)
+status=$?
+if [ "$status" -eq 0 ]; then
+  echo "FAIL: a request for an unknown test was admitted" >&2
+  exit 1
+fi
+case "$err" in
+  *"unknown test"*) ;;
+  *)
+    echo "FAIL: the unknown-test rejection is not diagnosed:" >&2
+    echo "$err" >&2
+    exit 1
+    ;;
+esac
+
+# --- a small three-tenant stream completes with state and streams --------
+cat > "$workdir/reqs.jsonl" <<'EOF'
+# two distinct studies plus one byte-for-byte duplicate of the first
+{"id":"s1","tenant":"alice","test":"MFEM_ex1","compilers":["g++"],"limit":8}
+{"id":"s2","tenant":"bob","test":"MFEM_ex2","compilers":["clang++"],"limit":8}
+{"id":"s3","tenant":"carol","test":"MFEM_ex1","compilers":["g++"],"limit":8}
+EOF
+err=$("$flit" serve "$workdir/reqs.jsonl" --state-dir "$workdir/state" \
+      --stream-out "$workdir/streams" --shards 2 --jobs 2 \
+      --cache-budget 262144 2>&1 >/dev/null)
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: the three-tenant serve run did not complete:" >&2
+  echo "$err" >&2
+  exit 1
+fi
+for id in s1 s2 s3; do
+  for ext in tsv csv; do
+    if [ ! -s "$workdir/state/$id.$ext" ]; then
+      echo "FAIL: request $id left no state $ext" >&2
+      exit 1
+    fi
+  done
+done
+if ! cmp -s "$workdir/state/s1.tsv" "$workdir/state/s3.tsv"; then
+  echo "FAIL: the deduplicated request's database is not byte-identical" >&2
+  exit 1
+fi
+for tenant in alice bob carol; do
+  if ! grep -q '"event":"done"' "$workdir/streams/$tenant.jsonl"; then
+    echo "FAIL: tenant $tenant's event stream has no completion event" >&2
+    exit 1
+  fi
+done
+case "$err" in
+  *"deduplicated"*) ;;
+  *)
+    echo "FAIL: the summary does not report the deduplicated request:" >&2
+    echo "$err" >&2
+    exit 1
+    ;;
+esac
+
+echo "PASS: strict admission rejected bad request files and a 3-tenant" \
+     "stream (1 deduplicated) completed with per-tenant state and streams"

@@ -195,6 +195,123 @@ TEST(CacheStats, MergingRealShardCachesMatchesOneSharedCache) {
   EXPECT_GE(merged.misses, whole.stats().misses);
 }
 
+TEST(CacheStats, SnapshotDifferenceAttributesTheActivityInBetween) {
+  // The study service snapshots the shared cache around each tenant's
+  // batch; later - earlier must be exactly the in-between tallies.
+  CodeModel m = make_model();
+  CompilationCache cache;
+  BuildSystem build(&m, &cache);
+
+  (void)build.compile_all(o1_plain());
+  const CacheStats before = cache.stats();
+  (void)build.compile_all(o1_plain());
+  (void)build.compile_all(o1_inert());
+  const CacheStats delta = cache.stats() - before;
+  EXPECT_EQ(delta.hits, 2 * m.files().size());
+  EXPECT_EQ(delta.misses, 0u);
+  EXPECT_EQ(delta.inserted_bytes, 0u);
+  EXPECT_EQ(before + delta, cache.stats());
+}
+
+TEST(CompilationCache, EvictionCountsPerEntryNotPerClear) {
+  // Regression: the eviction counter historically only moved on wholesale
+  // clear()s, so any policy that removes entries one group at a time was
+  // invisible in the stats.  A budget of 0 evicts each inserted entry
+  // immediately -- the counter must track every one.
+  CodeModel m = make_model();
+  CompilationCache cache;
+  cache.set_budget(0);
+  BuildSystem build(&m, &cache);
+
+  (void)build.compile_all(o1_plain());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, m.files().size());
+  EXPECT_EQ(s.evictions, m.files().size());  // every insert evicted
+  EXPECT_EQ(s.evicted_bytes, s.inserted_bytes);
+  EXPECT_EQ(s.resident_bytes(), 0u);
+  EXPECT_EQ(cache.resident_entries(), 0u);
+
+  // Re-compiling misses again: nothing was retained.
+  (void)build.compile_all(o1_plain());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2 * m.files().size());
+}
+
+TEST(CompilationCache, UnboundedCacheNeverEvicts) {
+  CodeModel m = make_model();
+  CompilationCache cache;
+  BuildSystem build(&m, &cache);
+  for (const Compilation& c : mfem_study_space()) {
+    (void)build.compile_all(c);
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().evicted_bytes, 0u);
+  EXPECT_EQ(cache.resident_bytes(), cache.stats().inserted_bytes);
+  EXPECT_EQ(cache.stats().resident_bytes(), cache.resident_bytes());
+}
+
+TEST(CompilationCache, BudgetCapsTheResidentFootprint) {
+  CodeModel m = make_model();
+  CompilationCache unbounded;
+  {
+    BuildSystem build(&m, &unbounded);
+    for (const Compilation& c : mfem_study_space()) {
+      (void)build.compile_all(c);
+    }
+  }
+  const std::uint64_t full = unbounded.resident_bytes();
+  ASSERT_GT(full, 0u);
+
+  // A budget of half the full footprint: the cache must stay under it
+  // after every insertion, evicting LRU fingerprint groups, and the byte
+  // ledgers must reconcile (inserted - evicted == resident).
+  CompilationCache bounded;
+  bounded.set_budget(full / 2);
+  BuildSystem build(&m, &bounded);
+  for (const Compilation& c : mfem_study_space()) {
+    (void)build.compile_all(c);
+    EXPECT_LE(bounded.resident_bytes(), full / 2);
+  }
+  const CacheStats s = bounded.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_EQ(s.inserted_bytes - s.evicted_bytes, bounded.resident_bytes());
+
+  // Shrinking the budget evicts immediately; restoring nullopt stops
+  // evicting but does not resurrect anything.
+  bounded.set_budget(0);
+  EXPECT_EQ(bounded.resident_bytes(), 0u);
+  EXPECT_EQ(bounded.resident_entries(), 0u);
+  bounded.set_budget(std::nullopt);
+  EXPECT_EQ(bounded.resident_entries(), 0u);
+}
+
+TEST(CompilationCache, EvictedEntriesRebuildByteIdentical) {
+  // The determinism half of the bounded-memory contract: an object
+  // rebuilt after its group was evicted is byte-identical to the evicted
+  // one, so eviction can change hit rates but never study results.
+  CodeModel m = make_model();
+  CompilationCache tight;
+  tight.set_budget(0);  // worst case: every lookup rebuilds
+  BuildSystem bounded_build(&m, &tight);
+  BuildSystem uncached(&m);
+  for (const Compilation& c : mfem_study_space()) {
+    for (const std::string& f : m.files()) {
+      expect_same_object(bounded_build.compile(f, c), uncached.compile(f, c));
+    }
+  }
+  EXPECT_EQ(tight.stats().hits, 0u);
+}
+
+TEST(CompilationCache, ApproxObjectBytesIsContentDerived) {
+  CodeModel m = make_model();
+  BuildSystem build(&m);
+  const ObjectFile a = build.compile("cc/a.cpp", o1_plain());
+  EXPECT_GT(approx_object_bytes(a), 0u);
+  // Pure function of the contents: equal objects, equal footprint.
+  EXPECT_EQ(approx_object_bytes(a),
+            approx_object_bytes(build.compile("cc/a.cpp", o1_plain())));
+}
+
 TEST(CompilationCache, ClearResetsEntriesAndCounters) {
   CodeModel m = make_model();
   CompilationCache cache;

@@ -18,11 +18,14 @@
 // value-taking options consume their argument.
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -45,6 +48,8 @@
 #include "obs/export.h"
 #include "obs/session.h"
 #include "par/study.h"
+#include "serve/request.h"
+#include "serve/service.h"
 #include "toolchain/compiler.h"
 
 using namespace flit;
@@ -104,6 +109,13 @@ int usage() {
       "                    [--keep-going|--no-keep-going]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
       "       flit mix <test> <tolerance>\n"
+      "       flit serve <requests.jsonl|-> [--state-dir dir]\n"
+      "                    [--stream-out dir] [--cache-budget BYTES]\n"
+      "                    [--shards N] [--jobs N] [--steal|--no-steal]\n"
+      "                    [--max-inflight N] [--checkpoint-batch N]\n"
+      "                    [--resume] [--retries N]\n"
+      "                    [--keep-going|--no-keep-going]\n"
+      "                    [--trace-out file] [--metrics-out file]\n"
       "\n"
       "--jobs N        parallel execution lanes for explore/workflow\n"
       "                (default: the FLIT_JOBS environment variable if\n"
@@ -156,6 +168,22 @@ int usage() {
       "--metrics-out   write the metrics snapshot as JSON and print the\n"
       "                summary table to stderr; telemetry never alters\n"
       "                results\n"
+      "\n"
+      "serve runs a JSONL stream of study requests (one JSON object per\n"
+      "line: {\"id\":..,\"test\":..[,\"tenant\"][,\"mode\"][,\"compilers\"]\n"
+      "[,\"limit\"]}) as a multi-tenant service sharing one compilation\n"
+      "cache; see docs/study-service.md\n"
+      "--state-dir     per-request converged databases (<id>.tsv), CSVs\n"
+      "                and workflow reports; with --resume, requests are\n"
+      "                prefilled from their checkpoints\n"
+      "--stream-out    per-tenant incremental event streams\n"
+      "                (<tenant>.jsonl); without it events print to stdout\n"
+      "--cache-budget  shared-cache cap in approximate object bytes\n"
+      "                (0 retains nothing); results are identical at any\n"
+      "                budget -- eviction only changes hit rates\n"
+      "--max-inflight  studies multiplexed concurrently (default 4)\n"
+      "--checkpoint-batch items per scheduler claim and per durable\n"
+      "                checkpoint (default 32)\n"
       "\n"
       "FLIT_FAULTS=site:rate[:seed][,...] arms the deterministic fault\n"
       "injector (sites: compile, link, run, kill, shard, stall); see "
@@ -532,6 +560,96 @@ int cmd_mix(const std::string& test_name, long double tolerance) {
   return 0;
 }
 
+/// Strict byte-count parsing for --cache-budget: a plain non-negative
+/// integer (0 is meaningful: retain nothing).
+std::uint64_t parse_bytes(const char* flag, const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (s[0] == '\0' || s[0] == '-' || end == nullptr || *end != '\0' ||
+      errno == ERANGE) {
+    throw std::invalid_argument(std::string(flag) +
+                                ": expected a non-negative byte count, "
+                                "got '" + std::string(s) + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+struct ServeArgs {
+  serve::ServeOptions opts;
+};
+
+int cmd_serve(const std::string& requests_path, ServeArgs& args) {
+  // Admission reads the whole stream up front: a service must reject a
+  // malformed request file at the door, before any tenant's study runs.
+  std::vector<serve::StudyRequest> requests;
+  if (requests_path == "-") {
+    requests = serve::read_requests(std::cin);
+  } else {
+    std::ifstream in(requests_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr,
+                   "serve: cannot read request file '%s' (must exist and "
+                   "be readable)\n",
+                   requests_path.c_str());
+      return 2;
+    }
+    requests = serve::read_requests(in);
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "serve: no requests in '%s'\n",
+                 requests_path.c_str());
+    return 2;
+  }
+
+  // Without --stream-out the per-tenant event streams interleave on
+  // stdout, each line prefixed by its tenant.
+  if (args.opts.stream_dir.empty()) {
+    args.opts.event_sink = [](const std::string& tenant,
+                              const std::string& line) {
+      std::printf("%s\t%s\n", tenant.c_str(), line.c_str());
+    };
+  }
+
+  const auto space = toolchain::mfem_study_space();
+  serve::StudyService service(&fpsem::global_code_model(),
+                              toolchain::mfem_baseline(),
+                              toolchain::mfem_speed_reference(), space,
+                              std::move(args.opts));
+  const serve::ServeReport report = service.run(requests);
+
+  for (const serve::RequestReport& r : report.requests) {
+    if (r.deduplicated) {
+      std::fprintf(stderr,
+                   "request %s (tenant %s): deduplicated onto %s, "
+                   "items=%zu variable=%zu failed=%zu\n",
+                   r.id.c_str(), r.tenant.c_str(), r.primary.c_str(),
+                   r.items, r.variable, r.failed);
+    } else {
+      std::fprintf(stderr,
+                   "request %s (tenant %s): test=%s items=%zu "
+                   "variable=%zu failed=%zu batches=%zu cache "
+                   "hits=%llu misses=%llu\n",
+                   r.id.c_str(), r.tenant.c_str(), r.test.c_str(), r.items,
+                   r.variable, r.failed, r.batches,
+                   static_cast<unsigned long long>(r.cache.hits),
+                   static_cast<unsigned long long>(r.cache.misses));
+    }
+  }
+  const auto& c = report.cache;
+  std::fprintf(stderr,
+               "served %zu requests (%zu deduplicated): cache hits=%llu "
+               "misses=%llu hit-rate=%.3f evictions=%llu resident=%llu "
+               "bytes; fleet cycles %.0f\n",
+               report.requests.size(), report.deduplicated,
+               static_cast<unsigned long long>(c.hits),
+               static_cast<unsigned long long>(c.misses), c.hit_rate(),
+               static_cast<unsigned long long>(c.evictions),
+               static_cast<unsigned long long>(report.cache_resident_bytes),
+               report.fleet_cycles);
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   // Force the injector's FLIT_FAULTS parse now: a malformed spec should
   // die here as `flit: error: FLIT_FAULTS: ...`, not surface later
@@ -705,6 +823,66 @@ int dispatch(int argc, char** argv) {
     return cmd_mix(argv[2], parse_longdouble("tolerance", argv[3]));
   }
 
+  if (cmd == "serve") {
+    if (argc < 3) return usage();
+    ServeArgs args;
+    args.opts.jobs = core::default_jobs();
+    TelemetryArgs tel;
+    for (int i = 3; i < argc; ++i) {
+      if (tel.parse(argv, argc, &i)) {
+        // consumed
+      } else if (std::strcmp(argv[i], "--state-dir") == 0) {
+        args.opts.state_dir = option_value("--state-dir", argv, argc, &i);
+      } else if (std::strcmp(argv[i], "--stream-out") == 0) {
+        args.opts.stream_dir = option_value("--stream-out", argv, argc, &i);
+      } else if (std::strcmp(argv[i], "--cache-budget") == 0) {
+        args.opts.cache_budget = parse_bytes(
+            "--cache-budget", option_value("--cache-budget", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--shards") == 0) {
+        args.opts.shards = static_cast<int>(parse_jobs(
+            "--shards", option_value("--shards", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        args.opts.jobs =
+            parse_jobs("--jobs", option_value("--jobs", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--steal") == 0) {
+        args.opts.steal = true;
+      } else if (std::strcmp(argv[i], "--no-steal") == 0) {
+        args.opts.steal = false;
+      } else if (std::strcmp(argv[i], "--max-inflight") == 0) {
+        args.opts.max_inflight = parse_jobs(
+            "--max-inflight", option_value("--max-inflight", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--checkpoint-batch") == 0) {
+        args.opts.checkpoint_batch = parse_jobs(
+            "--checkpoint-batch",
+            option_value("--checkpoint-batch", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--resume") == 0) {
+        args.opts.resume = true;
+      } else if (std::strcmp(argv[i], "--retries") == 0) {
+        args.opts.retry.max_attempts = static_cast<int>(parse_jobs(
+            "--retries", option_value("--retries", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--keep-going") == 0) {
+        args.opts.keep_going = true;
+      } else if (std::strcmp(argv[i], "--no-keep-going") == 0) {
+        args.opts.keep_going = false;
+      } else {
+        std::fprintf(stderr, "serve: unknown option '%s'\n", argv[i]);
+        return usage();
+      }
+    }
+    if (args.opts.resume && args.opts.state_dir.empty()) {
+      std::fprintf(stderr, "serve: --resume requires --state-dir\n");
+      return 2;
+    }
+    telemetry_begin(tel);
+    const int rc = cmd_serve(argv[2], args);
+    telemetry_finish(tel);
+    return rc;
+  }
+
+  std::fprintf(stderr,
+               "flit: unknown command '%s' (commands: list, explore, "
+               "bisect, workflow, mix, serve)\n",
+               cmd.c_str());
   return usage();
 }
 
