@@ -137,6 +137,23 @@ double InjectionCampaign::Summary::recall() const {
   return static_cast<double>(exact + indirect) / measurable;
 }
 
+InjectionCampaign::Summary& InjectionCampaign::Summary::operator+=(
+    const Summary& o) {
+  const int mine = total - not_measurable;
+  const int theirs = o.total - o.not_measurable;
+  if (mine + theirs > 0) {
+    avg_executions = (avg_executions * mine + o.avg_executions * theirs) /
+                     (mine + theirs);
+  }
+  exact += o.exact;
+  indirect += o.indirect;
+  wrong += o.wrong;
+  missed += o.missed;
+  not_measurable += o.not_measurable;
+  total += o.total;
+  return *this;
+}
+
 InjectionCampaign::Summary InjectionCampaign::summarize(
     std::span<const InjectionReport> reports) {
   Summary s;

@@ -81,6 +81,12 @@ class InjectionCampaign {
 
     [[nodiscard]] double precision() const;
     [[nodiscard]] double recall() const;
+
+    /// Pools another summary in: tallies sum, avg_executions recombines
+    /// weighted by each side's measurable-experiment count.  The
+    /// generated-workload harness runs one campaign per kernel and folds
+    /// the per-kernel summaries into per-mechanism and total pools.
+    Summary& operator+=(const Summary& o);
   };
   [[nodiscard]] static Summary summarize(
       std::span<const InjectionReport> reports);

@@ -25,6 +25,16 @@ FunctionId CodeModel::add(FunctionInfo info) {
   return id;
 }
 
+FunctionId CodeModel::ensure(FunctionInfo info) {
+  const auto it = by_name_.find(info.name);
+  if (it == by_name_.end()) return add(std::move(info));
+  if (fns_[it->second] != info) {
+    throw std::invalid_argument("conflicting re-registration of function '" +
+                                info.name + "'");
+  }
+  return it->second;
+}
+
 std::optional<FunctionId> CodeModel::find(std::string_view name) const {
   auto it = by_name_.find(std::string(name));
   if (it == by_name_.end()) return std::nullopt;

@@ -40,6 +40,8 @@ struct FunctionInfo {
   /// does not replace the inlined copies, so variability it causes can
   /// vanish or persist when the file is rebuilt for Symbol Bisect.
   bool inline_candidate = false;
+
+  friend bool operator==(const FunctionInfo&, const FunctionInfo&) = default;
 };
 
 /// Registry of files and functions making up one simulated application.
@@ -47,6 +49,15 @@ class CodeModel {
  public:
   /// Registers a function; names must be unique within the model.
   FunctionId add(FunctionInfo info);
+
+  /// Idempotent add: when a function with the same name is already
+  /// registered with an *identical* record, returns its id instead of
+  /// throwing -- the registration hook generated-kernel suites use, since
+  /// an installer may run more than once per process (CLI dispatch plus a
+  /// test fixture, say).  A same-name registration whose metadata differs
+  /// is still a hard error: silently keeping the old record would leave
+  /// the model disagreeing with the caller about exportedness or libm use.
+  FunctionId ensure(FunctionInfo info);
 
   [[nodiscard]] const FunctionInfo& info(FunctionId id) const {
     return fns_.at(id);

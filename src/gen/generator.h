@@ -1,0 +1,161 @@
+#pragma once
+
+// The synthetic-kernel generator (the LLM4FP-style frontier of the
+// ROADMAP): a deterministic, seed-driven source of floating-point kernels
+// whose variability mechanism is known *by construction*.
+//
+// The paper's evidence base is three fixed applications; its scenario
+// diversity is capped by whatever hazards those kernels happen to
+// contain.  A generated kernel inverts that: each one is built from a
+// *recipe* that plants a known hazard -- an FMA-contractable multiply-add
+// chain, a reduction loop whose association order a vectorizer may
+// reshape, a branch on an exactly-zero residual (the Laghos `== 0.0`
+// bug), a transcendental call a fast-libm link step may substitute, a
+// product landing in the subnormal range an FTZ build flushes, or a
+// division/square-root a value-unsafe rewrite perturbs -- and carries a
+// machine-readable ground-truth label saying which fpsem mechanism its
+// hazard sites respond to and how many there are.  Campaigns can then be
+// *scored*: a bisect report either names the planted site or it does not.
+//
+// Determinism is the whole contract.  Kernel names, input embeddings,
+// hazard placement and labels are a pure function of (seed, index,
+// recipe): the same --gen-seed/--gen-count/--gen-recipes always
+// reproduces a byte-identical suite, on any shard of any fleet.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flit::gen {
+
+/// The kernel shapes the generator knows how to emit.
+enum class Recipe : std::uint8_t {
+  FmaChain,   ///< multiply-add chains a contracting compiler fuses
+  Reduce,     ///< reduction loops with sequential-vs-lane association
+  Branch,     ///< branch on an exactly-zero FMA residual (Laghos-style)
+  Libm,       ///< transcendental calls a fast-libm link substitutes
+  Subnormal,  ///< products in the subnormal range an FTZ build flushes
+  Unsafe,     ///< div/sqrt a value-unsafe rewrite approximates
+};
+
+/// The fpsem mechanism a recipe's hazard sites respond to.
+enum class Mechanism : std::uint8_t {
+  FmaContraction,
+  Reassociation,
+  FastLibm,
+  SubnormalFlush,
+  UnsafeMath,
+};
+
+[[nodiscard]] const char* to_string(Recipe r);
+[[nodiscard]] const char* to_string(Mechanism m);
+[[nodiscard]] std::optional<Recipe> recipe_from(const std::string& name);
+[[nodiscard]] std::optional<Mechanism> mechanism_from(const std::string& name);
+
+/// The mechanism each recipe's hazards are labeled with.  Branch maps to
+/// FmaContraction: the residual that decides the branch is exactly zero
+/// without contraction and a one-ulp rounding remainder with it.
+[[nodiscard]] Mechanism mechanism_of(Recipe r);
+
+/// Every recipe, in declaration order (the default --gen-recipes set).
+[[nodiscard]] const std::vector<Recipe>& all_recipes();
+
+/// Strict parse of a comma-separated recipe list ("fma,reduce,...").
+/// Throws std::invalid_argument for an unknown name, an empty element, or
+/// a duplicate -- the --gen-recipes contract.
+[[nodiscard]] std::vector<Recipe> recipes_from_csv(const std::string& csv);
+
+/// Hazard statements a kernel can plant (each on its own source line, so
+/// each enabled hazard is at least one distinct injection site).
+inline constexpr std::size_t kMaxHazards = 4;
+
+/// What to generate.  Validated by validate(): seed and count must be
+/// positive, the recipe list (empty = all) must be duplicate-free.
+struct GenSpec {
+  std::uint64_t seed = 1;
+  std::size_t count = 16;
+  std::vector<Recipe> recipes;  ///< empty = all_recipes()
+
+  void validate() const;  ///< throws std::invalid_argument
+
+  /// The recipe rotation actually used (recipes, or all when empty).
+  [[nodiscard]] const std::vector<Recipe>& effective_recipes() const;
+
+  friend bool operator==(const GenSpec&, const GenSpec&) = default;
+};
+
+/// The machine-readable ground truth one kernel carries.
+struct GroundTruthLabel {
+  std::string kernel;           ///< test / function name
+  Recipe recipe = Recipe::FmaChain;
+  Mechanism mechanism = Mechanism::FmaContraction;
+  int hazard_sites = 0;         ///< enabled hazard statements
+  std::uint64_t seed = 0;
+  std::size_t index = 0;
+  std::string file;             ///< model file the kernel registers into
+  std::string expected_symbol;  ///< symbol Bisect should blame
+
+  /// One tab-separated line (no newline); the --describe row format.
+  [[nodiscard]] std::string tsv_line() const;
+
+  /// Strict inverse of tsv_line(); throws std::invalid_argument on a
+  /// wrong column count, unknown enum name, or malformed number.
+  [[nodiscard]] static GroundTruthLabel from_tsv_line(
+      const std::string& line);
+
+  friend bool operator==(const GroundTruthLabel&,
+                         const GroundTruthLabel&) = default;
+};
+
+/// One generated kernel: identity, hazard placement, and the embedded
+/// inputs its evaluator consumes.  Everything here is derived from
+/// (seed, index, recipe) alone.
+struct GeneratedKernel {
+  std::string name;  ///< "Gen_s<seed>_k<index>_<recipe>"
+  std::string file;  ///< "gen/<name>.cpp" (one kernel per model file)
+  Recipe recipe = Recipe::FmaChain;
+  std::uint64_t seed = 0;
+  std::size_t index = 0;
+
+  /// Which of the kMaxHazards optional hazard statements are planted
+  /// (at least one always is).
+  std::array<bool, kMaxHazards> hazards{};
+
+  /// Hazard statement 1, when planted, runs inside an internal helper
+  /// function (host symbol = the kernel), so campaigns exercise the
+  /// indirect-find verdict too.
+  bool has_helper = false;
+
+  std::vector<double> values;   ///< recipe-dependent operand stream
+  std::vector<double> weights;  ///< second operand stream
+  double c0 = 0.0, c1 = 0.0, c2 = 0.0;  ///< scalar coefficients
+
+  [[nodiscard]] int hazard_count() const;
+  [[nodiscard]] std::string fn_name() const { return name; }
+  [[nodiscard]] std::string helper_name() const {
+    return name + "::inner";
+  }
+  [[nodiscard]] GroundTruthLabel label() const;
+
+  friend bool operator==(const GeneratedKernel&,
+                         const GeneratedKernel&) = default;
+};
+
+/// Generates spec.count kernels, rotating through the effective recipes
+/// (kernel i uses recipe i % |recipes|).  Pure function of the spec.
+[[nodiscard]] std::vector<GeneratedKernel> generate(const GenSpec& spec);
+
+/// The --describe report: a '#'-headed TSV of every kernel's ground-truth
+/// label, one tsv_line() per kernel.
+[[nodiscard]] std::string describe_tsv(
+    std::span<const GeneratedKernel> kernels);
+
+/// The --emit report: a human-readable pseudo-source rendering of one
+/// kernel (recipe, hazard placement, embedded inputs).
+[[nodiscard]] std::string emit_text(const GeneratedKernel& k);
+
+}  // namespace flit::gen

@@ -1,0 +1,49 @@
+#include "gen/harness.h"
+
+#include "gen/suite.h"
+
+namespace flit::gen {
+
+GenCampaignResult run_injection_campaign(
+    std::span<const GeneratedKernel> kernels,
+    const toolchain::Compilation& build_comp,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  GenCampaignResult res;
+  res.per_mechanism.resize(5);
+  for (std::size_t m = 0; m < res.per_mechanism.size(); ++m) {
+    res.per_mechanism[m].mechanism = static_cast<Mechanism>(m);
+  }
+
+  for (std::size_t done = 0; done < kernels.size(); ++done) {
+    const GeneratedKernel& k = kernels[done];
+
+    // A fresh one-file model per kernel: the campaign's whole-program
+    // builds and bisect searches then touch exactly this kernel, so the
+    // cost per experiment is independent of the corpus size.
+    fpsem::CodeModel model;
+    const std::vector<InstalledKernel> installed =
+        register_kernels(model, std::span(&k, 1));
+    const GenKernelTest test(installed.front());
+
+    core::InjectionCampaign campaign(&model, &test, build_comp);
+    campaign.set_scope({k.file});
+    const std::vector<core::InjectionReport> reports = campaign.run_all();
+    const core::InjectionCampaign::Summary summary =
+        core::InjectionCampaign::summarize(reports);
+
+    MechanismScore& pool =
+        res.per_mechanism[static_cast<std::size_t>(mechanism_of(k.recipe))];
+    pool.kernels += 1;
+    pool.hazard_sites += static_cast<std::size_t>(k.hazard_count());
+    pool.summary += summary;
+
+    res.total += summary;
+    res.experiments += reports.size();
+    res.sites += reports.size() / 4;  // run_all issues 4 ops per site
+
+    if (progress) progress(done + 1, kernels.size());
+  }
+  return res;
+}
+
+}  // namespace flit::gen

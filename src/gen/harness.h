@@ -1,0 +1,54 @@
+#pragma once
+
+// The generated-space injection harness: Table 5's methodology, scored
+// against ground truth the generator planted instead of hand-seeded
+// injections.
+//
+// Each kernel gets its own miniature code model (just that kernel's file
+// and functions) and a full InjectionCampaign over every static FP site
+// its execution reaches x the four inject operations, with the Bisect
+// search scoped to the kernel's file.  Because the kernel's label says
+// which symbol should be blamed, every verdict is checkable; because one
+// kernel's model contains one file, a campaign costs microseconds and the
+// harness scales to 10-100x the paper's 4,376 experiments.  Verdicts are
+// pooled per mechanism, which the paper's fixed applications cannot
+// offer: LULESH's hand-seeded sites measure bisect on whatever mix of
+// hazards LULESH happens to contain, while the generated corpus holds
+// the mechanism constant within each pool.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/injection.h"
+#include "gen/generator.h"
+#include "toolchain/compiler.h"
+
+namespace flit::gen {
+
+/// Pooled verdict tallies for one mechanism.
+struct MechanismScore {
+  Mechanism mechanism = Mechanism::FmaContraction;
+  std::size_t kernels = 0;        ///< kernels contributing to the pool
+  std::size_t hazard_sites = 0;   ///< labeled hazard statements (ground truth)
+  core::InjectionCampaign::Summary summary;
+};
+
+/// The whole campaign's outcome.
+struct GenCampaignResult {
+  std::vector<MechanismScore> per_mechanism;  ///< mechanism-enum order
+  core::InjectionCampaign::Summary total;
+  std::size_t sites = 0;        ///< static injection sites enumerated
+  std::size_t experiments = 0;  ///< sites x 4 inject ops
+};
+
+/// Runs one injection campaign per kernel (mini-model, file-scoped
+/// bisect) under `build_comp` and pools the summaries.  `progress`, when
+/// set, is called after each kernel with (kernels done, kernels total).
+[[nodiscard]] GenCampaignResult run_injection_campaign(
+    std::span<const GeneratedKernel> kernels,
+    const toolchain::Compilation& build_comp,
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+}  // namespace flit::gen

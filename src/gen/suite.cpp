@@ -1,0 +1,331 @@
+#include "gen/suite.h"
+
+#include <stdexcept>
+
+#include "linalg/vector.h"
+
+namespace flit::gen {
+
+std::vector<InstalledKernel> register_kernels(
+    fpsem::CodeModel& model, std::span<const GeneratedKernel> kernels) {
+  std::vector<InstalledKernel> out;
+  out.reserve(kernels.size());
+  for (const GeneratedKernel& k : kernels) {
+    InstalledKernel ik;
+    ik.kernel = k;
+    const bool libm = k.recipe == Recipe::Libm;
+    ik.fn = model.ensure({.name = k.fn_name(),
+                          .file = k.file,
+                          .exported = true,
+                          .uses_libm = libm});
+    if (k.has_helper) {
+      ik.helper = model.ensure({.name = k.helper_name(),
+                                .file = k.file,
+                                .exported = false,
+                                .host_symbol = k.fn_name(),
+                                .uses_libm = libm});
+    }
+    out.push_back(std::move(ik));
+  }
+  return out;
+}
+
+namespace {
+
+// Each recipe evaluator below plants up to kMaxHazards hazard statements,
+// every one on its own source line so it is a distinct static injection
+// site, and hazard 1 runs under the internal helper's semantics when the
+// kernel has one (exercising the indirect-find verdict).  Everything
+// outside the hazard statements uses only add/sub/mul -- operations no
+// labeled mechanism rewrites -- so a kernel responds to exactly its
+// label's mechanism: flipping any other mechanism on leaves its output
+// bit-identical.  That property is what makes the ground truth *truth*.
+
+fpsem::FpEnv hazard1_env(const InstalledKernel& ik,
+                         fpsem::EvalContext& ctx) {
+  return ctx.fn(ik.helper != fpsem::kInvalidFunction ? ik.helper : ik.fn);
+}
+
+// Multiply-add chains: contracted to fused operations under
+// contract_fma, which drops the intermediate product rounding.
+double eval_fma_chain(const InstalledKernel& ik, fpsem::EvalContext& ctx) {
+  const GeneratedKernel& k = ik.kernel;
+  fpsem::FpEnv env = ctx.fn(ik.fn);
+  double acc = k.c0;
+  if (k.hazards[0]) {
+    for (std::size_t i = 0; i < k.values.size(); ++i) {
+      acc = env.mul_add(k.values[i], k.weights[i], acc);
+    }
+  }
+  if (k.hazards[1]) {
+    fpsem::FpEnv henv = hazard1_env(ik, ctx);
+    acc = henv.mul_add(acc, k.c1, k.c2);
+  }
+  if (k.hazards[2]) {
+    acc = env.mul_add(k.c2, acc, k.values.front());
+  }
+  if (k.hazards[3]) {
+    acc = env.mul_add(k.c1, acc, k.weights.front());
+  }
+  double t = env.mul(k.c1, k.values.back());
+  t = env.add(t, k.c2);
+  t = env.sub(t, k.values.front());
+  return env.add(acc, env.mul(t, k.c0));
+}
+
+// Reductions: a strict build accumulates left to right, a reassociating
+// one keeps reassoc_width stride-w lanes; the mixed-magnitude operand
+// stream makes the two orders round differently.
+double eval_reduce(const InstalledKernel& ik, fpsem::EvalContext& ctx) {
+  const GeneratedKernel& k = ik.kernel;
+  fpsem::FpEnv env = ctx.fn(ik.fn);
+  const std::span<const double> v(k.values);
+  const std::span<const double> w(k.weights);
+  double acc = k.c0;
+  if (k.hazards[0]) {
+    acc = env.add(acc, env.sum(v));
+  }
+  if (k.hazards[1]) {
+    fpsem::FpEnv henv = hazard1_env(ik, ctx);
+    acc = henv.add(acc, henv.sum(w));
+  }
+  if (k.hazards[2]) {
+    acc = env.add(acc, env.sum(v.first(v.size() / 2)));
+  }
+  if (k.hazards[3]) {
+    acc = env.add(acc, env.sum(w.last(w.size() / 2)));
+  }
+  double t = env.mul(acc, k.c1);
+  t = env.add(t, k.values.front());
+  return env.sub(t, env.mul(k.c2, k.weights.back()));
+}
+
+// The Laghos `== 0.0` structure: resid = fma(x, x, -x*x) is exactly zero
+// without contraction and the product's rounding remainder with it, so
+// the branch takes a different arm -- a discrete jump in the output, not
+// just an ulp-scale drift.
+double eval_branch(const InstalledKernel& ik, fpsem::EvalContext& ctx) {
+  const GeneratedKernel& k = ik.kernel;
+  fpsem::FpEnv env = ctx.fn(ik.fn);
+  double resid = 0.0;
+  if (k.hazards[0]) {
+    const double sq = env.mul(k.c0, k.c0);
+    resid = env.add(resid, env.mul_add(k.c0, k.c0, -sq));
+  }
+  if (k.hazards[1]) {
+    fpsem::FpEnv henv = hazard1_env(ik, ctx);
+    const double sq = henv.mul(k.c1, k.c1);
+    resid = henv.add(resid, henv.mul_add(k.c1, k.c1, -sq));
+  }
+  if (k.hazards[2]) {
+    const double sq = env.mul(k.values[0], k.values[0]);
+    resid = env.add(resid, env.mul_add(k.values[0], k.values[0], -sq));
+  }
+  if (k.hazards[3]) {
+    const double sq = env.mul(k.values[1], k.values[1]);
+    resid = env.add(resid, env.mul_add(k.values[1], k.values[1], -sq));
+  }
+  double out = env.mul(k.c2, k.values.back());
+  if (resid == 0.0) {
+    out = env.add(out, k.c0);
+  } else {
+    out = env.sub(out, env.mul(k.c1, 4096.0));
+  }
+  return env.add(out, env.mul(resid, k.c0));
+}
+
+// Transcendental calls: a fast-libm binding routes them through the
+// float-precision library.  The libm calls themselves are not probed
+// sites, so each hazard wraps its call in an add that is.
+double eval_libm(const InstalledKernel& ik, fpsem::EvalContext& ctx) {
+  const GeneratedKernel& k = ik.kernel;
+  fpsem::FpEnv env = ctx.fn(ik.fn);
+  double acc = k.c0;
+  if (k.hazards[0]) {
+    acc = env.add(acc, env.sin(k.values[0]));
+  }
+  if (k.hazards[1]) {
+    fpsem::FpEnv henv = hazard1_env(ik, ctx);
+    acc = henv.add(acc, henv.exp(k.weights[0]));
+  }
+  if (k.hazards[2]) {
+    acc = env.add(acc, env.log(k.values[1]));
+  }
+  if (k.hazards[3]) {
+    acc = env.add(acc, env.cos(k.values[2]));
+  }
+  double t = env.mul(acc, k.c1);
+  return env.add(t, env.sub(k.values[3], k.c2));
+}
+
+// Subnormal products: each hazard multiplies a ~1e-154 value by a
+// ~1e-160 weight, landing in the subnormal range; an FTZ build flushes
+// the product to zero.  The two-stage rescale (1e280 then 1e33) lifts a
+// surviving product to O(1) -- one stage would leave it at ~1e-35, which
+// the final accumulation into an O(1) value rounds away entirely.
+double eval_subnormal(const InstalledKernel& ik, fpsem::EvalContext& ctx) {
+  const GeneratedKernel& k = ik.kernel;
+  fpsem::FpEnv env = ctx.fn(ik.fn);
+  constexpr double kLift = 1.0e33;
+  double acc = k.c0;
+  if (k.hazards[0]) {
+    const double p = env.mul(k.values[0], k.weights[0]);
+    acc = env.add(acc, env.mul(env.mul(p, k.c1), kLift));
+  }
+  if (k.hazards[1]) {
+    fpsem::FpEnv henv = hazard1_env(ik, ctx);
+    const double p = henv.mul(k.values[1], k.weights[1]);
+    acc = henv.add(acc, henv.mul(henv.mul(p, k.c1), kLift));
+  }
+  if (k.hazards[2]) {
+    const double p = env.mul(k.values[2], k.weights[2]);
+    acc = env.add(acc, env.mul(env.mul(p, k.c1), kLift));
+  }
+  if (k.hazards[3]) {
+    const double p = env.mul(k.values[3], k.weights[3]);
+    acc = env.add(acc, env.mul(env.mul(p, k.c1), kLift));
+  }
+  return env.add(acc, env.mul(k.c2, 0.5));
+}
+
+// Value-unsafe rewrites: div becomes multiply-by-reciprocal, sqrt a
+// Newton-refined reciprocal-sqrt seed.  Operands are positive and
+// bounded away from zero, so only the rewrite moves the result.  A
+// single a/b rounds identically to a*(1.0/b) for most operand pairs, so
+// each div hazard loops its one call site over every embedded operand
+// pair -- still one static site, but the odds that *no* quotient moves
+// vanish with the operand count.
+double eval_unsafe(const InstalledKernel& ik, fpsem::EvalContext& ctx) {
+  const GeneratedKernel& k = ik.kernel;
+  fpsem::FpEnv env = ctx.fn(ik.fn);
+  const std::size_t n = k.values.size();
+  double acc = k.c0;
+  if (k.hazards[0]) {
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = env.add(acc, env.div(k.values[i], k.weights[i]));
+    }
+  }
+  if (k.hazards[1]) {
+    fpsem::FpEnv henv = hazard1_env(ik, ctx);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = henv.add(acc, henv.div(k.weights[i], k.values[i]));
+    }
+  }
+  if (k.hazards[2]) {
+    acc = env.add(acc, env.sqrt(k.values[2]));
+  }
+  if (k.hazards[3]) {
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = env.add(acc, env.div(k.weights[i], k.c1));
+    }
+  }
+  double t = env.mul(acc, k.c2);
+  return env.sub(env.add(t, k.values[3]), k.weights[2]);
+}
+
+}  // namespace
+
+double eval_kernel(const InstalledKernel& k, fpsem::EvalContext& ctx) {
+  switch (k.kernel.recipe) {
+    case Recipe::FmaChain: return eval_fma_chain(k, ctx);
+    case Recipe::Reduce: return eval_reduce(k, ctx);
+    case Recipe::Branch: return eval_branch(k, ctx);
+    case Recipe::Libm: return eval_libm(k, ctx);
+    case Recipe::Subnormal: return eval_subnormal(k, ctx);
+    case Recipe::Unsafe: return eval_unsafe(k, ctx);
+  }
+  throw std::invalid_argument("unknown recipe");
+}
+
+core::TestResult GenKernelTest::run_impl(const std::vector<double>& input,
+                                         fpsem::EvalContext& ctx) const {
+  (void)input;
+  return static_cast<long double>(eval_kernel(k_, ctx));
+}
+
+core::TestResult GenSuiteTest::run_impl(const std::vector<double>& input,
+                                        fpsem::EvalContext& ctx) const {
+  (void)input;
+  linalg::Vector out(kernels_.size());
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    out[i] = eval_kernel(kernels_[i], ctx);
+  }
+  return linalg::serialize(out);
+}
+
+long double GenSuiteTest::compare(const std::string& baseline,
+                                  const std::string& test) const {
+  return linalg::l2_string_metric(baseline, test, /*relative=*/true);
+}
+
+namespace detail {
+
+// Generation-time label validation (declared in generator.cpp): the
+// kernel must move under its own mechanism and hold bit-identical under
+// every other, each compared against the strict baseline.  Lives here
+// because it needs the recipe evaluators.
+bool responds_only_to_own_mechanism(const GeneratedKernel& k) {
+  fpsem::CodeModel model;
+  const std::vector<InstalledKernel> installed =
+      register_kernels(model, std::span(&k, 1));
+  const InstalledKernel& ik = installed.front();
+
+  const auto eval_under = [&](const fpsem::FpSemantics& sem) {
+    fpsem::EvalContext ctx(fpsem::SemanticsMap::uniform(
+        model.function_count(), {.sem = sem}));
+    return eval_kernel(ik, ctx);
+  };
+
+  const double baseline = eval_under({});
+  const Mechanism own = mechanism_of(k.recipe);
+  for (const Mechanism m :
+       {Mechanism::FmaContraction, Mechanism::Reassociation,
+        Mechanism::FastLibm, Mechanism::SubnormalFlush,
+        Mechanism::UnsafeMath}) {
+    fpsem::FpSemantics sem;
+    switch (m) {
+      case Mechanism::FmaContraction: sem.contract_fma = true; break;
+      case Mechanism::Reassociation: sem.reassoc_width = 4; break;
+      case Mechanism::FastLibm: sem.fast_libm = true; break;
+      case Mechanism::SubnormalFlush: sem.flush_subnormals = true; break;
+      case Mechanism::UnsafeMath: sem.unsafe_math = true; break;
+    }
+    const bool moved = eval_under(sem) != baseline;
+    if (moved != (m == own)) return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+InstalledSuite install_suite(const GenSpec& spec, fpsem::CodeModel& model,
+                             core::TestRegistry* registry,
+                             const std::string& suite_name) {
+  InstalledSuite suite;
+  suite.spec = spec;
+  const std::vector<GeneratedKernel> kernels = generate(spec);
+  suite.kernels = register_kernels(model, kernels);
+  if (registry != nullptr) {
+    for (const InstalledKernel& ik : suite.kernels) {
+      if (registry->contains(ik.kernel.name)) continue;
+      registry->add(ik.kernel.name, [ik] {
+        return std::unique_ptr<core::TestBase>(
+            std::make_unique<GenKernelTest>(ik));
+      });
+    }
+    if (registry->contains(suite_name)) {
+      throw std::invalid_argument(
+          "a test named '" + suite_name +
+          "' is already registered; a generated suite cannot shadow it");
+    }
+    const std::vector<InstalledKernel>& ks = suite.kernels;
+    const std::string name = suite_name;
+    registry->add(suite_name, [name, ks] {
+      return std::unique_ptr<core::TestBase>(
+          std::make_unique<GenSuiteTest>(name, ks));
+    });
+  }
+  return suite;
+}
+
+}  // namespace flit::gen

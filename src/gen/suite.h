@@ -1,0 +1,122 @@
+#pragma once
+
+// Installing generated kernels into the study machinery.
+//
+// A GeneratedKernel is inert data; this header turns it into everything
+// the rest of the system understands:
+//   * a CodeModel registration (one model file per kernel, the kernel's
+//     exported symbol plus an optional internal helper) -- so Bisect,
+//     the build system, the linker and the injection framework see the
+//     generated program exactly like a hand-written application,
+//   * an evaluator that runs the kernel's recipe through FpEnv -- so
+//     every fpsem mechanism is reachable by construction, and every
+//     enabled hazard statement contributes at least one injection-probed
+//     call site,
+//   * per-kernel FLiT tests plus one aggregate suite test
+//     (kSuiteTestName) whose result is the serialized vector of all
+//     kernel outputs -- the test a fleet-scale study sweeps over the
+//     compilation space.
+//
+// Model registration goes through CodeModel::ensure, so re-installing
+// the same kernels in one process is a no-op rather than a
+// duplicate-name error (a conflicting record still throws).  Test
+// registration is stricter: a per-kernel test already present is skipped
+// (its name pins (seed, index, recipe), which pins the whole kernel),
+// but an aggregate suite name already taken throws -- the suite name
+// does not pin the spec, so reuse could silently shadow a different
+// generated space.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/test_base.h"
+#include "fpsem/code_model.h"
+#include "fpsem/env.h"
+#include "gen/generator.h"
+
+namespace flit::gen {
+
+/// A kernel bound to its CodeModel function ids.
+struct InstalledKernel {
+  GeneratedKernel kernel;
+  fpsem::FunctionId fn = fpsem::kInvalidFunction;
+  fpsem::FunctionId helper = fpsem::kInvalidFunction;  ///< when has_helper
+};
+
+/// Registers every kernel's functions into `model` (idempotently) and
+/// returns the bound kernels.  Libm-recipe kernels register with
+/// uses_libm set, so the Intel link step's fast-libm substitution applies
+/// to them exactly as it does to hand-written transcendental code.
+[[nodiscard]] std::vector<InstalledKernel> register_kernels(
+    fpsem::CodeModel& model, std::span<const GeneratedKernel> kernels);
+
+/// Runs one kernel's recipe under the context's semantics.
+[[nodiscard]] double eval_kernel(const InstalledKernel& k,
+                                 fpsem::EvalContext& ctx);
+
+/// One kernel as a FLiT test (long double result, absolute-difference
+/// comparison -- any bit difference counts as variability).
+class GenKernelTest final : public core::TestBase {
+ public:
+  explicit GenKernelTest(InstalledKernel k) : k_(std::move(k)) {}
+
+  [[nodiscard]] std::string name() const override { return k_.kernel.name; }
+  [[nodiscard]] std::size_t getInputsPerRun() const override { return 0; }
+  [[nodiscard]] std::vector<double> getDefaultInput() const override {
+    return {};
+  }
+  [[nodiscard]] core::TestResult run_impl(
+      const std::vector<double>& input,
+      fpsem::EvalContext& ctx) const override;
+
+ private:
+  InstalledKernel k_;
+};
+
+/// The whole generated space as one test: the result is the losslessly
+/// serialized vector of every kernel's output, compared by relative l2
+/// norm (the MFEM study's structured-result idiom).  This is the test the
+/// CLI registers for `explore`/`workflow`/`serve` sweeps.
+class GenSuiteTest final : public core::TestBase {
+ public:
+  GenSuiteTest(std::string name, std::vector<InstalledKernel> kernels)
+      : name_(std::move(name)), kernels_(std::move(kernels)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::size_t getInputsPerRun() const override { return 0; }
+  [[nodiscard]] std::vector<double> getDefaultInput() const override {
+    return {};
+  }
+  [[nodiscard]] core::TestResult run_impl(
+      const std::vector<double>& input,
+      fpsem::EvalContext& ctx) const override;
+  [[nodiscard]] long double compare(const std::string& baseline,
+                                    const std::string& test) const override;
+  using core::TestBase::compare;
+
+ private:
+  std::string name_;
+  std::vector<InstalledKernel> kernels_;
+};
+
+/// The registered name of the aggregate suite test.
+inline constexpr const char* kSuiteTestName = "GenSuite";
+
+/// A fully installed suite: the spec it came from and the bound kernels.
+struct InstalledSuite {
+  GenSpec spec;
+  std::vector<InstalledKernel> kernels;
+};
+
+/// Generates spec's kernels, registers them into `model`, and (when
+/// `registry` is non-null) registers one GenKernelTest per kernel plus
+/// the aggregate `suite_name` GenSuiteTest.  Per-kernel names already
+/// registered are skipped (identical by construction); a `suite_name`
+/// already taken throws std::invalid_argument.
+InstalledSuite install_suite(const GenSpec& spec, fpsem::CodeModel& model,
+                             core::TestRegistry* registry = nullptr,
+                             const std::string& suite_name = kSuiteTestName);
+
+}  // namespace flit::gen

@@ -1,0 +1,556 @@
+// The generated-workload subsystem: seeded determinism, ground-truth
+// labels that hold by construction (every kernel responds to exactly its
+// labeled mechanism), the Table-5-style scored injection harness, and the
+// generated space riding the full study stack -- bitwise-identical merges
+// across shards x jobs x steal, sharded resume stitching, and the study
+// service -- exactly like a hand-written application.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+#include "core/registry.h"
+#include "core/report.h"
+#include "core/resultsdb.h"
+#include "dist/coordinator.h"
+#include "fpsem/env.h"
+#include "gen/generator.h"
+#include "gen/harness.h"
+#include "gen/suite.h"
+#include "serve/request.h"
+#include "serve/service.h"
+#include "toolchain/compiler.h"
+
+namespace {
+
+using namespace flit;
+using toolchain::Compilation;
+using toolchain::OptLevel;
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------ generator
+
+TEST(GenSpec, ValidatesSeedCountAndRecipes) {
+  gen::GenSpec ok;
+  EXPECT_NO_THROW(ok.validate());
+  EXPECT_EQ(ok.effective_recipes(), gen::all_recipes());
+
+  gen::GenSpec zero_seed;
+  zero_seed.seed = 0;
+  EXPECT_THROW(zero_seed.validate(), std::invalid_argument);
+
+  gen::GenSpec zero_count;
+  zero_count.count = 0;
+  EXPECT_THROW(zero_count.validate(), std::invalid_argument);
+
+  gen::GenSpec dup;
+  dup.recipes = {gen::Recipe::Reduce, gen::Recipe::Reduce};
+  EXPECT_THROW(dup.validate(), std::invalid_argument);
+}
+
+TEST(GenSpec, RecipeCsvParsingIsStrict) {
+  const auto two = gen::recipes_from_csv("fma,subnormal");
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], gen::Recipe::FmaChain);
+  EXPECT_EQ(two[1], gen::Recipe::Subnormal);
+
+  EXPECT_THROW((void)gen::recipes_from_csv("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)gen::recipes_from_csv("fma,"), std::invalid_argument);
+  EXPECT_THROW((void)gen::recipes_from_csv("fma,fma"),
+               std::invalid_argument);
+}
+
+TEST(Generator, SameSpecReproducesByteIdenticalKernelsAndLabels) {
+  gen::GenSpec spec;
+  spec.seed = 42;
+  spec.count = 30;
+  const auto a = gen::generate(spec);
+  const auto b = gen::generate(spec);
+  EXPECT_EQ(a, b);  // every field, embedded inputs included
+  EXPECT_EQ(gen::describe_tsv(a), gen::describe_tsv(b));
+
+  gen::GenSpec other = spec;
+  other.seed = 43;
+  const auto c = gen::generate(other);
+  ASSERT_EQ(c.size(), a.size());
+  EXPECT_NE(a.front().values, c.front().values);
+  EXPECT_NE(a.front().name, c.front().name);  // the seed is in the name
+}
+
+TEST(Generator, RotatesRecipesAndRespectsTheSubset) {
+  gen::GenSpec spec;
+  spec.count = 7;
+  spec.recipes = {gen::Recipe::Reduce, gen::Recipe::Unsafe};
+  const auto ks = gen::generate(spec);
+  ASSERT_EQ(ks.size(), 7u);
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    EXPECT_EQ(ks[i].recipe, spec.recipes[i % spec.recipes.size()]) << i;
+    EXPECT_GE(ks[i].hazard_count(), 1);
+    EXPECT_EQ(ks[i].index, i);
+  }
+}
+
+TEST(Generator, LabelsRoundTripThroughTheTsvAndRejectMalformedLines) {
+  gen::GenSpec spec;
+  spec.seed = 9;
+  spec.count = 12;
+  const auto ks = gen::generate(spec);
+  for (const auto& k : ks) {
+    const gen::GroundTruthLabel label = k.label();
+    EXPECT_EQ(gen::GroundTruthLabel::from_tsv_line(label.tsv_line()), label);
+    EXPECT_EQ(label.mechanism, gen::mechanism_of(k.recipe));
+    EXPECT_EQ(label.hazard_sites, k.hazard_count());
+    EXPECT_EQ(label.expected_symbol, k.fn_name());
+  }
+
+  const std::string good = ks.front().label().tsv_line();
+  EXPECT_THROW((void)gen::GroundTruthLabel::from_tsv_line("a\tb"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)gen::GroundTruthLabel::from_tsv_line(good + "\textra"),
+      std::invalid_argument);
+  EXPECT_THROW((void)gen::GroundTruthLabel::from_tsv_line(
+                   "K\tfma\tnot-a-mechanism\t1\t1\t0\tf.cpp\tK"),
+               std::invalid_argument);
+  EXPECT_THROW((void)gen::GroundTruthLabel::from_tsv_line(
+                   "K\tfma\tfma-contraction\tx\t1\t0\tf.cpp\tK"),
+               std::invalid_argument);
+}
+
+TEST(Generator, DescribeTsvHasAHeaderAndOneRowPerKernel) {
+  gen::GenSpec spec;
+  spec.count = 6;
+  const auto ks = gen::generate(spec);
+  const std::string tsv = gen::describe_tsv(ks);
+  std::istringstream in(tsv);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("# kernel\t", 0), 0u);
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(gen::GroundTruthLabel::from_tsv_line(line), ks[rows].label());
+    ++rows;
+  }
+  EXPECT_EQ(rows, ks.size());
+}
+
+TEST(Generator, EmitTextRendersTheKernel) {
+  gen::GenSpec spec;
+  spec.count = 3;
+  const auto ks = gen::generate(spec);
+  for (const auto& k : ks) {
+    const std::string text = gen::emit_text(k);
+    EXPECT_NE(text.find(k.name), std::string::npos);
+    EXPECT_NE(text.find(gen::to_string(k.recipe)), std::string::npos);
+    EXPECT_NE(text.find(k.file), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------- registration
+
+TEST(Registration, EnsureIsIdempotentAndConflictsThrow) {
+  gen::GenSpec spec;
+  spec.count = 8;
+  const auto ks = gen::generate(spec);
+
+  fpsem::CodeModel model;
+  const auto first = gen::register_kernels(model, ks);
+  const std::size_t functions = model.function_count();
+  const auto second = gen::register_kernels(model, ks);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].fn, second[i].fn) << i;
+    EXPECT_EQ(first[i].helper, second[i].helper) << i;
+  }
+  EXPECT_EQ(model.function_count(), functions);  // nothing re-added
+
+  // Same name, different record: a conflicting re-registration throws.
+  EXPECT_THROW((void)model.ensure({.name = ks.front().fn_name(),
+                                   .file = "elsewhere.cpp",
+                                   .exported = true}),
+               std::invalid_argument);
+}
+
+TEST(Registration, HelpersAreInternalWithTheKernelAsHostSymbol) {
+  gen::GenSpec spec;
+  spec.count = 24;
+  const auto ks = gen::generate(spec);
+  fpsem::CodeModel model;
+  const auto installed = gen::register_kernels(model, ks);
+
+  bool saw_helper = false;
+  for (const auto& ik : installed) {
+    if (!ik.kernel.has_helper) {
+      EXPECT_EQ(ik.helper, fpsem::kInvalidFunction);
+      continue;
+    }
+    saw_helper = true;
+    ASSERT_NE(ik.helper, fpsem::kInvalidFunction);
+    const auto& info = model.info(ik.helper);
+    EXPECT_FALSE(info.exported);
+    EXPECT_EQ(info.host_symbol, ik.kernel.fn_name());
+    EXPECT_EQ(info.file, ik.kernel.file);
+  }
+  EXPECT_TRUE(saw_helper) << "no kernel in 24 drew a helper hazard";
+}
+
+TEST(Registration, InstallSuiteSkipsKnownKernelsAndGuardsTheSuiteName) {
+  gen::GenSpec spec;
+  spec.count = 6;
+  fpsem::CodeModel model;
+  core::TestRegistry registry;
+  const auto suite = gen::install_suite(spec, model, &registry);
+  ASSERT_EQ(suite.kernels.size(), 6u);
+  EXPECT_TRUE(registry.contains(gen::kSuiteTestName));
+  for (const auto& ik : suite.kernels) {
+    EXPECT_TRUE(registry.contains(ik.kernel.name));
+  }
+
+  // Re-installing the same space under the same suite name throws (the
+  // name does not pin the spec); a fresh name re-registers the kernels
+  // idempotently and only adds the new aggregate.
+  EXPECT_THROW((void)gen::install_suite(spec, model, &registry),
+               std::invalid_argument);
+  EXPECT_NO_THROW(
+      (void)gen::install_suite(spec, model, &registry, "GenSuiteB"));
+  EXPECT_TRUE(registry.contains("GenSuiteB"));
+}
+
+// ----------------------------------------------------- mechanism response
+
+/// The ground-truth contract, asserted over a corpus: under a uniform
+/// binding that enables exactly one mechanism, a kernel's output moves iff
+/// that mechanism is its label's.
+TEST(MechanismResponse, EveryKernelRespondsToExactlyItsLabeledMechanism) {
+  gen::GenSpec spec;
+  spec.seed = 3;
+  spec.count = 60;
+  const auto ks = gen::generate(spec);
+  fpsem::CodeModel model;
+  const auto installed = gen::register_kernels(model, ks);
+
+  const auto eval_under = [&](const gen::InstalledKernel& ik,
+                              const fpsem::FpSemantics& sem) {
+    fpsem::EvalContext ctx(fpsem::SemanticsMap::uniform(
+        model.function_count(), {.sem = sem}));
+    return gen::eval_kernel(ik, ctx);
+  };
+
+  for (const auto& ik : installed) {
+    const double baseline = eval_under(ik, {});
+    const gen::Mechanism own = gen::mechanism_of(ik.kernel.recipe);
+    for (const gen::Mechanism m :
+         {gen::Mechanism::FmaContraction, gen::Mechanism::Reassociation,
+          gen::Mechanism::FastLibm, gen::Mechanism::SubnormalFlush,
+          gen::Mechanism::UnsafeMath}) {
+      fpsem::FpSemantics sem;
+      switch (m) {
+        case gen::Mechanism::FmaContraction: sem.contract_fma = true; break;
+        case gen::Mechanism::Reassociation: sem.reassoc_width = 4; break;
+        case gen::Mechanism::FastLibm: sem.fast_libm = true; break;
+        case gen::Mechanism::SubnormalFlush:
+          sem.flush_subnormals = true;
+          break;
+        case gen::Mechanism::UnsafeMath: sem.unsafe_math = true; break;
+      }
+      const bool moved = eval_under(ik, sem) != baseline;
+      EXPECT_EQ(moved, m == own)
+          << ik.kernel.name << " under " << gen::to_string(m);
+    }
+  }
+}
+
+// ----------------------------------------------------- injection harness
+
+TEST(Harness, CampaignScoresPerfectlyAgainstPlantedGroundTruth) {
+  gen::GenSpec spec;
+  spec.seed = 7;
+  spec.count = 12;  // two kernels per recipe
+  const auto ks = gen::generate(spec);
+
+  const Compilation build{toolchain::gcc(), OptLevel::O2, ""};
+  const gen::GenCampaignResult res = gen::run_injection_campaign(ks, build);
+
+  // Every reported blame names a planted site (directly or through the
+  // helper), and no measurable injection goes unfound.
+  EXPECT_EQ(res.total.wrong, 0);
+  EXPECT_EQ(res.total.missed, 0);
+  EXPECT_DOUBLE_EQ(res.total.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(res.total.recall(), 1.0);
+  EXPECT_GT(res.total.indirect, 0);  // the helper hazards exercise it
+
+  EXPECT_EQ(res.experiments, res.sites * 4);  // four inject ops per site
+  std::size_t hazard_sites = 0;
+  for (const auto& k : ks) {
+    hazard_sites += static_cast<std::size_t>(k.hazard_count());
+  }
+  // Hazard statements are a subset of the probed sites (neutral tails and
+  // wrapping adds probe too).
+  EXPECT_GE(res.sites, hazard_sites);
+
+  ASSERT_EQ(res.per_mechanism.size(), 5u);
+  std::size_t pooled = 0;
+  for (const auto& pool : res.per_mechanism) {
+    EXPECT_GT(pool.kernels, 0u) << gen::to_string(pool.mechanism);
+    EXPECT_GT(pool.hazard_sites, 0u) << gen::to_string(pool.mechanism);
+    EXPECT_EQ(pool.summary.wrong, 0) << gen::to_string(pool.mechanism);
+    EXPECT_EQ(pool.summary.missed, 0) << gen::to_string(pool.mechanism);
+    pooled += pool.kernels;
+  }
+  EXPECT_EQ(pooled, ks.size());
+  EXPECT_EQ(res.per_mechanism[0].kernels, 4u);  // fma + branch kernels
+}
+
+// ----------------------------------------------- full-stack integration
+
+std::vector<Compilation> small_space() {
+  return {
+      {toolchain::gcc(), OptLevel::O0, ""},
+      {toolchain::gcc(), OptLevel::O2, ""},
+      {toolchain::gcc(), OptLevel::O3, ""},
+      {toolchain::gcc(), OptLevel::O2, "-mavx2 -mfma"},
+      {toolchain::gcc(), OptLevel::O2, "-funsafe-math-optimizations"},
+      {toolchain::clang(), OptLevel::O3, "-ffast-math"},
+      {toolchain::icpc(), OptLevel::O2, ""},
+      {toolchain::icpc(), OptLevel::O2, "-fp-model precise"},
+  };
+}
+
+std::string file_bytes(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void expect_identical_studies(const core::StudyResult& a,
+                              const core::StudyResult& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  EXPECT_EQ(a.test_name, b.test_name);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].comp, b.outcomes[i].comp) << i;
+    EXPECT_EQ(a.outcomes[i].variability, b.outcomes[i].variability) << i;
+    EXPECT_EQ(a.outcomes[i].cycles, b.outcomes[i].cycles) << i;
+    EXPECT_EQ(a.outcomes[i].speedup, b.outcomes[i].speedup) << i;
+    EXPECT_EQ(a.outcomes[i].status, b.outcomes[i].status) << i;
+    EXPECT_EQ(a.outcomes[i].attempts, b.outcomes[i].attempts) << i;
+    EXPECT_EQ(a.outcomes[i].reason, b.outcomes[i].reason) << i;
+  }
+}
+
+class GenStudyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("flit_gen_" + std::string(::testing::UnitTest::GetInstance()
+                                          ->current_test_info()
+                                          ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+
+    gen::GenSpec spec;
+    spec.seed = 5;
+    spec.count = 24;
+    kernels_ = gen::generate(spec);
+    installed_ = gen::register_kernels(model_, kernels_);
+    space_ = small_space();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] gen::GenSuiteTest suite_test() const {
+    return gen::GenSuiteTest(gen::kSuiteTestName, installed_);
+  }
+
+  fs::path dir_;
+  std::vector<gen::GeneratedKernel> kernels_;
+  fpsem::CodeModel model_;
+  std::vector<gen::InstalledKernel> installed_;
+  std::vector<Compilation> space_;
+};
+
+TEST_F(GenStudyTest, StudyIsBitwiseIdenticalAcrossShardsJobsAndSteal) {
+  const gen::GenSuiteTest test = suite_test();
+  core::SpaceExplorer explorer(&model_, toolchain::mfem_baseline(),
+                               toolchain::mfem_speed_reference(), 1);
+  const core::StudyResult reference = explorer.explore(test, space_);
+  const std::string reference_csv = core::study_csv(reference);
+  // The generated suite must actually vary across this space, or the
+  // identity below would be vacuous.
+  EXPECT_GT(reference.variable_count(), 0u);
+
+  for (bool steal : {false, true}) {
+    for (int shards : {1, 2, 4}) {
+      for (unsigned jobs : {1u, 4u}) {
+        dist::ShardOptions opts;
+        opts.shards = shards;
+        opts.jobs = jobs;
+        opts.steal = steal;
+        opts.steal_grain = 2;
+        dist::ShardCoordinator coord(&model_, toolchain::mfem_baseline(),
+                                     toolchain::mfem_speed_reference(),
+                                     opts);
+        const auto sharded = coord.run(test, space_);
+        expect_identical_studies(sharded.study, reference);
+        EXPECT_EQ(core::study_csv(sharded.study), reference_csv)
+            << (steal ? "steal" : "static") << ", " << shards
+            << " shards, " << jobs << " jobs";
+      }
+    }
+  }
+}
+
+TEST_F(GenStudyTest, ShardedResumeStitchesTheGeneratedSpaceByteIdentically) {
+  const gen::GenSuiteTest test = suite_test();
+  const int shards = 2;
+
+  // Reference: an uninterrupted sharded run's converged database.
+  const fs::path ref_conv = dir_ / "ref-converged.tsv";
+  {
+    core::ResultsDb conv(ref_conv);
+    dist::ShardOptions opts;
+    opts.shards = shards;
+    opts.shard_db_dir = dir_ / "ref-shards";
+    opts.db = &conv;
+    dist::ShardCoordinator coord(&model_, toolchain::mfem_baseline(),
+                                 toolchain::mfem_speed_reference(), opts);
+    (void)coord.run(test, space_);
+  }
+
+  // "Killed" run: each shard checkpointed only the first half of its
+  // slice.  Resume must stitch the partial checkpoints and complete the
+  // study to the same converged bytes.
+  const fs::path part_dir = dir_ / "part-shards";
+  fs::create_directories(part_dir);
+  const dist::ShardComm comm(shards);
+  for (int r = 0; r < shards; ++r) {
+    const auto rg = comm.range(r, space_.size());
+    const std::size_t half = rg.size() / 2;
+    if (half == 0) continue;
+    core::ResultsDb shard_db(
+        dist::ShardCoordinator::shard_db_path(part_dir, r, shards));
+    core::SpaceExplorer explorer(&model_, toolchain::mfem_baseline(),
+                                 toolchain::mfem_speed_reference(), 1);
+    core::ExploreOptions eo;
+    eo.db = &shard_db;
+    const std::vector<Compilation> prefix(
+        space_.begin() + rg.begin, space_.begin() + rg.begin + half);
+    (void)explorer.explore(test, prefix, eo);
+  }
+
+  const fs::path conv_path = dir_ / "resumed-converged.tsv";
+  {
+    core::ResultsDb conv(conv_path);
+    dist::ShardOptions opts;
+    opts.shards = shards;
+    opts.jobs = 4;  // resume at a different jobs count on purpose
+    opts.shard_db_dir = part_dir;
+    opts.db = &conv;
+    dist::ShardCoordinator coord(&model_, toolchain::mfem_baseline(),
+                                 toolchain::mfem_speed_reference(), opts);
+    const auto resumed = coord.resume(test, space_);
+    std::size_t prefilled = 0;
+    for (const auto& rep : resumed.shards) prefilled += rep.prefilled;
+    EXPECT_GT(prefilled, 0u);
+  }
+  EXPECT_EQ(file_bytes(conv_path), file_bytes(ref_conv));
+}
+
+TEST_F(GenStudyTest, PerKernelTestsRunThroughTheRunnerUnchanged) {
+  // A per-kernel test is a zero-input FLiT test; its strict result equals
+  // direct evaluation, and a contracting compilation moves exactly the
+  // fma-responding kernels.
+  for (const auto& ik : installed_) {
+    const gen::GenKernelTest test(ik);
+    EXPECT_EQ(test.name(), ik.kernel.name);
+    EXPECT_EQ(test.getInputsPerRun(), 0u);
+    fpsem::EvalContext strict{
+        fpsem::SemanticsMap(model_.function_count())};
+    const double direct = gen::eval_kernel(ik, strict);
+    fpsem::EvalContext strict2{
+        fpsem::SemanticsMap(model_.function_count())};
+    const auto result = test.run_impl({}, strict2);
+    EXPECT_EQ(static_cast<double>(std::get<long double>(result)), direct);
+  }
+}
+
+// The service resolves tests through the global registry, so the serve
+// identity check installs the suite globally (once per process).
+const gen::InstalledSuite& global_suite() {
+  static const gen::InstalledSuite suite = gen::install_suite(
+      [] {
+        gen::GenSpec spec;
+        spec.seed = 11;
+        spec.count = 12;
+        return spec;
+      }(),
+      fpsem::global_code_model(), &core::global_test_registry());
+  return suite;
+}
+
+TEST(GenServe, ServedStudiesMatchSoloRunsByteForByte) {
+  const gen::InstalledSuite& suite = global_suite();
+  const auto space = small_space();
+  const fs::path dir =
+      fs::temp_directory_path() / "flit_gen_serve_identity";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  serve::StudyRequest a;
+  a.id = "a";
+  a.tenant = "alice";
+  a.test = gen::kSuiteTestName;
+  serve::StudyRequest b;
+  b.id = "b";
+  b.tenant = "bob";
+  b.test = suite.kernels.at(3).kernel.name;  // one single-kernel study
+  const std::vector<serve::StudyRequest> requests = {a, b};
+
+  // Solo one-shot references: own explorer, own cold cache, own database.
+  std::vector<std::string> solo_db;
+  std::vector<std::string> solo_csv;
+  for (const auto& req : requests) {
+    const auto sub = serve::request_subspace(req, space);
+    core::SpaceExplorer explorer(&fpsem::global_code_model(),
+                                 toolchain::mfem_baseline(),
+                                 toolchain::mfem_speed_reference(), 1);
+    const fs::path db_path = dir / ("solo-" + req.id + ".tsv");
+    core::ResultsDb db(db_path);
+    core::ExploreOptions eo;
+    eo.db = &db;
+    const auto study = explorer.explore(
+        *core::global_test_registry().create(req.test), sub, eo);
+    solo_csv.push_back(core::study_csv(study));
+    solo_db.push_back(file_bytes(db_path));
+  }
+
+  serve::ServeOptions opts;
+  opts.state_dir = dir / "state";
+  opts.shards = 2;
+  opts.jobs = 2;
+  serve::StudyService service(&fpsem::global_code_model(),
+                              toolchain::mfem_baseline(),
+                              toolchain::mfem_speed_reference(), space,
+                              std::move(opts));
+  const serve::ServeReport report = service.run(requests);
+
+  ASSERT_EQ(report.requests.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(file_bytes(dir / "state" / (requests[i].id + ".tsv")),
+              solo_db[i])
+        << requests[i].id;
+    EXPECT_EQ(file_bytes(dir / "state" / (requests[i].id + ".csv")),
+              solo_csv[i])
+        << requests[i].id;
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace

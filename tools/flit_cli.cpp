@@ -41,6 +41,8 @@
 #include "core/workflow.h"
 #include "dist/coordinator.h"
 #include "dist/supervisor.h"
+#include "gen/generator.h"
+#include "gen/suite.h"
 #include "geom/predicates.h"
 #include "laghos/hydro.h"
 #include "lulesh/domain.h"
@@ -97,6 +99,8 @@ int usage() {
       "                    [--allow-partial]\n"
       "                    [--keep-going|--no-keep-going]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
+      "                    [--gen-seed N] [--gen-count N] "
+      "[--gen-recipes r,..]\n"
       "       flit bisect <test> <compiler> <-ON> [flag...] "
       "[--k N] [--digits D]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
@@ -108,7 +112,11 @@ int usage() {
       "                    [--allow-partial]\n"
       "                    [--keep-going|--no-keep-going]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
+      "                    [--gen-seed N] [--gen-count N] "
+      "[--gen-recipes r,..]\n"
       "       flit mix <test> <tolerance>\n"
+      "       flit gen [--gen-seed N] [--gen-count N] [--gen-recipes r,..]\n"
+      "                    [--describe | --list | --emit <kernel>]\n"
       "       flit serve <requests.jsonl|-> [--state-dir dir]\n"
       "                    [--stream-out dir] [--cache-budget BYTES]\n"
       "                    [--shards N] [--jobs N] [--steal|--no-steal]\n"
@@ -116,6 +124,8 @@ int usage() {
       "                    [--resume] [--retries N]\n"
       "                    [--keep-going|--no-keep-going]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
+      "                    [--gen-seed N] [--gen-count N] "
+      "[--gen-recipes r,..]\n"
       "\n"
       "--jobs N        parallel execution lanes for explore/workflow\n"
       "                (default: the FLIT_JOBS environment variable if\n"
@@ -168,6 +178,21 @@ int usage() {
       "--metrics-out   write the metrics snapshot as JSON and print the\n"
       "                summary table to stderr; telemetry never alters\n"
       "                results\n"
+      "--gen-seed N    install the generated synthetic-kernel suite from\n"
+      "                seed N before the command runs: one test per kernel\n"
+      "                plus the aggregate 'GenSuite' test; the suite is a\n"
+      "                pure function of --gen-seed/--gen-count/\n"
+      "                --gen-recipes, byte-identical on every shard of any\n"
+      "                fleet (default seed 1; any --gen-* flag enables)\n"
+      "--gen-count N   kernels to generate (default 16)\n"
+      "--gen-recipes   comma-separated recipe subset: fma, reduce, branch,\n"
+      "                libm, subnormal, unsafe (default: all, rotating)\n"
+      "\n"
+      "gen prints the generated space without running it: --describe\n"
+      "(default) writes the ground-truth label TSV (kernel, recipe,\n"
+      "mechanism, hazard sites, seed, index, file, expected symbol),\n"
+      "--list the kernel names, --emit <kernel> one kernel's annotated\n"
+      "pseudo-source; see docs/generated-workloads.md\n"
       "\n"
       "serve runs a JSONL stream of study requests (one JSON object per\n"
       "line: {\"id\":..,\"test\":..[,\"tenant\"][,\"mode\"][,\"compilers\"]\n"
@@ -253,6 +278,62 @@ const char* option_value(const char* flag, char** argv, int argc, int* i) {
   ++*i;
   return argv[*i];
 }
+
+/// Strict seed parsing for --gen-seed: a positive integer (0 is reserved
+/// -- the generator's streams key on seed, and a silent 0 would alias
+/// every "garbage" seed onto one suite).
+std::uint64_t parse_seed(const char* flag, const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (s[0] == '\0' || s[0] == '-' || end == nullptr || *end != '\0' ||
+      errno == ERANGE || v == 0) {
+    throw std::invalid_argument(std::string(flag) +
+                                ": expected a positive integer, got '" +
+                                std::string(s) + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+/// The --gen-seed / --gen-count / --gen-recipes family shared by explore,
+/// workflow and serve.  Any of the three enables the generated suite;
+/// install() then registers its kernels into the global code model and
+/// test registry before the command dispatches, so the generated tests
+/// resolve exactly like the bundled applications.
+struct GenArgs {
+  bool enabled = false;
+  gen::GenSpec spec;
+
+  /// Consumes the option when it is one of ours.
+  bool parse(char** argv, int argc, int* i) {
+    if (std::strcmp(argv[*i], "--gen-seed") == 0) {
+      spec.seed =
+          parse_seed("--gen-seed", option_value("--gen-seed", argv, argc, i));
+      enabled = true;
+      return true;
+    }
+    if (std::strcmp(argv[*i], "--gen-count") == 0) {
+      spec.count = parse_jobs("--gen-count",
+                              option_value("--gen-count", argv, argc, i));
+      enabled = true;
+      return true;
+    }
+    if (std::strcmp(argv[*i], "--gen-recipes") == 0) {
+      spec.recipes = gen::recipes_from_csv(
+          option_value("--gen-recipes", argv, argc, i));
+      enabled = true;
+      return true;
+    }
+    return false;
+  }
+
+  void install() const {
+    if (!enabled) return;
+    spec.validate();
+    gen::install_suite(spec, fpsem::global_code_model(),
+                       &core::global_test_registry());
+  }
+};
 
 /// The --trace-out / --metrics-out pair shared by explore, bisect and
 /// workflow.  Telemetry is strictly off the result path: stdout and every
@@ -650,6 +731,32 @@ int cmd_serve(const std::string& requests_path, ServeArgs& args) {
   return 0;
 }
 
+/// `flit gen`: print the generated space (labels, names, or one kernel's
+/// pseudo-source) without running a study over it.
+int cmd_gen(const gen::GenSpec& spec, const std::string& mode,
+            const std::string& emit_name) {
+  const std::vector<gen::GeneratedKernel> kernels = gen::generate(spec);
+  if (mode == "list") {
+    for (const auto& k : kernels) std::printf("%s\n", k.name.c_str());
+    return 0;
+  }
+  if (mode == "emit") {
+    for (const auto& k : kernels) {
+      if (k.name == emit_name) {
+        std::fputs(gen::emit_text(k).c_str(), stdout);
+        return 0;
+      }
+    }
+    std::fprintf(stderr,
+                 "gen: no kernel named '%s' in this space (try: flit gen "
+                 "--list with the same --gen-* options)\n",
+                 emit_name.c_str());
+    return 1;
+  }
+  std::fputs(gen::describe_tsv(kernels).c_str(), stdout);
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   // Force the injector's FLIT_FAULTS parse now: a malformed spec should
   // die here as `flit: error: FLIT_FAULTS: ...`, not surface later
@@ -661,13 +768,39 @@ int dispatch(int argc, char** argv) {
 
   if (cmd == "list") return cmd_list();
 
+  if (cmd == "gen") {
+    GenArgs gargs;
+    std::string mode = "describe";
+    std::string emit_name;
+    for (int i = 2; i < argc; ++i) {
+      if (gargs.parse(argv, argc, &i)) {
+        // consumed
+      } else if (std::strcmp(argv[i], "--describe") == 0) {
+        mode = "describe";
+      } else if (std::strcmp(argv[i], "--list") == 0) {
+        mode = "list";
+      } else if (std::strcmp(argv[i], "--emit") == 0) {
+        mode = "emit";
+        emit_name = option_value("--emit", argv, argc, &i);
+      } else {
+        std::fprintf(stderr, "gen: unknown option '%s'\n", argv[i]);
+        return usage();
+      }
+    }
+    gargs.spec.validate();
+    return cmd_gen(gargs.spec, mode, emit_name);
+  }
+
   if (cmd == "explore") {
     if (argc < 3) return usage();
     ExploreArgs args;
     TelemetryArgs tel;
+    GenArgs gargs;
     args.jobs = core::default_jobs();
     for (int i = 3; i < argc; ++i) {
       if (tel.parse(argv, argc, &i)) {
+        // consumed
+      } else if (gargs.parse(argv, argc, &i)) {
         // consumed
       } else if (std::strcmp(argv[i], "--csv") == 0) {
         args.csv = true;
@@ -718,6 +851,7 @@ int dispatch(int argc, char** argv) {
         return usage();
       }
     }
+    gargs.install();
     telemetry_begin(tel);
     const int rc = cmd_explore(argv[2], args);
     telemetry_finish(tel);
@@ -769,8 +903,11 @@ int dispatch(int argc, char** argv) {
     WorkflowArgs args;
     args.jobs = core::default_jobs();
     TelemetryArgs tel;
+    GenArgs gargs;
     for (int i = 3; i < argc; ++i) {
       if (tel.parse(argv, argc, &i)) {
+        // consumed
+      } else if (gargs.parse(argv, argc, &i)) {
         // consumed
       } else if (std::strcmp(argv[i], "--jobs") == 0) {
         args.jobs =
@@ -812,6 +949,7 @@ int dispatch(int argc, char** argv) {
         return usage();
       }
     }
+    gargs.install();
     telemetry_begin(tel);
     const int rc = cmd_workflow(argv[2], args);
     telemetry_finish(tel);
@@ -828,8 +966,11 @@ int dispatch(int argc, char** argv) {
     ServeArgs args;
     args.opts.jobs = core::default_jobs();
     TelemetryArgs tel;
+    GenArgs gargs;
     for (int i = 3; i < argc; ++i) {
       if (tel.parse(argv, argc, &i)) {
+        // consumed
+      } else if (gargs.parse(argv, argc, &i)) {
         // consumed
       } else if (std::strcmp(argv[i], "--state-dir") == 0) {
         args.opts.state_dir = option_value("--state-dir", argv, argc, &i);
@@ -873,6 +1014,7 @@ int dispatch(int argc, char** argv) {
       std::fprintf(stderr, "serve: --resume requires --state-dir\n");
       return 2;
     }
+    gargs.install();
     telemetry_begin(tel);
     const int rc = cmd_serve(argv[2], args);
     telemetry_finish(tel);
@@ -881,7 +1023,7 @@ int dispatch(int argc, char** argv) {
 
   std::fprintf(stderr,
                "flit: unknown command '%s' (commands: list, explore, "
-               "bisect, workflow, mix, serve)\n",
+               "bisect, workflow, mix, serve, gen)\n",
                cmd.c_str());
   return usage();
 }
