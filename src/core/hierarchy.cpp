@@ -1,10 +1,13 @@
 #include "core/hierarchy.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
+#include <utility>
 
 #include "core/bisect_biggest.h"
 #include "core/faults.h"
+#include "core/probe_memo.h"
 #include "obs/session.h"
 #include "toolchain/objcopy.h"
 
@@ -51,7 +54,27 @@ RunOutput BisectDriver::execute(
       0);
   const toolchain::Executable exe =
       linker_.link(objs, cfg_.baseline.compiler);
-  return runner_.run(*test_, exe, cfg_.hook);
+  // The memo only short-circuits plain runs: an injection hook's output is
+  // not a function of the binary alone, and an armed fault injector must
+  // see every probe roll its run-site decision.
+  if (cfg_.memo == nullptr || cfg_.hook != nullptr ||
+      FaultInjector::global().any_armed()) {
+    return runner_.run(*test_, exe, cfg_.hook);
+  }
+  const std::string key = ProbeMemo::key_of(test_->name(), exe);
+  if (std::optional<ProbeMemo::Entry> hit = cfg_.memo->lookup(key)) {
+    ++memo_hits_;
+    if (hit->crashed) throw ExecutionCrash(hit->crash_reason);
+    return std::move(hit->output);
+  }
+  try {
+    RunOutput out = runner_.run(*test_, exe, cfg_.hook);
+    cfg_.memo->store(key, ProbeMemo::Entry{false, {}, out});
+    return out;
+  } catch (const ExecutionCrash& e) {
+    cfg_.memo->store(key, ProbeMemo::Entry{true, e.what(), {}});
+    throw;
+  }
 }
 
 HierarchicalOutcome BisectDriver::run() {
@@ -62,12 +85,16 @@ HierarchicalOutcome BisectDriver::run() {
   static obs::Counter& m_searches = obs::metrics().counter("bisect.searches");
   static obs::Counter& m_executions =
       obs::metrics().counter("bisect.executions");
+  static obs::Counter& m_memo_hits =
+      obs::metrics().counter("bisect.memo_hits");
   m_searches.add();
   obs::Span span(obs::tracer_if_enabled(), "bisect", "bisect",
                  cfg_.variable.str());
   HierarchicalOutcome out = run_impl();
   m_executions.add(static_cast<std::uint64_t>(
       out.executions > 0 ? out.executions : 0));
+  m_memo_hits.add(
+      static_cast<std::uint64_t>(out.memo_hits > 0 ? out.memo_hits : 0));
   span.set_cost(static_cast<double>(out.executions));
   return out;
 }
@@ -136,6 +163,7 @@ HierarchicalOutcome BisectDriver::run_impl() {
     out.crashed = true;
     out.crash_reason = e.what();
     out.executions = executions_;
+    out.memo_hits = memo_hits_;
     return out;
   }
 
@@ -165,6 +193,7 @@ HierarchicalOutcome BisectDriver::run_impl() {
   }
 
   out.executions = executions_;
+  out.memo_hits = memo_hits_;
   // Re-derive the verification flag from symbol phases' notes.
   for (const FileFinding& ff : out.findings) {
     if (ff.status == FileFinding::SymbolStatus::Found && !ff.note.empty()) {

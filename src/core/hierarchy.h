@@ -21,6 +21,8 @@
 
 namespace flit::core {
 
+class ProbeMemo;
+
 struct BisectConfig {
   toolchain::Compilation baseline;  ///< trusted compilation
   toolchain::Compilation variable;  ///< compilation under investigation
@@ -44,6 +46,14 @@ struct BisectConfig {
   /// the instrumented objects.
   bool variable_injected = false;
   fpsem::InjectionHook* hook = nullptr;
+
+  /// Shared (thread-safe) probe memo: probes whose linked executable was
+  /// already run -- by this driver or any other sharing the memo -- are
+  /// answered from cache instead of re-running (see probe_memo.h for the
+  /// soundness argument).  Ignored in injection mode and while the fault
+  /// injector is armed, where skipping a run would change behaviour.
+  /// Must outlive the driver.
+  ProbeMemo* memo = nullptr;
 };
 
 struct SymbolFinding {
@@ -73,10 +83,17 @@ struct HierarchicalOutcome {
   /// 0 means the whole-program difference is not measurable at all.
   double whole_value = 0.0;
 
-  /// Real program executions across the whole search, including the
+  /// Logical program executions across the whole search, including the
   /// baseline run and the verification assertions -- the paper's headline
-  /// cost metric ("14 executions" for Laghos).
+  /// cost metric ("14 executions" for Laghos).  Memoized probes still
+  /// count (the search asked for them), so this number is identical with
+  /// the probe memo on or off; real executions = executions - memo_hits.
   int executions = 0;
+
+  /// Probes answered from the shared probe memo (0 without one).  Under
+  /// concurrent drivers the split between hits and real runs depends on
+  /// scheduling; `executions` does not.
+  int memo_hits = 0;
 
   bool crashed = false;  ///< File Bisect itself crashed (ABI mixing)
   std::string crash_reason;
@@ -122,6 +139,7 @@ class BisectDriver {
   std::vector<toolchain::ObjectFile> base_objs_;
   RunOutput baseline_out_;
   int executions_ = 0;
+  int memo_hits_ = 0;
 };
 
 }  // namespace flit::core

@@ -1,0 +1,63 @@
+#include "core/probe_memo.h"
+
+#include <cstring>
+#include <utility>
+
+namespace flit::core {
+
+namespace {
+
+void append_raw(std::string& s, const void* p, std::size_t n) {
+  s.append(static_cast<const char*>(p), n);
+}
+
+}  // namespace
+
+std::string ProbeMemo::key_of(const std::string& test_name,
+                              const toolchain::Executable& exe) {
+  const std::size_t n = exe.map.size();
+  std::string key;
+  key.reserve(test_name.size() + 2 + n * 22 + exe.crash_reason.size());
+  key += test_name;
+  key += '\0';
+  for (fpsem::FunctionId id = 0; id < n; ++id) {
+    const fpsem::FnBinding& b = exe.map.binding(id);
+    char bits = 0;
+    if (b.sem.contract_fma) bits |= 1;
+    if (b.sem.extended_precision) bits |= 2;
+    if (b.sem.unsafe_math) bits |= 4;
+    if (b.sem.flush_subnormals) bits |= 8;
+    if (b.sem.fast_libm) bits |= 16;
+    if (b.sem.exploits_ub) bits |= 32;
+    if (id < exe.from_injected.size() && exe.from_injected[id]) bits |= 64;
+    key += bits;
+    const std::int32_t width = b.sem.reassoc_width;
+    append_raw(key, &width, sizeof width);
+    append_raw(key, &b.cost.time_scale, sizeof b.cost.time_scale);
+    append_raw(key, &b.cost.bulk_scale, sizeof b.cost.bulk_scale);
+  }
+  key += exe.crashes ? '\1' : '\0';
+  key += exe.crash_reason;
+  return key;
+}
+
+std::optional<ProbeMemo::Entry> ProbeMemo::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++probes_;
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  ++hits_;
+  return it->second;
+}
+
+void ProbeMemo::store(const std::string& key, Entry entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.try_emplace(key, std::move(entry));
+}
+
+ProbeMemo::Stats ProbeMemo::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return Stats{probes_, hits_, static_cast<std::uint64_t>(map_.size())};
+}
+
+}  // namespace flit::core

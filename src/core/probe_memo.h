@@ -1,0 +1,74 @@
+#pragma once
+
+// Shared probe memo for bisect campaigns (the blame-dedup driver of
+// docs/blame-dedup.md).  Across the triples of one study the File and
+// Symbol Bisect searches keep re-producing the *same linked executable*
+// -- the same winning object subsets recur across every -O3 variant that
+// shares a blame site -- so their runs are pure repeats.  The memo
+// answers such probes from cache.
+//
+// Soundness: the key is the linked executable's full content (the test
+// name plus every function's FnBinding, crash verdict and injection
+// provenance), not the compilation triple or its semantics fingerprint.
+// Two triples may share a fingerprint yet crash differently (the linker's
+// hazard predicates hash raw compilation strings), but two probes with
+// equal *keys* are byte-equal binaries under the same deterministic
+// runner, so the cached answer is exact, not approximate.  Linking still
+// happens every probe (it is cheap and produces the key); only the run
+// is skipped.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/runner.h"
+#include "toolchain/linker.h"
+
+namespace flit::core {
+
+/// Thread-safe probe-answer cache shared by many concurrent
+/// BisectDrivers (wire it through BisectConfig::memo).  Must outlive
+/// every driver using it.
+class ProbeMemo {
+ public:
+  /// One memoized probe answer: either the run's output or the
+  /// ExecutionCrash it raised.
+  struct Entry {
+    bool crashed = false;
+    std::string crash_reason;  ///< valid when crashed
+    RunOutput output;          ///< valid when !crashed
+  };
+
+  struct Stats {
+    std::uint64_t probes = 0;   ///< lookup() calls
+    std::uint64_t hits = 0;     ///< lookups answered from cache
+    std::uint64_t entries = 0;  ///< distinct executables stored
+  };
+
+  /// Content key of linked executable `exe` under test `test_name`.
+  /// Equal keys imply byte-equal binaries (collision-free by
+  /// construction: the key *is* the serialized content).
+  [[nodiscard]] static std::string key_of(const std::string& test_name,
+                                          const toolchain::Executable& exe);
+
+  /// Returns the stored answer for `key`, if any.  Counts a probe, and a
+  /// hit on success.
+  [[nodiscard]] std::optional<Entry> lookup(const std::string& key);
+
+  /// Stores `entry` under `key`.  First store wins; concurrent probes of
+  /// the same key compute identical entries, so dropping the repeat is
+  /// harmless.
+  void store(const std::string& key, Entry entry);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::uint64_t probes_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace flit::core

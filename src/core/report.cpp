@@ -133,6 +133,11 @@ std::string workflow_report_text(const WorkflowReport& report) {
     os << "failed searches: " << fb << " of " << report.bisects.size()
        << " bisects ended without a blame list (Table 2 failure mode)\n";
   }
+  if (report.bisects_skipped > 0) {
+    os << report.bisects_skipped
+       << " variable compilation(s) not bisected (--max-bisects "
+       << report.max_bisects << ")\n";
+  }
   if (report.fastest_reproducible != nullptr) {
     os << "recommendation: " << report.fastest_reproducible->comp.str()
        << " is the fastest reproducible compilation (speedup "

@@ -59,9 +59,14 @@ WorkflowReport run_workflow(const fpsem::CodeModel* model,
   // outcomes never reach this phase: a compilation that failed every
   // attempt has no measurable variability to root-cause.
   std::vector<const CompilationOutcome*> to_bisect;
+  report.max_bisects = opts.max_bisects;
   for (const CompilationOutcome& o : report.study.outcomes) {
     if (o.failed() || o.bitwise_equal()) continue;
-    if (opts.max_bisects != 0 && to_bisect.size() >= opts.max_bisects) break;
+    if (opts.max_bisects != 0 && to_bisect.size() >= opts.max_bisects) {
+      // Keep counting so the report can say how much the cap hid.
+      ++report.bisects_skipped;
+      continue;
+    }
     to_bisect.push_back(&o);
   }
 

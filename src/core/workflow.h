@@ -79,6 +79,13 @@ struct WorkflowReport {
 
   std::vector<VariableCompilationReport> bisects;
 
+  /// Variable compilations Level 3 did not bisect because the
+  /// max_bisects cap cut the selection short (0 when every variable
+  /// compilation was bisected -- including when the cap is disabled).
+  std::size_t bisects_skipped = 0;
+  /// The cap that produced bisects_skipped (opts.max_bisects).
+  std::size_t max_bisects = 0;
+
   /// Bisects that ended as failed searches (crashed or aborted).
   [[nodiscard]] std::size_t failed_bisect_count() const;
 };

@@ -1,0 +1,57 @@
+#include "dist/campaign.h"
+
+#include <optional>
+#include <thread>
+
+#include "core/parallel.h"
+
+namespace flit::dist {
+
+std::size_t CampaignRunStats::total_steals() const {
+  std::size_t total = 0;
+  for (const StealQueue::RankStats& r : ranks) total += r.steals;
+  return total;
+}
+
+CampaignRunStats run_sharded_campaign(
+    std::size_t n, const CampaignShardOptions& opts,
+    const std::function<void(std::size_t)>& item) {
+  const int shards = opts.shards < 1 ? 1 : opts.shards;
+  const unsigned jobs = opts.jobs < 1 ? 1 : opts.jobs;
+
+  ShardComm comm(shards);
+  StealQueue queue(comm.scatter_ranges(n), opts.grain, opts.steal);
+
+  core::ThreadPool rank_pool(static_cast<unsigned>(shards));
+  rank_pool.parallel_for(
+      static_cast<std::size_t>(shards), [&](std::size_t r) {
+        const int rank = static_cast<int>(r);
+        // One lane pool per rank, reused across its claims (sequential
+        // parallel_for calls on one pool are fine; reentrancy is not,
+        // which is why the lanes are a distinct pool from rank_pool).
+        core::ThreadPool lanes(jobs);
+        while (true) {
+          const std::optional<StealQueue::Claim> claim = queue.claim(rank);
+          if (!claim.has_value()) {
+            if (queue.drained()) break;
+            // Un-started slots are not stealable yet; their owners are
+            // live pool lanes, so retry rather than exit early.
+            std::this_thread::yield();
+            continue;
+          }
+          const ShardRange rg = claim->range;
+          lanes.parallel_for(rg.size(),
+                             [&](std::size_t k) { item(rg.begin + k); });
+        }
+      });
+
+  CampaignRunStats stats;
+  stats.items = n;
+  stats.ranks.reserve(static_cast<std::size_t>(shards));
+  for (int rank = 0; rank < shards; ++rank) {
+    stats.ranks.push_back(queue.stats(rank));
+  }
+  return stats;
+}
+
+}  // namespace flit::dist

@@ -1,0 +1,40 @@
+#include "gen/dedup.h"
+
+#include <vector>
+
+namespace flit::gen {
+
+double DedupScore::precision() const {
+  if (co_clustered_pairs == 0) return 1.0;
+  return static_cast<double>(true_pairs) /
+         static_cast<double>(co_clustered_pairs);
+}
+
+double DedupScore::recall() const {
+  if (same_mechanism_pairs == 0) return 1.0;
+  return static_cast<double>(true_pairs) /
+         static_cast<double>(same_mechanism_pairs);
+}
+
+DedupScore score_dedup(
+    std::span<const GroundTruthLabel> labels,
+    const std::function<std::string(const GroundTruthLabel&)>& signature) {
+  DedupScore score;
+  score.kernels = labels.size();
+  std::vector<std::string> sigs;
+  sigs.reserve(labels.size());
+  for (const GroundTruthLabel& l : labels) sigs.push_back(signature(l));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    for (std::size_t j = i + 1; j < labels.size(); ++j) {
+      const bool same_mechanism =
+          labels[i].mechanism == labels[j].mechanism;
+      const bool co_clustered = sigs[i] == sigs[j];
+      if (same_mechanism) ++score.same_mechanism_pairs;
+      if (co_clustered) ++score.co_clustered_pairs;
+      if (same_mechanism && co_clustered) ++score.true_pairs;
+    }
+  }
+  return score;
+}
+
+}  // namespace flit::gen

@@ -1,0 +1,43 @@
+#pragma once
+
+// Label-scored dedup: the generated corpus (generator.h) knows, by
+// construction, which kernels share a variability mechanism, so a blame
+// clustering over that corpus can be scored against planted truth --
+// kernels with the same GroundTruthLabel::mechanism must land in the
+// same blame cluster (co-cluster), kernels with different mechanisms
+// must not.  The scorer is pairwise, like the Table-5 harness's
+// precision/recall but over kernel pairs:
+//   precision = same-mechanism fraction of co-clustered pairs,
+//   recall    = co-clustered fraction of same-mechanism pairs.
+// It is deliberately generic over a signature function so src/gen stays
+// independent of the blame campaign: the caller maps each label to its
+// cluster-membership signature (e.g. the sorted blame-site ids whose
+// clusters contain the kernel's file), and two kernels co-cluster iff
+// their signatures are identical strings.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "gen/generator.h"
+
+namespace flit::gen {
+
+struct DedupScore {
+  std::size_t kernels = 0;
+  std::size_t same_mechanism_pairs = 0;  ///< ground truth positives
+  std::size_t co_clustered_pairs = 0;    ///< predicted positives
+  std::size_t true_pairs = 0;            ///< both
+
+  /// 1.0 when there are no predicted positives (nothing wrongly merged).
+  [[nodiscard]] double precision() const;
+  /// 1.0 when there are no ground-truth positives (nothing to recall).
+  [[nodiscard]] double recall() const;
+};
+
+[[nodiscard]] DedupScore score_dedup(
+    std::span<const GroundTruthLabel> labels,
+    const std::function<std::string(const GroundTruthLabel&)>& signature);
+
+}  // namespace flit::gen

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "blame/campaign.h"
 #include "core/explorer.h"
 #include "core/hierarchy.h"
 #include "core/mixer.h"
@@ -104,13 +105,21 @@ int usage() {
       "       flit bisect <test> <compiler> <-ON> [flag...] "
       "[--k N] [--digits D]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
-      "       flit workflow <test> [--jobs N] [--retries N] [--shards N]\n"
+      "       flit workflow <test> [--max-bisects N] [--k N] [--digits D]\n"
+      "                    [--jobs N] [--retries N] [--shards N]\n"
       "                    [--steal|--no-steal] [--steal-grain N]\n"
       "                    [--placement static|cost|affinity]\n"
       "                    [--cost-profile file.tsv]\n"
       "                    [--max-restarts N] [--stall-deadline C]\n"
       "                    [--allow-partial]\n"
       "                    [--keep-going|--no-keep-going]\n"
+      "                    [--trace-out file] [--metrics-out file]\n"
+      "                    [--gen-seed N] [--gen-count N] "
+      "[--gen-recipes r,..]\n"
+      "       flit blame [<test>] [--db file.tsv] [--k N] [--digits D]\n"
+      "                    [--jobs N] [--shards N]\n"
+      "                    [--steal|--no-steal] [--steal-grain N]\n"
+      "                    [--memo|--no-memo] [--max-cells N] [--pairs N]\n"
       "                    [--trace-out file] [--metrics-out file]\n"
       "                    [--gen-seed N] [--gen-count N] "
       "[--gen-recipes r,..]\n"
@@ -187,6 +196,25 @@ int usage() {
       "--gen-count N   kernels to generate (default 16)\n"
       "--gen-recipes   comma-separated recipe subset: fma, reduce, branch,\n"
       "                libm, subnormal, unsafe (default: all, rotating)\n"
+      "\n"
+      "workflow bisect phase: --max-bisects caps the Level 3 searches (0 =\n"
+      "bisect every variable compilation; default 3, skipped ones are\n"
+      "reported), --k keeps the k biggest culprits per search (0 = all;\n"
+      "default 1), --digits restricts comparisons to D significant digits\n"
+      "\n"
+      "blame runs the dedup bisect campaign over every variability-flagged\n"
+      "cell -- of a live study of <test>, of a --db results database (all\n"
+      "its tests, or <test> only), or of the --gen-* corpus -- sharing one\n"
+      "probe memo across all bisects, clustering the outcomes into blame\n"
+      "sites and re-verifying each site with its minimal adversarial\n"
+      "compilation pair; the clustered report is bitwise-identical at any\n"
+      "--shards x --jobs x --steal x --memo mix (see docs/blame-dedup.md)\n"
+      "--memo          share probe answers across bisects (default;\n"
+      "                --no-memo re-runs every probe -- same report bytes,\n"
+      "                more real executions)\n"
+      "--max-cells N   cap the cells bisected (0 = all, the default)\n"
+      "--pairs N       adversarial candidate pairs tried per cluster\n"
+      "                (default 4)\n"
       "\n"
       "gen prints the generated space without running it: --describe\n"
       "(default) writes the ground-truth label TSV (kernel, recipe,\n"
@@ -556,6 +584,9 @@ int cmd_bisect(const std::string& test_name,
 
 struct WorkflowArgs {
   unsigned jobs = 0;
+  std::size_t max_bisects = 3;  ///< Level 3 cap (0 = bisect everything)
+  int k = 1;
+  int digits = 0;
   int shards = 1;
   bool steal = true;
   std::size_t steal_grain = 16;
@@ -578,8 +609,9 @@ int cmd_workflow(const std::string& test_name, const WorkflowArgs& args) {
   core::WorkflowOptions opts;
   opts.baseline = toolchain::mfem_baseline();
   opts.speed_reference = toolchain::mfem_speed_reference();
-  opts.max_bisects = 3;
-  opts.k = 1;
+  opts.max_bisects = args.max_bisects;
+  opts.k = args.k;
+  opts.digits = args.digits;
   opts.jobs = args.jobs;
   opts.explore.retry = args.retry;
   opts.explore.keep_going = args.keep_going;
@@ -609,6 +641,71 @@ int cmd_workflow(const std::string& test_name, const WorkflowArgs& args) {
       &fpsem::global_code_model(), *test, toolchain::mfem_study_space(),
       opts);
   std::fputs(core::workflow_report_text(report).c_str(), stdout);
+  return 0;
+}
+
+struct BlameArgs {
+  std::string test;     ///< optional with --db (then: every db test)
+  std::string db_path;  ///< enumerate cells from a results database
+  int k = 0;
+  int digits = 0;
+  unsigned jobs = 0;
+  int shards = 1;
+  bool steal = true;
+  std::size_t steal_grain = 4;
+  bool memo = true;
+  std::size_t max_cells = 0;
+  std::size_t pairs = 4;
+};
+
+int cmd_blame(const BlameArgs& args) {
+  auto& reg = core::global_test_registry();
+  const auto space = toolchain::mfem_study_space();
+  blame::CampaignInput input;
+  if (!args.db_path.empty()) {
+    const core::ResultsDb db(args.db_path);
+    input = blame::input_from_db(db, space);
+    if (!args.test.empty()) {
+      blame::CampaignInput filtered;
+      filtered.dropped_rows = input.dropped_rows;
+      for (const blame::Cell& c : input.cells) {
+        if (c.test == args.test) filtered.cells.push_back(c);
+      }
+      if (const auto it = input.equal_comps.find(args.test);
+          it != input.equal_comps.end()) {
+        filtered.equal_comps[args.test] = it->second;
+      }
+      input = std::move(filtered);
+    }
+  } else {
+    if (!reg.contains(args.test)) {
+      std::fprintf(stderr, "unknown test '%s'\n", args.test.c_str());
+      return 1;
+    }
+    const auto test = reg.create(args.test);
+    const core::SpaceExplorer explorer(
+        &fpsem::global_code_model(), toolchain::mfem_baseline(),
+        toolchain::mfem_speed_reference(), args.jobs >= 1 ? args.jobs : 1);
+    input = blame::input_from_study(explorer.explore(*test, space));
+  }
+  blame::BlameOptions opts;
+  opts.baseline = toolchain::mfem_baseline();
+  opts.k = args.k;
+  opts.digits = args.digits;
+  opts.memo = args.memo;
+  opts.max_cells = args.max_cells;
+  opts.adversarial_attempts = args.pairs;
+  opts.shard.shards = args.shards;
+  opts.shard.jobs = args.jobs >= 1 ? args.jobs : 1;
+  opts.shard.steal = args.steal;
+  opts.shard.grain = args.steal_grain;
+  const blame::BlameReport report =
+      blame::run_campaign(&fpsem::global_code_model(), reg, input, opts);
+  // The deterministic report goes to stdout; the scheduling-dependent
+  // accounting (memo hit rate, steals) to stderr, so piped output is
+  // byte-stable at any shards x jobs mix.
+  std::fputs(report.text().c_str(), stdout);
+  std::fputs(report.stats_text().c_str(), stderr);
   return 0;
 }
 
@@ -912,6 +1009,15 @@ int dispatch(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--jobs") == 0) {
         args.jobs =
             parse_jobs("--jobs", option_value("--jobs", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--max-bisects") == 0) {
+        args.max_bisects = static_cast<std::size_t>(parse_nonneg(
+            "--max-bisects", option_value("--max-bisects", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--k") == 0) {
+        args.k = static_cast<int>(
+            parse_long("--k", option_value("--k", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--digits") == 0) {
+        args.digits = static_cast<int>(
+            parse_long("--digits", option_value("--digits", argv, argc, &i)));
       } else if (std::strcmp(argv[i], "--shards") == 0) {
         args.shards = static_cast<int>(parse_jobs(
             "--shards", option_value("--shards", argv, argc, &i)));
@@ -952,6 +1058,71 @@ int dispatch(int argc, char** argv) {
     gargs.install();
     telemetry_begin(tel);
     const int rc = cmd_workflow(argv[2], args);
+    telemetry_finish(tel);
+    return rc;
+  }
+
+  if (cmd == "blame") {
+    if (argc < 3) return usage();
+    BlameArgs args;
+    args.jobs = core::default_jobs();
+    TelemetryArgs tel;
+    GenArgs gargs;
+    // The test name is optional when --db provides the cells (then every
+    // test in the database is campaigned; a name filters to one).
+    int first_opt = 2;
+    if (std::strncmp(argv[2], "--", 2) != 0) {
+      args.test = argv[2];
+      first_opt = 3;
+    }
+    for (int i = first_opt; i < argc; ++i) {
+      if (tel.parse(argv, argc, &i)) {
+        // consumed
+      } else if (gargs.parse(argv, argc, &i)) {
+        // consumed
+      } else if (std::strcmp(argv[i], "--db") == 0) {
+        args.db_path = option_value("--db", argv, argc, &i);
+      } else if (std::strcmp(argv[i], "--k") == 0) {
+        args.k = static_cast<int>(
+            parse_long("--k", option_value("--k", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--digits") == 0) {
+        args.digits = static_cast<int>(
+            parse_long("--digits", option_value("--digits", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        args.jobs =
+            parse_jobs("--jobs", option_value("--jobs", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--shards") == 0) {
+        args.shards = static_cast<int>(parse_jobs(
+            "--shards", option_value("--shards", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--steal") == 0) {
+        args.steal = true;
+      } else if (std::strcmp(argv[i], "--no-steal") == 0) {
+        args.steal = false;
+      } else if (std::strcmp(argv[i], "--steal-grain") == 0) {
+        args.steal_grain = parse_jobs(
+            "--steal-grain", option_value("--steal-grain", argv, argc, &i));
+      } else if (std::strcmp(argv[i], "--memo") == 0) {
+        args.memo = true;
+      } else if (std::strcmp(argv[i], "--no-memo") == 0) {
+        args.memo = false;
+      } else if (std::strcmp(argv[i], "--max-cells") == 0) {
+        args.max_cells = static_cast<std::size_t>(parse_nonneg(
+            "--max-cells", option_value("--max-cells", argv, argc, &i)));
+      } else if (std::strcmp(argv[i], "--pairs") == 0) {
+        args.pairs = static_cast<std::size_t>(parse_nonneg(
+            "--pairs", option_value("--pairs", argv, argc, &i)));
+      } else {
+        std::fprintf(stderr, "blame: unknown option '%s'\n", argv[i]);
+        return usage();
+      }
+    }
+    if (args.test.empty() && args.db_path.empty()) {
+      std::fprintf(stderr, "blame: a test name or --db file.tsv is required\n");
+      return usage();
+    }
+    gargs.install();
+    telemetry_begin(tel);
+    const int rc = cmd_blame(args);
     telemetry_finish(tel);
     return rc;
   }
@@ -1023,7 +1194,7 @@ int dispatch(int argc, char** argv) {
 
   std::fprintf(stderr,
                "flit: unknown command '%s' (commands: list, explore, "
-               "bisect, workflow, mix, serve, gen)\n",
+               "bisect, workflow, mix, serve, gen, blame)\n",
                cmd.c_str());
   return usage();
 }
